@@ -1,0 +1,162 @@
+//! NULL-dereference detection — a client the points-to abstraction
+//! enables directly, since every pointer is initialized to the `null`
+//! pseudo-location (§6 of the paper) and kills remove it precisely.
+
+use pta_core::stats::collect_indirect_refs;
+use pta_core::AnalysisResult;
+use pta_simple::{IrProgram, StmtId, VarRef};
+
+/// Severity of a NULL-dereference finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NullSeverity {
+    /// The dereferenced pointer *may* be NULL on some path.
+    Possible,
+    /// The dereferenced pointer can *only* be NULL here.
+    Definite,
+}
+
+/// One NULL-dereference finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NullDeref {
+    /// Containing function.
+    pub function: String,
+    /// Program point.
+    pub stmt: StmtId,
+    /// The indirect reference (rendered).
+    pub reference: String,
+    /// Severity.
+    pub severity: NullSeverity,
+}
+
+impl std::fmt::Display for NullDeref {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.severity {
+            NullSeverity::Definite => "definite",
+            NullSeverity::Possible => "possible",
+        };
+        write!(
+            f,
+            "{} NULL dereference of {} in `{}` at {}",
+            kind, self.reference, self.function, self.stmt
+        )
+    }
+}
+
+/// Scans every indirect reference for NULL among the targets of its
+/// dereferenced pointer. References in unreached code are skipped.
+pub fn null_derefs(ir: &IrProgram, result: &mut AnalysisResult) -> Vec<NullDeref> {
+    let mut out = Vec::new();
+    for occ in collect_indirect_refs(ir) {
+        let VarRef::Deref { path, .. } = &occ.r else { continue };
+        let set = result.at(occ.stmt);
+        if set.is_empty() && !result.per_stmt.contains_key(&occ.stmt) {
+            continue; // unreached program point
+        }
+        let ptr_locs = {
+            let mut env = pta_core::lvalue::RefEnv {
+                ir,
+                func: occ.func,
+                locs: &mut result.locs,
+            };
+            env.path_locs(path)
+        };
+        let mut any_null = false;
+        let mut any_non_null = false;
+        let mut any_target = false;
+        for (pl, _) in &ptr_locs {
+            for (t, _) in set.targets(*pl) {
+                any_target = true;
+                if result.locs.is_null(t) {
+                    any_null = true;
+                } else {
+                    any_non_null = true;
+                }
+            }
+        }
+        if !any_target || !any_null {
+            continue;
+        }
+        let f = ir.function(occ.func);
+        out.push(NullDeref {
+            function: f.name.clone(),
+            stmt: occ.stmt,
+            reference: pta_simple::printer::ref_str(ir, f, &occ.r),
+            severity: if any_non_null {
+                NullSeverity::Possible
+            } else {
+                NullSeverity::Definite
+            },
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<NullDeref> {
+        let mut t = pta_core::run_source(src).expect("analysis ok");
+        let ir = t.ir.clone();
+        null_derefs(&ir, &mut t.result)
+    }
+
+    #[test]
+    fn uninitialized_deref_is_definite() {
+        let findings = run("int main(void){ int *p; return *p; }");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, NullSeverity::Definite);
+        assert_eq!(findings[0].reference, "*p");
+    }
+
+    #[test]
+    fn conditional_assignment_is_possible() {
+        let findings =
+            run("int x, c; int main(void){ int *p; if (c) p = &x; return *p; }");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, NullSeverity::Possible);
+    }
+
+    #[test]
+    fn definitely_assigned_pointer_is_clean() {
+        let findings = run("int x; int main(void){ int *p; p = &x; return *p; }");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn malloc_without_check_is_possible_null_free_model() {
+        // Our model makes malloc return (heap, P): the pointer has a
+        // non-null target and the null pair was killed by the strong
+        // assignment, so no finding.
+        let findings = run("int main(void){ int *p; p = (int*) malloc(4); return *p; }");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn explicit_null_assignment_is_definite() {
+        let findings = run("int main(void){ int *p; p = 0; return *p; }");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, NullSeverity::Definite);
+    }
+
+    #[test]
+    fn interprocedural_null_return() {
+        let findings = run(
+            "int x, c;
+             int *maybe(void) { if (c) return &x; return 0; }
+             int main(void){ int *p; p = maybe(); return *p; }",
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, NullSeverity::Possible);
+        assert_eq!(findings[0].function, "main");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let findings = run("int main(void){ int *p; return *p; }");
+        let s = findings[0].to_string();
+        assert!(s.contains("definite NULL dereference"));
+        assert!(s.contains("*p"));
+        assert!(s.contains("main"));
+    }
+}

@@ -1,0 +1,35 @@
+//! E2–E5: full context-sensitive analysis time per benchmark — the cost
+//! of producing Tables 3–6 for the suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("context_sensitive_analysis");
+    for b in pta_benchsuite::SUITE {
+        let ir = pta_simple::compile(b.source).expect("benchmark compiles");
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                let r = pta_core::analyze(black_box(&ir)).expect("analysis ok");
+                black_box(r.exit_set.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stats_tables(c: &mut Criterion) {
+    // Table generation on one analysed benchmark (stanford: the largest).
+    let b = pta_benchsuite::benchmark("stanford").unwrap();
+    let ir = pta_simple::compile(b.source).unwrap();
+    c.bench_function("tables_2_to_6/stanford", |bench| {
+        bench.iter(|| {
+            let mut r = pta_core::analyze(&ir).expect("analysis ok");
+            let s = pta_core::stats::compute(b.name, b.source, &ir, &mut r);
+            black_box((s.t3.ind_refs, s.t6.ig_nodes))
+        })
+    });
+}
+
+criterion_group!(benches, bench_analysis, bench_stats_tables);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E11: analysis-time comparison of the context-sensitive analysis
+//! against the baselines (context-insensitive, Andersen, Steensgaard)
+//! on representative benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pta_core::baseline::{andersen, insensitive, steensgaard};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    for name in ["hash", "stanford", "config", "lws"] {
+        let b = pta_benchsuite::benchmark(name).unwrap();
+        let ir = pta_simple::compile(b.source).expect("compiles");
+        let mut g = c.benchmark_group(format!("baselines/{name}"));
+        g.bench_function("context_sensitive", |bench| {
+            bench.iter(|| black_box(pta_core::analyze(black_box(&ir)).unwrap().exit_set.len()))
+        });
+        g.bench_function("context_insensitive", |bench| {
+            bench.iter(|| black_box(insensitive(black_box(&ir)).unwrap().exit_set.len()))
+        });
+        g.bench_function("andersen", |bench| {
+            bench.iter(|| black_box(andersen(black_box(&ir)).unwrap().solution.len()))
+        });
+        g.bench_function("steensgaard", |bench| {
+            bench.iter(|| black_box(steensgaard(black_box(&ir)).unwrap().class_count()))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E6: the `livc` function-pointer study — analysis time and
+//! invocation-graph construction under the three resolution strategies
+//! (§5 of the paper: points-to driven vs all-functions vs
+//! address-taken).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pta_core::baseline::{build_ig_with_strategy, CallGraphStrategy};
+use std::hint::black_box;
+
+fn bench_livc(c: &mut Criterion) {
+    let b = pta_benchsuite::LIVC;
+    let ir = pta_simple::compile(b.source).expect("livc compiles");
+
+    let mut g = c.benchmark_group("livc_invocation_graph");
+    g.bench_function("points_to_driven", |bench| {
+        bench.iter(|| {
+            let r = pta_core::analyze(black_box(&ir)).expect("analysis ok");
+            black_box(r.ig.len())
+        })
+    });
+    g.bench_function("all_functions", |bench| {
+        bench.iter(|| {
+            let g2 = build_ig_with_strategy(
+                black_box(&ir),
+                CallGraphStrategy::AllFunctions,
+                2_000_000,
+            )
+            .expect("builds");
+            black_box(g2.len())
+        })
+    });
+    g.bench_function("address_taken", |bench| {
+        bench.iter(|| {
+            let g2 = build_ig_with_strategy(
+                black_box(&ir),
+                CallGraphStrategy::AddressTaken,
+                2_000_000,
+            )
+            .expect("builds");
+            black_box(g2.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_dispatch_scaling(c: &mut Criterion) {
+    // How analysis time scales with the number of function-pointer
+    // targets at one indirect site.
+    let mut g = c.benchmark_group("dispatch_targets_scaling");
+    for n in [4usize, 8, 16, 32] {
+        let src = pta_bench::dispatch_program(n);
+        let ir = pta_simple::compile(&src).expect("compiles");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ir, |bench, ir| {
+            bench.iter(|| {
+                let r = pta_core::analyze(black_box(ir)).expect("analysis ok");
+                black_box(r.ig.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_livc, bench_dispatch_scaling);
+criterion_main!(benches);

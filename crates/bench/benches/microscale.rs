@@ -1,0 +1,63 @@
+//! Micro-benchmarks and scaling curves for the core machinery: call
+//! depth (map/unmap chains), call-site fan-out (memoization), and
+//! points-to set merges.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pta_core::points_to_set::{Def, PtSet};
+use pta_core::LocId;
+use std::hint::black_box;
+
+fn bench_call_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("call_chain_depth");
+    for n in [4usize, 16, 64] {
+        let src = pta_bench::chain_program(n);
+        let ir = pta_simple::compile(&src).expect("compiles");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ir, |bench, ir| {
+            bench.iter(|| black_box(pta_core::analyze(black_box(ir)).unwrap().exit_set.len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("call_site_fanout");
+    for n in [4usize, 16, 64] {
+        let src = pta_bench::fanout_program(n);
+        let ir = pta_simple::compile(&src).expect("compiles");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ir, |bench, ir| {
+            bench.iter(|| black_box(pta_core::analyze(black_box(ir)).unwrap().exit_set.len()))
+        });
+    }
+    g.finish();
+}
+
+fn synth_set(n: u32, seed: u32) -> PtSet {
+    let mut s = PtSet::new();
+    for i in 0..n {
+        let src = (i * 7 + seed) % 50;
+        let tgt = (i * 13 + seed * 3) % 50;
+        let d = if i % 3 == 0 { Def::D } else { Def::P };
+        s.insert_weak(LocId(src), LocId(tgt), d);
+    }
+    s
+}
+
+fn bench_ptset_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ptset");
+    for n in [32u32, 256, 2048] {
+        let a = synth_set(n, 1);
+        let b = synth_set(n, 17);
+        g.bench_with_input(
+            BenchmarkId::new("merge", n),
+            &(a.clone(), b.clone()),
+            |bench, (a, b)| bench.iter(|| black_box(a.merge(black_box(b)))),
+        );
+        g.bench_with_input(BenchmarkId::new("subset", n), &(a, b), |bench, (a, b)| {
+            bench.iter(|| black_box(a.subset_of(black_box(b))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_call_depth, bench_fanout, bench_ptset_ops);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E1: front-end + simplifier cost per benchmark (the artifacts of
+//! Table 2: SIMPLE statement counts come out of this stage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    for b in pta_benchsuite::SUITE {
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                let ast = pta_cfront::frontend(black_box(b.source)).expect("parses");
+                black_box(ast.functions.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_simplifier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplifier");
+    for b in pta_benchsuite::SUITE {
+        let ast = pta_cfront::frontend(b.source).expect("parses");
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                let ir = pta_simple::lower(black_box(&ast)).expect("lowers");
+                black_box(ir.total_basic_stmts())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_source_to_analysis");
+    for name in ["hash", "stanford", "lws"] {
+        let b = pta_benchsuite::benchmark(name).unwrap();
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                let p = pta_core::run_source(black_box(b.source)).expect("pipeline ok");
+                black_box(p.result.exit_set.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_simplifier, bench_full_pipeline);
+criterion_main!(benches);

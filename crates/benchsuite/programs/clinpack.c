@@ -1,0 +1,157 @@
+/* clinpack - C version of Linpack (paper benchmark `clinpack`):
+ * matrices passed as pointer-to-array parameters (the x[i][j] indirect
+ * reference style the paper highlights), daxpy/ddot kernels. */
+
+enum { N = 20, LDA = 21 };
+
+double aa[LDA][LDA];
+double b_vec[LDA];
+double x_vec[LDA];
+int ipvt[LDA];
+
+double fabs_d(double x) {
+    if (x < 0.0) {
+        return -x;
+    }
+    return x;
+}
+
+void daxpy(int n, double da, double *dx, double *dy) {
+    int i;
+    if (n <= 0) {
+        return;
+    }
+    if (da == 0.0) {
+        return;
+    }
+    for (i = 0; i < n; i++) {
+        dy[i] = dy[i] + da * dx[i];
+    }
+}
+
+double ddot(int n, double *dx, double *dy) {
+    int i;
+    double dtemp;
+    dtemp = 0.0;
+    for (i = 0; i < n; i++) {
+        dtemp = dtemp + dx[i] * dy[i];
+    }
+    return dtemp;
+}
+
+void dscal(int n, double da, double *dx) {
+    int i;
+    for (i = 0; i < n; i++) {
+        dx[i] = da * dx[i];
+    }
+}
+
+int idamax(int n, double *dx) {
+    int i, itemp;
+    double dmax;
+    if (n < 1) {
+        return -1;
+    }
+    itemp = 0;
+    dmax = fabs_d(dx[0]);
+    for (i = 1; i < n; i++) {
+        if (fabs_d(dx[i]) > dmax) {
+            itemp = i;
+            dmax = fabs_d(dx[i]);
+        }
+    }
+    return itemp;
+}
+
+void matgen(double (*a)[LDA], int n, double *b) {
+    int i, j;
+    int init;
+    init = 1325;
+    for (j = 0; j < n; j++) {
+        for (i = 0; i < n; i++) {
+            init = 3125 * init % 65536;
+            a[j][i] = (init - 32768.0) / 16384.0;
+        }
+    }
+    for (i = 0; i < n; i++) {
+        b[i] = 0.0;
+    }
+    for (j = 0; j < n; j++) {
+        for (i = 0; i < n; i++) {
+            b[i] = b[i] + a[j][i];
+        }
+    }
+}
+
+int dgefa(double (*a)[LDA], int n, int *pvt) {
+    int info, j, k, l;
+    double t;
+    info = 0;
+    for (k = 0; k < n - 1; k++) {
+        l = idamax(n - k, &a[k][k]) + k;
+        pvt[k] = l;
+        if (a[k][l] != 0.0) {
+            if (l != k) {
+                t = a[k][l];
+                a[k][l] = a[k][k];
+                a[k][k] = t;
+            }
+            t = -1.0 / a[k][k];
+            dscal(n - k - 1, t, &a[k][k + 1]);
+            for (j = k + 1; j < n; j++) {
+                t = a[j][l];
+                if (l != k) {
+                    a[j][l] = a[j][k];
+                    a[j][k] = t;
+                }
+                daxpy(n - k - 1, t, &a[k][k + 1], &a[j][k + 1]);
+            }
+        } else {
+            info = k;
+        }
+    }
+    pvt[n - 1] = n - 1;
+    return info;
+}
+
+void dgesl(double (*a)[LDA], int n, int *pvt, double *b) {
+    int k, l;
+    double t;
+    for (k = 0; k < n - 1; k++) {
+        l = pvt[k];
+        t = b[l];
+        if (l != k) {
+            b[l] = b[k];
+            b[k] = t;
+        }
+        daxpy(n - k - 1, t, &a[k][k + 1], &b[k + 1]);
+    }
+    for (k = n - 1; k >= 0; k--) {
+        b[k] = b[k] / a[k][k];
+        t = -b[k];
+        daxpy(k, t, &a[k][0], &b[0]);
+    }
+}
+
+double residual(double (*a)[LDA], int n, double *x, double *b) {
+    int i;
+    double r, acc;
+    acc = 0.0;
+    for (i = 0; i < n; i++) {
+        r = ddot(n, &a[i][0], x) - b[i];
+        acc = acc + fabs_d(r);
+    }
+    return acc;
+}
+
+int main(void) {
+    int i, info;
+    matgen(aa, N, b_vec);
+    info = dgefa(aa, N, ipvt);
+    dgesl(aa, N, ipvt, b_vec);
+    for (i = 0; i < N; i++) {
+        x_vec[i] = b_vec[i];
+    }
+    printf("info %d x0 %f\n", info, x_vec[0]);
+    return 0;
+}

@@ -1,0 +1,105 @@
+/* compress - UNIX compress-style LZW (paper benchmark `compress`):
+ * global code tables, char-pointer scanning, heap I/O buffers. */
+
+enum { HSIZE = 1024, MAXCODE = 512, BITS = 12 };
+
+int htab[HSIZE];
+int codetab[HSIZE];
+char *inbuf;
+char *outbuf;
+int in_len;
+int out_len;
+int free_ent;
+int n_bits;
+
+void cl_hash(void) {
+    int i;
+    for (i = 0; i < HSIZE; i++) {
+        htab[i] = -1;
+        codetab[i] = 0;
+    }
+}
+
+void output_code(int code) {
+    outbuf[out_len] = code & 255;
+    out_len = out_len + 1;
+    if (code > 255) {
+        outbuf[out_len] = (code >> 8) & 255;
+        out_len = out_len + 1;
+    }
+}
+
+int probe_for(int fcode, int *slot) {
+    int i, disp;
+    i = fcode % HSIZE;
+    if (i == 0) {
+        disp = 1;
+    } else {
+        disp = HSIZE - i;
+    }
+    while (htab[i] >= 0 && htab[i] != fcode) {
+        i = i - disp;
+        if (i < 0) {
+            i = i + HSIZE;
+        }
+    }
+    *slot = i;
+    if (htab[i] == fcode) {
+        return 1;
+    }
+    return 0;
+}
+
+void compress_buf(void) {
+    int ent, c, fcode, slot, pos;
+    cl_hash();
+    free_ent = 257;
+    n_bits = 9;
+    out_len = 0;
+    pos = 0;
+    ent = inbuf[pos];
+    pos = pos + 1;
+    while (pos < in_len) {
+        c = inbuf[pos];
+        pos = pos + 1;
+        fcode = (c << BITS) + ent;
+        if (probe_for(fcode, &slot)) {
+            ent = codetab[slot];
+            continue;
+        }
+        output_code(ent);
+        if (free_ent < MAXCODE) {
+            codetab[slot] = free_ent;
+            htab[slot] = fcode;
+            free_ent = free_ent + 1;
+        }
+        ent = c;
+    }
+    output_code(ent);
+}
+
+void fill_input(int n) {
+    int i;
+    in_len = n;
+    for (i = 0; i < n; i++) {
+        inbuf[i] = 'a' + (i * i + i / 7) % 16;
+    }
+}
+
+int checksum(char *buf, int n) {
+    int i, sum;
+    sum = 0;
+    for (i = 0; i < n; i++) {
+        sum = (sum * 31 + buf[i]) & 0xffff;
+    }
+    return sum;
+}
+
+int main(void) {
+    inbuf = (char *) malloc(4096);
+    outbuf = (char *) malloc(8192);
+    fill_input(4000);
+    compress_buf();
+    printf("in %d out %d sum %d\n", in_len, out_len, checksum(outbuf, out_len));
+    return 0;
+}

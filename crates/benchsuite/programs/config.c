@@ -1,0 +1,175 @@
+/* config - checks features of the C language (paper benchmark
+ * `config`): many small feature probes called along deep chains, which
+ * is why Table 6 reports a large invocation graph for it. */
+
+int failures;
+int probes;
+
+void report(int ok, char *what) {
+    probes = probes + 1;
+    if (!ok) {
+        failures = failures + 1;
+        printf("FAIL: %s\n", what);
+    }
+}
+
+int probe_char_size(void) {
+    return sizeof(char) == 1;
+}
+
+int probe_int_size(void) {
+    return sizeof(int) >= 2;
+}
+
+int probe_pointer_size(void) {
+    return sizeof(int *) >= sizeof(int);
+}
+
+int probe_shift(void) {
+    int v;
+    v = 1;
+    v = v << 4;
+    return v == 16;
+}
+
+int probe_division(void) {
+    return (7 / 2) == 3 && (7 % 2) == 1;
+}
+
+int probe_char_set(void) {
+    return 'a' < 'z' && '0' < '9';
+}
+
+int probe_address_of(void) {
+    int x;
+    int *p;
+    x = 5;
+    p = &x;
+    return *p == 5;
+}
+
+int probe_double_indirect(void) {
+    int x;
+    int *p;
+    int **pp;
+    x = 9;
+    p = &x;
+    pp = &p;
+    return **pp == 9;
+}
+
+int probe_array_decay(void) {
+    int a[4];
+    int *p;
+    a[0] = 3;
+    p = a;
+    return *p == 3;
+}
+
+int probe_struct_basics(void) {
+    struct pair { int a; int b; };
+    struct pair s;
+    struct pair *q;
+    s.a = 1;
+    s.b = 2;
+    q = &s;
+    return q->a + q->b == 3;
+}
+
+int probe_union_overlay(void) {
+    union ov { int i; char c; };
+    union ov u;
+    u.i = 65;
+    return u.i == 65;
+}
+
+int probe_recursion_depth(int n) {
+    if (n <= 0) {
+        return 0;
+    }
+    return 1 + probe_recursion_depth(n - 1);
+}
+
+int probe_mutual_a(int n);
+int probe_mutual_b(int n) {
+    if (n <= 0) {
+        return 0;
+    }
+    return probe_mutual_a(n - 1) + 1;
+}
+
+int probe_mutual_a(int n) {
+    if (n <= 0) {
+        return 0;
+    }
+    return probe_mutual_b(n - 1) + 1;
+}
+
+int probe_switch(void) {
+    int k, out;
+    out = 0;
+    for (k = 0; k < 5; k++) {
+        switch (k) {
+        case 0:
+            out = out + 1;
+            break;
+        case 1:
+        case 2:
+            out = out + 10;
+            break;
+        default:
+            out = out + 100;
+        }
+    }
+    return out == 321;
+}
+
+int probe_logical(void) {
+    int a, b;
+    a = 1;
+    b = 0;
+    return (a || b) && !(a && b);
+}
+
+void group_arithmetic(void) {
+    report(probe_shift(), "shift");
+    report(probe_division(), "division");
+    report(probe_logical(), "logical");
+}
+
+void group_memory(void) {
+    report(probe_address_of(), "address-of");
+    report(probe_double_indirect(), "double indirection");
+    report(probe_array_decay(), "array decay");
+    report(probe_struct_basics(), "struct basics");
+    report(probe_union_overlay(), "union overlay");
+}
+
+void group_sizes(void) {
+    report(probe_char_size(), "char size");
+    report(probe_int_size(), "int size");
+    report(probe_pointer_size(), "pointer size");
+    report(probe_char_set(), "char set");
+}
+
+void group_control(void) {
+    report(probe_switch(), "switch");
+    report(probe_recursion_depth(10) == 10, "recursion");
+    report(probe_mutual_a(8) == 8, "mutual recursion");
+}
+
+void run_all(void) {
+    group_sizes();
+    group_arithmetic();
+    group_memory();
+    group_control();
+}
+
+int main(void) {
+    failures = 0;
+    probes = 0;
+    run_all();
+    run_all();
+    printf("%d probes, %d failures\n", probes, failures);
+    return failures;
+}

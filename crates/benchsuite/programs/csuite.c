@@ -1,0 +1,136 @@
+/* csuite - part of a vectorizing-compiler test suite (paper benchmark
+ * `csuite`): many small loop kernels, each in its own function called
+ * exactly once (hence Avgc = 1.00 in Table 6). */
+
+enum { N = 64 };
+
+double va[N];
+double vb[N];
+double vc[N];
+double vd[N];
+int checks;
+
+void s111(double *a, double *b) {
+    int i;
+    for (i = 1; i < N; i = i + 2) {
+        a[i] = a[i - 1] + b[i];
+    }
+}
+
+void s112(double *a, double *b) {
+    int i;
+    for (i = N - 2; i >= 0; i--) {
+        a[i + 1] = a[i] + b[i];
+    }
+}
+
+void s121(double *a, double *b) {
+    int i, j;
+    for (i = 0; i < N - 1; i++) {
+        j = i + 1;
+        a[i] = a[j] + b[i];
+    }
+}
+
+void s131(double *a, double *b) {
+    int i, m;
+    m = 1;
+    for (i = 0; i < N - 1; i++) {
+        a[i] = a[i + m] + b[i];
+    }
+}
+
+void s151(double *a, double *b) {
+    int i;
+    for (i = 0; i < N - 1; i++) {
+        a[i] = a[i + 1] + b[i];
+    }
+}
+
+void s171(double *a, double *b, int inc) {
+    int i;
+    for (i = 0; i < N / inc; i++) {
+        a[i * inc] = a[i * inc] + b[i];
+    }
+}
+
+void s211(double *a, double *b, double *c) {
+    int i;
+    for (i = 1; i < N - 1; i++) {
+        a[i] = b[i - 1] + c[i];
+        b[i] = b[i + 1] - c[i];
+    }
+}
+
+void s221(double *a, double *b, double *c) {
+    int i;
+    for (i = 1; i < N; i++) {
+        a[i] = a[i] + c[i];
+        b[i] = b[i - 1] + a[i];
+    }
+}
+
+void s241(double *a, double *b, double *c, double *d) {
+    int i;
+    for (i = 0; i < N - 1; i++) {
+        a[i] = b[i] * c[i] * d[i];
+        b[i] = a[i] * a[i + 1] * d[i];
+    }
+}
+
+void s311(double *a) {
+    int i;
+    double sum;
+    sum = 0.0;
+    for (i = 0; i < N; i++) {
+        sum = sum + a[i];
+    }
+    va[0] = sum;
+}
+
+void s1113(double *a, double *b) {
+    int i;
+    for (i = 0; i < N; i++) {
+        a[i] = a[N / 2] + b[i];
+    }
+}
+
+void init_vectors(void) {
+    int i;
+    for (i = 0; i < N; i++) {
+        va[i] = i * 1.0;
+        vb[i] = (N - i) * 0.5;
+        vc[i] = i * 0.25;
+        vd[i] = 1.0;
+    }
+}
+
+double check(double *a) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < N; i++) {
+        s = s + a[i];
+    }
+    checks = checks + 1;
+    return s;
+}
+
+int main(void) {
+    double total;
+    init_vectors();
+    s111(va, vb);
+    s112(va, vb);
+    s121(va, vb);
+    s131(va, vb);
+    s151(va, vb);
+    s171(va, vb, 2);
+    s211(va, vb, vc);
+    s221(va, vb, vc);
+    s241(va, vb, vc, vd);
+    s311(va);
+    s1113(va, vb);
+    total = check(va) + check(vb) + check(vc);
+    printf("checksum %f over %d checks\n", total, checks);
+    return 0;
+}

@@ -1,0 +1,201 @@
+/* dry - Dhrystone-style benchmark (paper benchmark `dry`): records with
+ * pointers, enumeration discriminants, global record pointers. */
+
+enum identification { IDENT_1, IDENT_2, IDENT_3, IDENT_4, IDENT_5 };
+
+struct record {
+    struct record *ptr_comp;
+    int discr;
+    int enum_comp;
+    int int_comp;
+    char string_comp[32];
+};
+
+struct record *ptr_glob;
+struct record *next_ptr_glob;
+int int_glob;
+int bool_glob;
+char ch_1_glob;
+char ch_2_glob;
+int arr_1_glob[50];
+int arr_2_glob[50];
+
+int func_1(char ch_1, char ch_2) {
+    char ch_1_loc;
+    char ch_2_loc;
+    ch_1_loc = ch_1;
+    ch_2_loc = ch_1_loc;
+    if (ch_2_loc != ch_2) {
+        return IDENT_1;
+    }
+    ch_1_glob = ch_1_loc;
+    return IDENT_2;
+}
+
+int func_2(char *str_1, char *str_2) {
+    int int_loc;
+    char ch_loc;
+    int_loc = 2;
+    ch_loc = 'A';
+    while (int_loc <= 2) {
+        if (func_1(str_1[int_loc], str_2[int_loc + 1]) == IDENT_1) {
+            ch_loc = 'A';
+            int_loc = int_loc + 1;
+        } else {
+            break;
+        }
+    }
+    if (ch_loc >= 'W' && ch_loc < 'Z') {
+        int_loc = 7;
+    }
+    if (strcmp(str_1, str_2) > 0) {
+        int_loc = int_loc + 7;
+        int_glob = int_loc;
+        return 1;
+    }
+    return 0;
+}
+
+int func_3(int enum_par) {
+    int enum_loc;
+    enum_loc = enum_par;
+    if (enum_loc == IDENT_3) {
+        return 1;
+    }
+    return 0;
+}
+
+void proc_3(struct record **ptr_ref_par) {
+    if (ptr_glob != 0) {
+        *ptr_ref_par = ptr_glob->ptr_comp;
+    }
+    ptr_glob->int_comp = 10;
+}
+
+void proc_1(struct record *ptr_val_par) {
+    struct record *next_record;
+    next_record = ptr_val_par->ptr_comp;
+    next_record->int_comp = ptr_val_par->int_comp;
+    next_record->ptr_comp = ptr_val_par->ptr_comp;
+    proc_3(&next_record->ptr_comp);
+    if (next_record->discr == IDENT_1) {
+        next_record->int_comp = 6;
+        next_record->enum_comp = ptr_val_par->enum_comp;
+    } else {
+        ptr_val_par->int_comp = next_record->int_comp;
+    }
+}
+
+void proc_2(int *int_par_ref) {
+    int int_loc;
+    int enum_loc;
+    int_loc = *int_par_ref + 10;
+    enum_loc = IDENT_1;
+    do {
+        if (ch_1_glob == 'A') {
+            int_loc = int_loc - 1;
+            *int_par_ref = int_loc - int_glob;
+            enum_loc = IDENT_2;
+        }
+    } while (enum_loc != IDENT_2);
+}
+
+void proc_4(void) {
+    int bool_loc;
+    bool_loc = ch_1_glob == 'A';
+    bool_glob = bool_loc | bool_glob;
+    ch_2_glob = 'B';
+}
+
+void proc_5(void) {
+    ch_1_glob = 'A';
+    bool_glob = 0;
+}
+
+void proc_6(int enum_val_par, int *enum_ref_par) {
+    *enum_ref_par = enum_val_par;
+    if (!func_3(enum_val_par)) {
+        *enum_ref_par = IDENT_4;
+    }
+    switch (enum_val_par) {
+    case IDENT_1:
+        *enum_ref_par = IDENT_1;
+        break;
+    case IDENT_2:
+        if (int_glob > 100) {
+            *enum_ref_par = IDENT_1;
+        } else {
+            *enum_ref_par = IDENT_4;
+        }
+        break;
+    case IDENT_3:
+        *enum_ref_par = IDENT_2;
+        break;
+    default:
+        *enum_ref_par = IDENT_5;
+    }
+}
+
+void proc_7(int int_1_par_val, int int_2_par_val, int *int_par_ref) {
+    int int_loc;
+    int_loc = int_1_par_val + 2;
+    *int_par_ref = int_2_par_val + int_loc;
+}
+
+void proc_8(int *arr_1_par_ref, int *arr_2_par_ref, int int_1_par_val, int int_2_par_val) {
+    int int_index;
+    int int_loc;
+    int_loc = int_1_par_val + 5;
+    arr_1_par_ref[int_loc] = int_2_par_val;
+    arr_1_par_ref[int_loc + 1] = arr_1_par_ref[int_loc];
+    arr_1_par_ref[int_loc + 30] = int_loc;
+    for (int_index = int_loc; int_index <= int_loc + 1; int_index++) {
+        arr_2_par_ref[int_index] = int_loc;
+    }
+    arr_2_par_ref[int_loc + 20] = arr_2_par_ref[int_loc + 20] + 1;
+    int_glob = 5;
+}
+
+int main(void) {
+    int int_1_loc;
+    int int_2_loc;
+    int int_3_loc;
+    int run_index;
+    int enum_loc;
+    char str_1_loc[32];
+    char str_2_loc[32];
+
+    next_ptr_glob = (struct record *) malloc(sizeof(struct record));
+    ptr_glob = (struct record *) malloc(sizeof(struct record));
+    ptr_glob->ptr_comp = next_ptr_glob;
+    ptr_glob->discr = IDENT_1;
+    ptr_glob->enum_comp = IDENT_3;
+    ptr_glob->int_comp = 40;
+    strcpy(ptr_glob->string_comp, "DHRYSTONE PROGRAM");
+    strcpy(str_1_loc, "DHRYSTONE PROGRAM, 1ST");
+    arr_2_glob[8] = 10;
+
+    for (run_index = 1; run_index <= 100; run_index++) {
+        proc_5();
+        proc_4();
+        int_1_loc = 2;
+        int_2_loc = 3;
+        strcpy(str_2_loc, "DHRYSTONE PROGRAM, 2ND");
+        enum_loc = IDENT_2;
+        bool_glob = !func_2(str_1_loc, str_2_loc);
+        while (int_1_loc < int_2_loc) {
+            int_3_loc = 5 * int_1_loc - int_2_loc;
+            proc_7(int_1_loc, int_2_loc, &int_3_loc);
+            int_1_loc = int_1_loc + 1;
+        }
+        proc_8(arr_1_glob, arr_2_glob, int_1_loc, int_3_loc);
+        proc_1(ptr_glob);
+        if (ch_1_glob == 'A') {
+            proc_6(IDENT_1, &enum_loc);
+        }
+        int_2_loc = int_2_loc * int_1_loc;
+        proc_2(&int_1_loc);
+    }
+    printf("int_glob %d\n", int_glob);
+    return 0;
+}

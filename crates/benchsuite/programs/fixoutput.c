@@ -1,0 +1,76 @@
+/* fixoutput - a simple translator (paper benchmark `fixoutput`):
+ * character classification and buffered rewriting via pointers. */
+
+char line[256];
+char fixed[512];
+int nlines;
+int nfixed;
+
+int classify(int c) {
+    if (isdigit(c)) {
+        return 1;
+    }
+    if (isalpha(c)) {
+        return 2;
+    }
+    if (isspace(c)) {
+        return 3;
+    }
+    return 0;
+}
+
+int fix_line(char *src, char *dst) {
+    char *p;
+    char *q;
+    int kind, changed;
+    p = src;
+    q = dst;
+    changed = 0;
+    while (*p != 0) {
+        kind = classify(*p);
+        if (kind == 1) {
+            *q = '#';
+            q = q + 1;
+            changed = changed + 1;
+        } else if (kind == 2) {
+            *q = toupper(*p);
+            q = q + 1;
+        } else if (kind == 3) {
+            *q = ' ';
+            q = q + 1;
+        } else {
+            *q = '?';
+            q = q + 1;
+            changed = changed + 1;
+        }
+        p = p + 1;
+    }
+    *q = 0;
+    return changed;
+}
+
+void synth_line(int seed) {
+    int i, n;
+    n = 10 + seed % 40;
+    for (i = 0; i < n; i++) {
+        line[i] = 32 + (seed * 3 + i * 11) % 90;
+    }
+    line[n] = 0;
+}
+
+int main(void) {
+    int i, changed;
+    nlines = 0;
+    nfixed = 0;
+    for (i = 0; i < 120; i++) {
+        synth_line(i);
+        changed = fix_line(line, fixed);
+        nlines = nlines + 1;
+        if (changed > 0) {
+            nfixed = nfixed + 1;
+        }
+        puts(fixed);
+    }
+    printf("%d lines, %d fixed\n", nlines, nfixed);
+    return 0;
+}

@@ -1,0 +1,123 @@
+/* genetic - implementation of a genetic algorithm for sorting.
+ * Mirrors the paper's `genetic` benchmark: arrays of structs, pointer
+ * parameters, shuffling and crossover through pointers. */
+
+enum { POP = 32, GENES = 16, GENERATIONS = 40 };
+
+struct chromosome {
+    int genes[GENES];
+    int fitness;
+};
+
+struct chromosome population[POP];
+struct chromosome scratch[POP];
+int best_fitness;
+int generation;
+
+int rand_range(int n) {
+    return rand() % n;
+}
+
+void init_chromosome(struct chromosome *c) {
+    int i;
+    for (i = 0; i < GENES; i++) {
+        c->genes[i] = rand_range(100);
+    }
+    c->fitness = 0;
+}
+
+void init_population(struct chromosome *pop, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        init_chromosome(&pop[i]);
+    }
+}
+
+int evaluate(struct chromosome *c) {
+    int i, score;
+    score = 0;
+    for (i = 1; i < GENES; i++) {
+        if (c->genes[i - 1] <= c->genes[i]) {
+            score = score + 1;
+        }
+    }
+    c->fitness = score;
+    return score;
+}
+
+void evaluate_all(struct chromosome *pop, int n) {
+    int i, f;
+    for (i = 0; i < n; i++) {
+        f = evaluate(&pop[i]);
+        if (f > best_fitness) {
+            best_fitness = f;
+        }
+    }
+}
+
+void crossover(struct chromosome *a, struct chromosome *b, struct chromosome *out) {
+    int i, cut;
+    cut = rand_range(GENES);
+    for (i = 0; i < GENES; i++) {
+        if (i < cut) {
+            out->genes[i] = a->genes[i];
+        } else {
+            out->genes[i] = b->genes[i];
+        }
+    }
+    out->fitness = 0;
+}
+
+void mutate(struct chromosome *c) {
+    int pos;
+    pos = rand_range(GENES);
+    c->genes[pos] = rand_range(100);
+}
+
+struct chromosome *tournament(struct chromosome *pop, int n) {
+    struct chromosome *a;
+    struct chromosome *b;
+    a = &pop[rand_range(n)];
+    b = &pop[rand_range(n)];
+    if (a->fitness > b->fitness) {
+        return a;
+    }
+    return b;
+}
+
+void next_generation(struct chromosome *from, struct chromosome *to, int n) {
+    int i;
+    struct chromosome *pa;
+    struct chromosome *pb;
+    for (i = 0; i < n; i++) {
+        pa = tournament(from, n);
+        pb = tournament(from, n);
+        crossover(pa, pb, &to[i]);
+        if (rand_range(10) == 0) {
+            mutate(&to[i]);
+        }
+    }
+}
+
+void copy_population(struct chromosome *from, struct chromosome *to, int n) {
+    int i, j;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < GENES; j++) {
+            to[i].genes[j] = from[i].genes[j];
+        }
+        to[i].fitness = from[i].fitness;
+    }
+}
+
+int main(void) {
+    srand(42);
+    best_fitness = 0;
+    init_population(population, POP);
+    for (generation = 0; generation < GENERATIONS; generation++) {
+        evaluate_all(population, POP);
+        next_generation(population, scratch, POP);
+        copy_population(scratch, population, POP);
+    }
+    printf("best fitness %d\n", best_fitness);
+    return 0;
+}

@@ -1,0 +1,97 @@
+/* hash - an implementation of a hash table (paper benchmark `hash`):
+ * heap-allocated chained buckets, lookups through pointers. */
+
+enum { NBUCKETS = 64 };
+
+struct entry {
+    int key;
+    int value;
+    struct entry *next;
+};
+
+struct entry *buckets[NBUCKETS];
+int population;
+
+int hash_key(int key) {
+    int h;
+    h = key * 31 + 7;
+    if (h < 0) {
+        h = -h;
+    }
+    return h % NBUCKETS;
+}
+
+struct entry *lookup(int key) {
+    struct entry *e;
+    e = buckets[hash_key(key)];
+    while (e != 0) {
+        if (e->key == key) {
+            return e;
+        }
+        e = e->next;
+    }
+    return 0;
+}
+
+void insert(int key, int value) {
+    struct entry *e;
+    int h;
+    e = lookup(key);
+    if (e != 0) {
+        e->value = value;
+        return;
+    }
+    e = (struct entry *) malloc(sizeof(struct entry));
+    h = hash_key(key);
+    e->key = key;
+    e->value = value;
+    e->next = buckets[h];
+    buckets[h] = e;
+    population = population + 1;
+}
+
+int remove_key(int key) {
+    struct entry *e;
+    struct entry *prev;
+    int h;
+    h = hash_key(key);
+    e = buckets[h];
+    prev = 0;
+    while (e != 0) {
+        if (e->key == key) {
+            if (prev == 0) {
+                buckets[h] = e->next;
+            } else {
+                prev->next = e->next;
+            }
+            free(e);
+            population = population - 1;
+            return 1;
+        }
+        prev = e;
+        e = e->next;
+    }
+    return 0;
+}
+
+int main(void) {
+    int i;
+    struct entry *e;
+    int sum;
+    population = 0;
+    for (i = 0; i < 200; i++) {
+        insert(i * 3, i);
+    }
+    sum = 0;
+    for (i = 0; i < 600; i++) {
+        e = lookup(i);
+        if (e != 0) {
+            sum = sum + e->value;
+        }
+    }
+    for (i = 0; i < 100; i++) {
+        remove_key(i * 6);
+    }
+    printf("population %d sum %d\n", population, sum);
+    return 0;
+}

@@ -1,0 +1,834 @@
+/* livc - a collection of Livermore loops dispatched through three
+ * global arrays of function pointers (the paper's function-pointer
+ * case study in section 6): each array holds 24 kernels, each of the
+ * three indirect call sites sits inside a loop and calls through a
+ * scalar local function pointer loaded from an array element. */
+
+enum { VLEN = 32 };
+double vx[VLEN];
+double vy[VLEN];
+double vz[VLEN];
+double result_sum;
+
+double kernel_0_0(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 1.0;
+    }
+    return s;
+}
+
+double kernel_0_1(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 2.0;
+    }
+    return s;
+}
+
+double kernel_0_2(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 3.0;
+    }
+    return s;
+}
+
+double kernel_0_3(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 4.0;
+    }
+    return s;
+}
+
+double kernel_0_4(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 5.0;
+    }
+    return s;
+}
+
+double kernel_0_5(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 6.0;
+    }
+    return s;
+}
+
+double kernel_0_6(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 7.0;
+    }
+    return s;
+}
+
+double kernel_0_7(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 1.0;
+    }
+    return s;
+}
+
+double kernel_0_8(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 2.0;
+    }
+    return s;
+}
+
+double kernel_0_9(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 3.0;
+    }
+    return s;
+}
+
+double kernel_0_10(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 4.0;
+    }
+    return s;
+}
+
+double kernel_0_11(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 5.0;
+    }
+    return s;
+}
+
+double kernel_0_12(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 6.0;
+    }
+    return s;
+}
+
+double kernel_0_13(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 7.0;
+    }
+    return s;
+}
+
+double kernel_0_14(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 1.0;
+    }
+    return s;
+}
+
+double kernel_0_15(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 2.0;
+    }
+    return s;
+}
+
+double kernel_0_16(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 3.0;
+    }
+    return s;
+}
+
+double kernel_0_17(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 4.0;
+    }
+    return s;
+}
+
+double kernel_0_18(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 5.0;
+    }
+    return s;
+}
+
+double kernel_0_19(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 6.0;
+    }
+    return s;
+}
+
+double kernel_0_20(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 7.0;
+    }
+    return s;
+}
+
+double kernel_0_21(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 1.0;
+    }
+    return s;
+}
+
+double kernel_0_22(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 2.0;
+    }
+    return s;
+}
+
+double kernel_0_23(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 3.0;
+    }
+    return s;
+}
+
+double kernel_1_0(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 1.0;
+    }
+    return s;
+}
+
+double kernel_1_1(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 2.0;
+    }
+    return s;
+}
+
+double kernel_1_2(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 3.0;
+    }
+    return s;
+}
+
+double kernel_1_3(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 4.0;
+    }
+    return s;
+}
+
+double kernel_1_4(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 5.0;
+    }
+    return s;
+}
+
+double kernel_1_5(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 6.0;
+    }
+    return s;
+}
+
+double kernel_1_6(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 7.0;
+    }
+    return s;
+}
+
+double kernel_1_7(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 1.0;
+    }
+    return s;
+}
+
+double kernel_1_8(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 2.0;
+    }
+    return s;
+}
+
+double kernel_1_9(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 3.0;
+    }
+    return s;
+}
+
+double kernel_1_10(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 4.0;
+    }
+    return s;
+}
+
+double kernel_1_11(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 5.0;
+    }
+    return s;
+}
+
+double kernel_1_12(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 6.0;
+    }
+    return s;
+}
+
+double kernel_1_13(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 7.0;
+    }
+    return s;
+}
+
+double kernel_1_14(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 1.0;
+    }
+    return s;
+}
+
+double kernel_1_15(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 2.0;
+    }
+    return s;
+}
+
+double kernel_1_16(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 3.0;
+    }
+    return s;
+}
+
+double kernel_1_17(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 4.0;
+    }
+    return s;
+}
+
+double kernel_1_18(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 5.0;
+    }
+    return s;
+}
+
+double kernel_1_19(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 6.0;
+    }
+    return s;
+}
+
+double kernel_1_20(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 7.0;
+    }
+    return s;
+}
+
+double kernel_1_21(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 1.0;
+    }
+    return s;
+}
+
+double kernel_1_22(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 2.0;
+    }
+    return s;
+}
+
+double kernel_1_23(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 3.0;
+    }
+    return s;
+}
+
+double kernel_2_0(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 1.0;
+    }
+    return s;
+}
+
+double kernel_2_1(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 2.0;
+    }
+    return s;
+}
+
+double kernel_2_2(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 3.0;
+    }
+    return s;
+}
+
+double kernel_2_3(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 4.0;
+    }
+    return s;
+}
+
+double kernel_2_4(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 5.0;
+    }
+    return s;
+}
+
+double kernel_2_5(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 6.0;
+    }
+    return s;
+}
+
+double kernel_2_6(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 7.0;
+    }
+    return s;
+}
+
+double kernel_2_7(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 1.0;
+    }
+    return s;
+}
+
+double kernel_2_8(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 2.0;
+    }
+    return s;
+}
+
+double kernel_2_9(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 3.0;
+    }
+    return s;
+}
+
+double kernel_2_10(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 4.0;
+    }
+    return s;
+}
+
+double kernel_2_11(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 5.0;
+    }
+    return s;
+}
+
+double kernel_2_12(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 6.0;
+    }
+    return s;
+}
+
+double kernel_2_13(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 7.0;
+    }
+    return s;
+}
+
+double kernel_2_14(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 1.0;
+    }
+    return s;
+}
+
+double kernel_2_15(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 2.0;
+    }
+    return s;
+}
+
+double kernel_2_16(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 3.0;
+    }
+    return s;
+}
+
+double kernel_2_17(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 4.0;
+    }
+    return s;
+}
+
+double kernel_2_18(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 5.0;
+    }
+    return s;
+}
+
+double kernel_2_19(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 6.0;
+    }
+    return s;
+}
+
+double kernel_2_20(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 7.0;
+    }
+    return s;
+}
+
+double kernel_2_21(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i] * 1.0;
+    }
+    return s;
+}
+
+double kernel_2_22(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] + v[i] * 2.0;
+    }
+    return s;
+}
+
+double kernel_2_23(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] - v[i] * 3.0;
+    }
+    return s;
+}
+
+double (*bank_0[24])(double *, double *, int) = { kernel_0_0, kernel_0_1, kernel_0_2, kernel_0_3, kernel_0_4, kernel_0_5, kernel_0_6, kernel_0_7, kernel_0_8, kernel_0_9, kernel_0_10, kernel_0_11, kernel_0_12, kernel_0_13, kernel_0_14, kernel_0_15, kernel_0_16, kernel_0_17, kernel_0_18, kernel_0_19, kernel_0_20, kernel_0_21, kernel_0_22, kernel_0_23 };
+double (*bank_1[24])(double *, double *, int) = { kernel_1_0, kernel_1_1, kernel_1_2, kernel_1_3, kernel_1_4, kernel_1_5, kernel_1_6, kernel_1_7, kernel_1_8, kernel_1_9, kernel_1_10, kernel_1_11, kernel_1_12, kernel_1_13, kernel_1_14, kernel_1_15, kernel_1_16, kernel_1_17, kernel_1_18, kernel_1_19, kernel_1_20, kernel_1_21, kernel_1_22, kernel_1_23 };
+double (*bank_2[24])(double *, double *, int) = { kernel_2_0, kernel_2_1, kernel_2_2, kernel_2_3, kernel_2_4, kernel_2_5, kernel_2_6, kernel_2_7, kernel_2_8, kernel_2_9, kernel_2_10, kernel_2_11, kernel_2_12, kernel_2_13, kernel_2_14, kernel_2_15, kernel_2_16, kernel_2_17, kernel_2_18, kernel_2_19, kernel_2_20, kernel_2_21, kernel_2_22, kernel_2_23 };
+
+void init_vectors(void) {
+    int i;
+    for (i = 0; i < VLEN; i++) {
+        vx[i] = i * 0.5;
+        vy[i] = (VLEN - i) * 0.25;
+        vz[i] = 1.0;
+    }
+}
+
+double checksum(double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + v[i];
+    }
+    return s;
+}
+
+void scale_vector(double *v, int n, double f) {
+    int i;
+    for (i = 0; i < n; i++) {
+        v[i] = v[i] * f;
+    }
+}
+
+void shift_vector(double *v, int n) {
+    int i;
+    for (i = n - 1; i > 0; i--) {
+        v[i] = v[i - 1];
+    }
+    v[0] = 0.0;
+}
+
+void report(double s) {
+    printf("bank sum %f\n", s);
+}
+
+double run_bank_0(void) {
+    int k;
+    double s;
+    double (*fp)(double *, double *, int);
+    s = 0.0;
+    for (k = 0; k < 24; k++) {
+        fp = bank_0[k];
+        s = s + fp(vx, vy, VLEN);
+    }
+    return s;
+}
+
+double run_bank_1(void) {
+    int k;
+    double s;
+    double (*fp)(double *, double *, int);
+    s = 0.0;
+    for (k = 0; k < 24; k++) {
+        fp = bank_1[k];
+        s = s + fp(vy, vz, VLEN);
+    }
+    return s;
+}
+
+double run_bank_2(void) {
+    int k;
+    double s;
+    double (*fp)(double *, double *, int);
+    s = 0.0;
+    for (k = 0; k < 24; k++) {
+        fp = bank_2[k];
+        s = s + fp(vz, vx, VLEN);
+    }
+    return s;
+}
+
+double dot_product(double *u, double *v, int n) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < n; i++) {
+        s = s + u[i] * v[i];
+    }
+    return s;
+}
+
+int main(void) {
+    double s;
+    init_vectors();
+    s = run_bank_0();
+    report(s);
+    scale_vector(vx, VLEN, 0.5);
+    s = s + run_bank_1();
+    report(s);
+    shift_vector(vy, VLEN);
+    s = s + run_bank_2();
+    result_sum = s + checksum(vz, VLEN) + dot_product(vx, vy, VLEN);
+    report(result_sum);
+    return 0;
+}

@@ -1,0 +1,154 @@
+/* lws - dynamic simulation of a flexible water molecule (paper
+ * benchmark `lws`): large arrays of atom structs, force routines taking
+ * array-of-struct pointers (the dominant from-fp/to-gl pattern of
+ * Table 4). */
+
+enum { NMOL = 16, NATOMS = 3 };
+
+struct atom {
+    double pos[3];
+    double vel[3];
+    double force[3];
+    double mass;
+};
+
+struct molecule {
+    struct atom atoms[NATOMS];
+    double energy;
+};
+
+struct molecule water[NMOL];
+double total_energy;
+double kinetic;
+double dt;
+
+void zero_forces(struct molecule *mol) {
+    int a, d;
+    for (a = 0; a < NATOMS; a++) {
+        for (d = 0; d < 3; d++) {
+            mol->atoms[a].force[d] = 0.0;
+        }
+    }
+}
+
+void init_system(void) {
+    int m, a, d;
+    for (m = 0; m < NMOL; m++) {
+        for (a = 0; a < NATOMS; a++) {
+            for (d = 0; d < 3; d++) {
+                water[m].atoms[a].pos[d] = (m * 3 + a + d) * 0.7;
+                water[m].atoms[a].vel[d] = 0.0;
+            }
+            if (a == 0) {
+                water[m].atoms[a].mass = 16.0;
+            } else {
+                water[m].atoms[a].mass = 1.0;
+            }
+        }
+        water[m].energy = 0.0;
+        zero_forces(&water[m]);
+    }
+}
+
+double pair_force(struct atom *ai, struct atom *aj, int d) {
+    double r, f;
+    r = ai->pos[d] - aj->pos[d];
+    if (r == 0.0) {
+        return 0.0;
+    }
+    f = 1.0 / (r * r) - 0.5 / (r * r * r * r);
+    return f;
+}
+
+void intra_forces(struct molecule *mol) {
+    int a, b, d;
+    double f;
+    for (a = 0; a < NATOMS; a++) {
+        for (b = a + 1; b < NATOMS; b++) {
+            for (d = 0; d < 3; d++) {
+                f = pair_force(&mol->atoms[a], &mol->atoms[b], d);
+                mol->atoms[a].force[d] = mol->atoms[a].force[d] + f;
+                mol->atoms[b].force[d] = mol->atoms[b].force[d] - f;
+            }
+        }
+    }
+}
+
+void inter_forces(struct molecule *mi, struct molecule *mj) {
+    int d;
+    double f;
+    for (d = 0; d < 3; d++) {
+        f = pair_force(&mi->atoms[0], &mj->atoms[0], d);
+        mi->atoms[0].force[d] = mi->atoms[0].force[d] + f;
+        mj->atoms[0].force[d] = mj->atoms[0].force[d] - f;
+    }
+}
+
+void compute_forces(struct molecule *sys, int n) {
+    int i, j;
+    for (i = 0; i < n; i++) {
+        zero_forces(&sys[i]);
+    }
+    for (i = 0; i < n; i++) {
+        intra_forces(&sys[i]);
+        for (j = i + 1; j < n; j++) {
+            inter_forces(&sys[i], &sys[j]);
+        }
+    }
+}
+
+void integrate(struct molecule *sys, int n) {
+    int m, a, d;
+    struct atom *at;
+    for (m = 0; m < n; m++) {
+        for (a = 0; a < NATOMS; a++) {
+            at = &sys[m].atoms[a];
+            for (d = 0; d < 3; d++) {
+                at->vel[d] = at->vel[d] + dt * at->force[d] / at->mass;
+                at->pos[d] = at->pos[d] + dt * at->vel[d];
+            }
+        }
+    }
+}
+
+double compute_kinetic(struct molecule *sys, int n) {
+    int m, a, d;
+    double k;
+    struct atom *at;
+    k = 0.0;
+    for (m = 0; m < n; m++) {
+        for (a = 0; a < NATOMS; a++) {
+            at = &sys[m].atoms[a];
+            for (d = 0; d < 3; d++) {
+                k = k + 0.5 * at->mass * at->vel[d] * at->vel[d];
+            }
+        }
+    }
+    return k;
+}
+
+double potential(struct molecule *sys, int n) {
+    int m, d;
+    double e;
+    e = 0.0;
+    for (m = 0; m < n; m++) {
+        for (d = 0; d < 3; d++) {
+            e = e + sys[m].atoms[0].force[d] * sys[m].atoms[0].pos[d];
+        }
+    }
+    return e;
+}
+
+int main(void) {
+    int step;
+    dt = 0.001;
+    init_system();
+    for (step = 0; step < 20; step++) {
+        compute_forces(water, NMOL);
+        integrate(water, NMOL);
+    }
+    kinetic = compute_kinetic(water, NMOL);
+    total_energy = kinetic + potential(water, NMOL);
+    printf("kinetic %f total %f\n", kinetic, total_energy);
+    return 0;
+}

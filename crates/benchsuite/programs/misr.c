@@ -1,0 +1,85 @@
+/* misr - creates two MISRs and compares them (paper benchmark `misr`):
+ * heap cells linked into rings, pointer comparisons. */
+
+struct cell {
+    int bit;
+    struct cell *next;
+};
+
+enum { WIDTH = 16, STEPS = 500 };
+
+struct cell *make_ring(int width) {
+    struct cell *first;
+    struct cell *cur;
+    struct cell *fresh;
+    int i;
+    first = (struct cell *) malloc(sizeof(struct cell));
+    first->bit = 0;
+    first->next = 0;
+    cur = first;
+    for (i = 1; i < width; i++) {
+        fresh = (struct cell *) malloc(sizeof(struct cell));
+        fresh->bit = 0;
+        fresh->next = 0;
+        cur->next = fresh;
+        cur = fresh;
+    }
+    cur->next = first;
+    return first;
+}
+
+void shift_in(struct cell *ring, int input) {
+    struct cell *p;
+    int carry, tmp;
+    carry = input;
+    p = ring;
+    do {
+        tmp = p->bit;
+        p->bit = carry ^ (tmp & 1);
+        carry = tmp;
+        p = p->next;
+    } while (p != ring);
+}
+
+int signature(struct cell *ring) {
+    struct cell *p;
+    int sig, pos;
+    sig = 0;
+    pos = 0;
+    p = ring;
+    do {
+        sig = sig | (p->bit << pos);
+        pos = pos + 1;
+        p = p->next;
+    } while (p != ring);
+    return sig;
+}
+
+int stimulus(int step, int fault) {
+    int v;
+    v = (step * 17 + 5) % 2;
+    if (fault && step == 250) {
+        v = 1 - v;
+    }
+    return v;
+}
+
+int main(void) {
+    struct cell *good;
+    struct cell *bad;
+    int i, sg, sb;
+    good = make_ring(WIDTH);
+    bad = make_ring(WIDTH);
+    for (i = 0; i < STEPS; i++) {
+        shift_in(good, stimulus(i, 0));
+        shift_in(bad, stimulus(i, 1));
+    }
+    sg = signature(good);
+    sb = signature(bad);
+    if (sg == sb) {
+        printf("fault cancelled: %d\n", sg);
+    } else {
+        printf("fault detected: %d vs %d\n", sg, sb);
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+/* msc - minimum spanning circle of n points (paper benchmark `msc`):
+ * geometry with double coordinates through struct pointers. */
+
+enum { NPTS = 30 };
+
+struct point {
+    double x;
+    double y;
+};
+
+struct point pts[NPTS];
+struct point center;
+double radius;
+
+double sq(double v) {
+    return v * v;
+}
+
+double dist2(struct point *a, struct point *b) {
+    return sq(a->x - b->x) + sq(a->y - b->y);
+}
+
+void circle_two(struct point *a, struct point *b) {
+    center.x = (a->x + b->x) / 2.0;
+    center.y = (a->y + b->y) / 2.0;
+    radius = dist2(a, b) / 4.0;
+}
+
+void circle_three(struct point *a, struct point *b, struct point *c) {
+    double ax, ay, bx, by, cx, cy, d;
+    ax = a->x;
+    ay = a->y;
+    bx = b->x;
+    by = b->y;
+    cx = c->x;
+    cy = c->y;
+    d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by));
+    if (d == 0.0) {
+        circle_two(a, c);
+        return;
+    }
+    center.x = (sq(ax) + sq(ay)) * (by - cy) + (sq(bx) + sq(by)) * (cy - ay)
+        + (sq(cx) + sq(cy)) * (ay - by);
+    center.x = center.x / d;
+    center.y = (sq(ax) + sq(ay)) * (cx - bx) + (sq(bx) + sq(by)) * (ax - cx)
+        + (sq(cx) + sq(cy)) * (bx - ax);
+    center.y = center.y / d;
+    radius = dist2(&center, a);
+}
+
+int inside(struct point *p) {
+    return dist2(&center, p) <= radius + 0.0000001;
+}
+
+void min_circle(void) {
+    int i, j, k;
+    circle_two(&pts[0], &pts[1]);
+    for (i = 2; i < NPTS; i++) {
+        if (!inside(&pts[i])) {
+            circle_two(&pts[0], &pts[i]);
+            for (j = 1; j < i; j++) {
+                if (!inside(&pts[j])) {
+                    circle_two(&pts[i], &pts[j]);
+                    for (k = 0; k < j; k++) {
+                        if (!inside(&pts[k])) {
+                            circle_three(&pts[i], &pts[j], &pts[k]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void make_points(void) {
+    int i;
+    for (i = 0; i < NPTS; i++) {
+        pts[i].x = (i * 31 + 7) % 200 / 2.0;
+        pts[i].y = (i * 17 + 3) % 200 / 2.0;
+    }
+}
+
+int main(void) {
+    make_points();
+    min_circle();
+    printf("center (%f, %f) r2 %f\n", center.x, center.y, radius);
+    return 0;
+}

@@ -1,0 +1,139 @@
+/* mway - m-way graph partitioning (paper benchmark `mway`): arrays of
+ * node pointers, gain buckets, pointer-heavy moves. */
+
+enum { NODES = 64, PARTS = 4, EDGES = 128 };
+
+struct node {
+    int id;
+    int part;
+    int gain;
+    int locked;
+};
+
+struct node nodes[NODES];
+struct node *bucket[NODES];
+int bucket_len;
+int edge_u[EDGES];
+int edge_v[EDGES];
+int cut_size;
+
+void build_graph(void) {
+    int i;
+    for (i = 0; i < NODES; i++) {
+        nodes[i].id = i;
+        nodes[i].part = i % PARTS;
+        nodes[i].gain = 0;
+        nodes[i].locked = 0;
+    }
+    for (i = 0; i < EDGES; i++) {
+        edge_u[i] = (i * 7 + 3) % NODES;
+        edge_v[i] = (i * 13 + 5) % NODES;
+    }
+}
+
+int edge_cut(int e) {
+    return nodes[edge_u[e]].part != nodes[edge_v[e]].part;
+}
+
+void compute_cut(void) {
+    int e;
+    cut_size = 0;
+    for (e = 0; e < EDGES; e++) {
+        if (edge_cut(e)) {
+            cut_size = cut_size + 1;
+        }
+    }
+}
+
+void compute_gains(void) {
+    int e;
+    int i;
+    struct node *u;
+    struct node *v;
+    for (i = 0; i < NODES; i++) {
+        nodes[i].gain = 0;
+    }
+    for (e = 0; e < EDGES; e++) {
+        u = &nodes[edge_u[e]];
+        v = &nodes[edge_v[e]];
+        if (u->part != v->part) {
+            u->gain = u->gain + 1;
+            v->gain = v->gain + 1;
+        } else {
+            u->gain = u->gain - 1;
+            v->gain = v->gain - 1;
+        }
+    }
+}
+
+void fill_bucket(void) {
+    int i;
+    bucket_len = 0;
+    for (i = 0; i < NODES; i++) {
+        if (!nodes[i].locked) {
+            bucket[bucket_len] = &nodes[i];
+            bucket_len = bucket_len + 1;
+        }
+    }
+}
+
+struct node *best_candidate(void) {
+    int i;
+    struct node *best;
+    best = 0;
+    for (i = 0; i < bucket_len; i++) {
+        if (best == 0 || bucket[i]->gain > best->gain) {
+            best = bucket[i];
+        }
+    }
+    return best;
+}
+
+void move_node(struct node *n) {
+    n->part = (n->part + 1) % PARTS;
+    n->locked = 1;
+}
+
+void unlock_all(void) {
+    int i;
+    for (i = 0; i < NODES; i++) {
+        nodes[i].locked = 0;
+    }
+}
+
+int one_pass(void) {
+    int moves;
+    struct node *cand;
+    int before;
+    compute_cut();
+    before = cut_size;
+    unlock_all();
+    for (moves = 0; moves < NODES / 2; moves++) {
+        compute_gains();
+        fill_bucket();
+        cand = best_candidate();
+        if (cand == 0) {
+            break;
+        }
+        if (cand->gain <= 0) {
+            break;
+        }
+        move_node(cand);
+    }
+    compute_cut();
+    return before - cut_size;
+}
+
+int main(void) {
+    int pass, improved;
+    build_graph();
+    for (pass = 0; pass < 8; pass++) {
+        improved = one_pass();
+        if (improved <= 0) {
+            break;
+        }
+    }
+    compute_cut();
+    printf("final cut %d\n", cut_size);
+    return 0;
+}

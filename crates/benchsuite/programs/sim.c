@@ -1,0 +1,93 @@
+/* sim - local similarities with affine weights (paper benchmark `sim`):
+ * dynamic-programming matrices on the heap, pointer rows. */
+
+enum { ROWS = 40, COLS = 40 };
+
+char *seq_a;
+char *seq_b;
+int *cc_row;
+int *dd_row;
+int *rr_row;
+int gap_open;
+int gap_ext;
+int best_score;
+
+int match_score(int a, int b) {
+    if (a == b) {
+        return 2;
+    }
+    return -1;
+}
+
+int max2(int a, int b) {
+    if (a > b) {
+        return a;
+    }
+    return b;
+}
+
+int max3(int a, int b, int c) {
+    return max2(max2(a, b), c);
+}
+
+void init_rows(int n) {
+    int j;
+    for (j = 0; j <= n; j++) {
+        cc_row[j] = 0;
+        dd_row[j] = -gap_open;
+        rr_row[j] = 0;
+    }
+}
+
+void one_row(int i, int n) {
+    int j, c, e, diag, tmp;
+    diag = cc_row[0];
+    cc_row[0] = 0;
+    e = -gap_open;
+    for (j = 1; j <= n; j++) {
+        e = max2(e - gap_ext, cc_row[j - 1] - gap_open - gap_ext);
+        dd_row[j] = max2(dd_row[j] - gap_ext, cc_row[j] - gap_open - gap_ext);
+        tmp = cc_row[j];
+        c = max3(diag + match_score(seq_a[i - 1], seq_b[j - 1]), e, dd_row[j]);
+        if (c < 0) {
+            c = 0;
+        }
+        if (c > best_score) {
+            best_score = c;
+        }
+        cc_row[j] = c;
+        diag = tmp;
+    }
+}
+
+void similarity(int m, int n) {
+    int i;
+    init_rows(n);
+    for (i = 1; i <= m; i++) {
+        one_row(i, n);
+    }
+}
+
+void make_seq(char *s, int n, int seed) {
+    int i;
+    for (i = 0; i < n; i++) {
+        s[i] = 'A' + (seed * (i + 3) + i * i) % 4;
+    }
+    s[n] = 0;
+}
+
+int main(void) {
+    seq_a = (char *) malloc(ROWS + 1);
+    seq_b = (char *) malloc(COLS + 1);
+    cc_row = (int *) malloc((COLS + 1) * sizeof(int));
+    dd_row = (int *) malloc((COLS + 1) * sizeof(int));
+    rr_row = (int *) malloc((COLS + 1) * sizeof(int));
+    gap_open = 4;
+    gap_ext = 1;
+    best_score = 0;
+    make_seq(seq_a, ROWS, 7);
+    make_seq(seq_b, COLS, 11);
+    similarity(ROWS, COLS);
+    printf("best local similarity %d\n", best_score);
+    return 0;
+}

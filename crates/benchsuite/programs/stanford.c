@@ -1,0 +1,341 @@
+/* stanford - the Stanford "baby" benchmark suite (paper benchmark
+ * `stanford`): permutations, towers of hanoi, queens, matrix multiply,
+ * quicksort, bubble sort, tree sort -- heavy recursion and arrays. */
+
+enum { PERMRANGE = 10, MAXSTACK = 4, STACKRANGE = 7, MM_N = 8, SORTELEMENTS = 64 };
+
+int permarray[PERMRANGE + 1];
+int pctr;
+int stack_arr[MAXSTACK][STACKRANGE + 1];
+int cellspace_next[19];
+int cellspace_disc[19];
+int freelist;
+int movesdone;
+int ima[MM_N][MM_N];
+int imb[MM_N][MM_N];
+int imr[MM_N][MM_N];
+int sortlist[SORTELEMENTS + 1];
+int biggest;
+int littlest;
+
+struct tnode {
+    struct tnode *left;
+    struct tnode *right;
+    int val;
+};
+
+struct tnode *tree_root;
+
+/* ---- Perm ---- */
+void swap_ints(int *a, int *b) {
+    int t;
+    t = *a;
+    *a = *b;
+    *b = t;
+}
+
+void initialize_perm(void) {
+    int i;
+    for (i = 0; i <= PERMRANGE; i++) {
+        permarray[i] = i - 1;
+    }
+}
+
+void permute(int n) {
+    int k;
+    pctr = pctr + 1;
+    if (n != 1) {
+        permute(n - 1);
+        for (k = n - 1; k >= 1; k--) {
+            swap_ints(&permarray[n], &permarray[k]);
+            permute(n - 1);
+            swap_ints(&permarray[n], &permarray[k]);
+        }
+    }
+}
+
+void perm_bench(void) {
+    int i;
+    pctr = 0;
+    for (i = 1; i <= 3; i++) {
+        initialize_perm();
+        permute(6);
+    }
+}
+
+/* ---- Towers ---- */
+void makenull(int s) {
+    stack_arr[s][0] = 0;
+}
+
+int getelement(void) {
+    int temp;
+    if (freelist > 0) {
+        temp = freelist;
+        freelist = cellspace_next[freelist];
+    } else {
+        temp = 0;
+    }
+    return temp;
+}
+
+void push(int i, int s) {
+    int localel;
+    localel = getelement();
+    cellspace_next[localel] = stack_arr[s][0];
+    cellspace_disc[localel] = i;
+    stack_arr[s][0] = localel;
+}
+
+int pop(int s) {
+    int temp, temp1;
+    temp1 = stack_arr[s][0];
+    temp = cellspace_disc[temp1];
+    stack_arr[s][0] = cellspace_next[temp1];
+    cellspace_next[temp1] = freelist;
+    freelist = temp1;
+    return temp;
+}
+
+void init_towers(int s, int n) {
+    int discctr;
+    makenull(s);
+    for (discctr = n; discctr >= 1; discctr--) {
+        push(discctr, s);
+    }
+}
+
+void move_tower(int s1, int s2) {
+    push(pop(s1), s2);
+    movesdone = movesdone + 1;
+}
+
+void tower(int i, int j, int k) {
+    int other;
+    if (k == 1) {
+        move_tower(i, j);
+    } else {
+        other = 6 - i - j;
+        tower(i, other, k - 1);
+        move_tower(i, j);
+        tower(other, j, k - 1);
+    }
+}
+
+void towers_bench(void) {
+    int i;
+    for (i = 1; i <= 18; i++) {
+        cellspace_next[i] = i - 1;
+    }
+    freelist = 18;
+    init_towers(1, STACKRANGE);
+    makenull(2);
+    makenull(3);
+    movesdone = 0;
+    tower(1, 2, STACKRANGE);
+}
+
+/* ---- Queens ---- */
+int q_a[9];
+int q_b[17];
+int q_c[15];
+int q_x[9];
+
+void try_queen(int i, int *q) {
+    int j;
+    j = 0;
+    *q = 0;
+    while (!*q && j != 8) {
+        j = j + 1;
+        if (q_b[j] && q_a[i + j] && q_c[i - j + 7]) {
+            q_x[i] = j;
+            q_b[j] = 0;
+            q_a[i + j] = 0;
+            q_c[i - j + 7] = 0;
+            if (i < 8) {
+                try_queen(i + 1, q);
+                if (!*q) {
+                    q_b[j] = 1;
+                    q_a[i + j] = 1;
+                    q_c[i - j + 7] = 1;
+                }
+            } else {
+                *q = 1;
+            }
+        }
+    }
+}
+
+void queens_bench(void) {
+    int i, q;
+    for (i = 0; i <= 16; i++) {
+        q_b[i] = 1;
+    }
+    for (i = 0; i <= 8; i++) {
+        q_a[i] = 1;
+    }
+    for (i = 0; i <= 14; i++) {
+        q_c[i] = 1;
+    }
+    try_queen(1, &q);
+}
+
+/* ---- Integer matrix multiply ---- */
+void init_matrix(int (*m)[MM_N]) {
+    int i, j;
+    for (i = 0; i < MM_N; i++) {
+        for (j = 0; j < MM_N; j++) {
+            m[i][j] = (i * j + i - j) % 11 - 5;
+        }
+    }
+}
+
+void inner_product(int *result, int (*a)[MM_N], int (*b)[MM_N], int row, int column) {
+    int k;
+    *result = 0;
+    for (k = 0; k < MM_N; k++) {
+        *result = *result + a[row][k] * b[k][column];
+    }
+}
+
+void intmm_bench(void) {
+    int i, j;
+    init_matrix(ima);
+    init_matrix(imb);
+    for (i = 0; i < MM_N; i++) {
+        for (j = 0; j < MM_N; j++) {
+            inner_product(&imr[i][j], ima, imb, i, j);
+        }
+    }
+}
+
+/* ---- Sorting ---- */
+void initarr(void) {
+    int i, temp;
+    biggest = 0;
+    littlest = 0;
+    for (i = 1; i <= SORTELEMENTS; i++) {
+        temp = (i * 71 + 13) % 200 - 100;
+        sortlist[i] = temp;
+        if (temp > biggest) {
+            biggest = temp;
+        } else if (temp < littlest) {
+            littlest = temp;
+        }
+    }
+}
+
+void quicksort(int *a, int l, int r) {
+    int i, j, x, w;
+    i = l;
+    j = r;
+    x = a[(l + r) / 2];
+    do {
+        while (a[i] < x) {
+            i = i + 1;
+        }
+        while (x < a[j]) {
+            j = j - 1;
+        }
+        if (i <= j) {
+            w = a[i];
+            a[i] = a[j];
+            a[j] = w;
+            i = i + 1;
+            j = j - 1;
+        }
+    } while (i <= j);
+    if (l < j) {
+        quicksort(a, l, j);
+    }
+    if (i < r) {
+        quicksort(a, i, r);
+    }
+}
+
+void bubble_bench(void) {
+    int i, j, t;
+    initarr();
+    for (i = SORTELEMENTS; i > 1; i--) {
+        for (j = 1; j < i; j++) {
+            if (sortlist[j] > sortlist[j + 1]) {
+                t = sortlist[j];
+                sortlist[j] = sortlist[j + 1];
+                sortlist[j + 1] = t;
+            }
+        }
+    }
+}
+
+/* ---- Tree sort ---- */
+struct tnode *new_tnode(int v) {
+    struct tnode *t;
+    t = (struct tnode *) malloc(sizeof(struct tnode));
+    t->left = 0;
+    t->right = 0;
+    t->val = v;
+    return t;
+}
+
+void tree_insert(struct tnode *t, int n) {
+    while (1) {
+        if (n > t->val) {
+            if (t->left == 0) {
+                t->left = new_tnode(n);
+                return;
+            }
+            t = t->left;
+        } else {
+            if (t->right == 0) {
+                t->right = new_tnode(n);
+                return;
+            }
+            t = t->right;
+        }
+    }
+}
+
+int checktree(struct tnode *p) {
+    int result;
+    result = 1;
+    if (p->left != 0) {
+        if (p->left->val <= p->val) {
+            result = 0;
+        } else {
+            result = checktree(p->left) & result;
+        }
+    }
+    if (p->right != 0) {
+        if (p->right->val > p->val) {
+            result = 0;
+        } else {
+            result = checktree(p->right) & result;
+        }
+    }
+    return result;
+}
+
+void trees_bench(void) {
+    int i;
+    initarr();
+    tree_root = new_tnode(sortlist[1]);
+    for (i = 2; i <= SORTELEMENTS; i++) {
+        tree_insert(tree_root, sortlist[i]);
+    }
+    if (!checktree(tree_root)) {
+        printf("tree wrong\n");
+    }
+}
+
+int main(void) {
+    perm_bench();
+    towers_bench();
+    queens_bench();
+    intmm_bench();
+    initarr();
+    quicksort(sortlist, 1, SORTELEMENTS);
+    bubble_bench();
+    trees_bench();
+    printf("pctr %d moves %d sorted0 %d\n", pctr, movesdone, sortlist[1]);
+    return 0;
+}

@@ -1,0 +1,130 @@
+/* toplev - the top level of a compiler driver (paper benchmark
+ * `toplev`, from GNU C): option tables with values behind pointers,
+ * flag handling, and a large array-of-pointers initialization (the
+ * paper notes its >4-target indirect reference comes from exactly such
+ * an initialization). */
+
+int flag_opt;
+int flag_debug;
+int flag_verbose;
+int flag_syntax_only;
+int flag_warn;
+int flag_inline;
+int flag_unroll;
+int flag_trace;
+
+struct option {
+    char *name;
+    int *variable;
+    int value;
+};
+
+struct option opt_table[8];
+int *all_flags[8];
+char *input_name;
+char *output_name;
+int errors;
+
+void build_tables(void) {
+    opt_table[0].name = "opt";
+    opt_table[0].variable = &flag_opt;
+    opt_table[0].value = 2;
+    opt_table[1].name = "debug";
+    opt_table[1].variable = &flag_debug;
+    opt_table[1].value = 1;
+    opt_table[2].name = "verbose";
+    opt_table[2].variable = &flag_verbose;
+    opt_table[2].value = 1;
+    opt_table[3].name = "syntax-only";
+    opt_table[3].variable = &flag_syntax_only;
+    opt_table[3].value = 1;
+    opt_table[4].name = "warn";
+    opt_table[4].variable = &flag_warn;
+    opt_table[4].value = 3;
+    opt_table[5].name = "inline";
+    opt_table[5].variable = &flag_inline;
+    opt_table[5].value = 1;
+    opt_table[6].name = "unroll";
+    opt_table[6].variable = &flag_unroll;
+    opt_table[6].value = 4;
+    opt_table[7].name = "trace";
+    opt_table[7].variable = &flag_trace;
+    opt_table[7].value = 1;
+
+    all_flags[0] = &flag_opt;
+    all_flags[1] = &flag_debug;
+    all_flags[2] = &flag_verbose;
+    all_flags[3] = &flag_syntax_only;
+    all_flags[4] = &flag_warn;
+    all_flags[5] = &flag_inline;
+    all_flags[6] = &flag_unroll;
+    all_flags[7] = &flag_trace;
+}
+
+struct option *find_option(char *name) {
+    int i;
+    for (i = 0; i < 8; i++) {
+        if (strcmp(opt_table[i].name, name) == 0) {
+            return &opt_table[i];
+        }
+    }
+    return 0;
+}
+
+int set_option(char *name) {
+    struct option *o;
+    o = find_option(name);
+    if (o == 0) {
+        errors = errors + 1;
+        return 0;
+    }
+    *o->variable = o->value;
+    return 1;
+}
+
+void clear_flags(void) {
+    int i;
+    int *p;
+    for (i = 0; i < 8; i++) {
+        p = all_flags[i];
+        *p = 0;
+    }
+}
+
+int count_set_flags(void) {
+    int i, n;
+    n = 0;
+    for (i = 0; i < 8; i++) {
+        if (*all_flags[i] != 0) {
+            n = n + 1;
+        }
+    }
+    return n;
+}
+
+void compile_file(char *name) {
+    input_name = name;
+    if (flag_verbose) {
+        printf("compiling %s\n", input_name);
+    }
+    if (flag_syntax_only) {
+        return;
+    }
+    if (flag_opt > 1) {
+        flag_inline = 1;
+    }
+    output_name = "a.out";
+}
+
+int main(void) {
+    errors = 0;
+    build_tables();
+    clear_flags();
+    set_option("opt");
+    set_option("verbose");
+    set_option("warn");
+    set_option("nonexistent");
+    compile_file("test.c");
+    printf("%d flags set, %d errors, output %s\n", count_set_flags(), errors, output_name);
+    return errors;
+}

@@ -1,0 +1,119 @@
+/* travel - traveling salesman with greedy heuristics (paper benchmark
+ * `travel`): city structs, tour arrays of pointers, 2-opt moves. */
+
+enum { NCITIES = 24 };
+
+struct city {
+    int x;
+    int y;
+    int visited;
+};
+
+struct city cities[NCITIES];
+struct city *tour[NCITIES + 1];
+int tour_len;
+
+int dist(struct city *a, struct city *b) {
+    int dx, dy;
+    dx = a->x - b->x;
+    dy = a->y - b->y;
+    if (dx < 0) {
+        dx = -dx;
+    }
+    if (dy < 0) {
+        dy = -dy;
+    }
+    return dx + dy;
+}
+
+void make_cities(void) {
+    int i;
+    for (i = 0; i < NCITIES; i++) {
+        cities[i].x = (i * 37 + 11) % 100;
+        cities[i].y = (i * 53 + 29) % 100;
+        cities[i].visited = 0;
+    }
+}
+
+struct city *nearest_unvisited(struct city *from) {
+    int i, best_d, d;
+    struct city *best;
+    best = 0;
+    best_d = 1000000;
+    for (i = 0; i < NCITIES; i++) {
+        if (!cities[i].visited) {
+            d = dist(from, &cities[i]);
+            if (d < best_d) {
+                best_d = d;
+                best = &cities[i];
+            }
+        }
+    }
+    return best;
+}
+
+void greedy_tour(void) {
+    int i;
+    struct city *cur;
+    cur = &cities[0];
+    cur->visited = 1;
+    tour[0] = cur;
+    for (i = 1; i < NCITIES; i++) {
+        cur = nearest_unvisited(cur);
+        cur->visited = 1;
+        tour[i] = cur;
+    }
+    tour[NCITIES] = tour[0];
+}
+
+int tour_length(void) {
+    int i, total;
+    total = 0;
+    for (i = 0; i < NCITIES; i++) {
+        total = total + dist(tour[i], tour[i + 1]);
+    }
+    return total;
+}
+
+void reverse_segment(int a, int b) {
+    struct city *t;
+    while (a < b) {
+        t = tour[a];
+        tour[a] = tour[b];
+        tour[b] = t;
+        a = a + 1;
+        b = b - 1;
+    }
+}
+
+int two_opt_pass(void) {
+    int i, j, before, after, improved;
+    improved = 0;
+    for (i = 1; i < NCITIES - 1; i++) {
+        for (j = i + 1; j < NCITIES; j++) {
+            before = dist(tour[i - 1], tour[i]) + dist(tour[j], tour[j + 1]);
+            after = dist(tour[i - 1], tour[j]) + dist(tour[i], tour[j + 1]);
+            if (after < before) {
+                reverse_segment(i, j);
+                improved = improved + 1;
+            }
+        }
+    }
+    return improved;
+}
+
+int main(void) {
+    int pass, len;
+    make_cities();
+    greedy_tour();
+    len = tour_length();
+    printf("greedy %d\n", len);
+    for (pass = 0; pass < 10; pass++) {
+        if (two_opt_pass() == 0) {
+            break;
+        }
+    }
+    tour_len = tour_length();
+    printf("after 2-opt %d\n", tour_len);
+    return 0;
+}

@@ -1,0 +1,97 @@
+/* xref - a cross-reference program building a tree of items (paper
+ * benchmark `xref`): heap binary tree, recursion, string handling. */
+
+struct item {
+    char word[16];
+    int count;
+    struct item *left;
+    struct item *right;
+};
+
+struct item *root;
+int distinct;
+
+int word_cmp(char *a, char *b) {
+    return strcmp(a, b);
+}
+
+struct item *new_item(char *word) {
+    struct item *it;
+    it = (struct item *) malloc(sizeof(struct item));
+    strcpy(it->word, word);
+    it->count = 1;
+    it->left = 0;
+    it->right = 0;
+    distinct = distinct + 1;
+    return it;
+}
+
+struct item *insert(struct item *node, char *word) {
+    int c;
+    if (node == 0) {
+        return new_item(word);
+    }
+    c = word_cmp(word, node->word);
+    if (c < 0) {
+        node->left = insert(node->left, word);
+    } else if (c > 0) {
+        node->right = insert(node->right, word);
+    } else {
+        node->count = node->count + 1;
+    }
+    return node;
+}
+
+struct item *find(struct item *node, char *word) {
+    int c;
+    while (node != 0) {
+        c = word_cmp(word, node->word);
+        if (c == 0) {
+            return node;
+        }
+        if (c < 0) {
+            node = node->left;
+        } else {
+            node = node->right;
+        }
+    }
+    return 0;
+}
+
+void print_tree(struct item *node) {
+    if (node == 0) {
+        return;
+    }
+    print_tree(node->left);
+    printf("%s %d\n", node->word, node->count);
+    print_tree(node->right);
+}
+
+void synth_word(char *buf, int seed) {
+    int i, n;
+    n = 3 + seed % 5;
+    for (i = 0; i < n; i++) {
+        buf[i] = 'a' + (seed * (i + 7)) % 26;
+    }
+    buf[n] = 0;
+}
+
+int main(void) {
+    char buf[16];
+    int i;
+    struct item *hit;
+    root = 0;
+    distinct = 0;
+    for (i = 0; i < 300; i++) {
+        synth_word(buf, i);
+        root = insert(root, buf);
+    }
+    synth_word(buf, 11);
+    hit = find(root, buf);
+    if (hit != 0) {
+        printf("found %s x%d\n", hit->word, hit->count);
+    }
+    print_tree(root);
+    printf("distinct %d\n", distinct);
+    return 0;
+}

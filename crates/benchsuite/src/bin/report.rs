@@ -1,0 +1,61 @@
+//! Prints the reproduced evaluation tables of the PLDI 1994 points-to
+//! paper. Usage:
+//!
+//! ```text
+//! report [table2|table3|table4|table5|table6|livc|ablation|heap-sites|summary|all]
+//! ```
+
+use pta_benchsuite::report;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let want = |s: &str| arg == s || arg == "all";
+
+    if want("table2")
+        || want("table3")
+        || want("table4")
+        || want("table5")
+        || want("table6")
+        || want("summary")
+    {
+        let suite = report::run_suite().expect("suite analyses cleanly");
+        if want("table2") {
+            println!("== Table 2: benchmark characteristics ==\n{}", suite.table2());
+        }
+        if want("table3") {
+            println!("== Table 3: points-to statistics for indirect references ==\n{}", suite.table3());
+        }
+        if want("table4") {
+            println!("== Table 4: categorization of points-to info used by indirect refs ==\n{}", suite.table4());
+        }
+        if want("table5") {
+            println!("== Table 5: general points-to statistics ==\n{}", suite.table5());
+        }
+        if want("table6") {
+            println!("== Table 6: invocation graph statistics ==\n{}", suite.table6());
+        }
+        if want("summary") {
+            let s = suite.summary();
+            println!("== Section 6 headline aggregates ==");
+            println!("indirect references:           {}", s.ind_refs);
+            println!("overall avg targets/ref:       {:.2}  (paper: 1.13)", s.overall_avg);
+            println!("% definite single target:      {:.2}% (paper: 28.80%)", s.pct_definite);
+            println!("% at most one non-NULL target: {:.2}% (paper: 90.76%)", s.pct_single);
+            println!("% replaceable by direct ref:   {:.2}% (paper: 19.39%)", s.pct_replaceable);
+            println!("% pairs targeting the heap:    {:.2}% (paper: 27.92%)", s.pct_heap);
+            println!();
+        }
+    }
+    if want("livc") {
+        let s = report::livc_study().expect("livc analyses cleanly");
+        println!("== livc function-pointer study ==\n{}", s.render());
+    }
+    if want("heap-sites") {
+        let rows = report::heap_site_ablation().expect("heap-site ablation runs");
+        println!("== Allocation-site heap extension (E12) ==\n{}", report::render_heap_sites(&rows));
+    }
+    if want("ablation") {
+        let rows = report::ablation().expect("ablation analyses cleanly");
+        println!("== Context-sensitivity ablation ==\n{}", report::render_ablation(&rows));
+    }
+}

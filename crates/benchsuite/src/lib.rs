@@ -1,0 +1,145 @@
+//! # pta-benchsuite — benchmark programs and table reproduction
+//!
+//! Eighteen C programs mirroring the paper's benchmark set (Table 2)
+//! plus the `livc` function-pointer case study, and the harness that
+//! regenerates Tables 2–6 and the §6 invocation-graph comparison.
+//!
+//! The original 1994 sources are not available; each program here
+//! reproduces the *pointer and call structure* its namesake is
+//! described with (see `DESIGN.md`). Absolute counts differ from the
+//! paper; trends are preserved and recorded in `EXPERIMENTS.md`.
+
+pub mod report;
+
+use pta_core::{AnalysisConfig, AnalysisResult, PtaError};
+use pta_simple::IrProgram;
+
+/// One embedded benchmark program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Benchmark {
+    /// Benchmark name (matching Table 2 of the paper).
+    pub name: &'static str,
+    /// C source text.
+    pub source: &'static str,
+    /// One-line description (from Table 2).
+    pub description: &'static str,
+}
+
+macro_rules! bench {
+    ($name:literal, $desc:literal) => {
+        Benchmark {
+            name: $name,
+            source: include_str!(concat!("../programs/", $name, ".c")),
+            description: $desc,
+        }
+    };
+}
+
+/// The seventeen Table 2 benchmarks, in the paper's order.
+pub const SUITE: &[Benchmark] = &[
+    bench!("genetic", "Implementation of a genetic algorithm for sorting."),
+    bench!("dry", "Dhrystone benchmark."),
+    bench!("clinpack", "The C version of Linpack."),
+    bench!("config", "Checks all the features of the C-language."),
+    bench!("toplev", "The top level of a C compiler driver."),
+    bench!("compress", "UNIX utility program."),
+    bench!("mway", "A unified version of the best algorithms for m-way partitioning."),
+    bench!("hash", "An implementation of a hash table."),
+    bench!("misr", "Creates two MISRs and compares their signatures."),
+    bench!("xref", "A cross-reference program to build a tree of items."),
+    bench!("stanford", "Stanford baby benchmark."),
+    bench!("fixoutput", "A simple translator."),
+    bench!("sim", "Finds local similarities with affine weights."),
+    bench!("travel", "Implements Traveling Salesman Problem with greedy heuristics."),
+    bench!("csuite", "Part of test suite for vectorizing C compilers."),
+    bench!("msc", "Calculates the min spanning circle of a set of n points."),
+    bench!("lws", "Implements dynamic simulation of flexible water molecule."),
+];
+
+/// The `livc` function-pointer case study (§6).
+pub const LIVC: Benchmark = bench!(
+    "livc",
+    "Livermore loops dispatched through three arrays of 24 function pointers."
+);
+
+/// Every embedded program (the suite plus `livc`).
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    let mut v = SUITE.to_vec();
+    v.push(LIVC);
+    v
+}
+
+/// Looks up a benchmark by name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+/// A fully analysed benchmark.
+#[derive(Debug)]
+pub struct Analysed {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Its SIMPLE form.
+    pub ir: IrProgram,
+    /// The context-sensitive analysis result.
+    pub result: AnalysisResult,
+}
+
+/// Compiles and analyses one benchmark with the default configuration.
+///
+/// # Errors
+///
+/// Returns a [`PtaError`] if the program fails the front end or the
+/// analysis (which would be a bug in the suite).
+pub fn analyse(bench: Benchmark) -> Result<Analysed, PtaError> {
+    analyse_with(bench, AnalysisConfig::default())
+}
+
+/// [`analyse`] with an explicit configuration.
+///
+/// # Errors
+///
+/// As [`analyse`].
+pub fn analyse_with(bench: Benchmark, config: AnalysisConfig) -> Result<Analysed, PtaError> {
+    let ir = pta_simple::compile(bench.source)?;
+    let result = pta_core::analyze_with(&ir, config)?;
+    Ok(Analysed { bench, ir, result })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_seventeen_programs() {
+        assert_eq!(SUITE.len(), 17);
+        assert_eq!(all_benchmarks().len(), 18);
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<&str> = SUITE.iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "genetic", "dry", "clinpack", "config", "toplev", "compress", "mway", "hash",
+                "misr", "xref", "stanford", "fixoutput", "sim", "travel", "csuite", "msc", "lws",
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("livc").is_some());
+        assert!(benchmark("hash").is_some());
+        assert!(benchmark("nonexistent").is_none());
+    }
+
+    #[test]
+    fn livc_has_82_functions_and_three_banks() {
+        let ir = pta_simple::compile(LIVC.source).expect("livc compiles");
+        let defined = ir.defined_functions().count();
+        assert_eq!(defined, 82);
+        assert_eq!(ir.call_sites.iter().filter(|c| c.indirect).count(), 3);
+    }
+}

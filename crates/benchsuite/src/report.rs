@@ -1,0 +1,530 @@
+//! Rendering of the reproduced evaluation: Tables 2–6, the §6 headline
+//! aggregates, the `livc` invocation-graph study, and the
+//! context-sensitivity ablation.
+
+use crate::{all_benchmarks, analyse, Analysed, Benchmark, LIVC, SUITE};
+use pta_core::baseline::{
+    address_taken_functions, andersen, build_ig_with_strategy, insensitive, CallGraphStrategy,
+};
+use pta_core::stats::{self, BenchmarkStats};
+use pta_core::PtaError;
+use std::fmt::Write as _;
+
+/// The whole suite, analysed, with its statistics.
+#[derive(Debug)]
+pub struct SuiteReport {
+    /// Per-benchmark analysis and statistics (paper order).
+    pub rows: Vec<(Analysed, BenchmarkStats)>,
+}
+
+/// Analyses the full 17-program suite and computes all statistics.
+///
+/// # Errors
+///
+/// Propagates the first benchmark failure (a suite bug).
+pub fn run_suite() -> Result<SuiteReport, PtaError> {
+    let mut rows = Vec::new();
+    for b in SUITE {
+        let mut a = analyse(*b)?;
+        let s = stats::compute(b.name, b.source, &a.ir, &mut a.result);
+        rows.push((a, s));
+    }
+    Ok(SuiteReport { rows })
+}
+
+impl SuiteReport {
+    /// Renders Table 2.
+    pub fn table2(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>8} {:>8} {:>8}  Description",
+            "Benchmark", "Lines", "#stmts", "Min#var", "Max#var"
+        );
+        for (a, s) in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>6} {:>8} {:>8} {:>8}  {}",
+                s.t2.name, s.t2.lines, s.t2.simple_stmts, s.t2.min_vars, s.t2.max_vars,
+                a.bench.description
+            );
+        }
+        out
+    }
+
+    /// Renders Table 3 (each multi-column entry as `scalar/array`).
+    pub fn table3(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>7} {:>7} {:>7} {:>7} {:>7} {:>5} {:>6} {:>7} {:>6} {:>5} {:>5}",
+            "Benchmark", "1D", "1P", "2P", "3P", ">=4P", "ind", "ScRep", "ToStk", "ToHp", "Tot",
+            "Avg"
+        );
+        for (_, s) in &self.rows {
+            let t = &s.t3;
+            let pair = |p: (usize, usize)| format!("{}/{}", p.0, p.1);
+            let _ = writeln!(
+                out,
+                "{:<10} {:>7} {:>7} {:>7} {:>7} {:>7} {:>5} {:>6} {:>7} {:>6} {:>5} {:>5.2}",
+                t.name,
+                pair(t.one_d),
+                pair(t.one_p),
+                pair(t.two_p),
+                pair(t.three_p),
+                pair(t.four_p),
+                t.ind_refs,
+                t.scalar_rep,
+                t.to_stack,
+                t.to_heap,
+                t.tot(),
+                t.avg()
+            );
+        }
+        let agg = self.summary();
+        let _ = writeln!(
+            out,
+            "{:<10} overall avg {:.2}; {:.2}% definite-single; {:.2}% replaceable; {:.2}% single-target; {:.2}% heap pairs",
+            "TOTAL", agg.overall_avg, agg.pct_definite, agg.pct_replaceable, agg.pct_single,
+            agg.pct_heap
+        );
+        out
+    }
+
+    /// Renders Table 4.
+    pub fn table4(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} | {:>5} {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} {:>5}",
+            "Benchmark", "f.lo", "f.gl", "f.fp", "f.sy", "t.lo", "t.gl", "t.fp", "t.sy"
+        );
+        for (_, s) in &self.rows {
+            let t = &s.t4;
+            let _ = writeln!(
+                out,
+                "{:<10} | {:>5} {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} {:>5}",
+                t.name, t.from.lo, t.from.gl, t.from.fp, t.from.sy, t.to.lo, t.to.gl, t.to.fp,
+                t.to.sy
+            );
+        }
+        out
+    }
+
+    /// Renders Table 5.
+    pub fn table5(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6}",
+            "Benchmark", "Stk->Stk", "Stk->Hp", "Hp->Hp", "Hp->Stk", "Avg", "Max"
+        );
+        for (_, s) in &self.rows {
+            let t = &s.t5;
+            let _ = writeln!(
+                out,
+                "{:<10} {:>9} {:>9} {:>9} {:>9} {:>6.1} {:>6}",
+                t.name,
+                t.stack_to_stack,
+                t.stack_to_heap,
+                t.heap_to_heap,
+                t.heap_to_stack,
+                t.avg(),
+                t.max_per_stmt
+            );
+        }
+        out
+    }
+
+    /// Renders Table 6.
+    pub fn table6(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>9} {:>6} {:>4} {:>4} {:>6} {:>6}",
+            "Benchmark", "ig-nodes", "call-site", "#fns", "R", "A", "Avgc", "Avgf"
+        );
+        for (_, s) in &self.rows {
+            let t = &s.t6;
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} {:>9} {:>6} {:>4} {:>4} {:>6.2} {:>6.2}",
+                t.name,
+                t.ig_nodes,
+                t.call_sites,
+                t.functions,
+                t.recursive,
+                t.approximate,
+                t.avg_per_call_site(),
+                t.avg_per_function()
+            );
+        }
+        out
+    }
+
+    /// Headline aggregates corresponding to the bullet list of §6.
+    pub fn summary(&self) -> Summary {
+        let mut ind = 0usize;
+        let mut one_d = 0usize;
+        let mut single = 0usize;
+        let mut rep = 0usize;
+        let mut to_stack = 0usize;
+        let mut to_heap = 0usize;
+        for (_, s) in &self.rows {
+            let t = &s.t3;
+            ind += t.ind_refs;
+            one_d += t.one_d.0 + t.one_d.1;
+            single += t.one_d.0 + t.one_d.1 + t.one_p.0 + t.one_p.1 + t.zero;
+            rep += t.scalar_rep;
+            to_stack += t.to_stack;
+            to_heap += t.to_heap;
+        }
+        let tot = to_stack + to_heap;
+        let pct = |a: usize, b: usize| if b == 0 { 0.0 } else { 100.0 * a as f64 / b as f64 };
+        Summary {
+            ind_refs: ind,
+            overall_avg: if ind == 0 { 0.0 } else { tot as f64 / ind as f64 },
+            pct_definite: pct(one_d, ind),
+            pct_single: pct(single, ind),
+            pct_replaceable: pct(rep, ind),
+            pct_heap: pct(to_heap, tot),
+        }
+    }
+}
+
+/// The §6 headline aggregates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Total indirect references across the suite.
+    pub ind_refs: usize,
+    /// Average locations pointed to per indirect reference (paper: 1.13
+    /// overall, ≤ 1.77 per program).
+    pub overall_avg: f64,
+    /// Percent of indirect references with one definite target
+    /// (paper: 28.80%).
+    pub pct_definite: f64,
+    /// Percent with at most one non-NULL target (paper: 90.76% under
+    /// the non-NULL-dereference assumption).
+    pub pct_single: f64,
+    /// Percent replaceable by direct references (paper: 19.39%).
+    pub pct_replaceable: f64,
+    /// Percent of used pairs targeting the heap (paper: 27.92%).
+    pub pct_heap: f64,
+}
+
+/// The `livc` invocation-graph case study (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LivcStudy {
+    /// Nodes with points-to-driven resolution (paper: 203).
+    pub precise_nodes: usize,
+    /// Nodes when every indirect call targets all functions (paper: 619).
+    pub all_functions_nodes: usize,
+    /// Nodes with the address-taken set (paper: 589).
+    pub address_taken_nodes: usize,
+    /// Total defined functions (paper: 82).
+    pub total_functions: usize,
+    /// Address-taken functions (paper: 72).
+    pub address_taken_functions: usize,
+    /// Indirect call sites (paper: 3).
+    pub indirect_sites: usize,
+}
+
+/// Runs the `livc` study.
+///
+/// # Errors
+///
+/// Propagates analysis failures.
+pub fn livc_study() -> Result<LivcStudy, PtaError> {
+    let a = analyse(LIVC)?;
+    let precise_nodes = a.result.ig.len();
+    let all = build_ig_with_strategy(&a.ir, CallGraphStrategy::AllFunctions, 2_000_000)
+        .map_err(|e| PtaError::Analysis(pta_core::AnalysisError::IgBudget(e)))?;
+    let at = build_ig_with_strategy(&a.ir, CallGraphStrategy::AddressTaken, 2_000_000)
+        .map_err(|e| PtaError::Analysis(pta_core::AnalysisError::IgBudget(e)))?;
+    Ok(LivcStudy {
+        precise_nodes,
+        all_functions_nodes: all.len(),
+        address_taken_nodes: at.len(),
+        total_functions: a.ir.defined_functions().count(),
+        address_taken_functions: address_taken_functions(&a.ir).len(),
+        indirect_sites: a.ir.call_sites.iter().filter(|c| c.indirect).count(),
+    })
+}
+
+impl LivcStudy {
+    /// Renders the study.
+    pub fn render(&self) -> String {
+        format!(
+            "livc function-pointer study (paper: 203 vs 619 vs 589 nodes)\n\
+             total functions:            {}\n\
+             address-taken functions:    {}\n\
+             indirect call sites:        {}\n\
+             IG nodes, points-to driven: {}\n\
+             IG nodes, all-functions:    {}\n\
+             IG nodes, address-taken:    {}\n",
+            self.total_functions,
+            self.address_taken_functions,
+            self.indirect_sites,
+            self.precise_nodes,
+            self.all_functions_nodes,
+            self.address_taken_nodes,
+        )
+    }
+}
+
+/// Precision of one analysis on one benchmark: the average number of
+/// non-NULL targets of the dereferenced pointer per indirect reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Context-sensitive (the paper's analysis).
+    pub context_sensitive: f64,
+    /// Context-insensitive flow-sensitive baseline.
+    pub context_insensitive: f64,
+    /// Andersen-style flow-insensitive baseline.
+    pub andersen: f64,
+    /// Percent of indirect references with a definite single target
+    /// under the context-sensitive analysis.
+    pub definite_cs: f64,
+    /// Same under the context-insensitive baseline (contexts merge, so
+    /// definite information degrades — the paper's central claim).
+    pub definite_ci: f64,
+}
+
+/// Compares precision across the suite (context-sensitivity ablation).
+///
+/// # Errors
+///
+/// Propagates analysis failures.
+pub fn ablation() -> Result<Vec<AblationRow>, PtaError> {
+    let mut out = Vec::new();
+    for b in all_benchmarks() {
+        out.push(ablation_one(b)?);
+    }
+    Ok(out)
+}
+
+/// Ablation for a single benchmark.
+///
+/// # Errors
+///
+/// Propagates analysis failures.
+pub fn ablation_one(b: Benchmark) -> Result<AblationRow, PtaError> {
+    let mut a = analyse(b)?;
+    let cs = stats::table3(b.name, &a.ir, &mut a.result).avg();
+
+    let ins = insensitive(&a.ir)?;
+    let mut ins_result = pta_core::AnalysisResult {
+        locs: ins.locs,
+        ig: a.result.ig.clone(),
+        per_stmt: ins.per_stmt,
+        exit_set: ins.exit_set,
+        warnings: Vec::new(),
+    };
+    let ci = stats::table3(b.name, &a.ir, &mut ins_result).avg();
+
+    let t3_ins = stats::table3(b.name, &a.ir, &mut ins_result);
+    let _ = &t3_ins;
+
+    let and = andersen(&a.ir)?;
+    // Andersen has one global solution: count average targets directly.
+    let mut and_result = pta_core::AnalysisResult {
+        locs: and.locs,
+        ig: a.result.ig.clone(),
+        per_stmt: {
+            // Use the same global solution at every program point.
+            let mut m = std::collections::BTreeMap::new();
+            for id in a.result.per_stmt.keys() {
+                m.insert(*id, and.solution.clone());
+            }
+            m
+        },
+        exit_set: and.solution.clone(),
+        warnings: Vec::new(),
+    };
+    let an = stats::table3(b.name, &a.ir, &mut and_result).avg();
+
+    let t3_cs = stats::table3(b.name, &a.ir, &mut a.result);
+    let pct = |t: &stats::Table3Row| {
+        if t.ind_refs == 0 {
+            0.0
+        } else {
+            100.0 * (t.one_d.0 + t.one_d.1) as f64 / t.ind_refs as f64
+        }
+    };
+    Ok(AblationRow {
+        name: b.name.to_owned(),
+        context_sensitive: cs,
+        context_insensitive: ci,
+        andersen: an,
+        definite_cs: pct(&t3_cs),
+        definite_ci: pct(&t3_ins),
+    })
+}
+
+/// Renders the ablation table.
+pub fn render_ablation(rows: &[AblationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>12} {:>10} {:>8} {:>8}   (avg targets/ref; %D = definite single target)",
+        "Benchmark", "ctx-sens", "ctx-insens", "andersen", "%D-cs", "%D-ci"
+    );
+    let mut sums = (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10.2} {:>12.2} {:>10.2} {:>7.1}% {:>7.1}%",
+            r.name,
+            r.context_sensitive,
+            r.context_insensitive,
+            r.andersen,
+            r.definite_cs,
+            r.definite_ci
+        );
+        sums.0 += r.context_sensitive;
+        sums.1 += r.context_insensitive;
+        sums.2 += r.andersen;
+        sums.3 += r.definite_cs;
+        sums.4 += r.definite_ci;
+    }
+    let n = rows.len().max(1) as f64;
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10.2} {:>12.2} {:>10.2} {:>7.1}% {:>7.1}%",
+        "MEAN",
+        sums.0 / n,
+        sums.1 / n,
+        sums.2 / n,
+        sums.3 / n,
+        sums.4 / n
+    );
+    out
+}
+
+/// Extension experiment (E12): precision effect of allocation-site heap
+/// naming on the heap-heavy benchmarks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeapSiteRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Average targets per indirect reference with the single `heap`.
+    pub single_heap_avg: f64,
+    /// Same with per-allocation-site locations.
+    pub heap_sites_avg: f64,
+    /// Distinct heap locations under site naming.
+    pub sites: usize,
+}
+
+/// Runs the heap-site ablation on the heap-using benchmarks.
+///
+/// # Errors
+///
+/// Propagates analysis failures.
+pub fn heap_site_ablation() -> Result<Vec<HeapSiteRow>, PtaError> {
+    let mut out = Vec::new();
+    for name in ["hash", "misr", "xref", "sim", "dry", "compress"] {
+        let b = crate::benchmark(name).expect("known benchmark");
+        let mut base = analyse(b)?;
+        let single = stats::table3(b.name, &base.ir, &mut base.result).avg();
+        let cfg = pta_core::AnalysisConfig { heap_sites: true, ..Default::default() };
+        let mut sited = crate::analyse_with(b, cfg)?;
+        let with_sites = stats::table3(b.name, &sited.ir, &mut sited.result).avg();
+        let sites = sited
+            .result
+            .locs
+            .ids()
+            .filter(|l| {
+                matches!(sited.result.locs.get(*l).base, pta_core::LocBase::HeapSite(_))
+            })
+            .count();
+        out.push(HeapSiteRow {
+            name: name.to_owned(),
+            single_heap_avg: single,
+            heap_sites_avg: with_sites,
+            sites,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders the heap-site ablation.
+pub fn render_heap_sites(rows: &[HeapSiteRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>12} {:>7}   (avg targets per indirect ref)",
+        "Benchmark", "single-heap", "heap-sites", "#sites"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12.2} {:>12.2} {:>7}",
+            r.name, r.single_heap_avg, r.heap_sites_avg, r.sites
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_analyses_cleanly() {
+        for b in all_benchmarks() {
+            let a = analyse(b);
+            assert!(a.is_ok(), "{} failed: {:?}", b.name, a.err());
+        }
+    }
+
+    #[test]
+    fn livc_study_shape_matches_paper() {
+        let s = livc_study().expect("livc study");
+        assert_eq!(s.total_functions, 82);
+        assert_eq!(s.address_taken_functions, 72);
+        assert_eq!(s.indirect_sites, 3);
+        // The paper's qualitative result: precise << address-taken <= all.
+        assert!(
+            s.precise_nodes < s.address_taken_nodes,
+            "precise {} !< address-taken {}",
+            s.precise_nodes,
+            s.address_taken_nodes
+        );
+        assert!(
+            s.address_taken_nodes <= s.all_functions_nodes,
+            "address-taken {} !<= all {}",
+            s.address_taken_nodes,
+            s.all_functions_nodes
+        );
+    }
+
+    #[test]
+    fn heap_site_ablation_runs_and_splits_the_summary() {
+        // Note the metric subtlety: splitting the single `heap` summary
+        // can RAISE the average target count (a pointer that "pointed to
+        // heap" now points to several sites) while improving
+        // disambiguation — two pointers to different sites are provably
+        // disjoint. The rows document this trade-off.
+        let rows = heap_site_ablation().expect("heap-site ablation");
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.sites >= 1, "{}: no allocation sites found", r.name);
+            assert!(r.heap_sites_avg >= 1.0 - 1e-9, "{r:?}");
+        }
+        // At least one benchmark has multiple sites (the split happened).
+        assert!(rows.iter().any(|r| r.sites > 1), "{rows:?}");
+    }
+
+    #[test]
+    fn ablation_orders_precision_on_pointer_benchmark() {
+        let r = ablation_one(crate::benchmark("toplev").unwrap()).expect("ablation");
+        // Context-sensitive is at least as precise as both baselines.
+        assert!(
+            r.context_sensitive <= r.context_insensitive + 1e-9,
+            "{r:?}"
+        );
+        assert!(r.context_sensitive <= r.andersen + 1e-9, "{r:?}");
+    }
+}

@@ -1,0 +1,420 @@
+//! Abstract syntax tree for the C subset.
+//!
+//! The parser produces an untyped tree; [`crate::sema`] resolves
+//! identifiers (filling [`ExprKind::Ident`] resolutions), computes a
+//! [`crate::types::Type`] for every expression, and registers the
+//! flattened, uniquely-named local list of every function.
+
+use crate::span::Span;
+use crate::types::{StructTable, Type};
+use std::fmt;
+
+/// Index of a global variable in [`Program::globals`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalId(pub u32);
+
+/// Index of a function in [`Program::functions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+/// Index of a local variable in [`Function::locals`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocalId(pub u32);
+
+impl fmt::Display for GlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for LocalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `-e`
+    Neg,
+    /// `!e`
+    Not,
+    /// `~e`
+    BitNot,
+    /// `&e`
+    AddrOf,
+    /// `*e`
+    Deref,
+    /// `++e`
+    PreInc,
+    /// `--e`
+    PreDec,
+    /// `e++`
+    PostInc,
+    /// `e--`
+    PostDec,
+}
+
+/// Binary operators (excluding assignment, handled by [`ExprKind::Assign`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitOr,
+    BitXor,
+    LogAnd,
+    LogOr,
+}
+
+impl BinaryOp {
+    /// True for comparison operators (result is `int`).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Lt | BinaryOp::Gt | BinaryOp::Le | BinaryOp::Ge | BinaryOp::Eq | BinaryOp::Ne
+        )
+    }
+
+    /// True for the short-circuiting logical operators.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinaryOp::LogAnd | BinaryOp::LogOr)
+    }
+}
+
+/// What an identifier refers to, filled in by semantic analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resolution {
+    /// A local variable of the enclosing function.
+    Local(LocalId),
+    /// The `n`-th parameter of the enclosing function.
+    Param(u32),
+    /// A global variable.
+    Global(GlobalId),
+    /// A function designator.
+    Func(FuncId),
+    /// An `enum` constant with the given value.
+    EnumConst(i64),
+}
+
+/// An expression with its source span and (after sema) its type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Expression payload.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+    /// Type computed by semantic analysis (`None` before sema runs).
+    pub ty: Option<Type>,
+}
+
+impl Expr {
+    /// Creates an untyped expression.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span, ty: None }
+    }
+
+    /// The type of this expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if semantic analysis has not run.
+    pub fn ty(&self) -> &Type {
+        self.ty.as_ref().expect("expression type not computed; run sema first")
+    }
+}
+
+/// Expression payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating literal.
+    FloatLit(f64),
+    /// Character literal.
+    CharLit(i64),
+    /// String literal.
+    StrLit(String),
+    /// An identifier, with its resolution once sema has run.
+    Ident(String, Option<Resolution>),
+    /// A unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// `lhs = rhs` or compound `lhs op= rhs`.
+    Assign(Box<Expr>, Option<BinaryOp>, Box<Expr>),
+    /// `c ? t : e`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// A call; the callee may be any expression (function designator,
+    /// function pointer, `*fp`, array element, struct field, …).
+    Call(Box<Expr>, Vec<Expr>),
+    /// `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `base.field` (`arrow == false`) or `base->field` (`arrow == true`).
+    Member(Box<Expr>, String, bool),
+    /// `(ty) e`.
+    Cast(Type, Box<Expr>),
+    /// `sizeof(ty)`.
+    SizeofTy(Type),
+    /// `sizeof e`.
+    SizeofExpr(Box<Expr>),
+    /// `a, b`.
+    Comma(Box<Expr>, Box<Expr>),
+}
+
+/// An initializer: a scalar expression or a brace-enclosed list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Init {
+    /// `= expr`
+    Expr(Expr),
+    /// `= { i0, i1, … }`
+    List(Vec<Init>),
+}
+
+/// A statement with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Statement payload.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Stmt {
+    /// Creates a statement.
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+}
+
+/// One declarator of a local declaration statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional initializer.
+    pub init: Option<Init>,
+    /// Unique id assigned by sema.
+    pub local_id: Option<LocalId>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// One arm of a `switch`: one or more labels followed by statements.
+/// Control falls through to the next arm unless the statements end the
+/// arm (`break`, `return`, …) — fall-through is handled by the analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchArm {
+    /// `case k:` values (`None` for `default:`), possibly several stacked.
+    pub labels: Vec<Option<i64>>,
+    /// Statements of the arm.
+    pub stmts: Vec<Stmt>,
+    /// Source location of the first label.
+    pub span: Span,
+}
+
+/// Statement payloads. `goto` is excluded (see DESIGN.md).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// An expression statement.
+    Expr(Expr),
+    /// A local declaration with one or more declarators.
+    Decl(Vec<LocalDecl>),
+    /// `if (c) then else?`.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (c) body`.
+    While(Expr, Box<Stmt>),
+    /// `do body while (c);`.
+    DoWhile(Box<Stmt>, Expr),
+    /// `for (init; cond; step) body` — all three headers optional.
+    For(Option<Expr>, Option<Expr>, Option<Expr>, Box<Stmt>),
+    /// `switch (e) { arms }` with an implicit default if absent.
+    Switch(Expr, Vec<SwitchArm>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return e?;`
+    Return(Option<Expr>),
+    /// `{ … }`
+    Block(Vec<Stmt>),
+    /// `;`
+    Empty,
+}
+
+/// A parameter of a function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name (may be empty in a prototype).
+    pub name: String,
+    /// Parameter type after array decay.
+    pub ty: Type,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A local variable, after sema flattens block scopes into one
+/// uniquely-named list per function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Local {
+    /// Unique name within the function (shadowed names get a `$n` suffix).
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
+/// A function definition or prototype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// True if declared variadic (or with an empty parameter list).
+    pub variadic: bool,
+    /// Body (`None` for prototypes / externs).
+    pub body: Option<Vec<Stmt>>,
+    /// Flattened locals (filled by sema).
+    pub locals: Vec<Local>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Function {
+    /// True if this is a definition (has a body).
+    pub fn is_definition(&self) -> bool {
+        self.body.is_some()
+    }
+
+    /// Builds this function's signature type.
+    pub fn sig(&self) -> crate::types::FuncSig {
+        crate::types::FuncSig {
+            ret: self.ret.clone(),
+            params: self.params.iter().map(|p| p.ty.clone()).collect(),
+            variadic: self.variadic,
+        }
+    }
+}
+
+/// A global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional initializer (hoisted into `main` by the simplifier).
+    pub init: Option<Init>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A full translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// All struct/union definitions.
+    pub structs: StructTable,
+    /// Global variables, in declaration order.
+    pub globals: Vec<Global>,
+    /// Functions (definitions and prototypes), in declaration order.
+    pub functions: Vec<Function>,
+    /// `enum` constants visible at file scope.
+    pub enum_consts: std::collections::BTreeMap<String, i64>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<(FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Finds a global by name.
+    pub fn global(&self, name: &str) -> Option<(GlobalId, &Global)> {
+        self.globals
+            .iter()
+            .enumerate()
+            .find(|(_, g)| g.name == name)
+            .map(|(i, g)| (GlobalId(i as u32), g))
+    }
+
+    /// The id of `main`, if defined.
+    pub fn main(&self) -> Option<FuncId> {
+        self.function("main").map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_ty_panics_before_sema() {
+        let e = Expr::new(ExprKind::IntLit(1), Span::dummy());
+        let r = std::panic::catch_unwind(|| e.ty().clone());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn binary_op_classes() {
+        assert!(BinaryOp::Lt.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+        assert!(BinaryOp::LogOr.is_logical());
+        assert!(!BinaryOp::BitOr.is_logical());
+    }
+
+    #[test]
+    fn program_lookup() {
+        let mut p = Program::new();
+        p.functions.push(Function {
+            name: "main".into(),
+            ret: Type::Int,
+            params: vec![],
+            variadic: false,
+            body: Some(vec![]),
+            locals: vec![],
+            span: Span::dummy(),
+        });
+        p.globals.push(Global {
+            name: "g".into(),
+            ty: Type::Int,
+            init: None,
+            span: Span::dummy(),
+        });
+        assert_eq!(p.main(), Some(FuncId(0)));
+        assert_eq!(p.global("g").unwrap().0, GlobalId(0));
+        assert!(p.function("missing").is_none());
+    }
+}

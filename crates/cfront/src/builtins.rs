@@ -1,0 +1,145 @@
+//! Modelled external (library) functions.
+//!
+//! The analysis is whole-program, so every callee must either be defined
+//! or be one of these modelled externals. Each entry carries the
+//! points-to effect class consumed by `pta-core`.
+
+use crate::types::{FuncSig, Type};
+
+/// How an external function affects points-to information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExternEffect {
+    /// No pointer effects at all (pure w.r.t. the pointer graph):
+    /// `printf`, `strcmp`, `sqrt`, …
+    None,
+    /// Returns a fresh heap pointer: `malloc`, `calloc`, `realloc`.
+    ReturnsHeap,
+    /// Returns its first argument (pointer pass-through): `strcpy`,
+    /// `memcpy`, `memset`, `strcat`, `fgets`, `gets`.
+    ReturnsFirstArg,
+    /// Deallocates; no points-to effect in the paper's model: `free`.
+    Free,
+    /// Terminates the program: `exit`, `abort`.
+    NoReturn,
+}
+
+/// A modelled external function.
+#[derive(Debug, Clone)]
+pub struct Builtin {
+    /// Function name.
+    pub name: &'static str,
+    /// Its signature.
+    pub sig: FuncSig,
+    /// Points-to effect class.
+    pub effect: ExternEffect,
+}
+
+fn sig(ret: Type, params: Vec<Type>, variadic: bool) -> FuncSig {
+    FuncSig { ret, params, variadic }
+}
+
+fn vp() -> Type {
+    Type::Void.ptr_to()
+}
+
+fn cp() -> Type {
+    Type::Char.ptr_to()
+}
+
+/// The table of modelled externals.
+pub fn builtins() -> Vec<Builtin> {
+    use ExternEffect::*;
+    let b = |name, s, effect| Builtin { name, sig: s, effect };
+    vec![
+        b("malloc", sig(vp(), vec![Type::Int], false), ReturnsHeap),
+        b("calloc", sig(vp(), vec![Type::Int, Type::Int], false), ReturnsHeap),
+        b("realloc", sig(vp(), vec![vp(), Type::Int], false), ReturnsHeap),
+        b("free", sig(Type::Void, vec![vp()], false), Free),
+        b("exit", sig(Type::Void, vec![Type::Int], false), NoReturn),
+        b("abort", sig(Type::Void, vec![], false), NoReturn),
+        b("printf", sig(Type::Int, vec![cp()], true), None),
+        b("fprintf", sig(Type::Int, vec![vp(), cp()], true), None),
+        b("sprintf", sig(Type::Int, vec![cp(), cp()], true), None),
+        b("scanf", sig(Type::Int, vec![cp()], true), None),
+        b("sscanf", sig(Type::Int, vec![cp(), cp()], true), None),
+        b("fscanf", sig(Type::Int, vec![vp(), cp()], true), None),
+        b("puts", sig(Type::Int, vec![cp()], false), None),
+        b("putchar", sig(Type::Int, vec![Type::Int], false), None),
+        b("getchar", sig(Type::Int, vec![], false), None),
+        b("getc", sig(Type::Int, vec![vp()], false), None),
+        b("putc", sig(Type::Int, vec![Type::Int, vp()], false), None),
+        b("fopen", sig(vp(), vec![cp(), cp()], false), ReturnsHeap),
+        b("fclose", sig(Type::Int, vec![vp()], false), None),
+        b("fgets", sig(cp(), vec![cp(), Type::Int, vp()], false), ReturnsFirstArg),
+        b("gets", sig(cp(), vec![cp()], false), ReturnsFirstArg),
+        b("strcpy", sig(cp(), vec![cp(), cp()], false), ReturnsFirstArg),
+        b("strncpy", sig(cp(), vec![cp(), cp(), Type::Int], false), ReturnsFirstArg),
+        b("strcat", sig(cp(), vec![cp(), cp()], false), ReturnsFirstArg),
+        b("strcmp", sig(Type::Int, vec![cp(), cp()], false), None),
+        b("strncmp", sig(Type::Int, vec![cp(), cp(), Type::Int], false), None),
+        b("strlen", sig(Type::Int, vec![cp()], false), None),
+        b("memset", sig(vp(), vec![vp(), Type::Int, Type::Int], false), ReturnsFirstArg),
+        b("memcpy", sig(vp(), vec![vp(), vp(), Type::Int], false), ReturnsFirstArg),
+        b("atoi", sig(Type::Int, vec![cp()], false), None),
+        b("atof", sig(Type::Double, vec![cp()], false), None),
+        b("abs", sig(Type::Int, vec![Type::Int], false), None),
+        b("rand", sig(Type::Int, vec![], false), None),
+        b("srand", sig(Type::Void, vec![Type::Int], false), None),
+        b("clock", sig(Type::Int, vec![], false), None),
+        b("time", sig(Type::Int, vec![vp()], false), None),
+        b("sqrt", sig(Type::Double, vec![Type::Double], false), None),
+        b("fabs", sig(Type::Double, vec![Type::Double], false), None),
+        b("floor", sig(Type::Double, vec![Type::Double], false), None),
+        b("ceil", sig(Type::Double, vec![Type::Double], false), None),
+        b("sin", sig(Type::Double, vec![Type::Double], false), None),
+        b("cos", sig(Type::Double, vec![Type::Double], false), None),
+        b("tan", sig(Type::Double, vec![Type::Double], false), None),
+        b("atan", sig(Type::Double, vec![Type::Double], false), None),
+        b("atan2", sig(Type::Double, vec![Type::Double, Type::Double], false), None),
+        b("pow", sig(Type::Double, vec![Type::Double, Type::Double], false), None),
+        b("exp", sig(Type::Double, vec![Type::Double], false), None),
+        b("log", sig(Type::Double, vec![Type::Double], false), None),
+        b("log10", sig(Type::Double, vec![Type::Double], false), None),
+        b("toupper", sig(Type::Int, vec![Type::Int], false), None),
+        b("tolower", sig(Type::Int, vec![Type::Int], false), None),
+        b("isdigit", sig(Type::Int, vec![Type::Int], false), None),
+        b("isalpha", sig(Type::Int, vec![Type::Int], false), None),
+        b("isspace", sig(Type::Int, vec![Type::Int], false), None),
+    ]
+}
+
+/// Looks up the effect class of a modelled external by name.
+pub fn extern_effect(name: &str) -> Option<ExternEffect> {
+    builtins().into_iter().find(|b| b.name == name).map(|b| b.effect)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malloc_is_heap_allocator() {
+        assert_eq!(extern_effect("malloc"), Some(ExternEffect::ReturnsHeap));
+        assert_eq!(extern_effect("calloc"), Some(ExternEffect::ReturnsHeap));
+    }
+
+    #[test]
+    fn strcpy_returns_first_arg() {
+        assert_eq!(extern_effect("strcpy"), Some(ExternEffect::ReturnsFirstArg));
+        assert_eq!(extern_effect("memcpy"), Some(ExternEffect::ReturnsFirstArg));
+    }
+
+    #[test]
+    fn unknown_function_is_not_modelled() {
+        assert_eq!(extern_effect("not_a_builtin"), None);
+    }
+
+    #[test]
+    fn no_duplicate_names() {
+        let all = builtins();
+        let mut names: Vec<_> = all.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+}

@@ -1,0 +1,108 @@
+//! Front-end diagnostics.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// The phase of the front end that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Syntax analysis.
+    Parse,
+    /// Name resolution and type checking.
+    Sema,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Sema => write!(f, "sema"),
+        }
+    }
+}
+
+/// An error produced while lexing, parsing, or analyzing a translation
+/// unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    phase: Phase,
+    span: Span,
+    message: String,
+}
+
+impl FrontendError {
+    /// Creates a new error for the given phase.
+    pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> Self {
+        FrontendError { phase, span, message: message.into() }
+    }
+
+    /// The phase that produced the error.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The source location of the error.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The human-readable message, without location prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl Error for FrontendError {}
+
+/// Convenience alias used throughout the front end.
+pub type Result<T> = std::result::Result<T, FrontendError>;
+
+/// Builds a lexer error.
+pub(crate) fn lex_err(span: Span, msg: impl Into<String>) -> FrontendError {
+    FrontendError::new(Phase::Lex, span, msg)
+}
+
+/// Builds a parser error.
+pub(crate) fn parse_err(span: Span, msg: impl Into<String>) -> FrontendError {
+    FrontendError::new(Phase::Parse, span, msg)
+}
+
+/// Builds a semantic-analysis error.
+pub(crate) fn sema_err(span: Span, msg: impl Into<String>) -> FrontendError {
+    FrontendError::new(Phase::Sema, span, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_location_message() {
+        let e = FrontendError::new(Phase::Parse, Span::new(0, 1, 4, 2), "expected ';'");
+        assert_eq!(e.to_string(), "parse error at 4:2: expected ';'");
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let e = sema_err(Span::new(1, 2, 3, 4), "undefined variable `x`");
+        assert_eq!(e.phase(), Phase::Sema);
+        assert_eq!(e.span().line, 3);
+        assert_eq!(e.message(), "undefined variable `x`");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<FrontendError>();
+    }
+}

@@ -1,0 +1,519 @@
+//! Hand-written lexer for the C subset.
+//!
+//! Supports line (`//`) and block (`/* */`) comments, decimal / hex /
+//! octal integer literals, floating-point literals, character and string
+//! literals with the common escape sequences, and all operators used by
+//! the subset grammar.
+
+use crate::error::{lex_err, Result};
+use crate::span::Span;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Tokenizes `source` into a vector of tokens terminated by [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`crate::FrontendError`] on malformed literals, unterminated
+/// comments/strings, or characters outside the subset.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.mark();
+            let Some(c) = self.peek() else {
+                out.push(Token::new(TokenKind::Eof, self.span_from(start)));
+                return Ok(out);
+            };
+            let kind = match c {
+                b'0'..=b'9' => self.number()?,
+                b'\'' => self.char_lit()?,
+                b'"' => self.string_lit()?,
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident_or_keyword(),
+                _ => self.punct()?,
+            };
+            out.push(Token::new(kind, self.span_from(start)));
+        }
+    }
+
+    fn mark(&self) -> (usize, u32, u32) {
+        (self.pos, self.line, self.col)
+    }
+
+    fn span_from(&self, (start, line, col): (usize, u32, u32)) -> Span {
+        Span::new(start, self.pos, line, col)
+    }
+
+    fn here(&self) -> Span {
+        Span::new(self.pos, self.pos + 1, self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let open = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => return Err(lex_err(open, "unterminated block comment")),
+                        }
+                    }
+                }
+                // Preprocessor lines are not supported; skip them so that
+                // benchmark files may carry a leading comment banner like
+                // `#include` guards without failing. Each `#...` line is
+                // ignored wholesale.
+                Some(b'#') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident_or_keyword(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'_' || c.is_ascii_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        match Keyword::from_str(text) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Ident(text.to_owned()),
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        let start_span = self.here();
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let hex_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                self.bump();
+            }
+            if self.pos == hex_start {
+                return Err(lex_err(start_span, "hex literal requires at least one digit"));
+            }
+            let text = std::str::from_utf8(&self.src[hex_start..self.pos]).expect("ascii");
+            let value = i64::from_str_radix(text, 16)
+                .map_err(|_| lex_err(start_span, "hex literal out of range"))?;
+            self.skip_int_suffix();
+            return Ok(TokenKind::IntLit(value));
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let is_float = matches!(self.peek(), Some(b'.'))
+            && matches!(self.peek2(), Some(c) if c.is_ascii_digit())
+            || matches!(self.peek(), Some(b'e') | Some(b'E'));
+        if is_float {
+            if self.eat(b'.') {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+            if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+                self.bump();
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.bump();
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+            let value: f64 = text
+                .parse()
+                .map_err(|_| lex_err(start_span, format!("malformed float literal `{text}`")))?;
+            if self.eat(b'f') || self.eat(b'F') || self.eat(b'l') || self.eat(b'L') {
+                // float suffix, ignored
+            }
+            return Ok(TokenKind::FloatLit(value));
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        // A leading 0 means octal in C.
+        let value = if text.len() > 1 && text.starts_with('0') {
+            i64::from_str_radix(&text[1..], 8)
+                .map_err(|_| lex_err(start_span, format!("malformed octal literal `{text}`")))?
+        } else {
+            text.parse::<i64>()
+                .map_err(|_| lex_err(start_span, format!("integer literal out of range `{text}`")))?
+        };
+        self.skip_int_suffix();
+        Ok(TokenKind::IntLit(value))
+    }
+
+    fn skip_int_suffix(&mut self) {
+        while matches!(self.peek(), Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')) {
+            self.bump();
+        }
+    }
+
+    fn escape(&mut self) -> Result<i64> {
+        let span = self.here();
+        let Some(c) = self.bump() else {
+            return Err(lex_err(span, "unterminated escape sequence"));
+        };
+        Ok(match c {
+            b'n' => b'\n' as i64,
+            b't' => b'\t' as i64,
+            b'r' => b'\r' as i64,
+            b'0' => 0,
+            b'\\' => b'\\' as i64,
+            b'\'' => b'\'' as i64,
+            b'"' => b'"' as i64,
+            b'a' => 7,
+            b'b' => 8,
+            b'f' => 12,
+            b'v' => 11,
+            other => {
+                return Err(lex_err(span, format!("unknown escape `\\{}`", other as char)));
+            }
+        })
+    }
+
+    fn char_lit(&mut self) -> Result<TokenKind> {
+        let open = self.here();
+        self.bump(); // opening quote
+        let value = match self.bump() {
+            Some(b'\\') => self.escape()?,
+            Some(b'\'') => return Err(lex_err(open, "empty character literal")),
+            Some(c) => c as i64,
+            None => return Err(lex_err(open, "unterminated character literal")),
+        };
+        if !self.eat(b'\'') {
+            return Err(lex_err(open, "unterminated character literal"));
+        }
+        Ok(TokenKind::CharLit(value))
+    }
+
+    fn string_lit(&mut self) -> Result<TokenKind> {
+        let open = self.here();
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    let v = self.escape()?;
+                    text.push(v as u8 as char);
+                }
+                Some(c) => text.push(c as char),
+                None => return Err(lex_err(open, "unterminated string literal")),
+            }
+        }
+        Ok(TokenKind::StrLit(text))
+    }
+
+    fn punct(&mut self) -> Result<TokenKind> {
+        use Punct::*;
+        let span = self.here();
+        let c = self.bump().expect("caller checked non-eof");
+        let p = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'.' => Dot,
+            b'?' => Question,
+            b':' => Colon,
+            b'~' => Tilde,
+            b'+' => {
+                if self.eat(b'+') {
+                    PlusPlus
+                } else if self.eat(b'=') {
+                    PlusAssign
+                } else {
+                    Plus
+                }
+            }
+            b'-' => {
+                if self.eat(b'-') {
+                    MinusMinus
+                } else if self.eat(b'=') {
+                    MinusAssign
+                } else if self.eat(b'>') {
+                    Arrow
+                } else {
+                    Minus
+                }
+            }
+            b'*' => {
+                if self.eat(b'=') {
+                    StarAssign
+                } else {
+                    Star
+                }
+            }
+            b'/' => {
+                if self.eat(b'=') {
+                    SlashAssign
+                } else {
+                    Slash
+                }
+            }
+            b'%' => {
+                if self.eat(b'=') {
+                    PercentAssign
+                } else {
+                    Percent
+                }
+            }
+            b'&' => {
+                if self.eat(b'&') {
+                    AndAnd
+                } else if self.eat(b'=') {
+                    AmpAssign
+                } else {
+                    Amp
+                }
+            }
+            b'|' => {
+                if self.eat(b'|') {
+                    OrOr
+                } else if self.eat(b'=') {
+                    PipeAssign
+                } else {
+                    Pipe
+                }
+            }
+            b'^' => {
+                if self.eat(b'=') {
+                    CaretAssign
+                } else {
+                    Caret
+                }
+            }
+            b'!' => {
+                if self.eat(b'=') {
+                    Ne
+                } else {
+                    Bang
+                }
+            }
+            b'=' => {
+                if self.eat(b'=') {
+                    Eq
+                } else {
+                    Assign
+                }
+            }
+            b'<' => {
+                if self.eat(b'<') {
+                    if self.eat(b'=') {
+                        ShlAssign
+                    } else {
+                        Shl
+                    }
+                } else if self.eat(b'=') {
+                    Le
+                } else {
+                    Lt
+                }
+            }
+            b'>' => {
+                if self.eat(b'>') {
+                    if self.eat(b'=') {
+                        ShrAssign
+                    } else {
+                        Shr
+                    }
+                } else if self.eat(b'=') {
+                    Ge
+                } else {
+                    Gt
+                }
+            }
+            other => {
+                return Err(lex_err(span, format!("unexpected character `{}`", other as char)));
+            }
+        };
+        Ok(TokenKind::Punct(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lex ok").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_declaration() {
+        let k = kinds("int *p;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Punct(Punct::Star),
+                TokenKind::Ident("p".into()),
+                TokenKind::Punct(Punct::Semi),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            kinds("42 0x1f 017 3.5 1e3 2.5e-2"),
+            vec![
+                TokenKind::IntLit(42),
+                TokenKind::IntLit(31),
+                TokenKind::IntLit(15),
+                TokenKind::FloatLit(3.5),
+                TokenKind::FloatLit(1000.0),
+                TokenKind::FloatLit(0.025),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_int_suffixes() {
+        assert_eq!(kinds("10L 10UL 7u")[..3], [
+            TokenKind::IntLit(10),
+            TokenKind::IntLit(10),
+            TokenKind::IntLit(7)
+        ]);
+    }
+
+    #[test]
+    fn lex_char_and_string() {
+        assert_eq!(
+            kinds(r#"'a' '\n' "hi\tthere""#),
+            vec![
+                TokenKind::CharLit('a' as i64),
+                TokenKind::CharLit('\n' as i64),
+                TokenKind::StrLit("hi\tthere".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments_and_preprocessor_lines_are_skipped() {
+        let k = kinds("#include <stdio.h>\n// line\n/* block\n comment */ x");
+        assert_eq!(k, vec![TokenKind::Ident("x".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lex_compound_operators() {
+        use Punct::*;
+        let k = kinds("-> ++ -- << >> <<= >>= <= >= == != && || += &=");
+        let expect = [
+            Arrow, PlusPlus, MinusMinus, Shl, Shr, ShlAssign, ShrAssign, Le, Ge, Eq, Ne, AndAnd,
+            OrOr, PlusAssign, AmpAssign,
+        ];
+        for (got, want) in k.iter().zip(expect.iter()) {
+            assert_eq!(got, &TokenKind::Punct(*want));
+        }
+    }
+
+    #[test]
+    fn lex_tracks_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("'").is_err());
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("'ab'").is_err());
+        assert!(lex("0x").is_err());
+    }
+
+    #[test]
+    fn lex_empty_input_gives_eof() {
+        let toks = lex("").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokenKind::Eof);
+    }
+}

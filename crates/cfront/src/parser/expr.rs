@@ -1,0 +1,284 @@
+//! Expression parsing with full C operator precedence.
+
+use super::Parser;
+use crate::ast::{BinaryOp, Expr, ExprKind, UnaryOp};
+use crate::error::Result;
+use crate::token::{Keyword, Punct, TokenKind};
+use crate::types::Type;
+
+impl Parser {
+    /// Parses a full expression (including the comma operator).
+    pub(crate) fn expression(&mut self) -> Result<Expr> {
+        let mut e = self.assign_expr()?;
+        while self.eat_punct(Punct::Comma) {
+            let rhs = self.assign_expr()?;
+            let span = e.span.to(rhs.span);
+            e = Expr::new(ExprKind::Comma(Box::new(e), Box::new(rhs)), span);
+        }
+        Ok(e)
+    }
+
+    /// Parses an assignment expression (no top-level comma).
+    pub(crate) fn assign_expr(&mut self) -> Result<Expr> {
+        let lhs = self.conditional_expr()?;
+        let op = match self.peek().kind {
+            TokenKind::Punct(Punct::Assign) => Some(None),
+            TokenKind::Punct(Punct::PlusAssign) => Some(Some(BinaryOp::Add)),
+            TokenKind::Punct(Punct::MinusAssign) => Some(Some(BinaryOp::Sub)),
+            TokenKind::Punct(Punct::StarAssign) => Some(Some(BinaryOp::Mul)),
+            TokenKind::Punct(Punct::SlashAssign) => Some(Some(BinaryOp::Div)),
+            TokenKind::Punct(Punct::PercentAssign) => Some(Some(BinaryOp::Rem)),
+            TokenKind::Punct(Punct::AmpAssign) => Some(Some(BinaryOp::BitAnd)),
+            TokenKind::Punct(Punct::PipeAssign) => Some(Some(BinaryOp::BitOr)),
+            TokenKind::Punct(Punct::CaretAssign) => Some(Some(BinaryOp::BitXor)),
+            TokenKind::Punct(Punct::ShlAssign) => Some(Some(BinaryOp::Shl)),
+            TokenKind::Punct(Punct::ShrAssign) => Some(Some(BinaryOp::Shr)),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.assign_expr()?; // right-associative
+            let span = lhs.span.to(rhs.span);
+            return Ok(Expr::new(ExprKind::Assign(Box::new(lhs), op, Box::new(rhs)), span));
+        }
+        Ok(lhs)
+    }
+
+    /// Parses a conditional (`?:`) expression.
+    pub(crate) fn conditional_expr(&mut self) -> Result<Expr> {
+        let cond = self.binary_expr(0)?;
+        if self.eat_punct(Punct::Question) {
+            let then = self.expression()?;
+            self.expect_punct(Punct::Colon)?;
+            let els = self.conditional_expr()?;
+            let span = cond.span.to(els.span);
+            return Ok(Expr::new(
+                ExprKind::Cond(Box::new(cond), Box::new(then), Box::new(els)),
+                span,
+            ));
+        }
+        Ok(cond)
+    }
+
+    /// Precedence-climbing parser for binary operators.
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.cast_expr()?;
+        while let Some((op, prec)) = self.peek_binop() {
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(BinaryOp, u8)> {
+        use BinaryOp::*;
+        let p = match self.peek().kind {
+            TokenKind::Punct(p) => p,
+            _ => return None,
+        };
+        Some(match p {
+            Punct::OrOr => (LogOr, 1),
+            Punct::AndAnd => (LogAnd, 2),
+            Punct::Pipe => (BitOr, 3),
+            Punct::Caret => (BitXor, 4),
+            Punct::Amp => (BitAnd, 5),
+            Punct::Eq => (Eq, 6),
+            Punct::Ne => (Ne, 6),
+            Punct::Lt => (Lt, 7),
+            Punct::Gt => (Gt, 7),
+            Punct::Le => (Le, 7),
+            Punct::Ge => (Ge, 7),
+            Punct::Shl => (Shl, 8),
+            Punct::Shr => (Shr, 8),
+            Punct::Plus => (Add, 9),
+            Punct::Minus => (Sub, 9),
+            Punct::Star => (Mul, 10),
+            Punct::Slash => (Div, 10),
+            Punct::Percent => (Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        let start = self.span();
+        let op = match self.peek().kind {
+            TokenKind::Punct(Punct::Minus) => Some(UnaryOp::Neg),
+            TokenKind::Punct(Punct::Bang) => Some(UnaryOp::Not),
+            TokenKind::Punct(Punct::Tilde) => Some(UnaryOp::BitNot),
+            TokenKind::Punct(Punct::Amp) => Some(UnaryOp::AddrOf),
+            TokenKind::Punct(Punct::Star) => Some(UnaryOp::Deref),
+            TokenKind::Punct(Punct::PlusPlus) => Some(UnaryOp::PreInc),
+            TokenKind::Punct(Punct::MinusMinus) => Some(UnaryOp::PreDec),
+            TokenKind::Punct(Punct::Plus) => {
+                self.bump();
+                return self.unary_expr(); // unary plus is a no-op
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let inner = self.cast_expr()?;
+            let span = start.to(inner.span);
+            return Ok(Expr::new(ExprKind::Unary(op, Box::new(inner)), span));
+        }
+        if self.peek().is_keyword(Keyword::Sizeof) {
+            self.bump();
+            if self.peek().is_punct(Punct::LParen) && self.peek_at(1).begins_type() {
+                self.bump();
+                let ty = self.type_name()?;
+                let end = self.expect_punct(Punct::RParen)?;
+                return Ok(Expr::new(ExprKind::SizeofTy(ty), start.to(end)));
+            }
+            let inner = self.unary_expr()?;
+            let span = start.to(inner.span);
+            return Ok(Expr::new(ExprKind::SizeofExpr(Box::new(inner)), span));
+        }
+        self.postfix_expr()
+    }
+
+    /// cast-expression: `( type ) cast-expression | unary-expression`.
+    fn cast_expr(&mut self) -> Result<Expr> {
+        let start = self.span();
+        if self.peek().is_punct(Punct::LParen) && self.peek_at(1).begins_type() {
+            self.bump();
+            let ty = self.type_name()?;
+            self.expect_punct(Punct::RParen)?;
+            let inner = self.cast_expr()?;
+            let span = start.to(inner.span);
+            return Ok(Expr::new(ExprKind::Cast(ty, Box::new(inner)), span));
+        }
+        self.unary_expr()
+    }
+
+    /// Parses a type name (specifier + abstract declarator) as used in
+    /// casts and `sizeof`.
+    pub(crate) fn type_name(&mut self) -> Result<Type> {
+        let base = self.type_specifier()?;
+        let d = self.declarator()?;
+        let (name, sp, ty) = d.apply(base);
+        if name.is_some() {
+            return Err(crate::error::parse_err(sp, "type name must be abstract"));
+        }
+        Ok(ty)
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            let start = e.span;
+            match self.peek().kind {
+                TokenKind::Punct(Punct::LParen) => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.peek().is_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.assign_expr()?);
+                            if !self.eat_punct(Punct::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect_punct(Punct::RParen)?;
+                    e = Expr::new(ExprKind::Call(Box::new(e), args), start.to(end));
+                }
+                TokenKind::Punct(Punct::LBracket) => {
+                    self.bump();
+                    let idx = self.expression()?;
+                    let end = self.expect_punct(Punct::RBracket)?;
+                    e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), start.to(end));
+                }
+                TokenKind::Punct(Punct::Dot) => {
+                    self.bump();
+                    let (name, sp) = self.expect_ident()?;
+                    e = Expr::new(ExprKind::Member(Box::new(e), name, false), start.to(sp));
+                }
+                TokenKind::Punct(Punct::Arrow) => {
+                    self.bump();
+                    let (name, sp) = self.expect_ident()?;
+                    e = Expr::new(ExprKind::Member(Box::new(e), name, true), start.to(sp));
+                }
+                TokenKind::Punct(Punct::PlusPlus) => {
+                    let sp = self.bump().span;
+                    e = Expr::new(ExprKind::Unary(UnaryOp::PostInc, Box::new(e)), start.to(sp));
+                }
+                TokenKind::Punct(Punct::MinusMinus) => {
+                    let sp = self.bump().span;
+                    e = Expr::new(ExprKind::Unary(UnaryOp::PostDec, Box::new(e)), start.to(sp));
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::IntLit(v), t.span))
+            }
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::FloatLit(v), t.span))
+            }
+            TokenKind::CharLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::CharLit(v), t.span))
+            }
+            TokenKind::StrLit(ref s) => {
+                self.bump();
+                // Adjacent string literals concatenate.
+                let mut text = s.clone();
+                while let TokenKind::StrLit(next) = &self.peek().kind {
+                    text.push_str(next);
+                    self.bump();
+                }
+                Ok(Expr::new(ExprKind::StrLit(text), t.span))
+            }
+            TokenKind::Ident(ref name) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Ident(name.clone(), None), t.span))
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.expression()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+impl crate::token::Token {
+    /// True if this token can begin a type name (used to disambiguate
+    /// casts/`sizeof(T)` from parenthesized expressions — sound because
+    /// the subset has no `typedef`).
+    pub(crate) fn begins_type(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Keyword(
+                Keyword::Int
+                    | Keyword::Char
+                    | Keyword::Double
+                    | Keyword::Float
+                    | Keyword::Long
+                    | Keyword::Short
+                    | Keyword::Unsigned
+                    | Keyword::Signed
+                    | Keyword::Void
+                    | Keyword::Struct
+                    | Keyword::Union
+                    | Keyword::Enum
+                    | Keyword::Const
+                    | Keyword::Volatile
+            )
+        )
+    }
+}

@@ -1,0 +1,210 @@
+//! Statement parsing for the structured (goto-free) subset.
+
+use super::Parser;
+use crate::ast::{LocalDecl, Stmt, StmtKind, SwitchArm};
+use crate::error::{parse_err, Result};
+use crate::token::{Keyword, Punct, TokenKind};
+
+impl Parser {
+    /// Parses the statements of a `{ … }` block whose `{` has been
+    /// consumed; consumes the closing `}`.
+    pub(crate) fn block_stmts(&mut self) -> Result<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return Err(self.unexpected("`}`"));
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(stmts)
+    }
+
+    /// Parses one statement.
+    pub(crate) fn statement(&mut self) -> Result<Stmt> {
+        let start = self.span();
+        // Local declaration?
+        if self.at_type_start() {
+            return self.local_declaration();
+        }
+        // Reject labels (goto-free subset): `ident :` not inside switch.
+        if matches!(self.peek().kind, TokenKind::Ident(_))
+            && self.peek_at(1).is_punct(Punct::Colon)
+        {
+            return Err(parse_err(start, "labels/goto are not supported (structured subset)"));
+        }
+        match self.peek().kind {
+            TokenKind::Punct(Punct::LBrace) => {
+                self.bump();
+                let stmts = self.block_stmts()?;
+                Ok(Stmt::new(StmtKind::Block(stmts), start))
+            }
+            TokenKind::Punct(Punct::Semi) => {
+                self.bump();
+                Ok(Stmt::new(StmtKind::Empty, start))
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expression()?;
+                self.expect_punct(Punct::RParen)?;
+                let then = Box::new(self.statement()?);
+                let els = if self.eat_keyword(Keyword::Else) {
+                    Some(Box::new(self.statement()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::new(StmtKind::If(cond, then, els), start))
+            }
+            TokenKind::Keyword(Keyword::While) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expression()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = Box::new(self.statement()?);
+                Ok(Stmt::new(StmtKind::While(cond, body), start))
+            }
+            TokenKind::Keyword(Keyword::Do) => {
+                self.bump();
+                let body = Box::new(self.statement()?);
+                if !self.eat_keyword(Keyword::While) {
+                    return Err(self.unexpected("`while` after `do` body"));
+                }
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expression()?;
+                self.expect_punct(Punct::RParen)?;
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::new(StmtKind::DoWhile(body, cond), start))
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let init = if self.peek().is_punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.expect_punct(Punct::Semi)?;
+                let cond = if self.peek().is_punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.expect_punct(Punct::Semi)?;
+                let step = if self.peek().is_punct(Punct::RParen) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.expect_punct(Punct::RParen)?;
+                let body = Box::new(self.statement()?);
+                Ok(Stmt::new(StmtKind::For(init, cond, step, body), start))
+            }
+            TokenKind::Keyword(Keyword::Switch) => self.switch_statement(),
+            TokenKind::Keyword(Keyword::Break) => {
+                self.bump();
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::new(StmtKind::Break, start))
+            }
+            TokenKind::Keyword(Keyword::Continue) => {
+                self.bump();
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::new(StmtKind::Continue, start))
+            }
+            TokenKind::Keyword(Keyword::Return) => {
+                self.bump();
+                let value = if self.peek().is_punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::new(StmtKind::Return(value), start))
+            }
+            _ => {
+                let e = self.expression()?;
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::new(StmtKind::Expr(e), start))
+            }
+        }
+    }
+
+    fn local_declaration(&mut self) -> Result<Stmt> {
+        let start = self.span();
+        let base = self.type_specifier()?;
+        let mut decls = Vec::new();
+        if self.eat_punct(Punct::Semi) {
+            // Bare struct/enum declaration inside a function.
+            return Ok(Stmt::new(StmtKind::Decl(decls), start));
+        }
+        loop {
+            let d = self.declarator()?;
+            let (name, sp, ty) = d.apply(base.clone());
+            let Some(name) = name else {
+                return Err(parse_err(sp, "local declaration must declare a name"));
+            };
+            if ty.is_func() {
+                return Err(parse_err(sp, "local function declarations are not supported"));
+            }
+            let init = if self.eat_punct(Punct::Assign) {
+                Some(self.initializer()?)
+            } else {
+                None
+            };
+            decls.push(LocalDecl { name, ty, init, local_id: None, span: sp });
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        self.expect_punct(Punct::Semi)?;
+        Ok(Stmt::new(StmtKind::Decl(decls), start))
+    }
+
+    fn switch_statement(&mut self) -> Result<Stmt> {
+        let start = self.span();
+        self.bump(); // switch
+        self.expect_punct(Punct::LParen)?;
+        let scrutinee = self.expression()?;
+        self.expect_punct(Punct::RParen)?;
+        self.expect_punct(Punct::LBrace)?;
+        let mut arms: Vec<SwitchArm> = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return Err(self.unexpected("`}`"));
+            }
+            // One arm: one or more labels, then statements until the next
+            // label or the closing brace.
+            let arm_span = self.span();
+            let mut labels = Vec::new();
+            loop {
+                if self.eat_keyword(Keyword::Case) {
+                    labels.push(Some(self.const_expr()?));
+                    self.expect_punct(Punct::Colon)?;
+                } else if self.peek().is_keyword(Keyword::Default) {
+                    self.bump();
+                    labels.push(None);
+                    self.expect_punct(Punct::Colon)?;
+                } else {
+                    break;
+                }
+            }
+            if labels.is_empty() {
+                return Err(parse_err(
+                    self.span(),
+                    "statement in switch body must be preceded by a case label",
+                ));
+            }
+            let mut stmts = Vec::new();
+            while !self.peek().is_keyword(Keyword::Case)
+                && !self.peek().is_keyword(Keyword::Default)
+                && !self.peek().is_punct(Punct::RBrace)
+            {
+                if self.at_eof() {
+                    return Err(self.unexpected("`}`"));
+                }
+                stmts.push(self.statement()?);
+            }
+            arms.push(SwitchArm { labels, stmts, span: arm_span });
+        }
+        Ok(Stmt::new(StmtKind::Switch(scrutinee, arms), start))
+    }
+}

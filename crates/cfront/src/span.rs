@@ -1,0 +1,83 @@
+//! Source positions and spans.
+
+use std::fmt;
+
+/// A half-open byte range into a source file, with 1-based line/column of
+/// its start for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a new span.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// A synthetic span for generated constructs.
+    pub fn dummy() -> Self {
+        Span::default()
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    ///
+    /// The line/column of the earlier span is kept.
+    pub fn to(self, other: Span) -> Span {
+        let (line, col) = if self.start <= other.start {
+            (self.line, self.col)
+        } else {
+            (other.line, other.col)
+        };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_to_keeps_earlier_position() {
+        let a = Span::new(0, 3, 1, 1);
+        let b = Span::new(10, 12, 2, 4);
+        let joined = a.to(b);
+        assert_eq!(joined.start, 0);
+        assert_eq!(joined.end, 12);
+        assert_eq!(joined.line, 1);
+        assert_eq!(joined.col, 1);
+        let joined_rev = b.to(a);
+        assert_eq!(joined_rev, joined);
+    }
+
+    #[test]
+    fn dummy_is_zeroed() {
+        let d = Span::dummy();
+        assert_eq!(d.start, 0);
+        assert_eq!(d.end, 0);
+    }
+
+    #[test]
+    fn display_shows_line_col() {
+        let s = Span::new(5, 9, 3, 7);
+        assert_eq!(s.to_string(), "3:7");
+    }
+}

@@ -1,0 +1,311 @@
+//! Tokens of the C subset.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A keyword of the C subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Int,
+    Char,
+    Double,
+    Float,
+    Long,
+    Short,
+    Unsigned,
+    Signed,
+    Void,
+    Struct,
+    Union,
+    Enum,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Switch,
+    Case,
+    Default,
+    Break,
+    Continue,
+    Return,
+    Sizeof,
+    Static,
+    Extern,
+    Const,
+    Register,
+    Volatile,
+}
+
+impl Keyword {
+    /// Looks up a keyword by its source spelling (infallible variant of
+    /// the std trait, hence the deliberate name).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "int" => Int,
+            "char" => Char,
+            "double" => Double,
+            "float" => Float,
+            "long" => Long,
+            "short" => Short,
+            "unsigned" => Unsigned,
+            "signed" => Signed,
+            "void" => Void,
+            "struct" => Struct,
+            "union" => Union,
+            "enum" => Enum,
+            "if" => If,
+            "else" => Else,
+            "while" => While,
+            "do" => Do,
+            "for" => For,
+            "switch" => Switch,
+            "case" => Case,
+            "default" => Default,
+            "break" => Break,
+            "continue" => Continue,
+            "return" => Return,
+            "sizeof" => Sizeof,
+            "static" => Static,
+            "extern" => Extern,
+            "const" => Const,
+            "register" => Register,
+            "volatile" => Volatile,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling of the keyword.
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Int => "int",
+            Char => "char",
+            Double => "double",
+            Float => "float",
+            Long => "long",
+            Short => "short",
+            Unsigned => "unsigned",
+            Signed => "signed",
+            Void => "void",
+            Struct => "struct",
+            Union => "union",
+            Enum => "enum",
+            If => "if",
+            Else => "else",
+            While => "while",
+            Do => "do",
+            For => "for",
+            Switch => "switch",
+            Case => "case",
+            Default => "default",
+            Break => "break",
+            Continue => "continue",
+            Return => "return",
+            Sizeof => "sizeof",
+            Static => "static",
+            Extern => "extern",
+            Const => "const",
+            Register => "register",
+            Volatile => "volatile",
+        }
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Shl,
+    Shr,
+    PlusPlus,
+    MinusMinus,
+    Question,
+    Colon,
+}
+
+impl Punct {
+    /// The source spelling of the punctuation.
+    pub fn as_str(self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Dot => ".",
+            Arrow => "->",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Bang => "!",
+            Assign => "=",
+            PlusAssign => "+=",
+            MinusAssign => "-=",
+            StarAssign => "*=",
+            SlashAssign => "/=",
+            PercentAssign => "%=",
+            AmpAssign => "&=",
+            PipeAssign => "|=",
+            CaretAssign => "^=",
+            ShlAssign => "<<=",
+            ShrAssign => ">>=",
+            Eq => "==",
+            Ne => "!=",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            AndAnd => "&&",
+            OrOr => "||",
+            Shl => "<<",
+            Shr => ">>",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Question => "?",
+            Colon => ":",
+        }
+    }
+}
+
+/// The payload of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword such as `int` or `while`.
+    Keyword(Keyword),
+    /// An identifier.
+    Ident(String),
+    /// An integer literal (value already decoded).
+    IntLit(i64),
+    /// A floating-point literal.
+    FloatLit(f64),
+    /// A character literal (value of the character).
+    CharLit(i64),
+    /// A string literal (unescaped contents).
+    StrLit(String),
+    /// Punctuation or an operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "`{}`", k.as_str()),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::IntLit(v) => write!(f, "integer `{v}`"),
+            TokenKind::FloatLit(v) => write!(f, "float `{v}`"),
+            TokenKind::CharLit(v) => write!(f, "char literal `{v}`"),
+            TokenKind::StrLit(s) => write!(f, "string {s:?}"),
+            TokenKind::Punct(p) => write!(f, "`{}`", p.as_str()),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+
+    /// True if this token is the given punctuation.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        matches!(self.kind, TokenKind::Punct(q) if q == p)
+    }
+
+    /// True if this token is the given keyword.
+    pub fn is_keyword(&self, k: Keyword) -> bool {
+        matches!(self.kind, TokenKind::Keyword(q) if q == k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [Keyword::Int, Keyword::While, Keyword::Sizeof, Keyword::Volatile] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("notakeyword"), None);
+    }
+
+    #[test]
+    fn token_predicates() {
+        let t = Token::new(TokenKind::Punct(Punct::Semi), Span::dummy());
+        assert!(t.is_punct(Punct::Semi));
+        assert!(!t.is_punct(Punct::Comma));
+        assert!(!t.is_keyword(Keyword::If));
+        let k = Token::new(TokenKind::Keyword(Keyword::If), Span::dummy());
+        assert!(k.is_keyword(Keyword::If));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TokenKind::Punct(Punct::Arrow).to_string(), "`->`");
+        assert_eq!(TokenKind::Ident("abc".into()).to_string(), "identifier `abc`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

@@ -1,0 +1,419 @@
+//! C types for the subset: scalars, pointers, arrays, structs/unions, and
+//! function types (which make function pointers first-class, as required
+//! by the analysis).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies a struct or union definition in a [`StructTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StructId(pub u32);
+
+impl fmt::Display for StructId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "struct#{}", self.0)
+    }
+}
+
+/// A C type in the subset.
+///
+/// `float`, `long`, `short`, `unsigned`, `signed` are normalized to
+/// [`Type::Int`] / [`Type::Double`]; qualifiers are dropped. Neither
+/// affects points-to behaviour.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// `void` — only valid as a return type or behind a pointer.
+    Void,
+    /// Any integer type.
+    Int,
+    /// `char`.
+    Char,
+    /// Any floating type.
+    Double,
+    /// `T *`.
+    Pointer(Box<Type>),
+    /// `T [n]`; `n` is `None` for incomplete array types (e.g. parameters).
+    Array(Box<Type>, Option<u64>),
+    /// A struct or union type.
+    Struct(StructId),
+    /// A function type; a value of this type only occurs as a function
+    /// designator and decays to a function pointer.
+    Func(Box<FuncSig>),
+}
+
+impl Type {
+    /// Shorthand for a pointer to `self`.
+    pub fn ptr_to(self) -> Type {
+        Type::Pointer(Box::new(self))
+    }
+
+    /// True for pointer types.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Pointer(_))
+    }
+
+    /// True for array types.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Type::Array(..))
+    }
+
+    /// True for struct/union types.
+    pub fn is_struct(&self) -> bool {
+        matches!(self, Type::Struct(_))
+    }
+
+    /// True for function types.
+    pub fn is_func(&self) -> bool {
+        matches!(self, Type::Func(_))
+    }
+
+    /// True if a value of this type is (or decays to) a pointer to a
+    /// function: either a function designator or a pointer whose pointee
+    /// is a function type.
+    pub fn is_func_pointerish(&self) -> bool {
+        match self {
+            Type::Func(_) => true,
+            Type::Pointer(p) => p.is_func(),
+            _ => false,
+        }
+    }
+
+    /// True for arithmetic (non-pointer scalar) types.
+    pub fn is_arith(&self) -> bool {
+        matches!(self, Type::Int | Type::Char | Type::Double)
+    }
+
+    /// The pointee of a pointer type, or the element type of an array.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Pointer(t) => Some(t),
+            Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The element type of an array type.
+    pub fn elem(&self) -> Option<&Type> {
+        match self {
+            Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Applies array-to-pointer and function-to-pointer decay, as happens
+    /// to any value used in an rvalue context.
+    pub fn decay(&self) -> Type {
+        match self {
+            Type::Array(elem, _) => Type::Pointer(elem.clone()),
+            Type::Func(_) => Type::Pointer(Box::new(self.clone())),
+            other => other.clone(),
+        }
+    }
+
+    /// True if assigning/copying a value of this type can transfer
+    /// points-to information (i.e. the type contains a pointer at any
+    /// depth reachable without dereferencing).
+    pub fn carries_pointers(&self, structs: &StructTable) -> bool {
+        match self {
+            Type::Pointer(_) | Type::Func(_) => true,
+            Type::Array(elem, _) => elem.carries_pointers(structs),
+            Type::Struct(id) => structs
+                .def(*id)
+                .fields
+                .iter()
+                .any(|f| f.ty.carries_pointers(structs)),
+            _ => false,
+        }
+    }
+
+    /// Renders the type in a C-like syntax (sufficient for diagnostics;
+    /// not a full declarator printer).
+    pub fn display<'a>(&'a self, structs: &'a StructTable) -> TypeDisplay<'a> {
+        TypeDisplay { ty: self, structs }
+    }
+}
+
+/// Helper returned by [`Type::display`].
+#[derive(Debug)]
+pub struct TypeDisplay<'a> {
+    ty: &'a Type,
+    structs: &'a StructTable,
+}
+
+impl fmt::Display for TypeDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ty {
+            Type::Void => write!(f, "void"),
+            Type::Int => write!(f, "int"),
+            Type::Char => write!(f, "char"),
+            Type::Double => write!(f, "double"),
+            Type::Pointer(t) => write!(f, "{}*", t.display(self.structs)),
+            Type::Array(t, Some(n)) => write!(f, "{}[{}]", t.display(self.structs), n),
+            Type::Array(t, None) => write!(f, "{}[]", t.display(self.structs)),
+            Type::Struct(id) => {
+                let def = self.structs.def(*id);
+                let kw = if def.is_union { "union" } else { "struct" };
+                match &def.name {
+                    Some(n) => write!(f, "{kw} {n}"),
+                    None => write!(f, "{kw} <anon#{}>", id.0),
+                }
+            }
+            Type::Func(sig) => {
+                write!(f, "{}(", sig.ret.display(self.structs))?;
+                for (i, p) in sig.params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", p.display(self.structs))?;
+                }
+                if sig.variadic {
+                    if !sig.params.is_empty() {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "...")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Signature of a function type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FuncSig {
+    /// Return type.
+    pub ret: Type,
+    /// Parameter types, in order (after array decay).
+    pub params: Vec<Type>,
+    /// True if declared with a trailing `...` or with an empty `()`
+    /// parameter list (old-style, accepts anything).
+    pub variadic: bool,
+}
+
+/// A named member of a struct or union.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Type,
+}
+
+/// A struct or union definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Tag name, if not anonymous.
+    pub name: Option<String>,
+    /// True for `union` (treated like a struct for points-to purposes;
+    /// see DESIGN.md).
+    pub is_union: bool,
+    /// Members in declaration order.
+    pub fields: Vec<Field>,
+    /// False while only forward-declared.
+    pub complete: bool,
+}
+
+impl StructDef {
+    /// Finds a field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// Registry of all struct/union definitions in a translation unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StructTable {
+    defs: Vec<StructDef>,
+    by_tag: BTreeMap<String, StructId>,
+}
+
+impl StructTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of definitions (including incomplete forward declarations).
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True if no structs have been declared.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// The definition behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this table.
+    pub fn def(&self, id: StructId) -> &StructDef {
+        &self.defs[id.0 as usize]
+    }
+
+    /// Looks up a struct by tag name.
+    pub fn by_tag(&self, tag: &str) -> Option<StructId> {
+        self.by_tag.get(tag).copied()
+    }
+
+    /// Declares (or returns the existing) struct for `tag`. The
+    /// definition starts incomplete.
+    pub fn declare(&mut self, tag: &str, is_union: bool) -> StructId {
+        if let Some(id) = self.by_tag.get(tag) {
+            return *id;
+        }
+        let id = StructId(self.defs.len() as u32);
+        self.defs.push(StructDef {
+            name: Some(tag.to_owned()),
+            is_union,
+            fields: Vec::new(),
+            complete: false,
+        });
+        self.by_tag.insert(tag.to_owned(), id);
+        id
+    }
+
+    /// Adds an anonymous struct definition.
+    pub fn add_anon(&mut self, is_union: bool, fields: Vec<Field>) -> StructId {
+        let id = StructId(self.defs.len() as u32);
+        self.defs.push(StructDef { name: None, is_union, fields, complete: true });
+        id
+    }
+
+    /// Completes a previously declared struct with its field list.
+    ///
+    /// Returns `false` if the struct was already complete (a
+    /// redefinition, which the caller reports as an error).
+    pub fn complete(&mut self, id: StructId, fields: Vec<Field>) -> bool {
+        let def = &mut self.defs[id.0 as usize];
+        if def.complete {
+            return false;
+        }
+        def.fields = fields;
+        def.complete = true;
+        true
+    }
+
+    /// Iterates over `(id, def)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (StructId, &StructDef)> {
+        self.defs.iter().enumerate().map(|(i, d)| (StructId(i as u32), d))
+    }
+}
+
+/// A fixed layout model sufficient for `sizeof` in constant expressions
+/// (LP64-like: pointers are 8 bytes, no padding).
+pub fn size_of(ty: &Type, structs: &StructTable) -> i64 {
+    match ty {
+        Type::Void => 1,
+        Type::Int => 4,
+        Type::Char => 1,
+        Type::Double => 8,
+        Type::Pointer(_) | Type::Func(_) => 8,
+        Type::Array(elem, n) => size_of(elem, structs) * n.unwrap_or(0) as i64,
+        Type::Struct(id) => {
+            let def = structs.def(*id);
+            if def.is_union {
+                def.fields.iter().map(|f| size_of(&f.ty, structs)).max().unwrap_or(0)
+            } else {
+                def.fields.iter().map(|f| size_of(&f.ty, structs)).sum()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_of_layout_model() {
+        let mut t = StructTable::new();
+        let s = t.add_anon(
+            false,
+            vec![
+                Field { name: "a".into(), ty: Type::Int },
+                Field { name: "p".into(), ty: Type::Int.ptr_to() },
+            ],
+        );
+        assert_eq!(size_of(&Type::Struct(s), &t), 12);
+        assert_eq!(size_of(&Type::Array(Box::new(Type::Double), Some(3)), &t), 24);
+        let u = t.add_anon(
+            true,
+            vec![
+                Field { name: "a".into(), ty: Type::Int },
+                Field { name: "d".into(), ty: Type::Double },
+            ],
+        );
+        assert_eq!(size_of(&Type::Struct(u), &t), 8);
+    }
+
+    #[test]
+    fn decay_array_and_function() {
+        let arr = Type::Array(Box::new(Type::Int), Some(10));
+        assert_eq!(arr.decay(), Type::Int.ptr_to());
+        let f = Type::Func(Box::new(FuncSig { ret: Type::Int, params: vec![], variadic: false }));
+        assert_eq!(f.decay(), Type::Pointer(Box::new(f.clone())));
+        assert_eq!(Type::Int.decay(), Type::Int);
+    }
+
+    #[test]
+    fn func_pointerish() {
+        let f = Type::Func(Box::new(FuncSig { ret: Type::Void, params: vec![], variadic: true }));
+        assert!(f.is_func_pointerish());
+        assert!(f.clone().decay().is_func_pointerish());
+        assert!(!Type::Int.ptr_to().is_func_pointerish());
+    }
+
+    #[test]
+    fn struct_table_declare_and_complete() {
+        let mut t = StructTable::new();
+        let id = t.declare("node", false);
+        assert_eq!(t.by_tag("node"), Some(id));
+        assert!(!t.def(id).complete);
+        // Re-declaration returns the same id.
+        assert_eq!(t.declare("node", false), id);
+        assert!(t.complete(
+            id,
+            vec![
+                Field { name: "val".into(), ty: Type::Int },
+                Field { name: "next".into(), ty: Type::Struct(id).ptr_to() },
+            ]
+        ));
+        assert!(t.def(id).complete);
+        // Completing twice fails (redefinition).
+        assert!(!t.complete(id, vec![]));
+        assert_eq!(t.def(id).field("next").unwrap().name, "next");
+        assert!(t.def(id).field("missing").is_none());
+    }
+
+    #[test]
+    fn carries_pointers_through_aggregates() {
+        let mut t = StructTable::new();
+        let plain = t.add_anon(false, vec![Field { name: "x".into(), ty: Type::Int }]);
+        let ptry = t.add_anon(
+            false,
+            vec![Field { name: "p".into(), ty: Type::Int.ptr_to() }],
+        );
+        assert!(!Type::Struct(plain).carries_pointers(&t));
+        assert!(Type::Struct(ptry).carries_pointers(&t));
+        assert!(Type::Array(Box::new(Type::Struct(ptry)), Some(4)).carries_pointers(&t));
+        assert!(!Type::Double.carries_pointers(&t));
+    }
+
+    #[test]
+    fn display_renders_types() {
+        let t = StructTable::new();
+        assert_eq!(Type::Int.ptr_to().ptr_to().display(&t).to_string(), "int**");
+        assert_eq!(
+            Type::Array(Box::new(Type::Char), Some(8)).display(&t).to_string(),
+            "char[8]"
+        );
+        let f = Type::Func(Box::new(FuncSig {
+            ret: Type::Int,
+            params: vec![Type::Int, Type::Char.ptr_to()],
+            variadic: true,
+        }));
+        assert_eq!(f.display(&t).to_string(), "int(int, char*, ...)");
+    }
+}

@@ -1,0 +1,275 @@
+//! Front-end edge cases: declarator zoo, operator corners, scoping, and
+//! diagnostics.
+
+use pta_cfront::ast::{ExprKind, StmtKind};
+use pta_cfront::types::Type;
+use pta_cfront::{frontend, Phase};
+
+fn ok(src: &str) -> pta_cfront::Program {
+    frontend(src).expect("frontend ok")
+}
+
+fn fails(src: &str) -> pta_cfront::FrontendError {
+    frontend(src).expect_err("frontend should fail")
+}
+
+// ---------------------------------------------------------------------
+// Declarators
+// ---------------------------------------------------------------------
+
+#[test]
+fn pointer_returning_function_definition() {
+    let p = ok("int x; int *give(void) { return &x; } int main(void){ return *give(); }");
+    let f = p.function("give").unwrap().1;
+    assert_eq!(f.ret, Type::Int.ptr_to());
+    assert!(f.is_definition());
+}
+
+#[test]
+fn double_pointer_returning_function() {
+    let p = ok("int *q; int **addr(void) { return &q; } int main(void){ return **addr(); }");
+    assert_eq!(p.function("addr").unwrap().1.ret, Type::Int.ptr_to().ptr_to());
+}
+
+#[test]
+fn function_returning_function_pointer() {
+    let p = ok(
+        "int f1(int a) { return a; }
+         int (*sel(void))(int) { return f1; }
+         int main(void){ int (*fp)(int); fp = sel(); return fp(3); }",
+    );
+    let sel = p.function("sel").unwrap().1;
+    let Type::Pointer(inner) = &sel.ret else { panic!("ret {:?}", sel.ret) };
+    assert!(inner.is_func());
+    assert_eq!(sel.params.len(), 0);
+}
+
+#[test]
+fn pointer_to_array_parameter() {
+    let p = ok("double f(double (*m)[4]) { return m[1][2]; } int main(void){ return 0; }");
+    let f = p.function("f").unwrap().1;
+    let Type::Pointer(inner) = &f.params[0].ty else { panic!() };
+    assert!(matches!(inner.as_ref(), Type::Array(_, Some(4))));
+}
+
+#[test]
+fn array_parameter_decays() {
+    let p = ok("int f(int a[10]) { return a[0]; } int main(void){ return 0; }");
+    assert_eq!(p.function("f").unwrap().1.params[0].ty, Type::Int.ptr_to());
+}
+
+#[test]
+fn array_of_arrays() {
+    let p = ok("int grid[3][5]; int main(void){ return grid[1][2]; }");
+    let Type::Array(row, Some(3)) = &p.globals[0].ty else { panic!() };
+    assert!(matches!(row.as_ref(), Type::Array(_, Some(5))));
+}
+
+#[test]
+fn parenthesized_declarator_is_transparent() {
+    let p = ok("int (x); int main(void){ return x; }");
+    assert_eq!(p.globals[0].ty, Type::Int);
+    assert_eq!(p.globals[0].name, "x");
+}
+
+#[test]
+fn qualifiers_are_ignored() {
+    let p = ok("const int c = 3; volatile int v; int main(void){ return c + v; }");
+    assert_eq!(p.globals.len(), 2);
+    assert_eq!(p.globals[0].ty, Type::Int);
+}
+
+#[test]
+fn unsigned_long_short_normalize_to_int() {
+    let p = ok("unsigned long a; short b; signed c; unsigned char d; int main(void){ return 0; }");
+    assert_eq!(p.globals[0].ty, Type::Int);
+    assert_eq!(p.globals[1].ty, Type::Int);
+    assert_eq!(p.globals[2].ty, Type::Int);
+    // `unsigned char` contains an int-like keyword → Int by our
+    // normalization (documented: signedness is irrelevant to points-to).
+    assert_eq!(p.globals[3].ty, Type::Int);
+}
+
+#[test]
+fn float_normalizes_to_double() {
+    let p = ok("float f; double d; int main(void){ return 0; }");
+    assert_eq!(p.globals[0].ty, Type::Double);
+    assert_eq!(p.globals[1].ty, Type::Double);
+}
+
+// ---------------------------------------------------------------------
+// Structs, unions, enums
+// ---------------------------------------------------------------------
+
+#[test]
+fn self_referential_struct() {
+    let p = ok(
+        "struct list { int v; struct list *next; };
+         int main(void){ struct list n; n.next = &n; return n.next->v; }",
+    );
+    let id = p.structs.by_tag("list").unwrap();
+    assert_eq!(p.structs.def(id).fields[1].ty, Type::Struct(id).ptr_to());
+}
+
+#[test]
+fn mutually_referential_structs() {
+    let p = ok(
+        "struct b;
+         struct a { struct b *to_b; };
+         struct b { struct a *to_a; };
+         int main(void){ struct a x; struct b y; x.to_b = &y; y.to_a = &x; return 0; }",
+    );
+    assert!(p.structs.by_tag("a").is_some());
+    assert!(p.structs.by_tag("b").is_some());
+}
+
+#[test]
+fn anonymous_struct_variable() {
+    let p = ok("struct { int a; int b; } pair; int main(void){ return pair.a; }");
+    assert!(matches!(p.globals[0].ty, Type::Struct(_)));
+}
+
+#[test]
+fn struct_redefinition_is_an_error() {
+    let e = fails("struct s { int a; }; struct s { int b; }; int main(void){ return 0; }");
+    assert!(e.message().contains("redefinition"));
+}
+
+#[test]
+fn duplicate_field_is_an_error() {
+    let e = fails("struct s { int a; int a; }; int main(void){ return 0; }");
+    assert!(e.message().contains("duplicate field"));
+}
+
+#[test]
+fn enum_values_and_expressions() {
+    let p = ok(
+        "enum e { A, B = A + 5, C };
+         int arr[C];
+         int main(void){ return B; }",
+    );
+    assert_eq!(p.enum_consts["A"], 0);
+    assert_eq!(p.enum_consts["B"], 5);
+    assert_eq!(p.enum_consts["C"], 6);
+    assert_eq!(p.globals[0].ty, Type::Array(Box::new(Type::Int), Some(6)));
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+#[test]
+fn nested_unary_operators() {
+    ok("int main(void){ int x; int *p; int **pp; x = 0; p = &x; pp = &p; return !-**pp; }");
+}
+
+#[test]
+fn cast_chains() {
+    ok("int main(void){ int x; char *c; c = (char*)(int*)&x; return (int)*c; }");
+}
+
+#[test]
+fn sizeof_forms() {
+    let p = ok(
+        "struct s { int a; int *p; };
+         int main(void){ int n; struct s v;
+            n = sizeof(int) + sizeof(struct s) + sizeof v + sizeof(int*);
+            return n; }",
+    );
+    assert!(p.main().is_some());
+}
+
+#[test]
+fn ternary_chains_and_comma() {
+    ok("int main(void){ int a; int b; a = 1 ? 2 : 3 ? 4 : 5; b = (a = 2, a + 1); return a + b; }");
+}
+
+#[test]
+fn assignment_operators_all_parse() {
+    ok("int main(void){ int a; a = 1; a += 2; a -= 1; a *= 3; a /= 2; a %= 3; a &= 7; a |= 8; a ^= 1; a <<= 2; a >>= 1; return a; }");
+}
+
+#[test]
+fn string_concatenation() {
+    let p = ok("char *s = \"abc\" \"def\"; int main(void){ return 0; }");
+    let Some(pta_cfront::ast::Init::Expr(e)) = &p.globals[0].init else { panic!() };
+    let ExprKind::StrLit(v) = &e.kind else { panic!("{e:?}") };
+    assert_eq!(v, "abcdef");
+}
+
+#[test]
+fn hex_octal_char_escapes() {
+    ok("int main(void){ int a; a = 0xff + 017 + '\\n' + '\\0' + '\\\\'; return a; }");
+}
+
+#[test]
+fn address_of_rvalue_is_an_error() {
+    let e = fails("int main(void){ int a; int *p; p = &(a + 1); return 0; }");
+    // Sema rejects it as a SIMPLE-form lvalue problem or lvalue check.
+    assert_eq!(e.phase(), Phase::Sema);
+}
+
+// ---------------------------------------------------------------------
+// Statements & scoping
+// ---------------------------------------------------------------------
+
+#[test]
+fn deeply_nested_blocks_shadow() {
+    let p = ok(
+        "int f(void){ int x; x = 1; { int x; x = 2; { int x; x = 3; } } return x; }
+         int main(void){ return f(); }",
+    );
+    let f = p.function("f").unwrap().1;
+    let names: Vec<&str> = f.locals.iter().map(|l| l.name.as_str()).collect();
+    assert_eq!(names, vec!["x", "x$1", "x$2"]);
+}
+
+#[test]
+fn for_without_clauses() {
+    let p = ok("int main(void){ int i; i = 0; for (;;) { i++; if (i > 3) break; } return i; }");
+    let f = p.function("main").unwrap().1;
+    assert!(f.body.as_ref().unwrap().iter().any(|s| matches!(s.kind, StmtKind::For(..))));
+}
+
+#[test]
+fn dangling_else_binds_to_nearest_if() {
+    let p = ok("int main(void){ int a; a = 0; if (1) if (0) a = 1; else a = 2; return a; }");
+    let f = p.function("main").unwrap().1;
+    // Outer if has no else branch.
+    let outer = f
+        .body
+        .as_ref()
+        .unwrap()
+        .iter()
+        .find_map(|s| match &s.kind {
+            StmtKind::If(_, t, e) => Some((t, e)),
+            _ => None,
+        })
+        .unwrap();
+    assert!(outer.1.is_none(), "else must bind to the inner if");
+}
+
+#[test]
+fn empty_function_body() {
+    ok("void nop(void) { } int main(void){ nop(); return 0; }");
+}
+
+#[test]
+fn unterminated_block_is_an_error() {
+    let e = fails("int main(void){ int a; a = 1;");
+    assert_eq!(e.phase(), Phase::Parse);
+}
+
+#[test]
+fn missing_semicolon_reports_location() {
+    let e = fails("int main(void){\n  int a;\n  a = 1\n  return a;\n}");
+    assert_eq!(e.phase(), Phase::Parse);
+    assert_eq!(e.span().line, 4); // the `return` that follows the missing `;`
+}
+
+#[test]
+fn call_before_declaration_uses_implicit_int() {
+    let p = ok("int main(void){ return helper(3); } int helper(int v){ return v; }");
+    // The implicit declaration is later superseded by the definition.
+    assert!(p.function("helper").unwrap().1.is_definition());
+}

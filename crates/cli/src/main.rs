@@ -1,0 +1,210 @@
+//! `pta` — command-line driver for the points-to analysis.
+//!
+//! ```text
+//! pta <file.c> [--simple] [--points-to] [--ig] [--call-graph]
+//!              [--aliases] [--replace] [--tables] [--warnings]
+//! ```
+//!
+//! With no flags, prints a short summary. `--points-to` dumps the
+//! merged points-to set at every program point.
+
+use pta_apps::{alias_pairs_at, call_graph, null_derefs, replaceable_refs};
+use pta_core::stats;
+use std::process::ExitCode;
+
+struct Options {
+    file: Option<String>,
+    simple: bool,
+    points_to: bool,
+    ig: bool,
+    callgraph: bool,
+    aliases: bool,
+    replace: bool,
+    tables: bool,
+    warnings: bool,
+    dot: bool,
+    null: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options {
+        file: None,
+        simple: false,
+        points_to: false,
+        ig: false,
+        callgraph: false,
+        aliases: false,
+        replace: false,
+        tables: false,
+        warnings: false,
+        dot: false,
+        null: false,
+    };
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--simple" => o.simple = true,
+            "--points-to" => o.points_to = true,
+            "--ig" => o.ig = true,
+            "--call-graph" => o.callgraph = true,
+            "--aliases" => o.aliases = true,
+            "--replace" => o.replace = true,
+            "--tables" => o.tables = true,
+            "--warnings" => o.warnings = true,
+            "--dot" => o.dot = true,
+            "--null" => o.null = true,
+            "--help" | "-h" => return Err(usage()),
+            f if !f.starts_with('-') => {
+                if o.file.is_some() {
+                    return Err("only one input file is supported".to_owned());
+                }
+                o.file = Some(f.to_owned());
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if o.file.is_none() {
+        return Err(usage());
+    }
+    Ok(o)
+}
+
+fn usage() -> String {
+    "usage: pta <file.c> [--simple] [--points-to] [--ig] [--call-graph] \
+     [--aliases] [--replace] [--tables] [--warnings] [--dot] [--null]"
+        .to_owned()
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let file = opts.file.as_deref().expect("checked in parse_args");
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pta: cannot read `{file}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut pta = match pta_core::run_source(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("pta: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.simple {
+        println!("== SIMPLE form ==");
+        println!("{}", pta_simple::printer::print_program(&pta.ir));
+    }
+    if opts.ig {
+        println!("== Invocation graph ==");
+        print!("{}", pta.result.ig.render(&pta.ir));
+        let s = pta.result.ig.stats();
+        println!(
+            "({} nodes, {} recursive, {} approximate)\n",
+            s.nodes, s.recursive, s.approximate
+        );
+    }
+    if opts.callgraph {
+        println!("== Call graph ==");
+        print!("{}", call_graph(&pta.ir, &pta.result).render());
+        println!();
+    }
+    if opts.points_to {
+        println!("== Points-to sets per program point (NULL targets omitted) ==");
+        let ids: Vec<pta_simple::StmtId> = pta.result.per_stmt.keys().copied().collect();
+        for id in ids {
+            let pairs = pta.pairs_at(id);
+            if pairs.is_empty() {
+                continue;
+            }
+            let rendered: Vec<String> = pairs
+                .iter()
+                .map(|(a, b, d)| format!("({a},{b},{d})"))
+                .collect();
+            println!("{id}: {}", rendered.join(" "));
+        }
+        println!();
+    }
+    if opts.aliases {
+        println!("== Alias pairs at exit of main ==");
+        if let Some(ret) = pta.find_stmt("main", "return", 0) {
+            for p in alias_pairs_at(&pta.result, ret, 3) {
+                println!("{p}");
+            }
+        }
+        println!();
+    }
+    if opts.replace {
+        println!("== Replaceable indirect references ==");
+        let ir = pta.ir.clone();
+        for r in replaceable_refs(&ir, &mut pta.result) {
+            println!("{r}");
+        }
+        println!();
+    }
+    if opts.tables {
+        let ir = pta.ir.clone();
+        let all = stats::compute(file, &source, &ir, &mut pta.result);
+        println!("== Statistics ==");
+        println!(
+            "lines {} | SIMPLE stmts {} | abstract stack {}..{}",
+            all.t2.lines, all.t2.simple_stmts, all.t2.min_vars, all.t2.max_vars
+        );
+        println!(
+            "indirect refs {} | 1D {:?} | 1P {:?} | 2P {:?} | avg {:.2} | replaceable {}",
+            all.t3.ind_refs, all.t3.one_d, all.t3.one_p, all.t3.two_p, all.t3.avg(),
+            all.t3.scalar_rep
+        );
+        println!(
+            "ig nodes {} | call sites {} | functions {} | R {} | A {}",
+            all.t6.ig_nodes, all.t6.call_sites, all.t6.functions, all.t6.recursive,
+            all.t6.approximate
+        );
+        println!();
+    }
+    if opts.null {
+        println!("== NULL dereference findings ==");
+        let ir = pta.ir.clone();
+        let findings = null_derefs(&ir, &mut pta.result);
+        if findings.is_empty() {
+            println!("(none)");
+        }
+        for f in findings {
+            println!("{f}");
+        }
+        println!();
+    }
+    if opts.dot {
+        println!("// invocation graph");
+        print!("{}", pta.result.ig.to_dot(&pta.ir));
+        println!("// call graph");
+        print!("{}", call_graph(&pta.ir, &pta.result).to_dot());
+    }
+    if opts.warnings {
+        println!("== Warnings ==");
+        for w in &pta.result.warnings {
+            println!("warning: {w}");
+        }
+        println!();
+    }
+
+    // Default summary.
+    let s = pta.result.ig.stats();
+    println!(
+        "{}: {} functions, {} SIMPLE statements, {} invocation-graph nodes, {} points-to pairs at exit, {} warnings",
+        file,
+        pta.ir.defined_functions().count(),
+        pta.ir.total_basic_stmts(),
+        s.nodes,
+        pta.result.exit_set.len(),
+        pta.result.warnings.len()
+    );
+    ExitCode::SUCCESS
+}

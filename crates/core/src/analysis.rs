@@ -1,0 +1,326 @@
+//! The analysis driver: configuration, results, and the top-level
+//! [`analyze`] entry point.
+
+use crate::invocation_graph::InvocationGraph;
+use crate::location::{LocId, LocTable, Proj};
+use crate::lvalue::RefEnv;
+use crate::points_to_set::{Def, PtSet};
+use pta_cfront::ast::FuncId;
+use pta_cfront::types::Type;
+use pta_simple::{IrProgram, StmtId};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Tunable parameters of the analysis.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Maximum symbolic-name depth per invisible-variable chain (the
+    /// `k` of `k_x`); deeper chains collapse into the last symbol.
+    pub max_sym_depth: u32,
+    /// Bound on invocation-graph size (it is worst-case exponential).
+    pub max_ig_nodes: usize,
+    /// Error (rather than warn) on calls to unmodelled externals.
+    pub strict_externs: bool,
+    /// Safety budget on processed basic statements.
+    pub max_steps: u64,
+    /// Record per-statement points-to sets (needed for the statistics
+    /// tables; adds memory).
+    pub record_stats: bool,
+    /// Name heap storage per allocation site (`heap@sN`) instead of the
+    /// paper's single `heap` location (extension; improves heap
+    /// precision at the cost of more locations).
+    pub heap_sites: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            max_sym_depth: 5,
+            max_ig_nodes: 100_000,
+            strict_externs: false,
+            max_steps: 50_000_000,
+            record_stats: true,
+            heap_sites: false,
+        }
+    }
+}
+
+/// Errors the analysis can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The program has no `main`.
+    NoEntry,
+    /// The invocation graph exceeded its configured bound.
+    IgBudget(String),
+    /// The statement budget was exceeded (non-termination guard).
+    StepBudget,
+    /// A construct the analysis does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NoEntry => write!(f, "program has no `main` function"),
+            AnalysisError::IgBudget(m) => write!(f, "{m}"),
+            AnalysisError::StepBudget => write!(f, "analysis exceeded its statement budget"),
+            AnalysisError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+/// The output of the context-sensitive points-to analysis.
+#[derive(Debug)]
+pub struct AnalysisResult {
+    /// All abstract locations created during the analysis.
+    pub locs: LocTable,
+    /// The final invocation graph (with memoized summaries and
+    /// per-context map information).
+    pub ig: InvocationGraph,
+    /// Points-to facts per program point, merged over all invocation
+    /// contexts (`D` only where definite in every context that reaches
+    /// the point).
+    pub per_stmt: BTreeMap<StmtId, PtSet>,
+    /// The points-to set at the end of `main`.
+    pub exit_set: PtSet,
+    /// Non-fatal diagnostics (pointer arithmetic warnings, escaping
+    /// locals, unmodelled externals, …).
+    pub warnings: Vec<String>,
+}
+
+impl AnalysisResult {
+    /// The merged points-to set at a program point (empty if the point
+    /// was never reached).
+    pub fn at(&self, stmt: StmtId) -> PtSet {
+        self.per_stmt.get(&stmt).cloned().unwrap_or_default()
+    }
+}
+
+/// Runs the full context-sensitive interprocedural points-to analysis.
+///
+/// # Errors
+///
+/// See [`AnalysisError`].
+pub fn analyze(ir: &IrProgram) -> Result<AnalysisResult, AnalysisError> {
+    analyze_with(ir, AnalysisConfig::default())
+}
+
+/// [`analyze`] with an explicit configuration.
+///
+/// # Errors
+///
+/// See [`AnalysisError`].
+pub fn analyze_with(
+    ir: &IrProgram,
+    config: AnalysisConfig,
+) -> Result<AnalysisResult, AnalysisError> {
+    let entry = ir.entry.ok_or(AnalysisError::NoEntry)?;
+    let ig = InvocationGraph::build(ir, entry, config.max_ig_nodes)
+        .map_err(AnalysisError::IgBudget)?;
+    let mut a = Analyzer {
+        ir,
+        config,
+        locs: LocTable::new(),
+        ig,
+        per_stmt: BTreeMap::new(),
+        warnings: Vec::new(),
+        steps: 0,
+    };
+    // Pre-intern the distinguished locations so their ids are stable.
+    a.locs.null();
+    a.locs.heap();
+    a.locs.strlit();
+
+    // Initial set for main: every global and local pointer leaf starts
+    // at NULL (§6: "we initialize all pointers to NULL").
+    let mut init = PtSet::new();
+    let null = a.locs.null();
+    for gi in 0..ir.globals.len() {
+        let g = a.locs.global(ir, pta_cfront::ast::GlobalId(gi as u32));
+        for leaf in a.ptr_leaves(g) {
+            init.insert(leaf, null, Def::D);
+        }
+    }
+    a.null_init_function_vars(entry, &mut init, true);
+
+    let root = a.ig.root();
+    let out = a.analyze_node(root, init)?;
+    let exit_set = out.unwrap_or_default();
+    Ok(AnalysisResult {
+        locs: a.locs,
+        ig: a.ig,
+        per_stmt: a.per_stmt,
+        exit_set,
+        warnings: a.warnings,
+    })
+}
+
+/// The analysis engine. Split across `intra`, `interproc`, `map_process`,
+/// `unmap`, `funcptr`, and `externs` modules.
+pub(crate) struct Analyzer<'p> {
+    pub(crate) ir: &'p IrProgram,
+    pub(crate) config: AnalysisConfig,
+    pub(crate) locs: LocTable,
+    pub(crate) ig: InvocationGraph,
+    pub(crate) per_stmt: BTreeMap<StmtId, PtSet>,
+    pub(crate) warnings: Vec<String>,
+    pub(crate) steps: u64,
+}
+
+impl<'p> Analyzer<'p> {
+    /// A reference-resolution environment for `func`.
+    pub(crate) fn renv(&mut self, func: FuncId) -> RefEnv<'_> {
+        RefEnv { ir: self.ir, func, locs: &mut self.locs }
+    }
+
+    pub(crate) fn warn(&mut self, msg: String) {
+        if !self.warnings.contains(&msg) {
+            self.warnings.push(msg);
+        }
+    }
+
+    /// Records the points-to set at a program point, merging across
+    /// contexts (and loop iterations): a pair stays definite only if it
+    /// is definite every time control reaches the point.
+    pub(crate) fn record(&mut self, id: StmtId, set: &PtSet) {
+        if self.config.record_stats {
+            match self.per_stmt.entry(id) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(set.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let merged = e.get().merge(set);
+                    e.insert(merged);
+                }
+            }
+        }
+    }
+
+    /// Enumerates the pointer-valued leaf locations reachable inside
+    /// `loc` without dereferencing (the location itself if it is a
+    /// pointer; struct fields and array head/tail elements recursively).
+    pub(crate) fn ptr_leaves(&mut self, loc: LocId) -> Vec<LocId> {
+        let mut out = Vec::new();
+        self.ptr_leaves_into(loc, &mut out, 0);
+        out
+    }
+
+    fn ptr_leaves_into(&mut self, loc: LocId, out: &mut Vec<LocId>, depth: usize) {
+        if depth > 12 {
+            return; // deeply nested aggregates: cut off defensively
+        }
+        let ir = self.ir;
+        let Some(ty) = self.locs.ty(loc).cloned() else {
+            // Untyped summaries (heap, strlit) act as their own leaf.
+            if self.locs.is_heap(loc) {
+                out.push(loc);
+            }
+            return;
+        };
+        match ty {
+            Type::Pointer(_) | Type::Func(_) => out.push(loc),
+            Type::Struct(sid) => {
+                let fields = ir.structs.def(sid).fields.clone();
+                for f in fields {
+                    if !f.ty.carries_pointers(&ir.structs) {
+                        continue;
+                    }
+                    if let Some(l) = self.locs.project(loc, Proj::Field(f.name.clone()), ir) {
+                        self.ptr_leaves_into(l, out, depth + 1);
+                    }
+                }
+            }
+            Type::Array(elem, _)
+                if elem.carries_pointers(&ir.structs) => {
+                    if let Some(h) = self.locs.project(loc, Proj::Head, ir) {
+                        self.ptr_leaves_into(h, out, depth + 1);
+                    }
+                    if let Some(t) = self.locs.project(loc, Proj::Tail, ir) {
+                        self.ptr_leaves_into(t, out, depth + 1);
+                    }
+                }
+            _ => {}
+        }
+    }
+
+    /// Adds `(leaf, null, D)` for every pointer leaf of every variable of
+    /// `func`. When `include_params` is false, parameters are skipped
+    /// (they receive their values from the map process).
+    pub(crate) fn null_init_function_vars(
+        &mut self,
+        func: FuncId,
+        set: &mut PtSet,
+        include_params: bool,
+    ) {
+        let ir = self.ir;
+        let null = self.locs.null();
+        let f = ir.function(func);
+        for (i, v) in f.vars.iter().enumerate() {
+            if !include_params && i < f.n_params {
+                continue;
+            }
+            if !v.ty.carries_pointers(&ir.structs) {
+                continue;
+            }
+            let root = self.locs.var(ir, func, pta_simple::IrVarId(i as u32));
+            for leaf in self.ptr_leaves(root) {
+                set.insert(leaf, null, Def::D);
+            }
+        }
+    }
+
+    /// The static type of a variable reference, if derivable.
+    pub(crate) fn ref_ty(&self, func: FuncId, r: &pta_simple::VarRef) -> Option<Type> {
+        use pta_simple::{IrProj, VarBase, VarRef};
+        let path_ty = |path: &pta_simple::VarPath| -> Option<Type> {
+            let mut ty = match path.base {
+                VarBase::Global(g) => self.ir.global(g).ty.clone(),
+                VarBase::Var(v) => self.ir.function(func).var(v).ty.clone(),
+            };
+            for p in &path.projs {
+                ty = match p {
+                    IrProj::Field(f) => match ty {
+                        Type::Struct(sid) => self.ir.structs.def(sid).field(f)?.ty.clone(),
+                        _ => return None,
+                    },
+                    IrProj::Index(_) => ty.elem()?.clone(),
+                };
+            }
+            Some(ty)
+        };
+        match r {
+            VarRef::Path(p) => path_ty(p),
+            VarRef::Deref { path, after, .. } => {
+                let pt = path_ty(path)?;
+                let mut ty = match pt.decay() {
+                    Type::Pointer(inner) => *inner,
+                    _ => return None,
+                };
+                for p in after {
+                    ty = match p {
+                        IrProj::Field(f) => match ty {
+                            Type::Struct(sid) => self.ir.structs.def(sid).field(f)?.ty.clone(),
+                            _ => return None,
+                        },
+                        IrProj::Index(_) => ty.elem()?.clone(),
+                    };
+                }
+                Some(ty)
+            }
+        }
+    }
+
+    /// True if assignments into this reference transfer points-to
+    /// information.
+    pub(crate) fn is_pointer_assignment(&self, func: FuncId, lhs: &pta_simple::VarRef) -> bool {
+        match self.ref_ty(func, lhs) {
+            Some(ty) => matches!(ty.decay(), Type::Pointer(_)),
+            // Unknown type (e.g. a reference through the heap summary):
+            // treat as a pointer assignment for safety.
+            None => true,
+        }
+    }
+}

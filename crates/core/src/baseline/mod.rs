@@ -1,0 +1,24 @@
+//! Baseline analyses the paper compares against (explicitly in §5/§6,
+//! and qualitatively in §7).
+//!
+//! - [`mod@insensitive`] — the same flow-sensitive intraprocedural rules,
+//!   but **context-insensitive** interprocedurally: one merged input and
+//!   one output summary per function. This is the ablation for the
+//!   paper's central design decision (the invocation graph).
+//! - [`mod@andersen`] — a flow-insensitive, inclusion-based analysis
+//!   (subset constraints), the standard modern comparator.
+//! - [`mod@steensgaard`] — a flow-insensitive, unification-based analysis
+//!   (equality constraints), faster and coarser than Andersen.
+//! - [`mod@callgraph`] — the naive function-pointer resolution strategies of
+//!   §5 (*all functions* and *address-taken*) used by the `livc`
+//!   invocation-graph case study.
+
+pub mod andersen;
+pub mod callgraph;
+pub mod insensitive;
+pub mod steensgaard;
+
+pub use andersen::{andersen, AndersenResult};
+pub use callgraph::{address_taken_functions, build_ig_with_strategy, CallGraphStrategy};
+pub use insensitive::{insensitive, InsensitiveResult};
+pub use steensgaard::{steensgaard, SteensgaardResult};

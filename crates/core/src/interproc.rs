@@ -1,0 +1,357 @@
+//! Interprocedural strategy (§4, Figure 4) and function-pointer calls
+//! (§5, Figure 5), plus the modelled-external call effects.
+//!
+//! The general idea (Figure 3): map the caller's points-to information
+//! into the callee's name space, analyse the body (memoized on the
+//! invocation-graph node), and unmap the output back to the call site.
+//! Information induced by one call site is never returned to another.
+
+use crate::analysis::{AnalysisError, Analyzer};
+use crate::invocation_graph::{IgKind, IgNodeId};
+use crate::points_to_set::{flow_subset, merge_flow, Def, Flow, PtSet};
+use pta_cfront::ast::FuncId;
+use pta_cfront::builtins::{extern_effect, ExternEffect};
+use pta_simple::{CallSiteId, CallTarget, Operand, VarRef};
+
+impl<'p> Analyzer<'p> {
+    /// Dispatches a call statement.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn process_call_stmt(
+        &mut self,
+        caller: FuncId,
+        node: IgNodeId,
+        cs: CallSiteId,
+        target: &CallTarget,
+        lhs: Option<&VarRef>,
+        args: &[Operand],
+        input: PtSet,
+    ) -> Result<Flow, AnalysisError> {
+        match target {
+            CallTarget::Direct(callee) => {
+                if self.ir.function(*callee).is_defined() {
+                    self.call_defined(caller, node, cs, *callee, lhs, args, input)
+                } else {
+                    self.extern_call(caller, *callee, lhs, args, input)
+                }
+            }
+            CallTarget::Indirect(fnptr) => {
+                self.process_call_indirect(caller, node, cs, fnptr, lhs, args, input)
+            }
+        }
+    }
+
+    /// A call to a function defined in the program: map, analyse
+    /// (memoized on the invocation-graph node), unmap, and bind the
+    /// return value.
+    #[allow(clippy::too_many_arguments)]
+    fn call_defined(
+        &mut self,
+        caller: FuncId,
+        node: IgNodeId,
+        cs: CallSiteId,
+        callee: FuncId,
+        lhs: Option<&VarRef>,
+        args: &[Operand],
+        input: PtSet,
+    ) -> Result<Flow, AnalysisError> {
+        let ir = self.ir;
+        let child = self
+            .ig
+            .ensure_child(ir, node, cs, callee, self.config.max_ig_nodes)
+            .map_err(AnalysisError::IgBudget)?;
+        // A child discovered at an indirect call site needs its direct
+        // call structure expanded so recursion is detected eagerly.
+        if self.ig.node(child).kind == IgKind::Ordinary && self.ig.node(child).children.is_empty()
+        {
+            self.ig
+                .expand_direct(ir, child, self.config.max_ig_nodes)
+                .map_err(AnalysisError::IgBudget)?;
+        }
+        let mapping = self.map_process(caller, callee, args, &input);
+        self.ig.node_mut(child).map_info = mapping.sym_reps.clone();
+        let out = self.analyze_node(child, mapping.callee_input.clone())?;
+        match out {
+            None => Ok(None), // ⊥: pending recursive input, or the callee never returns
+            Some(callee_out) => {
+                let mut caller_out = self.unmap_process(
+                    callee,
+                    &input,
+                    &callee_out,
+                    &mapping.sym_reps,
+                    &mapping.mapped_sources,
+                );
+                if let Some(lhs) = lhs {
+                    caller_out = self.bind_return(
+                        caller,
+                        callee,
+                        lhs,
+                        &callee_out,
+                        &mapping.sym_reps,
+                        caller_out,
+                    );
+                }
+                Ok(Some(caller_out))
+            }
+        }
+    }
+
+    /// Figure 4: evaluates an invocation-graph node with a prepared
+    /// input, with memoization, and the recursive/approximate
+    /// fixed-point protocol.
+    pub(crate) fn analyze_node(
+        &mut self,
+        node: IgNodeId,
+        func_input: PtSet,
+    ) -> Result<Flow, AnalysisError> {
+        let ir = self.ir;
+        if self.ig.node(node).kind == IgKind::Approximate {
+            let rec = self.ig.node(node).rec_edge.expect("approximate nodes have a partner");
+            if let Some(si) = &self.ig.node(rec).stored_input {
+                if func_input.subset_of(si) {
+                    return Ok(self.ig.node(rec).stored_output.clone());
+                }
+            }
+            self.ig.node_mut(rec).pending.push(func_input);
+            return Ok(None); // ⊥
+        }
+        // Ordinary or Recursive node: memo check.
+        {
+            let n = self.ig.node(node);
+            if n.memo_valid && n.stored_input.as_ref() == Some(&func_input) {
+                return Ok(n.stored_output.clone());
+            }
+        }
+        let func = self.ig.node(node).func;
+        let body = ir.function(func).body.as_ref().expect("node for a defined function");
+        {
+            let n = self.ig.node_mut(node);
+            n.stored_input = Some(func_input.clone());
+            n.stored_output = None;
+            n.memo_valid = false;
+            n.pending.clear();
+        }
+        loop {
+            let cur = self.ig.node(node).stored_input.clone().expect("input set above");
+            let fo = self.process_stmt(func, node, body, Some(cur))?;
+            let out = merge_flow(fo.normal, fo.ret);
+            // Unresolved inputs from approximate descendants: generalize
+            // the input and restart (Figure 4).
+            let pending = std::mem::take(&mut self.ig.node_mut(node).pending);
+            if !pending.is_empty() {
+                let mut si = self.ig.node(node).stored_input.clone().expect("input set");
+                for p in pending {
+                    si = si.merge(&p);
+                }
+                let n = self.ig.node_mut(node);
+                n.stored_input = Some(si);
+                n.stored_output = None;
+                continue;
+            }
+            if self.ig.node(node).kind != IgKind::Recursive {
+                let n = self.ig.node_mut(node);
+                n.stored_output = out.clone();
+                n.memo_valid = true;
+                return Ok(out);
+            }
+            // Recursive: generalize the output until stable.
+            let stored = self.ig.node(node).stored_output.clone();
+            if flow_subset(&out, &stored) {
+                let n = self.ig.node_mut(node);
+                n.stored_input = Some(func_input); // reset for memoization
+                n.memo_valid = true;
+                return Ok(n.stored_output.clone());
+            }
+            self.ig.node_mut(node).stored_output = merge_flow(stored, out);
+        }
+    }
+
+    /// Binds the callee's return value to the call's destination,
+    /// field-by-field for struct returns.
+    fn bind_return(
+        &mut self,
+        caller: FuncId,
+        callee: FuncId,
+        lhs: &VarRef,
+        callee_out: &PtSet,
+        sym_reps: &crate::invocation_graph::MapInfo,
+        mut caller_out: PtSet,
+    ) -> PtSet {
+        let ir = self.ir;
+        if !self.is_pointer_assignment(caller, lhs)
+            && !ir.function(callee).ret.carries_pointers(&ir.structs)
+        {
+            return caller_out;
+        }
+        let ret_loc = self.locs.ret(ir, callee);
+        let mut leaves = self.ptr_leaves(ret_loc);
+        if leaves.is_empty() {
+            // Return type carries no pointers but the destination is a
+            // pointer (cast abuse): clear the destination.
+            leaves.clear();
+            let l = {
+                let mut env = self.renv(caller);
+                env.l_locations(&caller_out, lhs)
+            };
+            return self.assign(caller_out, &l, &[]);
+        }
+        let base_depth = self.locs.get(ret_loc).projs.len();
+        for leaf in leaves {
+            let extra = self.locs.get(leaf).projs[base_depth..].to_vec();
+            let mut lhs_leaf = lhs.clone();
+            for p in &extra {
+                let ip = match p {
+                    crate::location::Proj::Field(f) => pta_simple::IrProj::Field(f.clone()),
+                    crate::location::Proj::Head => {
+                        pta_simple::IrProj::Index(pta_simple::IdxClass::Zero)
+                    }
+                    crate::location::Proj::Tail => {
+                        pta_simple::IrProj::Index(pta_simple::IdxClass::Positive)
+                    }
+                };
+                lhs_leaf = crate::intra::append_proj(lhs_leaf, ip);
+            }
+            let mut r: Vec<(crate::location::LocId, Def)> = Vec::new();
+            let ret_targets: Vec<(crate::location::LocId, Def)> =
+                callee_out.targets(leaf).collect();
+            for (t, d) in ret_targets {
+                let tr = self.rtr(callee, t, sym_reps);
+                if tr.is_empty() && self.is_callee_local(callee, t) {
+                    self.warn(format!(
+                        "address of a local of `{}` escapes through its return value (dangling pointer dropped)",
+                        self.ir.function(callee).name
+                    ));
+                }
+                let unique = tr.len() == 1;
+                for t2 in tr {
+                    let d2 = if d == Def::D && unique { Def::D } else { Def::P };
+                    crate::intra::push_pair(&mut r, t2, d2);
+                }
+            }
+            let l = {
+                let mut env = self.renv(caller);
+                env.l_locations(&caller_out, &lhs_leaf)
+            };
+            caller_out = self.assign(caller_out, &l, &r);
+        }
+        caller_out
+    }
+
+    /// Calls to modelled external functions (§"Externals" in DESIGN.md).
+    fn extern_call(
+        &mut self,
+        caller: FuncId,
+        callee: FuncId,
+        lhs: Option<&VarRef>,
+        args: &[Operand],
+        input: PtSet,
+    ) -> Result<Flow, AnalysisError> {
+        let name = self.ir.function(callee).name.clone();
+        let effect = match extern_effect(&name) {
+            Some(e) => e,
+            None => {
+                if self.config.strict_externs {
+                    return Err(AnalysisError::Unsupported(format!(
+                        "call to unmodelled external function `{name}`"
+                    )));
+                }
+                self.warn(format!(
+                    "call to unmodelled external `{name}` treated as having no pointer effects"
+                ));
+                ExternEffect::None
+            }
+        };
+        match effect {
+            ExternEffect::NoReturn => Ok(None),
+            ExternEffect::None | ExternEffect::Free => {
+                Ok(Some(self.extern_bind(caller, lhs, None, input)))
+            }
+            ExternEffect::ReturnsHeap => {
+                let heap = self.locs.heap();
+                Ok(Some(self.extern_bind(caller, lhs, Some(vec![(heap, Def::P)]), input)))
+            }
+            ExternEffect::ReturnsFirstArg => {
+                let r = match args.first() {
+                    Some(op) => {
+                        let mut env = self.renv(caller);
+                        env.operand_r_locations(&input, op)
+                    }
+                    None => Vec::new(),
+                };
+                Ok(Some(self.extern_bind(caller, lhs, Some(r), input)))
+            }
+        }
+    }
+
+    fn extern_bind(
+        &mut self,
+        caller: FuncId,
+        lhs: Option<&VarRef>,
+        r: Option<Vec<(crate::location::LocId, Def)>>,
+        input: PtSet,
+    ) -> PtSet {
+        let Some(lhs) = lhs else { return input };
+        if !self.is_pointer_assignment(caller, lhs) {
+            return input;
+        }
+        let l = {
+            let mut env = self.renv(caller);
+            env.l_locations(&input, lhs)
+        };
+        let r = r.unwrap_or_default();
+        self.assign(input, &l, &r)
+    }
+
+    /// Figure 5: a call through a function pointer. The invocable set is
+    /// the current points-to set of the pointer; the invocation graph is
+    /// extended accordingly; each invocable function is analysed with
+    /// the pointer made to *definitely* point to it; the outputs merge.
+    #[allow(clippy::too_many_arguments)]
+    fn process_call_indirect(
+        &mut self,
+        caller: FuncId,
+        node: IgNodeId,
+        cs: CallSiteId,
+        fnptr: &VarRef,
+        lhs: Option<&VarRef>,
+        args: &[Operand],
+        input: PtSet,
+    ) -> Result<Flow, AnalysisError> {
+        let targets = {
+            let mut env = self.renv(caller);
+            env.r_locations(&input, fnptr)
+        };
+        let mut fns: Vec<FuncId> = Vec::new();
+        for (t, _) in &targets {
+            if let Some(f) = self.locs.as_function(*t) {
+                if !fns.contains(&f) {
+                    fns.push(f);
+                }
+            }
+        }
+        if fns.is_empty() {
+            self.warn(format!(
+                "indirect call in `{}` has no function targets on some path; treated as a no-op",
+                self.ir.function(caller).name
+            ));
+            return Ok(Some(input));
+        }
+        let mut out: Flow = None;
+        for f in fns {
+            // Make the function pointer definitely point to `f` for this
+            // branch of the call.
+            let floc = self.locs.function(self.ir, f);
+            let l = {
+                let mut env = self.renv(caller);
+                env.l_locations(&input, fnptr)
+            };
+            let input_f = self.assign(input.clone(), &l, &[(floc, Def::D)]);
+            let o = if self.ir.function(f).is_defined() {
+                self.call_defined(caller, node, cs, f, lhs, args, input_f)?
+            } else {
+                self.extern_call(caller, f, lhs, args, input_f)?
+            };
+            out = merge_flow(out, o);
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,428 @@
+//! The invocation graph (§4 of the paper).
+//!
+//! Each node represents one procedure invocation chain from `main`.
+//! Recursion is approximated by matched pairs of *recursive* and
+//! *approximate* nodes connected by a special back-edge. The graph is
+//! built eagerly over direct calls (a depth-first traversal of the call
+//! structure) and extended incrementally at indirect call sites during
+//! points-to analysis (§5).
+
+use crate::location::LocId;
+use crate::points_to_set::{Flow, PtSet};
+use pta_cfront::ast::FuncId;
+use pta_simple::{BasicStmt, CallSiteId, CallTarget, IrProgram, Stmt};
+use std::collections::BTreeMap;
+
+/// Index of a node in the invocation graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IgNodeId(pub u32);
+
+/// Node classification (Figure 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IgKind {
+    /// A normal invocation.
+    Ordinary,
+    /// The head of a recursive cycle: a fixed-point is computed here.
+    Recursive,
+    /// A repeated occurrence of a recursive function: uses the stored
+    /// approximation of its matching recursive node instead of
+    /// re-evaluating the body.
+    Approximate,
+}
+
+/// Per-context mapping information: which caller locations each symbolic
+/// name stands for in this invocation (recorded by the map process and
+/// consumed by unmapping and by later interprocedural analyses).
+pub type MapInfo = BTreeMap<LocId, Vec<LocId>>;
+
+/// One invocation-graph node.
+#[derive(Debug, Clone)]
+pub struct IgNode {
+    /// The invoked function.
+    pub func: FuncId,
+    /// The caller's node (`None` for the root).
+    pub parent: Option<IgNodeId>,
+    /// Node classification.
+    pub kind: IgKind,
+    /// For approximate nodes: the matching recursive ancestor.
+    pub rec_edge: Option<IgNodeId>,
+    /// Children, keyed by call site and callee (a call site has several
+    /// children when it calls through a function pointer).
+    pub children: BTreeMap<(CallSiteId, FuncId), IgNodeId>,
+    /// Memoized input (Figure 4).
+    pub stored_input: Option<PtSet>,
+    /// Memoized output; `None` is ⊥.
+    pub stored_output: Flow,
+    /// True once `stored_output` is a valid summary for `stored_input`.
+    pub memo_valid: bool,
+    /// Unresolved inputs from approximate descendants (Figure 4).
+    pub pending: Vec<PtSet>,
+    /// Map information of the most recent analysis of this node.
+    pub map_info: MapInfo,
+}
+
+impl IgNode {
+    fn new(func: FuncId, parent: Option<IgNodeId>, kind: IgKind) -> Self {
+        IgNode {
+            func,
+            parent,
+            kind,
+            rec_edge: None,
+            children: BTreeMap::new(),
+            stored_input: None,
+            stored_output: None,
+            memo_valid: false,
+            pending: Vec::new(),
+            map_info: MapInfo::new(),
+        }
+    }
+}
+
+/// Statistics of an invocation graph (Table 6 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IgStats {
+    /// Total nodes.
+    pub nodes: usize,
+    /// Recursive nodes.
+    pub recursive: usize,
+    /// Approximate nodes.
+    pub approximate: usize,
+    /// Distinct functions with at least one node.
+    pub functions: usize,
+}
+
+/// The invocation graph.
+#[derive(Debug, Clone)]
+pub struct InvocationGraph {
+    nodes: Vec<IgNode>,
+    root: Option<IgNodeId>,
+}
+
+impl InvocationGraph {
+    /// Creates an empty graph.
+    pub fn empty() -> Self {
+        InvocationGraph { nodes: Vec::new(), root: None }
+    }
+
+    /// Builds the initial graph by depth-first traversal of the *direct*
+    /// call structure starting at `entry`, leaving indirect call sites
+    /// incomplete (they are bound during the analysis, §5).
+    ///
+    /// `max_nodes` bounds the construction (the graph is worst-case
+    /// exponential in program size).
+    pub fn build(ir: &IrProgram, entry: FuncId, max_nodes: usize) -> Result<Self, String> {
+        let mut g = InvocationGraph::empty();
+        let root = g.push(IgNode::new(entry, None, IgKind::Ordinary));
+        g.root = Some(root);
+        g.expand_direct(ir, root, max_nodes)?;
+        Ok(g)
+    }
+
+    fn push(&mut self, node: IgNode) -> IgNodeId {
+        let id = IgNodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// The root node (the invocation of `main`).
+    pub fn root(&self) -> IgNodeId {
+        self.root.expect("graph built with a root")
+    }
+
+    /// Node access.
+    pub fn node(&self, id: IgNodeId) -> &IgNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, id: IgNodeId) -> &mut IgNode {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates nodes with ids.
+    pub fn iter(&self) -> impl Iterator<Item = (IgNodeId, &IgNode)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (IgNodeId(i as u32), n))
+    }
+
+    /// Expands all direct call sites reachable under `at` (recursively).
+    pub fn expand_direct(
+        &mut self,
+        ir: &IrProgram,
+        at: IgNodeId,
+        max_nodes: usize,
+    ) -> Result<(), String> {
+        let func = self.node(at).func;
+        let Some(body) = ir.function(func).body.as_ref() else {
+            return Ok(());
+        };
+        let mut calls: Vec<(CallSiteId, FuncId)> = Vec::new();
+        body.for_each_basic(&mut |b, _| {
+            if let BasicStmt::Call { target: CallTarget::Direct(callee), call_site, .. } = b {
+                if ir.function(*callee).is_defined() {
+                    calls.push((*call_site, *callee));
+                }
+            }
+        });
+        for (cs, callee) in calls {
+            let child = self.ensure_child(ir, at, cs, callee, max_nodes)?;
+            if self.node(child).kind == IgKind::Ordinary && self.node(child).children.is_empty()
+            {
+                self.expand_direct(ir, child, max_nodes)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finds or creates the child of `parent` for `(call_site, callee)`,
+    /// creating an approximate node (and marking its matching ancestor
+    /// recursive) when `callee` already occurs on the invocation chain.
+    /// New ordinary nodes created for *indirect* call targets are
+    /// expanded over their own direct calls by the caller.
+    pub fn ensure_child(
+        &mut self,
+        _ir: &IrProgram,
+        parent: IgNodeId,
+        cs: CallSiteId,
+        callee: FuncId,
+        max_nodes: usize,
+    ) -> Result<IgNodeId, String> {
+        if let Some(id) = self.node(parent).children.get(&(cs, callee)) {
+            return Ok(*id);
+        }
+        if self.nodes.len() >= max_nodes {
+            return Err(format!(
+                "invocation graph exceeded {max_nodes} nodes; raise AnalysisConfig::max_ig_nodes"
+            ));
+        }
+        // Look for `callee` among the ancestors (including `parent`).
+        let mut anc = Some(parent);
+        let mut rec_target = None;
+        while let Some(a) = anc {
+            if self.node(a).func == callee {
+                rec_target = Some(a);
+                break;
+            }
+            anc = self.node(a).parent;
+        }
+        let id = match rec_target {
+            Some(rec) => {
+                self.node_mut(rec).kind = IgKind::Recursive;
+                let mut n = IgNode::new(callee, Some(parent), IgKind::Approximate);
+                n.rec_edge = Some(rec);
+                self.push(n)
+            }
+            None => self.push(IgNode::new(callee, Some(parent), IgKind::Ordinary)),
+        };
+        self.node_mut(parent).children.insert((cs, callee), id);
+        Ok(id)
+    }
+
+    /// Graph statistics (Table 6).
+    pub fn stats(&self) -> IgStats {
+        let mut funcs: Vec<FuncId> = self.nodes.iter().map(|n| n.func).collect();
+        funcs.sort_unstable();
+        funcs.dedup();
+        IgStats {
+            nodes: self.nodes.len(),
+            recursive: self.nodes.iter().filter(|n| n.kind == IgKind::Recursive).count(),
+            approximate: self.nodes.iter().filter(|n| n.kind == IgKind::Approximate).count(),
+            functions: funcs.len(),
+        }
+    }
+
+    /// Renders the graph as an indented tree (tests, CLI).
+    pub fn render(&self, ir: &IrProgram) -> String {
+        let mut out = String::new();
+        if let Some(root) = self.root {
+            self.render_node(ir, root, 0, &mut out);
+        }
+        out
+    }
+
+    /// Renders the graph in Graphviz DOT format (solid edges are calls;
+    /// dashed edges are the approximate→recursive back-edges).
+    pub fn to_dot(&self, ir: &IrProgram) -> String {
+        let mut out = String::from("digraph invocation_graph {\n  node [shape=box];\n");
+        for (id, n) in self.iter() {
+            let label = ir.function(n.func).name.clone();
+            let style = match n.kind {
+                IgKind::Ordinary => String::new(),
+                IgKind::Recursive => ", color=red, xlabel=\"R\"".to_owned(),
+                IgKind::Approximate => ", style=dashed, xlabel=\"A\"".to_owned(),
+            };
+            out.push_str(&format!("  n{} [label=\"{}\"{}];\n", id.0, label, style));
+        }
+        for (id, n) in self.iter() {
+            for ((cs, _), child) in &n.children {
+                out.push_str(&format!("  n{} -> n{} [label=\"cs{}\"];\n", id.0, child.0, cs.0));
+            }
+            if let Some(rec) = n.rec_edge {
+                out.push_str(&format!("  n{} -> n{} [style=dashed, constraint=false];\n", id.0, rec.0));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    fn render_node(&self, ir: &IrProgram, id: IgNodeId, depth: usize, out: &mut String) {
+        let n = self.node(id);
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let tag = match n.kind {
+            IgKind::Ordinary => "",
+            IgKind::Recursive => " (R)",
+            IgKind::Approximate => " (A)",
+        };
+        out.push_str(&format!("{}{}\n", ir.function(n.func).name, tag));
+        for (_, child) in n.children.iter() {
+            self.render_node(ir, *child, depth + 1, out);
+        }
+    }
+}
+
+/// Collects the direct-call structure of a statement tree (used by
+/// tests and by the baseline call-graph strategies).
+pub fn direct_callees(ir: &IrProgram, body: &Stmt) -> Vec<(CallSiteId, FuncId)> {
+    let mut calls = Vec::new();
+    body.for_each_basic(&mut |b, _| {
+        if let BasicStmt::Call { target: CallTarget::Direct(callee), call_site, .. } = b {
+            if ir.function(*callee).is_defined() {
+                calls.push((*call_site, *callee));
+            }
+        }
+    });
+    calls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(src: &str) -> (IrProgram, InvocationGraph) {
+        let ir = pta_simple::compile(src).expect("compile ok");
+        let entry = ir.entry.expect("main");
+        let g = InvocationGraph::build(&ir, entry, 100_000).expect("ig ok");
+        (ir, g)
+    }
+
+    #[test]
+    fn figure_2a_distinct_paths() {
+        // main calls g twice; g calls f — every chain gets its own node.
+        let (ir, g) = build(
+            "int f(void){ return 1; }
+             int g(void){ return f(); }
+             int main(void){ g(); g(); return 0; }",
+        );
+        let s = g.stats();
+        // main, g, f, g, f
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.recursive, 0);
+        assert_eq!(s.approximate, 0);
+        assert_eq!(s.functions, 3);
+        let r = g.render(&ir);
+        assert_eq!(r.matches("g\n").count(), 2);
+        assert_eq!(r.matches("f\n").count(), 2);
+    }
+
+    #[test]
+    fn figure_2b_simple_recursion() {
+        let (ir, g) = build(
+            "int f(int n){ if (n) return f(n - 1); return 0; }
+             int main(void){ return f(10); }",
+        );
+        let s = g.stats();
+        // main, f (recursive), f (approximate)
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.recursive, 1);
+        assert_eq!(s.approximate, 1);
+        let r = g.render(&ir);
+        assert!(r.contains("f (R)"));
+        assert!(r.contains("f (A)"));
+    }
+
+    #[test]
+    fn figure_2c_mutual_recursion() {
+        let (_, g) = build(
+            "int b(int n);
+             int a(int n){ if (n) return b(n - 1); return 0; }
+             int b(int n){ if (n) return a(n - 1); return 1; }
+             int main(void){ a(5); return b(5); }",
+        );
+        let s = g.stats();
+        // main → a(R) → b → a(A); main → b(R) → a → b(A)
+        assert_eq!(s.nodes, 7);
+        assert_eq!(s.recursive, 2);
+        assert_eq!(s.approximate, 2);
+    }
+
+    #[test]
+    fn approximate_node_points_to_matching_ancestor() {
+        let (_, g) = build(
+            "int f(int n){ if (n) return f(n - 1); return 0; }
+             int main(void){ return f(3); }",
+        );
+        let (approx_id, approx) = g
+            .iter()
+            .find(|(_, n)| n.kind == IgKind::Approximate)
+            .expect("approximate node exists");
+        let rec = approx.rec_edge.expect("rec edge set");
+        assert_eq!(g.node(rec).kind, IgKind::Recursive);
+        assert_eq!(g.node(rec).func, approx.func);
+        assert_ne!(rec, approx_id);
+    }
+
+    #[test]
+    fn indirect_sites_left_incomplete_then_extended() {
+        let (ir, mut g) = build(
+            "int f1(void){ return 1; }
+             int f2(void){ return 2; }
+             int main(void){ int (*fp)(void); fp = f1; return fp(); }",
+        );
+        // Only main initially: f1/f2 are not direct callees.
+        assert_eq!(g.len(), 1);
+        let cs = ir.call_sites[0].stmt;
+        let _ = cs;
+        let (f1, _) = ir.function_by_name("f1").unwrap();
+        let child = g
+            .ensure_child(&ir, g.root(), pta_simple::CallSiteId(0), f1, 100)
+            .unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.node(child).func, f1);
+        // Idempotent.
+        let again = g
+            .ensure_child(&ir, g.root(), pta_simple::CallSiteId(0), f1, 100)
+            .unwrap();
+        assert_eq!(child, again);
+    }
+
+    #[test]
+    fn externals_do_not_get_nodes() {
+        let (_, g) = build("int main(void){ printf(\"hi\"); return 0; }");
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn node_budget_is_enforced() {
+        let ir = pta_simple::compile(
+            "int f(void){ return 1; }
+             int g(void){ f(); f(); return 0; }
+             int h(void){ g(); g(); return 0; }
+             int main(void){ h(); h(); return 0; }",
+        )
+        .unwrap();
+        let entry = ir.entry.unwrap();
+        let err = InvocationGraph::build(&ir, entry, 4).unwrap_err();
+        assert!(err.contains("exceeded"));
+    }
+}

@@ -1,0 +1,312 @@
+//! The map process (§4.1 of the paper): prepares the callee's input
+//! points-to set from the caller's state at the call site.
+//!
+//! - formal parameters inherit the points-to relationships of the
+//!   corresponding actuals (field-by-field for struct parameters);
+//! - global variables keep their relationships;
+//! - locations indirectly accessible through formals/globals are mapped
+//!   recursively through all pointer levels;
+//! - caller locations invisible in the callee are renamed to *symbolic
+//!   names* (`1_x`, `2_x`, …), at most one symbolic name per invisible
+//!   variable, definite relationships mapped first; the association is
+//!   recorded as per-context map information on the invocation-graph
+//!   node.
+
+use crate::analysis::Analyzer;
+use crate::invocation_graph::MapInfo;
+use crate::location::{LocBase, LocId, Proj};
+use crate::points_to_set::{Def, PtSet};
+use pta_cfront::ast::FuncId;
+use pta_simple::Operand;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The outcome of mapping a call.
+#[derive(Debug, Clone)]
+pub(crate) struct Mapping {
+    /// The callee's input points-to set.
+    pub callee_input: PtSet,
+    /// Symbolic name (base location) → invisible caller locations it
+    /// represents in this context.
+    pub sym_reps: MapInfo,
+    /// Every caller location whose relationships were conveyed into the
+    /// callee (used by unmapping to decide strong vs weak updates).
+    pub mapped_sources: Vec<LocId>,
+}
+
+impl<'p> Analyzer<'p> {
+    /// Builds the callee input set, symbolic names, and map information
+    /// for one call.
+    pub(crate) fn map_process(
+        &mut self,
+        caller: FuncId,
+        callee: FuncId,
+        args: &[Operand],
+        input: &PtSet,
+    ) -> Mapping {
+        let ir = self.ir;
+        let mut st = MapState {
+            sym_reps: MapInfo::new(),
+            tr: BTreeMap::new(),
+            raw: Vec::new(),
+            visited: BTreeSet::new(),
+            queue: VecDeque::new(),
+        };
+
+        // --- formal parameters inherit from actuals -------------------
+        let n_params = ir.function(callee).n_params;
+        let null = self.locs.null();
+        for i in 0..n_params {
+            let formal_root = self.locs.var(ir, callee, pta_simple::IrVarId(i as u32));
+            let leaves = self.ptr_leaves(formal_root);
+            let root_depth = self.locs.get(formal_root).projs.len();
+            for leaf in leaves {
+                let leaf_projs = self.locs.get(leaf).projs[root_depth..].to_vec();
+                let targets: Vec<(LocId, Def)> = match args.get(i) {
+                    Some(op) => {
+                        let projected = project_operand(op, &leaf_projs);
+                        match projected {
+                            Some(op) => {
+                                let mut env = self.renv(caller);
+                                env.operand_r_locations(input, &op)
+                            }
+                            None => Vec::new(),
+                        }
+                    }
+                    None => Vec::new(),
+                };
+                if targets.is_empty() {
+                    st.raw.push((leaf, null, Def::D));
+                    continue;
+                }
+                for (t, d) in definite_first(targets) {
+                    let t2 = self.translate(callee, t, leaf, &mut st);
+                    st.raw.push((leaf, t2, d));
+                    self.enqueue_content(t, t2, &mut st);
+                }
+            }
+        }
+        if args.len() > n_params && ir.function(callee).variadic {
+            self.warn(format!(
+                "extra variadic arguments to `{}` are not tracked",
+                ir.function(callee).name
+            ));
+        }
+
+        // --- globals keep their relationships -------------------------
+        for gi in 0..ir.globals.len() {
+            let g = self.locs.global(ir, pta_cfront::ast::GlobalId(gi as u32));
+            for leaf in self.ptr_leaves(g) {
+                st.queue.push_back((leaf, leaf));
+            }
+        }
+        // --- the heap is visible everywhere ---------------------------
+        let heap = self.locs.heap();
+        st.queue.push_back((heap, heap));
+        // (extension) allocation-site heap locations are visible too
+        let sites: Vec<crate::location::LocId> = self
+            .locs
+            .ids()
+            .filter(|l| matches!(self.locs.get(*l).base, LocBase::HeapSite(_)))
+            .collect();
+        for site in sites {
+            st.queue.push_back((site, site));
+        }
+
+        // --- propagate through all pointer levels ----------------------
+        while let Some((c_src, k_src)) = st.queue.pop_front() {
+            if !st.visited.insert(c_src) {
+                continue;
+            }
+            let targets: Vec<(LocId, Def)> = input.targets(c_src).collect();
+            for (t, d) in definite_first(targets) {
+                let t2 = self.translate(callee, t, k_src, &mut st);
+                st.raw.push((k_src, t2, d));
+                self.enqueue_content(t, t2, &mut st);
+            }
+        }
+
+        // --- assemble with definiteness rules --------------------------
+        let mut callee_input = PtSet::new();
+        self.null_init_function_vars(callee, &mut callee_input, false);
+        for (s, t, d) in std::mem::take(&mut st.raw) {
+            let d = if d == Def::D
+                && self.rep_multiplicity(s, &st.sym_reps) <= 1
+                && self.rep_multiplicity(t, &st.sym_reps) <= 1
+            {
+                Def::D
+            } else {
+                Def::P
+            };
+            callee_input.insert_weak(s, t, d);
+        }
+        Mapping {
+            callee_input,
+            sym_reps: st.sym_reps,
+            mapped_sources: st.visited.into_iter().collect(),
+        }
+    }
+
+    /// How many invisible variables the (symbolic) base of `l` stands
+    /// for (1 for non-symbolic locations).
+    pub(crate) fn rep_multiplicity(&self, l: LocId, sym_reps: &MapInfo) -> usize {
+        let d = self.locs.get(l);
+        match d.base {
+            LocBase::Symbolic(..) => {
+                let base = self
+                    .locs
+                    .lookup(&d.base, &[])
+                    .expect("symbolic base location interned");
+                sym_reps.get(&base).map_or(1, |v| v.len().max(1))
+            }
+            _ => 1,
+        }
+    }
+
+    /// Translates one caller location into the callee's name space.
+    /// Visible locations (globals, heap, null, string storage,
+    /// functions) keep their identity; invisible ones get (or reuse) a
+    /// symbolic name derived from the callee-side pointer that reached
+    /// them (`via`).
+    fn translate(&mut self, callee: FuncId, t: LocId, via: LocId, st: &mut MapState) -> LocId {
+        if self.loc_visible(t) {
+            return t;
+        }
+        if let Some(s) = st.tr.get(&t) {
+            return *s;
+        }
+        // Longest mapped prefix: `x.f` translates through `x`'s symbol.
+        let td = self.locs.get(t).clone();
+        for k in (0..td.projs.len()).rev() {
+            let Some(prefix) = self.locs.lookup(&td.base, &td.projs[..k]) else { continue };
+            if let Some(base_sym) = st.tr.get(&prefix).copied() {
+                let mut cur = base_sym;
+                for p in &td.projs[k..] {
+                    match self.locs.project(cur, p.clone(), self.ir) {
+                        Some(n) => cur = n,
+                        None => break,
+                    }
+                }
+                st.tr.insert(t, cur);
+                return cur;
+            }
+        }
+        // Fresh symbolic name seeded from `via`.
+        let (depth, root) = self.sym_seed(via);
+        if depth > self.config.max_sym_depth {
+            // k-limit: deeper invisibles collapse into `via` itself,
+            // which becomes a (weak) multi-representative symbol.
+            let via_base = self.sym_base_of(via).unwrap_or(via);
+            st.sym_reps.entry(via_base).or_default().push(t);
+            st.tr.insert(t, via);
+            return via;
+        }
+        let name = format!("{depth}_{root}");
+        let ty = self.locs.ty(t).cloned();
+        let sym = self.locs.symbolic(callee, &name, depth, ty);
+        st.tr.insert(t, sym);
+        let reps = st.sym_reps.entry(sym).or_default();
+        if !reps.contains(&t) {
+            reps.push(t);
+        }
+        sym
+    }
+
+    /// True if the location is nameable in every scope.
+    pub(crate) fn loc_visible(&self, l: LocId) -> bool {
+        matches!(
+            self.locs.get(l).base,
+            LocBase::Global(_)
+                | LocBase::Heap
+                | LocBase::HeapSite(_)
+                | LocBase::Null
+                | LocBase::StrLit
+                | LocBase::Function(_)
+        )
+    }
+
+    /// Depth and root for a symbolic name derived from pointer `via`.
+    fn sym_seed(&self, via: LocId) -> (u32, String) {
+        let d = self.locs.get(via);
+        match d.base {
+            LocBase::Symbolic(..) => {
+                let sd = self
+                    .locs
+                    .symbolic_data(
+                        self.locs.lookup(&d.base, &[]).expect("symbolic base interned"),
+                    )
+                    .expect("symbolic data");
+                // `1_x` → root `x`; keep any projections of `via`.
+                let root = sd.name.split_once('_').map(|(_, r)| r).unwrap_or(&sd.name);
+                let suffix = d.name.strip_prefix(&sd.name).unwrap_or("");
+                (sd.depth + 1, format!("{root}{suffix}"))
+            }
+            _ => (1, d.name.clone()),
+        }
+    }
+
+    fn sym_base_of(&self, l: LocId) -> Option<LocId> {
+        let d = self.locs.get(l);
+        match d.base {
+            LocBase::Symbolic(..) => self.locs.lookup(&d.base, &[]),
+            _ => None,
+        }
+    }
+
+    /// Schedules the pointer content of caller location `t` (itself a
+    /// mapped target) for mapping: each pointer leaf inside `t` pairs
+    /// with the corresponding leaf of its callee-side name.
+    fn enqueue_content(&mut self, t: LocId, t2: LocId, st: &mut MapState) {
+        if st.visited.contains(&t) {
+            return;
+        }
+        let base_depth = self.locs.get(t).projs.len();
+        for leaf in self.ptr_leaves(t) {
+            let extra: Vec<Proj> = self.locs.get(leaf).projs[base_depth..].to_vec();
+            let mut k_leaf = t2;
+            let mut ok = true;
+            for p in extra {
+                match self.locs.project(k_leaf, p, self.ir) {
+                    Some(n) => k_leaf = n,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                st.queue.push_back((leaf, k_leaf));
+            }
+        }
+    }
+}
+
+struct MapState {
+    sym_reps: MapInfo,
+    tr: BTreeMap<LocId, LocId>,
+    raw: Vec<(LocId, LocId, Def)>,
+    visited: BTreeSet<LocId>,
+    queue: VecDeque<(LocId, LocId)>,
+}
+
+fn definite_first(mut v: Vec<(LocId, Def)>) -> Vec<(LocId, Def)> {
+    v.sort_by_key(|(l, d)| (*d != Def::D, *l));
+    v
+}
+
+fn project_operand(op: &Operand, projs: &[Proj]) -> Option<Operand> {
+    use pta_simple::{IdxClass, IrProj};
+    if projs.is_empty() {
+        return Some(op.clone());
+    }
+    let Operand::Ref(r) = op else { return None };
+    let mut r = r.clone();
+    for p in projs {
+        let ip = match p {
+            Proj::Field(f) => IrProj::Field(f.clone()),
+            Proj::Head => IrProj::Index(IdxClass::Zero),
+            Proj::Tail => IrProj::Index(IdxClass::Positive),
+        };
+        r = crate::intra::append_proj(r, ip);
+    }
+    Some(Operand::Ref(r))
+}

@@ -1,0 +1,390 @@
+//! Points-to sets: the analysis abstraction of §3 of the paper.
+//!
+//! A points-to set is a set of triples `(x, y, D|P)`: abstract stack
+//! location `x` *definitely* or *possibly* contains the address of `y`
+//! (Definitions 3.1/3.2).
+
+use crate::location::LocId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Definiteness of a points-to relationship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Def {
+    /// Holds on every execution path, and both endpoints name exactly
+    /// one real location.
+    D,
+    /// May hold on some execution path.
+    P,
+}
+
+impl Def {
+    /// `D ∧ D = D`, anything else `P` (used when composing hops and when
+    /// merging control-flow branches).
+    pub fn and(self, other: Def) -> Def {
+        if self == Def::D && other == Def::D {
+            Def::D
+        } else {
+            Def::P
+        }
+    }
+}
+
+impl fmt::Display for Def {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Def::D => write!(f, "D"),
+            Def::P => write!(f, "P"),
+        }
+    }
+}
+
+/// A set of points-to triples, indexed by source location.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PtSet {
+    map: BTreeMap<LocId, BTreeMap<LocId, Def>>,
+}
+
+impl PtSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.map.values().map(|m| m.len()).sum()
+    }
+
+    /// True if there are no triples.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The definiteness of `(src, tgt)` if present.
+    pub fn get(&self, src: LocId, tgt: LocId) -> Option<Def> {
+        self.map.get(&src).and_then(|m| m.get(&tgt)).copied()
+    }
+
+    /// True if the triple `(src, tgt, d)` with any definiteness exists.
+    pub fn contains(&self, src: LocId, tgt: LocId) -> bool {
+        self.get(src, tgt).is_some()
+    }
+
+    /// The targets of `src` with their definiteness.
+    pub fn targets(&self, src: LocId) -> impl Iterator<Item = (LocId, Def)> + '_ {
+        self.map.get(&src).into_iter().flatten().map(|(l, d)| (*l, *d))
+    }
+
+    /// Number of targets of `src`.
+    pub fn target_count(&self, src: LocId) -> usize {
+        self.map.get(&src).map_or(0, |m| m.len())
+    }
+
+    /// Inserts a triple. If the pair already exists, `D` wins: an
+    /// insertion is a *generated* fact at the current point, which can
+    /// only sharpen what survived kill/change processing.
+    pub fn insert(&mut self, src: LocId, tgt: LocId, d: Def) {
+        let slot = self.map.entry(src).or_default().entry(tgt).or_insert(d);
+        if d == Def::D {
+            *slot = Def::D;
+        }
+    }
+
+    /// Inserts a triple, weakening to `P` if the pair already exists with
+    /// a different definiteness (used when accumulating from multiple
+    /// contexts).
+    pub fn insert_weak(&mut self, src: LocId, tgt: LocId, d: Def) {
+        match self.map.entry(src).or_default().entry(tgt) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(d);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                if *e.get() != d {
+                    e.insert(Def::P);
+                }
+            }
+        }
+    }
+
+    /// Removes every triple whose source is `src` ("kill").
+    pub fn kill_from(&mut self, src: LocId) {
+        self.map.remove(&src);
+    }
+
+    /// Demotes every triple from `src` to `P` ("change").
+    pub fn demote_from(&mut self, src: LocId) {
+        if let Some(m) = self.map.get_mut(&src) {
+            for d in m.values_mut() {
+                *d = Def::P;
+            }
+        }
+    }
+
+    /// Removes a specific triple.
+    pub fn remove(&mut self, src: LocId, tgt: LocId) {
+        if let Some(m) = self.map.get_mut(&src) {
+            m.remove(&tgt);
+            if m.is_empty() {
+                self.map.remove(&src);
+            }
+        }
+    }
+
+    /// Merges two flow facts at a control-flow join: a pair definite in
+    /// both stays definite; a pair present in only one side, or possible
+    /// in either, is possible (Definition 3.3).
+    pub fn merge(&self, other: &PtSet) -> PtSet {
+        let mut out = PtSet::new();
+        for (src, tgts) in &self.map {
+            for (tgt, d) in tgts {
+                let merged = match other.get(*src, *tgt) {
+                    Some(od) => d.and(od),
+                    None => Def::P,
+                };
+                out.insert(*src, *tgt, merged);
+            }
+        }
+        for (src, tgts) in &other.map {
+            for (tgt, d) in tgts {
+                if !self.contains(*src, *tgt) {
+                    out.insert(*src, *tgt, d.and(Def::P));
+                }
+            }
+        }
+        out
+    }
+
+    /// Accumulates `other` into `self` with [`PtSet::insert_weak`]
+    /// semantics (union; conflicting definiteness becomes `P`). Unlike
+    /// [`PtSet::merge`], pairs present on only one side keep their
+    /// definiteness — used for per-statement statistics over contexts.
+    pub fn absorb(&mut self, other: &PtSet) {
+        for (src, tgts) in &other.map {
+            for (tgt, d) in tgts {
+                self.insert_weak(*src, *tgt, *d);
+            }
+        }
+    }
+
+    /// True if analyzing with `other` as input subsumes analyzing with
+    /// `self`: every triple of `self` appears in `other`, and a
+    /// possible triple in `self` is not claimed definite by `other`
+    /// (a definite claim is *stronger*, so it would not be a safe
+    /// generalization).
+    pub fn subset_of(&self, other: &PtSet) -> bool {
+        for (src, tgts) in &self.map {
+            for (tgt, d) in tgts {
+                match other.get(*src, *tgt) {
+                    None => return false,
+                    Some(Def::P) => {}
+                    Some(Def::D) => {
+                        if *d == Def::P {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Iterates all triples in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (LocId, LocId, Def)> + '_ {
+        self.map
+            .iter()
+            .flat_map(|(src, tgts)| tgts.iter().map(move |(tgt, d)| (*src, *tgt, *d)))
+    }
+
+    /// Iterates all source locations.
+    pub fn sources(&self) -> impl Iterator<Item = LocId> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Retains only the triples satisfying the predicate.
+    pub fn retain(&mut self, mut pred: impl FnMut(LocId, LocId, Def) -> bool) {
+        let mut empty = Vec::new();
+        for (src, tgts) in self.map.iter_mut() {
+            tgts.retain(|tgt, d| pred(*src, *tgt, *d));
+            if tgts.is_empty() {
+                empty.push(*src);
+            }
+        }
+        for s in empty {
+            self.map.remove(&s);
+        }
+    }
+}
+
+impl FromIterator<(LocId, LocId, Def)> for PtSet {
+    fn from_iter<I: IntoIterator<Item = (LocId, LocId, Def)>>(iter: I) -> Self {
+        let mut s = PtSet::new();
+        for (a, b, d) in iter {
+            s.insert(a, b, d);
+        }
+        s
+    }
+}
+
+impl Extend<(LocId, LocId, Def)> for PtSet {
+    fn extend<I: IntoIterator<Item = (LocId, LocId, Def)>>(&mut self, iter: I) {
+        for (a, b, d) in iter {
+            self.insert(a, b, d);
+        }
+    }
+}
+
+/// A flow fact: `None` is ⊥ (program point unreachable), used as the
+/// initial output estimate of recursive nodes (Figure 4) and for paths
+/// cut by `break`/`return`/`exit`.
+pub type Flow = Option<PtSet>;
+
+/// Merges two flow facts (`⊥` is the identity).
+pub fn merge_flow(a: Flow, b: Flow) -> Flow {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(x), Some(y)) => Some(x.merge(&y)),
+    }
+}
+
+/// `a ⊆ b` on flow facts (`⊥` is below everything).
+pub fn flow_subset(a: &Flow, b: &Flow) -> bool {
+    match (a, b) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(x), Some(y)) => x.subset_of(y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LocId {
+        LocId(i)
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut s = PtSet::new();
+        s.insert(l(0), l(1), Def::D);
+        s.insert(l(0), l(2), Def::P);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(l(0), l(1)), Some(Def::D));
+        assert_eq!(s.target_count(l(0)), 2);
+        assert_eq!(s.target_count(l(1)), 0);
+    }
+
+    #[test]
+    fn insert_d_wins_over_p() {
+        let mut s = PtSet::new();
+        s.insert(l(0), l(1), Def::P);
+        s.insert(l(0), l(1), Def::D);
+        assert_eq!(s.get(l(0), l(1)), Some(Def::D));
+        // And D stays D when P inserted after.
+        s.insert(l(0), l(1), Def::P);
+        assert_eq!(s.get(l(0), l(1)), Some(Def::D));
+    }
+
+    #[test]
+    fn insert_weak_conflict_becomes_p() {
+        let mut s = PtSet::new();
+        s.insert_weak(l(0), l(1), Def::D);
+        assert_eq!(s.get(l(0), l(1)), Some(Def::D));
+        s.insert_weak(l(0), l(1), Def::P);
+        assert_eq!(s.get(l(0), l(1)), Some(Def::P));
+    }
+
+    #[test]
+    fn kill_and_demote() {
+        let mut s = PtSet::new();
+        s.insert(l(0), l(1), Def::D);
+        s.insert(l(0), l(2), Def::D);
+        s.insert(l(3), l(1), Def::D);
+        s.demote_from(l(0));
+        assert_eq!(s.get(l(0), l(1)), Some(Def::P));
+        assert_eq!(s.get(l(3), l(1)), Some(Def::D));
+        s.kill_from(l(0));
+        assert_eq!(s.target_count(l(0)), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn merge_definiteness_rules() {
+        let mut a = PtSet::new();
+        a.insert(l(0), l(1), Def::D); // D on both sides → D
+        a.insert(l(0), l(2), Def::D); // only on this side → P
+        a.insert(l(0), l(3), Def::P); // P+D → P
+        let mut b = PtSet::new();
+        b.insert(l(0), l(1), Def::D);
+        b.insert(l(0), l(3), Def::D);
+        b.insert(l(4), l(5), Def::P); // only on that side → P
+        let m = a.merge(&b);
+        assert_eq!(m.get(l(0), l(1)), Some(Def::D));
+        assert_eq!(m.get(l(0), l(2)), Some(Def::P));
+        assert_eq!(m.get(l(0), l(3)), Some(Def::P));
+        assert_eq!(m.get(l(4), l(5)), Some(Def::P));
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = PtSet::new();
+        a.insert(l(0), l(1), Def::D);
+        a.insert(l(2), l(3), Def::P);
+        let mut b = PtSet::new();
+        b.insert(l(0), l(1), Def::P);
+        b.insert(l(5), l(6), Def::D);
+        assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn subset_semantics() {
+        let mut small = PtSet::new();
+        small.insert(l(0), l(1), Def::D);
+        let mut big = PtSet::new();
+        big.insert(l(0), l(1), Def::P);
+        big.insert(l(0), l(2), Def::P);
+        // D input is subsumed by a more general P input.
+        assert!(small.subset_of(&big));
+        assert!(!big.subset_of(&small));
+        // A definite claim does NOT subsume a possible fact.
+        let mut dset = PtSet::new();
+        dset.insert(l(0), l(1), Def::D);
+        let mut pset = PtSet::new();
+        pset.insert(l(0), l(1), Def::P);
+        assert!(!pset.subset_of(&dset));
+        assert!(dset.subset_of(&pset));
+    }
+
+    #[test]
+    fn flow_merge_bottom_is_identity() {
+        let mut a = PtSet::new();
+        a.insert(l(0), l(1), Def::D);
+        let m = merge_flow(Some(a.clone()), None);
+        assert_eq!(m, Some(a.clone()));
+        let m2 = merge_flow(None, Some(a.clone()));
+        assert_eq!(m2, Some(a));
+        assert_eq!(merge_flow(None, None), None);
+    }
+
+    #[test]
+    fn absorb_keeps_one_sided_defs() {
+        let mut a = PtSet::new();
+        a.insert(l(0), l(1), Def::D);
+        let mut b = PtSet::new();
+        b.insert(l(2), l(3), Def::D);
+        a.absorb(&b);
+        assert_eq!(a.get(l(2), l(3)), Some(Def::D));
+        assert_eq!(a.get(l(0), l(1)), Some(Def::D));
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut s = PtSet::new();
+        s.insert(l(0), l(1), Def::D);
+        s.insert(l(2), l(3), Def::P);
+        s.retain(|_, _, d| d == Def::D);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(l(0), l(1)));
+    }
+}

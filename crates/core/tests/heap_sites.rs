@@ -1,0 +1,107 @@
+//! Tests of the allocation-site heap extension (DESIGN.md: a refinement
+//! of the paper's single-`heap` abstraction).
+
+use pta_core::{run_source_with, AnalysisConfig, Def};
+
+fn pta_sites(src: &str) -> pta_core::Pta {
+    let cfg = AnalysisConfig { heap_sites: true, ..Default::default() };
+    run_source_with(src, cfg).expect("analysis ok")
+}
+
+#[test]
+fn two_allocation_sites_are_distinguished() {
+    let t = pta_sites(
+        "int main(void){ int *p; int *q; p = (int*) malloc(4); q = (int*) malloc(4); return 0; }",
+    );
+    let pt = t.exit_targets_of("main", "p");
+    let qt = t.exit_targets_of("main", "q");
+    assert_eq!(pt.len(), 1);
+    assert_eq!(qt.len(), 1);
+    assert!(pt[0].0.starts_with("heap@"), "{pt:?}");
+    assert!(qt[0].0.starts_with("heap@"), "{qt:?}");
+    assert_ne!(pt[0].0, qt[0].0, "sites must be distinct: {pt:?} vs {qt:?}");
+}
+
+#[test]
+fn single_heap_mode_conflates_sites() {
+    let t = pta_core::run_source(
+        "int main(void){ int *p; int *q; p = (int*) malloc(4); q = (int*) malloc(4); return 0; }",
+    )
+    .expect("analysis ok");
+    assert_eq!(t.exit_targets_of("main", "p"), vec![("heap".to_string(), Def::P)]);
+    assert_eq!(t.exit_targets_of("main", "q"), vec![("heap".to_string(), Def::P)]);
+}
+
+#[test]
+fn site_contents_stay_separate() {
+    // Writing &x through p must not make q's cell point to x.
+    let t = pta_sites(
+        "int x, y;
+         int main(void){
+            int **p; int **q;
+            p = (int**) malloc(8);
+            q = (int**) malloc(8);
+            *p = &x;
+            *q = &y;
+            return 0; }",
+    );
+    let p_site = t.exit_targets_of("main", "p")[0].0.clone();
+    let q_site = t.exit_targets_of("main", "q")[0].0.clone();
+    let pt = t.exit_targets_of("main", &p_site);
+    let qt = t.exit_targets_of("main", &q_site);
+    assert_eq!(pt, vec![("x".to_string(), Def::P)], "{p_site}: {pt:?}");
+    assert_eq!(qt, vec![("y".to_string(), Def::P)], "{q_site}: {qt:?}");
+}
+
+#[test]
+fn sites_survive_calls() {
+    let t = pta_sites(
+        "int x;
+         void fill(int **h) { *h = &x; }
+         int main(void){ int **p; p = (int**) malloc(8); fill(p); return 0; }",
+    );
+    let site = t.exit_targets_of("main", "p")[0].0.clone();
+    assert!(site.starts_with("heap@"));
+    assert_eq!(t.exit_targets_of("main", &site), vec![("x".to_string(), Def::P)]);
+}
+
+#[test]
+fn loop_allocation_is_still_a_summary() {
+    // One textual site allocated repeatedly is one (weak) location.
+    let t = pta_sites(
+        "int x, y, n;
+         struct node { int *v; };
+         int main(void){
+            struct node *m;
+            int i;
+            for (i = 0; i < n; i++) {
+                m = (struct node*) malloc(8);
+                if (i == 0) m->v = &x; else m->v = &y;
+            }
+            return 0; }",
+    );
+    let site = t.exit_targets_of("main", "m")[0].0.clone();
+    let contents = t.exit_targets_of("main", &site);
+    assert!(
+        contents.contains(&("x".to_string(), Def::P))
+            && contents.contains(&("y".to_string(), Def::P)),
+        "weak summary lost a target: {contents:?}"
+    );
+}
+
+#[test]
+fn linked_list_sites_chain() {
+    let t = pta_sites(
+        "struct node { struct node *next; };
+         int main(void){
+            struct node *a; struct node *b;
+            a = (struct node*) malloc(8);
+            b = (struct node*) malloc(8);
+            a->next = b;
+            return 0; }",
+    );
+    let a_site = t.exit_targets_of("main", "a")[0].0.clone();
+    let b_site = t.exit_targets_of("main", "b")[0].0.clone();
+    let links = t.exit_targets_of("main", &a_site);
+    assert_eq!(links, vec![(b_site, Def::P)]);
+}

@@ -1,0 +1,299 @@
+//! Programmatic construction of SIMPLE programs.
+//!
+//! Clients embedding the analysis (or testing new rules) can build IR
+//! without going through C source. The builder assigns statement ids,
+//! registers call sites, and produces a program that passes
+//! [`fn@crate::validate`].
+//!
+//! ```
+//! use pta_simple::builder::ProgramBuilder;
+//! use pta_cfront::types::Type;
+//!
+//! let mut b = ProgramBuilder::new();
+//! let x = b.global("x", Type::Int);
+//! let mut main = b.function("main", Type::Int);
+//! let p = main.local("p", Type::Int.ptr_to());
+//! main.assign_addr(p, x);          // p = &x;
+//! let d = main.deref(p);           // ... *p ...
+//! main.ret_ref(d);                 // return *p;
+//! let program = main.finish_entry();
+//! assert!(pta_simple::validate(&program).is_ok());
+//! ```
+
+use crate::ir::*;
+use pta_cfront::ast::{FuncId, GlobalId};
+use pta_cfront::types::{StructTable, Type};
+
+/// A handle to a variable created by the builder (global or local).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Var {
+    /// A global variable.
+    Global(GlobalId),
+    /// A local of the function under construction.
+    Local(IrVarId),
+}
+
+impl Var {
+    fn path(self) -> VarPath {
+        match self {
+            Var::Global(g) => VarPath::global(g),
+            Var::Local(v) => VarPath::var(v),
+        }
+    }
+}
+
+/// Builds an [`IrProgram`] incrementally.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    structs: StructTable,
+    globals: Vec<IrGlobal>,
+    functions: Vec<IrFunction>,
+    n_stmts: u32,
+    call_sites: Vec<CallSiteInfo>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a global variable.
+    pub fn global(&mut self, name: &str, ty: Type) -> Var {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(IrGlobal { name: name.to_owned(), ty });
+        Var::Global(id)
+    }
+
+    /// Starts a function; finish it with
+    /// [`FunctionBuilder::finish`] / [`FunctionBuilder::finish_entry`].
+    pub fn function(self, name: &str, ret: Type) -> FunctionBuilder {
+        FunctionBuilder {
+            program: self,
+            name: name.to_owned(),
+            ret,
+            vars: Vec::new(),
+            n_params: 0,
+            stmts: Vec::new(),
+        }
+    }
+}
+
+/// Builds one function's variables and straight-line body.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    program: ProgramBuilder,
+    name: String,
+    ret: Type,
+    vars: Vec<IrVar>,
+    n_params: usize,
+    stmts: Vec<Stmt>,
+}
+
+impl FunctionBuilder {
+    /// Adds a parameter (must precede any locals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a local was already added.
+    pub fn param(&mut self, name: &str, ty: Type) -> Var {
+        assert_eq!(
+            self.vars.len(),
+            self.n_params,
+            "parameters must be declared before locals"
+        );
+        let id = IrVarId(self.vars.len() as u32);
+        self.vars.push(IrVar {
+            name: name.to_owned(),
+            ty,
+            kind: VarKind::Param(self.n_params as u32),
+        });
+        self.n_params += 1;
+        Var::Local(id)
+    }
+
+    /// Adds a local variable.
+    pub fn local(&mut self, name: &str, ty: Type) -> Var {
+        let id = IrVarId(self.vars.len() as u32);
+        self.vars.push(IrVar { name: name.to_owned(), ty, kind: VarKind::Local });
+        Var::Local(id)
+    }
+
+    fn fresh_id(&mut self) -> StmtId {
+        let id = StmtId(self.program.n_stmts);
+        self.program.n_stmts += 1;
+        id
+    }
+
+    fn emit(&mut self, b: BasicStmt) -> StmtId {
+        let id = self.fresh_id();
+        self.stmts.push(Stmt::Basic(b, id));
+        id
+    }
+
+    /// A dereference reference `*v`.
+    pub fn deref(&self, v: Var) -> VarRef {
+        VarRef::Deref { path: v.path(), shift: IdxClass::Zero, after: vec![] }
+    }
+
+    /// `lhs = &target;`
+    pub fn assign_addr(&mut self, lhs: Var, target: Var) -> StmtId {
+        self.emit(BasicStmt::Copy {
+            lhs: VarRef::Path(lhs.path()),
+            rhs: Operand::AddrOf(VarRef::Path(target.path())),
+        })
+    }
+
+    /// `lhs = rhs;` (plain variable copy)
+    pub fn assign_var(&mut self, lhs: Var, rhs: Var) -> StmtId {
+        self.emit(BasicStmt::Copy {
+            lhs: VarRef::Path(lhs.path()),
+            rhs: Operand::Ref(VarRef::Path(rhs.path())),
+        })
+    }
+
+    /// An arbitrary copy between references.
+    pub fn assign_ref(&mut self, lhs: VarRef, rhs: Operand) -> StmtId {
+        self.emit(BasicStmt::Copy { lhs, rhs })
+    }
+
+    /// `lhs = malloc(size);`
+    pub fn alloc(&mut self, lhs: Var, size: i64) -> StmtId {
+        self.emit(BasicStmt::Alloc {
+            lhs: VarRef::Path(lhs.path()),
+            size: Operand::int(size),
+        })
+    }
+
+    /// `[lhs =] callee(args);` for an already-built function.
+    pub fn call(&mut self, lhs: Option<Var>, callee: FuncId, args: Vec<Operand>) -> StmtId {
+        let id = self.fresh_id();
+        let cs = CallSiteId(self.program.call_sites.len() as u32);
+        self.program.call_sites.push(CallSiteInfo {
+            caller: FuncId(self.program.functions.len() as u32),
+            stmt: id,
+            indirect: false,
+        });
+        self.stmts.push(Stmt::Basic(
+            BasicStmt::Call {
+                lhs: lhs.map(|v| VarRef::Path(v.path())),
+                target: CallTarget::Direct(callee),
+                args,
+                call_site: cs,
+            },
+            id,
+        ));
+        id
+    }
+
+    /// `return v;`
+    pub fn ret_var(&mut self, v: Var) -> StmtId {
+        self.emit(BasicStmt::Return(Some(Operand::Ref(VarRef::Path(v.path())))))
+    }
+
+    /// `return ref;`
+    pub fn ret_ref(&mut self, r: VarRef) -> StmtId {
+        self.emit(BasicStmt::Return(Some(Operand::Ref(r))))
+    }
+
+    /// `if (cond-var) { then } else { else }` over sub-builders' output.
+    pub fn if_else(&mut self, cond: Var, then_s: Vec<Stmt>, else_s: Vec<Stmt>) -> StmtId {
+        let id = self.fresh_id();
+        self.stmts.push(Stmt::If {
+            cond: CondExpr::Test(Operand::Ref(VarRef::Path(cond.path()))),
+            then_s: Box::new(Stmt::Seq(then_s)),
+            else_s: Some(Box::new(Stmt::Seq(else_s))),
+            id,
+        });
+        id
+    }
+
+    /// Removes the statements accumulated so far (to build a branch for
+    /// [`FunctionBuilder::if_else`]).
+    pub fn take_stmts(&mut self) -> Vec<Stmt> {
+        std::mem::take(&mut self.stmts)
+    }
+
+    /// Completes the function and returns the builder for more
+    /// functions.
+    pub fn finish(mut self) -> (ProgramBuilder, FuncId) {
+        let id = FuncId(self.program.functions.len() as u32);
+        self.program.functions.push(IrFunction {
+            name: self.name,
+            ret: self.ret,
+            n_params: self.n_params,
+            vars: self.vars,
+            body: Some(Stmt::Seq(self.stmts)),
+            variadic: false,
+        });
+        (self.program, id)
+    }
+
+    /// Completes the function as `main` and produces the program.
+    pub fn finish_entry(self) -> IrProgram {
+        let (b, id) = self.finish();
+        IrProgram {
+            structs: b.structs,
+            globals: b.globals,
+            functions: b.functions,
+            entry: Some(id),
+            n_stmts: b.n_stmts,
+            call_sites: b.call_sites,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_program_validates_and_analyzes() {
+        let mut b = ProgramBuilder::new();
+        let x = b.global("x", Type::Int);
+        let y = b.global("y", Type::Int);
+        let c = b.global("c", Type::Int);
+        let mut main = b.function("main", Type::Int);
+        let p = main.local("p", Type::Int.ptr_to());
+        // if (c) p = &x; else p = &y;
+        main.assign_addr(p, x);
+        let then_s = main.take_stmts();
+        main.assign_addr(p, y);
+        let else_s = main.take_stmts();
+        main.if_else(c, then_s, else_s);
+        let d = main.deref(p);
+        main.ret_ref(d);
+        let program = main.finish_entry();
+        crate::validate(&program).expect("valid");
+        let r = program.total_basic_stmts();
+        assert_eq!(r, 3);
+    }
+
+    #[test]
+    fn built_call_registers_call_site() {
+        let b = ProgramBuilder::new();
+        let mut helper = b.function("helper", Type::Int);
+        let v = helper.local("v", Type::Int);
+        helper.ret_var(v);
+        let (b, helper_id) = helper.finish();
+        let mut main = b.function("main", Type::Int);
+        let r = main.local("r", Type::Int);
+        main.call(Some(r), helper_id, vec![]);
+        main.ret_var(r);
+        let program = main.finish_entry();
+        crate::validate(&program).expect("valid");
+        assert_eq!(program.call_sites.len(), 1);
+        assert!(!program.call_sites[0].indirect);
+    }
+
+    #[test]
+    fn alloc_statement() {
+        let b = ProgramBuilder::new();
+        let mut main = b.function("main", Type::Int);
+        let p = main.local("p", Type::Int.ptr_to());
+        main.alloc(p, 16);
+        main.ret_var(p);
+        let program = main.finish_entry();
+        crate::validate(&program).expect("valid");
+    }
+}

@@ -1,0 +1,650 @@
+//! The SIMPLE intermediate representation.
+//!
+//! SIMPLE (from the McCAT compiler) is a *structured* IR: a small set of
+//! basic statements plus compositional control statements (`if`,
+//! `while`, `do`, `for`, `switch`, `break`, `continue`, `return`).
+//! Every variable reference contains **at most one level of pointer
+//! indirection** — the simplifier introduces temporaries to enforce
+//! this, which is what lets the points-to rules of Table 1 of the paper
+//! cover every reference shape.
+
+use pta_cfront::ast::{BinaryOp, FuncId, GlobalId, UnaryOp};
+use pta_cfront::types::{StructTable, Type};
+use std::fmt;
+
+/// Index of a variable in [`IrFunction::vars`] (parameters, locals, and
+/// compiler temporaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IrVarId(pub u32);
+
+/// A stable, program-wide id for each basic statement and each control
+/// statement (a *program point* for the analysis and the statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub u32);
+
+/// A stable, program-wide id for each call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CallSiteId(pub u32);
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for CallSiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cs{}", self.0)
+    }
+}
+
+/// How a variable entered the IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// The `n`-th parameter of the function.
+    Param(u32),
+    /// A user-declared local.
+    Local,
+    /// A compiler-introduced temporary.
+    Temp,
+}
+
+/// A variable of an [`IrFunction`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrVar {
+    /// Unique name within the function.
+    pub name: String,
+    /// Its type.
+    pub ty: Type,
+    /// Origin.
+    pub kind: VarKind,
+}
+
+/// A global variable of an [`IrProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrGlobal {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Type,
+}
+
+/// The storage root of a variable path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VarBase {
+    /// A global variable.
+    Global(GlobalId),
+    /// A parameter, local, or temporary of the enclosing function.
+    Var(IrVarId),
+}
+
+/// Classification of an array subscript, following Table 1 of the paper:
+/// `a[0]`, `a[i]` with `i > 0` known, and `a[i]` with unknown sign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IdxClass {
+    /// Constant index 0 — resolves to the `head` location.
+    Zero,
+    /// Constant index > 0 — resolves to the `tail` location.
+    Positive,
+    /// Statically unknown index (`i >= 0`) — both `head` and `tail`.
+    Unknown,
+}
+
+impl IdxClass {
+    /// Classifies a constant index value.
+    pub fn of_const(v: i64) -> IdxClass {
+        if v == 0 {
+            IdxClass::Zero
+        } else {
+            IdxClass::Positive
+        }
+    }
+}
+
+/// One projection step applied to a storage location: selecting a struct
+/// field or subscripting an array.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IrProj {
+    /// `.field`
+    Field(String),
+    /// `[i]` on an array-typed object.
+    Index(IdxClass),
+}
+
+/// A dereference-free access path: a base variable plus projections.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VarPath {
+    /// The root variable.
+    pub base: VarBase,
+    /// Field/index projections, outermost first.
+    pub projs: Vec<IrProj>,
+}
+
+impl VarPath {
+    /// A bare variable path.
+    pub fn var(id: IrVarId) -> Self {
+        VarPath { base: VarBase::Var(id), projs: Vec::new() }
+    }
+
+    /// A bare global path.
+    pub fn global(id: GlobalId) -> Self {
+        VarPath { base: VarBase::Global(id), projs: Vec::new() }
+    }
+
+    /// Returns this path extended with one more projection.
+    pub fn project(mut self, p: IrProj) -> Self {
+        self.projs.push(p);
+        self
+    }
+}
+
+/// A variable reference as allowed in SIMPLE: a plain path, or a path
+/// dereferenced exactly once (optionally shifted by pointer arithmetic
+/// and followed by projections into the pointed-to object).
+///
+/// Examples (with the concrete syntax they come from):
+/// - `a`, `a.f`, `a[i]`, `a[i].f` — [`VarRef::Path`]
+/// - `*p` — `Deref { path: p, shift: Zero, after: [] }`
+/// - `p[i]` (for pointer `p`) — `Deref { path: p, shift: i, after: [] }`
+/// - `(*p).f` / `p->f` — `Deref { path: p, shift: Zero, after: [.f] }`
+/// - `x[i][j]` (for `x` pointer-to-array) — `Deref { path: x, shift: i,
+///   after: [[j]] }`
+/// - `(*a)[j]` (for `a` array of pointers appears as `Deref { path:
+///   a[[0]], … }`)
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum VarRef {
+    /// No dereference.
+    Path(VarPath),
+    /// Exactly one dereference.
+    Deref {
+        /// The pointer being dereferenced.
+        path: VarPath,
+        /// Pointer-arithmetic shift applied before the dereference.
+        shift: IdxClass,
+        /// Projections applied to the pointed-to object.
+        after: Vec<IrProj>,
+    },
+}
+
+impl VarRef {
+    /// True if this reference goes through a pointer (an *indirect
+    /// reference* in the paper's terminology).
+    pub fn is_indirect(&self) -> bool {
+        matches!(self, VarRef::Deref { .. })
+    }
+
+    /// For an indirect reference, whether it is of the array style
+    /// `x[i][j]` (pointer to an array, counted separately in Table 3) as
+    /// opposed to the scalar style `*x` / `(*x).f`.
+    pub fn is_array_style(&self) -> bool {
+        match self {
+            VarRef::Path(_) => false,
+            VarRef::Deref { shift, after, .. } => {
+                !matches!(shift, IdxClass::Zero)
+                    || after.iter().any(|p| matches!(p, IrProj::Index(_)))
+            }
+        }
+    }
+}
+
+/// A literal constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// Integer (also used for char literals).
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+/// A *simple value*: what may appear as an operand of a basic statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// Read a variable reference.
+    Ref(VarRef),
+    /// A literal constant.
+    Const(Const),
+    /// `&ref` — the address of a variable reference.
+    AddrOf(VarRef),
+    /// A function designator (`f` or `&f`) — a function pointer value.
+    Func(FuncId),
+    /// A string literal (a pointer into static storage).
+    Str(String),
+}
+
+impl Operand {
+    /// Integer constant shorthand.
+    pub fn int(v: i64) -> Operand {
+        Operand::Const(Const::Int(v))
+    }
+
+    /// True if this operand contains an indirect reference.
+    pub fn is_indirect(&self) -> bool {
+        match self {
+            Operand::Ref(r) | Operand::AddrOf(r) => r.is_indirect(),
+            _ => false,
+        }
+    }
+}
+
+/// Who a call targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallTarget {
+    /// A named function.
+    Direct(FuncId),
+    /// A call through a function pointer (the reference reads the
+    /// pointer value).
+    Indirect(VarRef),
+}
+
+/// The basic (straight-line) statements of SIMPLE.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BasicStmt {
+    /// `lhs = rhs`
+    Copy {
+        /// Destination.
+        lhs: VarRef,
+        /// Source value.
+        rhs: Operand,
+    },
+    /// `lhs = op rhs` (arithmetic only; `&`/`*` are reference shapes).
+    Unary {
+        /// Destination.
+        lhs: VarRef,
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        rhs: Operand,
+    },
+    /// `lhs = a op b`
+    Binary {
+        /// Destination.
+        lhs: VarRef,
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `lhs = ptr ± k` — pointer arithmetic; the target set of `lhs`
+    /// is the (possibly shifted) target set of `ptr`.
+    PtrArith {
+        /// Destination (pointer-typed).
+        lhs: VarRef,
+        /// Source pointer.
+        ptr: VarRef,
+        /// Shift class of the adjustment.
+        shift: IdxClass,
+    },
+    /// `lhs = malloc(size)` (or `calloc`/`realloc`) — heap allocation.
+    Alloc {
+        /// Destination (pointer-typed).
+        lhs: VarRef,
+        /// Size operand (ignored by the analysis).
+        size: Operand,
+    },
+    /// `[lhs =] target(args)`
+    Call {
+        /// Optional destination for the return value.
+        lhs: Option<VarRef>,
+        /// Direct or indirect callee.
+        target: CallTarget,
+        /// Simplified arguments (constants or variable references).
+        args: Vec<Operand>,
+        /// The call site id (one per textual call).
+        call_site: CallSiteId,
+    },
+    /// `return [value]`
+    Return(Option<Operand>),
+}
+
+impl BasicStmt {
+    /// The call-site id if this is a call.
+    pub fn call_site(&self) -> Option<CallSiteId> {
+        match self {
+            BasicStmt::Call { call_site, .. } => Some(*call_site),
+            _ => None,
+        }
+    }
+}
+
+/// A side-effect-free condition of a control statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CondExpr {
+    /// `a op b` with a comparison operator.
+    Rel(BinaryOp, Operand, Operand),
+    /// Truthiness test of an operand.
+    Test(Operand),
+    /// `!operand`
+    Not(Operand),
+    /// Constant true (used when lowering complex loop conditions).
+    ConstTrue,
+}
+
+impl CondExpr {
+    /// Operands of the condition.
+    pub fn operands(&self) -> Vec<&Operand> {
+        match self {
+            CondExpr::Rel(_, a, b) => vec![a, b],
+            CondExpr::Test(a) | CondExpr::Not(a) => vec![a],
+            CondExpr::ConstTrue => vec![],
+        }
+    }
+}
+
+/// One arm of a SIMPLE `switch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrSwitchArm {
+    /// `case` values; `None` is `default`.
+    pub labels: Vec<Option<i64>>,
+    /// The arm body; control falls through to the next arm when the body
+    /// completes normally.
+    pub body: Stmt,
+}
+
+/// A SIMPLE statement: basic statements composed with the structured
+/// control constructs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A basic statement, tagged with its program point.
+    Basic(BasicStmt, StmtId),
+    /// Statement sequence.
+    Seq(Vec<Stmt>),
+    /// `if (cond) then else?` — the id is the program point of the test.
+    If {
+        /// Condition.
+        cond: CondExpr,
+        /// Then branch.
+        then_s: Box<Stmt>,
+        /// Optional else branch.
+        else_s: Option<Box<Stmt>>,
+        /// Program point of the test.
+        id: StmtId,
+    },
+    /// `while (cond) body`.
+    ///
+    /// `pre_cond` holds statements the simplifier hoisted out of a
+    /// complex condition; they run before *every* evaluation of the
+    /// test (including after `continue`), preserving C semantics.
+    While {
+        /// Statements evaluating the condition's subexpressions.
+        pre_cond: Box<Stmt>,
+        /// Condition.
+        cond: CondExpr,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Program point of the test.
+        id: StmtId,
+    },
+    /// `do body while (cond)`; `pre_cond` as for [`Stmt::While`] — it
+    /// runs after the body (and after `continue`) before each test.
+    DoWhile {
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Statements evaluating the condition's subexpressions.
+        pre_cond: Box<Stmt>,
+        /// Condition.
+        cond: CondExpr,
+        /// Program point of the test.
+        id: StmtId,
+    },
+    /// `for (init; cond; step) body` — `continue` transfers to `step`.
+    For {
+        /// Initialization (runs once).
+        init: Box<Stmt>,
+        /// Statements evaluating the condition's subexpressions.
+        pre_cond: Box<Stmt>,
+        /// Condition.
+        cond: CondExpr,
+        /// Step (runs after the body and after `continue`).
+        step: Box<Stmt>,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Program point of the test.
+        id: StmtId,
+    },
+    /// `switch (scrutinee) { arms }` with C fall-through semantics.
+    Switch {
+        /// Value switched on.
+        scrutinee: Operand,
+        /// Arms in source order.
+        arms: Vec<IrSwitchArm>,
+        /// True if some arm is `default`.
+        has_default: bool,
+        /// Program point of the dispatch.
+        id: StmtId,
+    },
+    /// `break`
+    Break(StmtId),
+    /// `continue`
+    Continue(StmtId),
+}
+
+impl Stmt {
+    /// An empty statement.
+    pub fn empty() -> Stmt {
+        Stmt::Seq(Vec::new())
+    }
+
+    /// Visits every basic statement (with its id), in syntactic order.
+    pub fn for_each_basic<'a>(&'a self, f: &mut impl FnMut(&'a BasicStmt, StmtId)) {
+        match self {
+            Stmt::Basic(b, id) => f(b, *id),
+            Stmt::Seq(stmts) => {
+                for s in stmts {
+                    s.for_each_basic(f);
+                }
+            }
+            Stmt::If { then_s, else_s, .. } => {
+                then_s.for_each_basic(f);
+                if let Some(e) = else_s {
+                    e.for_each_basic(f);
+                }
+            }
+            Stmt::While { pre_cond, body, .. } | Stmt::DoWhile { body, pre_cond, .. } => {
+                pre_cond.for_each_basic(f);
+                body.for_each_basic(f);
+            }
+            Stmt::For { init, pre_cond, step, body, .. } => {
+                init.for_each_basic(f);
+                pre_cond.for_each_basic(f);
+                step.for_each_basic(f);
+                body.for_each_basic(f);
+            }
+            Stmt::Switch { arms, .. } => {
+                for a in arms {
+                    a.body.for_each_basic(f);
+                }
+            }
+            Stmt::Break(_) | Stmt::Continue(_) => {}
+        }
+    }
+
+    /// Counts the basic statements in this tree.
+    pub fn count_basic(&self) -> usize {
+        let mut n = 0;
+        self.for_each_basic(&mut |_, _| n += 1);
+        n
+    }
+}
+
+/// A function in SIMPLE form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrFunction {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Number of parameters (they are `vars[0..n_params]`).
+    pub n_params: usize,
+    /// All variables: parameters first, then locals, then temporaries.
+    pub vars: Vec<IrVar>,
+    /// The body; `None` for external (modelled) functions.
+    pub body: Option<Stmt>,
+    /// True if variadic.
+    pub variadic: bool,
+}
+
+impl IrFunction {
+    /// The variable ids of the parameters.
+    pub fn param_ids(&self) -> impl Iterator<Item = IrVarId> + '_ {
+        (0..self.n_params).map(|i| IrVarId(i as u32))
+    }
+
+    /// Variable lookup.
+    pub fn var(&self, id: IrVarId) -> &IrVar {
+        &self.vars[id.0 as usize]
+    }
+
+    /// True if defined in the program (has a body).
+    pub fn is_defined(&self) -> bool {
+        self.body.is_some()
+    }
+}
+
+/// Descriptor of a call site (used by invocation-graph statistics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallSiteInfo {
+    /// The function containing the call.
+    pub caller: FuncId,
+    /// The program point of the call.
+    pub stmt: StmtId,
+    /// True for calls through a function pointer.
+    pub indirect: bool,
+}
+
+/// A whole program in SIMPLE form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrProgram {
+    /// Struct/union definitions (shared with the front end).
+    pub structs: StructTable,
+    /// Global variables.
+    pub globals: Vec<IrGlobal>,
+    /// Functions, same indexing as the front end's [`FuncId`].
+    pub functions: Vec<IrFunction>,
+    /// The entry function (`main`), if defined.
+    pub entry: Option<FuncId>,
+    /// Total number of program points allocated.
+    pub n_stmts: u32,
+    /// All call sites.
+    pub call_sites: Vec<CallSiteInfo>,
+}
+
+impl IrProgram {
+    /// Function lookup by id.
+    pub fn function(&self, id: FuncId) -> &IrFunction {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Function lookup by name.
+    pub fn function_by_name(&self, name: &str) -> Option<(FuncId, &IrFunction)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Global lookup.
+    pub fn global(&self, id: GlobalId) -> &IrGlobal {
+        &self.globals[id.0 as usize]
+    }
+
+    /// Iterates over defined functions.
+    pub fn defined_functions(&self) -> impl Iterator<Item = (FuncId, &IrFunction)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_defined())
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Total count of basic statements across all defined functions
+    /// (the "# of stmts in SIMPLE" of Table 2).
+    pub fn total_basic_stmts(&self) -> usize {
+        self.functions
+            .iter()
+            .filter_map(|f| f.body.as_ref())
+            .map(|b| b.count_basic())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_class_of_const() {
+        assert_eq!(IdxClass::of_const(0), IdxClass::Zero);
+        assert_eq!(IdxClass::of_const(3), IdxClass::Positive);
+    }
+
+    #[test]
+    fn varref_indirect_classification() {
+        let p = VarRef::Path(VarPath::var(IrVarId(0)));
+        assert!(!p.is_indirect());
+        let d = VarRef::Deref {
+            path: VarPath::var(IrVarId(0)),
+            shift: IdxClass::Zero,
+            after: vec![],
+        };
+        assert!(d.is_indirect());
+        assert!(!d.is_array_style());
+        let arr = VarRef::Deref {
+            path: VarPath::var(IrVarId(0)),
+            shift: IdxClass::Unknown,
+            after: vec![],
+        };
+        assert!(arr.is_array_style());
+        let arr2 = VarRef::Deref {
+            path: VarPath::var(IrVarId(0)),
+            shift: IdxClass::Zero,
+            after: vec![IrProj::Index(IdxClass::Zero)],
+        };
+        assert!(arr2.is_array_style());
+        let fld = VarRef::Deref {
+            path: VarPath::var(IrVarId(0)),
+            shift: IdxClass::Zero,
+            after: vec![IrProj::Field("f".into())],
+        };
+        assert!(!fld.is_array_style());
+    }
+
+    #[test]
+    fn stmt_counts_basics() {
+        let b = |i| {
+            Stmt::Basic(
+                BasicStmt::Copy {
+                    lhs: VarRef::Path(VarPath::var(IrVarId(0))),
+                    rhs: Operand::int(i),
+                },
+                StmtId(i as u32),
+            )
+        };
+        let s = Stmt::Seq(vec![
+            b(0),
+            Stmt::If {
+                cond: CondExpr::ConstTrue,
+                then_s: Box::new(b(1)),
+                else_s: Some(Box::new(b(2))),
+                id: StmtId(10),
+            },
+            Stmt::While {
+                pre_cond: Box::new(Stmt::empty()),
+                cond: CondExpr::ConstTrue,
+                body: Box::new(b(3)),
+                id: StmtId(11),
+            },
+        ]);
+        assert_eq!(s.count_basic(), 4);
+    }
+
+    #[test]
+    fn path_projection_builder() {
+        let p = VarPath::var(IrVarId(2))
+            .project(IrProj::Field("f".into()))
+            .project(IrProj::Index(IdxClass::Zero));
+        assert_eq!(p.projs.len(), 2);
+    }
+}

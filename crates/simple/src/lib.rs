@@ -1,0 +1,49 @@
+//! # pta-simple — the SIMPLE intermediate representation
+//!
+//! A faithful implementation of the McCAT compiler's SIMPLE IR as
+//! described in §2 of the PLDI 1994 points-to paper: a compact set of
+//! basic statements composed with structured control statements, where
+//! every variable reference has at most one level of pointer
+//! indirection. The [`fn@lower`] function is the *simplifier* that turns
+//! the typed AST from [`pta_cfront`] into this form.
+//!
+//! ```
+//! let ast = pta_cfront::frontend("int g; int main(void) { int *p; p = &g; *p = 3; return g; }")?;
+//! let ir = pta_simple::lower(&ast)?;
+//! pta_simple::validate(&ir).unwrap();
+//! assert!(ir.entry.is_some());
+//! # Ok::<(), pta_cfront::FrontendError>(())
+//! ```
+
+pub mod builder;
+pub mod ir;
+pub mod lower;
+pub mod printer;
+pub mod validate;
+
+pub use ir::{
+    BasicStmt, CallSiteId, CallSiteInfo, CallTarget, CondExpr, Const, IdxClass, IrFunction,
+    IrGlobal, IrProgram, IrProj, IrSwitchArm, IrVar, IrVarId, Operand, Stmt, StmtId, VarBase,
+    VarKind, VarPath, VarRef,
+};
+pub use lower::lower;
+pub use validate::{validate, ValidationError};
+
+use pta_cfront::error::FrontendError;
+
+/// Runs the whole pipeline from C source to validated SIMPLE form.
+///
+/// # Errors
+///
+/// Returns front-end errors from lexing/parsing/sema/lowering.
+///
+/// # Panics
+///
+/// Panics if the simplifier produces IR violating its own invariants
+/// (a bug, checked by [`fn@validate`]).
+pub fn compile(source: &str) -> Result<IrProgram, FrontendError> {
+    let ast = pta_cfront::frontend(source)?;
+    let ir = lower(&ast)?;
+    validate(&ir).expect("simplifier must produce valid SIMPLE");
+    Ok(ir)
+}

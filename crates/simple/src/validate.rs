@@ -1,0 +1,216 @@
+//! Validates the SIMPLE invariants the points-to analysis relies on.
+//!
+//! - every variable reference has at most one level of indirection (by
+//!   construction of [`crate::ir::VarRef`], so here we check ids);
+//! - every [`StmtId`] is unique;
+//! - every variable id is in range for its function;
+//! - call sites are registered exactly once;
+//! - conditions are side-effect free (no statements hidden in them).
+
+use crate::ir::*;
+use std::collections::BTreeSet;
+
+/// A violated SIMPLE invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Name of the offending function.
+    pub function: String,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SIMPLE invariant violated in `{}`: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks all invariants over a lowered program.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate(p: &IrProgram) -> Result<(), ValidationError> {
+    let mut seen_ids = BTreeSet::new();
+    let mut seen_calls = BTreeSet::new();
+    for f in &p.functions {
+        let Some(body) = &f.body else { continue };
+        let mut v = Validator { p, f, seen_ids: &mut seen_ids, seen_calls: &mut seen_calls };
+        v.stmt(body)?;
+    }
+    Ok(())
+}
+
+struct Validator<'a> {
+    p: &'a IrProgram,
+    f: &'a IrFunction,
+    seen_ids: &'a mut BTreeSet<StmtId>,
+    seen_calls: &'a mut BTreeSet<CallSiteId>,
+}
+
+impl Validator<'_> {
+    fn err(&self, message: impl Into<String>) -> ValidationError {
+        ValidationError { function: self.f.name.clone(), message: message.into() }
+    }
+
+    fn id(&mut self, id: StmtId) -> Result<(), ValidationError> {
+        if id.0 >= self.p.n_stmts {
+            return Err(self.err(format!("{id} out of range")));
+        }
+        if !self.seen_ids.insert(id) {
+            return Err(self.err(format!("duplicate statement id {id}")));
+        }
+        Ok(())
+    }
+
+    fn path(&self, path: &VarPath) -> Result<(), ValidationError> {
+        match path.base {
+            VarBase::Var(id) => {
+                if id.0 as usize >= self.f.vars.len() {
+                    return Err(self.err(format!("variable v{} out of range", id.0)));
+                }
+            }
+            VarBase::Global(id) => {
+                if id.0 as usize >= self.p.globals.len() {
+                    return Err(self.err(format!("global g{} out of range", id.0)));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn varref(&self, r: &VarRef) -> Result<(), ValidationError> {
+        match r {
+            VarRef::Path(p) => self.path(p),
+            VarRef::Deref { path, .. } => self.path(path),
+        }
+    }
+
+    fn operand(&self, op: &Operand) -> Result<(), ValidationError> {
+        match op {
+            Operand::Ref(r) | Operand::AddrOf(r) => self.varref(r),
+            Operand::Func(id) => {
+                if id.0 as usize >= self.p.functions.len() {
+                    return Err(self.err(format!("function f{} out of range", id.0)));
+                }
+                Ok(())
+            }
+            Operand::Const(_) | Operand::Str(_) => Ok(()),
+        }
+    }
+
+    fn basic(&mut self, b: &BasicStmt) -> Result<(), ValidationError> {
+        match b {
+            BasicStmt::Copy { lhs, rhs } => {
+                self.varref(lhs)?;
+                self.operand(rhs)
+            }
+            BasicStmt::Unary { lhs, rhs, .. } => {
+                self.varref(lhs)?;
+                self.operand(rhs)
+            }
+            BasicStmt::Binary { lhs, a, b, .. } => {
+                self.varref(lhs)?;
+                self.operand(a)?;
+                self.operand(b)
+            }
+            BasicStmt::PtrArith { lhs, ptr, .. } => {
+                self.varref(lhs)?;
+                self.varref(ptr)
+            }
+            BasicStmt::Alloc { lhs, size } => {
+                self.varref(lhs)?;
+                self.operand(size)
+            }
+            BasicStmt::Call { lhs, target, args, call_site } => {
+                if !self.seen_calls.insert(*call_site) {
+                    return Err(self.err(format!("duplicate call site {call_site}")));
+                }
+                if call_site.0 as usize >= self.p.call_sites.len() {
+                    return Err(self.err(format!("call site {call_site} unregistered")));
+                }
+                if let Some(l) = lhs {
+                    self.varref(l)?;
+                }
+                match target {
+                    CallTarget::Direct(id) => {
+                        if id.0 as usize >= self.p.functions.len() {
+                            return Err(self.err(format!("callee f{} out of range", id.0)));
+                        }
+                    }
+                    CallTarget::Indirect(r) => self.varref(r)?,
+                }
+                for a in args {
+                    self.operand(a)?;
+                }
+                Ok(())
+            }
+            BasicStmt::Return(v) => match v {
+                Some(v) => self.operand(v),
+                None => Ok(()),
+            },
+        }
+    }
+
+    fn cond(&self, c: &CondExpr) -> Result<(), ValidationError> {
+        for op in c.operands() {
+            self.operand(op)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), ValidationError> {
+        match s {
+            Stmt::Basic(b, id) => {
+                self.id(*id)?;
+                self.basic(b)
+            }
+            Stmt::Seq(stmts) => {
+                for s in stmts {
+                    self.stmt(s)?;
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then_s, else_s, id } => {
+                self.id(*id)?;
+                self.cond(cond)?;
+                self.stmt(then_s)?;
+                if let Some(e) = else_s {
+                    self.stmt(e)?;
+                }
+                Ok(())
+            }
+            Stmt::While { pre_cond, cond, body, id } => {
+                self.id(*id)?;
+                self.stmt(pre_cond)?;
+                self.cond(cond)?;
+                self.stmt(body)
+            }
+            Stmt::DoWhile { body, pre_cond, cond, id } => {
+                self.id(*id)?;
+                self.stmt(body)?;
+                self.stmt(pre_cond)?;
+                self.cond(cond)
+            }
+            Stmt::For { init, pre_cond, cond, step, body, id } => {
+                self.id(*id)?;
+                self.stmt(init)?;
+                self.stmt(pre_cond)?;
+                self.cond(cond)?;
+                self.stmt(step)?;
+                self.stmt(body)
+            }
+            Stmt::Switch { scrutinee, arms, id, .. } => {
+                self.id(*id)?;
+                self.operand(scrutinee)?;
+                for a in arms {
+                    self.stmt(&a.body)?;
+                }
+                Ok(())
+            }
+            Stmt::Break(id) | Stmt::Continue(id) => self.id(*id),
+        }
+    }
+}

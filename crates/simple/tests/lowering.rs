@@ -1,0 +1,402 @@
+//! End-to-end tests of the simplifier: C source in, SIMPLE invariants
+//! and shapes out.
+
+use pta_simple::printer::print_function;
+use pta_simple::{compile, BasicStmt, CallTarget, IdxClass, IrProgram, Operand, Stmt, VarRef};
+
+fn body_text(ir: &IrProgram, name: &str) -> String {
+    let (_, f) = ir.function_by_name(name).expect("function exists");
+    print_function(ir, f)
+}
+
+fn basics(ir: &IrProgram, name: &str) -> Vec<BasicStmt> {
+    let (_, f) = ir.function_by_name(name).expect("function exists");
+    let mut v = Vec::new();
+    f.body.as_ref().unwrap().for_each_basic(&mut |b, _| v.push(b.clone()));
+    v
+}
+
+#[test]
+fn simple_assignment_chain() {
+    let ir = compile("int g; int main(void){ int *p; p = &g; *p = 3; return g; }").unwrap();
+    let t = body_text(&ir, "main");
+    assert!(t.contains("p = &g;"), "got:\n{t}");
+    assert!(t.contains("*p = 3;"), "got:\n{t}");
+}
+
+#[test]
+fn double_indirection_introduces_temp() {
+    let ir = compile("int main(void){ int x; int *p; int **pp; pp = &p; **pp = 1; x = **pp; return x; }")
+        .unwrap();
+    let t = body_text(&ir, "main");
+    // **pp must be split: t = *pp; *t = 1;
+    assert!(t.contains("_t"), "expected a temp, got:\n{t}");
+    assert!(t.contains("= *pp;"), "got:\n{t}");
+    // No reference has two levels of indirection (printer would show `**`).
+    assert!(!t.contains("**"), "got:\n{t}");
+}
+
+#[test]
+fn triple_indirection_splits_twice() {
+    let ir = compile(
+        "int main(void){ int x; int *p; int **pp; int ***ppp; ppp = &pp; pp = &p; p = &x; ***ppp = 7; return x; }",
+    )
+    .unwrap();
+    let t = body_text(&ir, "main");
+    assert!(!t.contains("**"), "got:\n{t}");
+}
+
+#[test]
+fn arrow_becomes_single_deref_with_field() {
+    let ir = compile(
+        "struct node { int val; struct node *next; };
+         int main(void){ struct node n; struct node *p; p = &n; p->val = 4; p->next = p; return 0; }",
+    )
+    .unwrap();
+    let t = body_text(&ir, "main");
+    assert!(t.contains("(*p).val = 4;"), "got:\n{t}");
+    assert!(t.contains("(*p).next = p;"), "got:\n{t}");
+}
+
+#[test]
+fn chained_arrows_split() {
+    let ir = compile(
+        "struct node { int val; struct node *next; };
+         int f(struct node *p){ return p->next->val; }",
+    )
+    .unwrap();
+    let t = body_text(&ir, "f");
+    // p->next->val must introduce a temp for p->next.
+    assert!(t.contains("= (*p).next;"), "got:\n{t}");
+}
+
+#[test]
+fn array_head_tail_classification() {
+    let ir = compile("int a[10]; int main(void){ int i; i = 1; a[0] = 1; a[5] = 2; a[i] = 3; return 0; }")
+        .unwrap();
+    let t = body_text(&ir, "main");
+    assert!(t.contains("a[0] = 1;"), "got:\n{t}");
+    assert!(t.contains("a[+] = 2;"), "got:\n{t}");
+    assert!(t.contains("a[?] = 3;"), "got:\n{t}");
+}
+
+#[test]
+fn array_rvalue_decays_to_addr_of_head() {
+    let ir = compile("int a[10]; int main(void){ int *p; p = a; return *p; }").unwrap();
+    let t = body_text(&ir, "main");
+    assert!(t.contains("p = &a[0];"), "got:\n{t}");
+}
+
+#[test]
+fn pointer_subscript_is_shifted_deref() {
+    let ir = compile("int f(int *p, int i){ p[0] = 1; p[2] = 2; p[i] = 3; return 0; }").unwrap();
+    let t = body_text(&ir, "f");
+    assert!(t.contains("*p = 1;"), "got:\n{t}");
+    assert!(t.contains("*(p + k) = 2;"), "got:\n{t}");
+    assert!(t.contains("*(p + ?) = 3;"), "got:\n{t}");
+}
+
+#[test]
+fn pointer_to_array_double_subscript() {
+    // x[i][j] where x is a pointer to an array — stays one dereference.
+    let ir = compile("double f(double (*x)[8], int i, int j){ return x[i][j]; }").unwrap();
+    let t = body_text(&ir, "f");
+    assert!(t.contains("(*(x + ?))[?]"), "got:\n{t}");
+    assert!(!t.contains("**"), "got:\n{t}");
+}
+
+#[test]
+fn array_of_pointers_double_subscript_stays_single_deref() {
+    // q[i][j] where q is an array of pointers: q[i] selects an element
+    // (no dereference), then [j] dereferences it — one deref, no split.
+    let ir = compile("int *q[4]; int main(void){ int v; v = q[1][2]; return v; }").unwrap();
+    let t = body_text(&ir, "main");
+    assert!(t.contains("v = *(q[+] + k);"), "got:\n{t}");
+}
+
+#[test]
+fn malloc_becomes_alloc() {
+    let ir = compile("int main(void){ int *p; p = (int*) malloc(4 * 10); return 0; }").unwrap();
+    let bs = basics(&ir, "main");
+    assert!(
+        bs.iter().any(|b| matches!(b, BasicStmt::Alloc { .. })),
+        "expected Alloc, got {bs:?}"
+    );
+    // No call site registered for malloc.
+    assert!(ir.call_sites.is_empty());
+}
+
+#[test]
+fn calloc_and_realloc_become_alloc() {
+    let ir = compile(
+        "int main(void){ int *p; int *q; p = (int*) calloc(10, 4); q = (int*) realloc(p, 80); return 0; }",
+    )
+    .unwrap();
+    let bs = basics(&ir, "main");
+    assert_eq!(bs.iter().filter(|b| matches!(b, BasicStmt::Alloc { .. })).count(), 2);
+}
+
+#[test]
+fn direct_and_indirect_calls() {
+    let ir = compile(
+        "int foo(void){ return 1; }
+         int main(void){ int (*fp)(void); int x; fp = foo; x = fp(); x = foo(); return x; }",
+    )
+    .unwrap();
+    let bs = basics(&ir, "main");
+    let calls: Vec<_> = bs
+        .iter()
+        .filter_map(|b| match b {
+            BasicStmt::Call { target, .. } => Some(target.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(calls.len(), 2);
+    assert!(matches!(calls[0], CallTarget::Indirect(_)));
+    assert!(matches!(calls[1], CallTarget::Direct(_)));
+    assert_eq!(ir.call_sites.len(), 2);
+    assert!(ir.call_sites[0].indirect);
+    assert!(!ir.call_sites[1].indirect);
+}
+
+#[test]
+fn explicit_deref_call_syntax() {
+    let ir = compile(
+        "int foo(void){ return 1; }
+         int main(void){ int (*fp)(void); fp = &foo; return (*fp)(); }",
+    )
+    .unwrap();
+    let bs = basics(&ir, "main");
+    let indirects = bs
+        .iter()
+        .filter(|b| matches!(b, BasicStmt::Call { target: CallTarget::Indirect(_), .. }))
+        .count();
+    assert_eq!(indirects, 1);
+}
+
+#[test]
+fn call_through_function_pointer_array() {
+    let ir = compile(
+        "int f1(void){ return 1; }
+         int f2(void){ return 2; }
+         int (*table[2])(void);
+         int main(void){ table[0] = f1; table[1] = f2; return table[1](); }",
+    )
+    .unwrap();
+    let t = body_text(&ir, "main");
+    assert!(t.contains("table[0] = f1;"), "got:\n{t}");
+    assert!(t.contains("table[+] = f2;"), "got:\n{t}");
+    let bs = basics(&ir, "main");
+    assert!(bs.iter().any(|b| matches!(
+        b,
+        BasicStmt::Call { target: CallTarget::Indirect(VarRef::Path(_)), .. }
+    )));
+}
+
+#[test]
+fn struct_assignment_expands_to_fields() {
+    let ir = compile(
+        "struct pair { int *a; int *b; };
+         int main(void){ struct pair x; struct pair y; int v; x.a = &v; y = x; return 0; }",
+    )
+    .unwrap();
+    let t = body_text(&ir, "main");
+    assert!(t.contains("y.a = x.a;"), "got:\n{t}");
+    assert!(t.contains("y.b = x.b;"), "got:\n{t}");
+}
+
+#[test]
+fn nested_struct_assignment_expands_recursively() {
+    let ir = compile(
+        "struct inner { int *p; };
+         struct outer { struct inner i; int *q; };
+         int main(void){ struct outer a; struct outer b; b = a; return 0; }",
+    )
+    .unwrap();
+    let t = body_text(&ir, "main");
+    assert!(t.contains("b.i.p = a.i.p;"), "got:\n{t}");
+    assert!(t.contains("b.q = a.q;"), "got:\n{t}");
+}
+
+#[test]
+fn global_initializers_hoisted_into_main() {
+    let ir = compile(
+        "int x; int *p = &x; int t[3] = {1,2,3};
+         int main(void){ return *p; }",
+    )
+    .unwrap();
+    let t = body_text(&ir, "main");
+    assert!(t.contains("p = &x;"), "got:\n{t}");
+    assert!(t.contains("t[0] = 1;"), "got:\n{t}");
+    assert!(t.contains("t[+] = 2;"), "got:\n{t}");
+}
+
+#[test]
+fn function_pointer_array_initializer() {
+    let ir = compile(
+        "int f1(void){return 1;} int f2(void){return 2;} int f3(void){return 3;}
+         int (*table[3])(void) = { f1, f2, f3 };
+         int main(void){ return table[0](); }",
+    )
+    .unwrap();
+    let t = body_text(&ir, "main");
+    assert!(t.contains("table[0] = f1;"), "got:\n{t}");
+    assert!(t.contains("table[+] = f2;"), "got:\n{t}");
+    assert!(t.contains("table[+] = f3;"), "got:\n{t}");
+}
+
+#[test]
+fn local_initializers_become_statements() {
+    let ir = compile("int main(void){ int x = 5; int *p = &x; return *p; }").unwrap();
+    let t = body_text(&ir, "main");
+    assert!(t.contains("x = 5;"), "got:\n{t}");
+    assert!(t.contains("p = &x;"), "got:\n{t}");
+}
+
+#[test]
+fn logical_operators_become_control_flow() {
+    let ir = compile("int f(int a, int b){ return a && b; }").unwrap();
+    let (_, f) = ir.function_by_name("f").unwrap();
+    let has_if = {
+        let mut found = false;
+        fn walk(s: &Stmt, found: &mut bool) {
+            match s {
+                Stmt::If { .. } => *found = true,
+                Stmt::Seq(v) => v.iter().for_each(|s| walk(s, found)),
+                _ => {}
+            }
+        }
+        walk(f.body.as_ref().unwrap(), &mut found);
+        found
+    };
+    assert!(has_if, "&& should lower to an if");
+}
+
+#[test]
+fn ternary_becomes_if() {
+    let ir = compile("int f(int c, int *p, int *q){ int *r; r = c ? p : q; return *r; }").unwrap();
+    let t = body_text(&ir, "f");
+    assert!(t.contains("if ("), "got:\n{t}");
+}
+
+#[test]
+fn complex_while_condition_hoisted_as_precondition() {
+    let ir = compile(
+        "int g(int x){ return x; }
+         int main(void){ int i; i = 0; while (g(i) < 10) { i = i + 1; } return i; }",
+    )
+    .unwrap();
+    let t = body_text(&ir, "main");
+    assert!(t.contains("/* cond eval */"), "got:\n{t}");
+    assert!(t.contains("= g(i)"), "got:\n{t}");
+}
+
+#[test]
+fn for_loop_structure_preserved() {
+    let ir = compile("int main(void){ int i; int s; s = 0; for (i=0;i<3;i++) s += i; return s; }")
+        .unwrap();
+    let (_, f) = ir.function_by_name("main").unwrap();
+    let mut has_for = false;
+    fn walk(s: &Stmt, found: &mut bool) {
+        match s {
+            Stmt::For { .. } => *found = true,
+            Stmt::Seq(v) => v.iter().for_each(|s| walk(s, found)),
+            _ => {}
+        }
+    }
+    walk(f.body.as_ref().unwrap(), &mut has_for);
+    assert!(has_for);
+}
+
+#[test]
+fn switch_arms_lowered() {
+    let ir = compile(
+        "int main(void){ int x; x = 2; switch(x){ case 1: x = 10; break; case 2: x = 20; default: x = 30; } return x; }",
+    )
+    .unwrap();
+    let (_, f) = ir.function_by_name("main").unwrap();
+    let mut arms = 0;
+    fn walk(s: &Stmt, arms: &mut usize) {
+        match s {
+            Stmt::Switch { arms: a, .. } => *arms = a.len(),
+            Stmt::Seq(v) => v.iter().for_each(|s| walk(s, arms)),
+            _ => {}
+        }
+    }
+    walk(f.body.as_ref().unwrap(), &mut arms);
+    assert_eq!(arms, 3);
+}
+
+#[test]
+fn pointer_arithmetic_becomes_ptr_arith() {
+    let ir = compile("int f(int *p){ int *q; q = p + 1; q = p + 0; q++; return 0; }").unwrap();
+    let bs = basics(&ir, "f");
+    let shifts: Vec<IdxClass> = bs
+        .iter()
+        .filter_map(|b| match b {
+            BasicStmt::PtrArith { shift, .. } => Some(*shift),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(shifts, vec![IdxClass::Positive, IdxClass::Positive]);
+    // p + 0 folds to a plain copy.
+    assert!(bs.iter().any(|b| matches!(b, BasicStmt::Copy { rhs: Operand::Ref(_), .. })));
+}
+
+#[test]
+fn addr_of_array_element_plus_constant_folds() {
+    let ir = compile("int a[10]; int main(void){ int *p; p = a + 3; p = &a[2] + 1; return 0; }")
+        .unwrap();
+    let t = body_text(&ir, "main");
+    assert!(t.contains("p = &a[+];"), "got:\n{t}");
+}
+
+#[test]
+fn string_literal_operand() {
+    let ir = compile("int main(void){ char *s; s = \"hello\"; printf(\"%s\", s); return 0; }")
+        .unwrap();
+    let bs = basics(&ir, "main");
+    assert!(bs.iter().any(|b| matches!(b, BasicStmt::Copy { rhs: Operand::Str(_), .. })));
+}
+
+#[test]
+fn sizeof_folds_to_constant() {
+    let ir = compile("int main(void){ int n; int *p; n = sizeof(int); n = sizeof *p; return n; }")
+        .unwrap();
+    let t = body_text(&ir, "main");
+    assert!(t.contains("n = 4;"), "got:\n{t}");
+}
+
+#[test]
+fn return_value_simplified() {
+    let ir = compile("int f(int a, int b){ return a * b + 1; }").unwrap();
+    let bs = basics(&ir, "f");
+    assert!(matches!(bs.last(), Some(BasicStmt::Return(Some(Operand::Ref(_))))));
+}
+
+#[test]
+fn stmt_ids_unique_and_counted() {
+    let ir = compile(
+        "int f(int x){ if (x) { x = 1; } else { x = 2; } while (x) { x--; } return x; }",
+    )
+    .unwrap();
+    // validate() already ran inside compile(); recheck the counter.
+    assert!(ir.n_stmts > 0);
+    assert!(ir.total_basic_stmts() > 0);
+}
+
+#[test]
+fn post_increment_in_value_position_uses_temp() {
+    let ir = compile("int f(int *p){ int x; x = *p++; return x; }").unwrap();
+    let t = body_text(&ir, "f");
+    // *p++ is *(p++): read old p, deref it, then shift p.
+    assert!(t.contains("p + k"), "got:\n{t}");
+}
+
+#[test]
+fn comma_expression_sequences_effects() {
+    let ir = compile("int f(int a, int b){ int x; x = (a = 1, b = 2, a + b); return x; }").unwrap();
+    let t = body_text(&ir, "f");
+    assert!(t.contains("a = 1;"), "got:\n{t}");
+    assert!(t.contains("b = 2;"), "got:\n{t}");
+}

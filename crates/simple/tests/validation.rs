@@ -1,0 +1,130 @@
+//! Tests of the SIMPLE invariant validator (it guards the contract the
+//! points-to analysis relies on) and of IR-level helpers.
+
+use pta_cfront::ast::FuncId;
+use pta_simple::{
+    validate, BasicStmt, CallSiteId, IrProgram, IrVarId, Operand, Stmt, StmtId, VarPath, VarRef,
+};
+
+fn valid_program() -> IrProgram {
+    pta_simple::compile("int x; int main(void){ int *p; p = &x; return *p; }").unwrap()
+}
+
+#[test]
+fn compiled_programs_validate() {
+    assert!(validate(&valid_program()).is_ok());
+}
+
+#[test]
+fn duplicate_statement_ids_rejected() {
+    let mut ir = valid_program();
+    // Clone a statement so an id appears twice.
+    let (_, f) = ir.function_by_name("main").unwrap();
+    let body = f.body.clone().unwrap();
+    let mut first: Option<Stmt> = None;
+    body.for_each_basic(&mut |b, id| {
+        if first.is_none() {
+            first = Some(Stmt::Basic(b.clone(), id));
+        }
+    });
+    let dup = first.unwrap();
+    let fid = ir.function_by_name("main").unwrap().0;
+    let f = &mut ir.functions[fid.0 as usize];
+    f.body = Some(Stmt::Seq(vec![f.body.take().unwrap(), dup]));
+    let err = validate(&ir).unwrap_err();
+    assert!(err.to_string().contains("duplicate statement id"), "{err}");
+}
+
+#[test]
+fn out_of_range_variable_rejected() {
+    let mut ir = valid_program();
+    let fid = ir.function_by_name("main").unwrap().0;
+    let bogus = Stmt::Basic(
+        BasicStmt::Copy {
+            lhs: VarRef::Path(VarPath::var(IrVarId(999))),
+            rhs: Operand::int(0),
+        },
+        StmtId(ir.n_stmts - 1), // reuse the last id slot
+    );
+    let f = &mut ir.functions[fid.0 as usize];
+    f.body = Some(bogus);
+    let err = validate(&ir).unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+}
+
+#[test]
+fn out_of_range_callee_rejected() {
+    let mut ir = valid_program();
+    let fid = ir.function_by_name("main").unwrap().0;
+    let bogus = Stmt::Basic(
+        BasicStmt::Call {
+            lhs: None,
+            target: pta_simple::CallTarget::Direct(FuncId(9999)),
+            args: vec![],
+            call_site: CallSiteId(0),
+        },
+        StmtId(0),
+    );
+    ir.call_sites.push(pta_simple::CallSiteInfo {
+        caller: fid,
+        stmt: StmtId(0),
+        indirect: false,
+    });
+    let f = &mut ir.functions[fid.0 as usize];
+    f.body = Some(bogus);
+    let err = validate(&ir).unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+}
+
+#[test]
+fn statement_id_beyond_counter_rejected() {
+    let mut ir = valid_program();
+    let fid = ir.function_by_name("main").unwrap().0;
+    let bogus = Stmt::Basic(
+        BasicStmt::Return(None),
+        StmtId(ir.n_stmts + 100),
+    );
+    let f = &mut ir.functions[fid.0 as usize];
+    f.body = Some(bogus);
+    let err = validate(&ir).unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+}
+
+#[test]
+fn program_helpers() {
+    let ir = valid_program();
+    assert!(ir.entry.is_some());
+    assert!(ir.total_basic_stmts() >= 2);
+    assert!(ir.function_by_name("main").is_some());
+    assert!(ir.function_by_name("nonexistent").is_none());
+    assert_eq!(ir.defined_functions().count(), 1);
+    // Externals are present but undefined.
+    assert!(ir.functions.len() > 1);
+}
+
+#[test]
+fn printer_covers_all_statement_kinds() {
+    let ir = pta_simple::compile(
+        "int x; int a[4];
+         int callee(int *p){ return *p; }
+         int main(void){
+            int *p; int i; int r;
+            p = &x;
+            p = p + 1;
+            p = (int*) malloc(4);
+            r = callee(p);
+            for (i = 0; i < 3; i++) { if (i == 1) continue; a[i] = i; }
+            while (i > 0) { i--; if (i == 1) break; }
+            do { i++; } while (i < 2);
+            switch (i) { case 0: r = 1; break; default: r = 2; }
+            return r; }",
+    )
+    .unwrap();
+    let text = pta_simple::printer::print_program(&ir);
+    for needle in [
+        "p = &x;", "malloc(", "callee(", "for", "while", "do {", "switch", "break;",
+        "continue;", "return r;", "+ k",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Compares the context-sensitive analysis against the baselines the
+//! repository implements: context-insensitive, Andersen, Steensgaard,
+//! and the naive call-graph strategies of §5.
+//!
+//! Run with `cargo run --example compare_baselines`.
+
+use pta::core::baseline::{
+    andersen, build_ig_with_strategy, insensitive, steensgaard, CallGraphStrategy,
+};
+use pta::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = r#"
+        int x, y;
+
+        void set(int **p, int *v) { *p = v; }
+
+        int f1(void) { return 1; }
+        int f2(void) { return 2; }
+        int unused(void) { return 3; }
+        int cond;
+
+        int main(void) {
+            int *a;
+            int *b;
+            int (*fp)(void);
+            set(&a, &x);     /* context 1 */
+            set(&b, &y);     /* context 2 */
+            if (cond) fp = f1; else fp = f2;
+            return fp() + *a + *b;
+        }
+    "#;
+
+    let ir = compile(source)?;
+
+    // 1. The paper's context-sensitive analysis.
+    let pta = run_source(source)?;
+    println!("context-sensitive:   a -> {:?}", pta.exit_targets_of("main", "a"));
+    println!("                     b -> {:?}", pta.exit_targets_of("main", "b"));
+
+    // 2. Context-insensitive: the two calls of `set` pollute each other.
+    let ins = insensitive(&ir)?;
+    let (main_id, mainf) = ir.function_by_name("main").expect("main");
+    let a_idx = mainf.vars.iter().position(|v| v.name == "a").expect("var a");
+    let a_loc = ins
+        .locs
+        .lookup(
+            &pta::core::LocBase::Var(main_id, pta::simple::IrVarId(a_idx as u32)),
+            &[],
+        )
+        .expect("a interned");
+    let summary = ins.summaries.get(&main_id).cloned().unwrap_or_default();
+    let a_targets: Vec<&str> = summary
+        .targets(a_loc)
+        .filter(|(t, _)| !ins.locs.is_null(*t))
+        .map(|(t, _)| ins.locs.name(t))
+        .collect();
+    println!("context-insensitive: a -> {a_targets:?}  (polluted by the other call site)");
+
+    // 3. Flow-insensitive baselines.
+    let and = andersen(&ir)?;
+    let a_loc2 = and
+        .locs
+        .lookup(
+            &pta::core::LocBase::Var(main_id, pta::simple::IrVarId(a_idx as u32)),
+            &[],
+        )
+        .expect("a interned");
+    println!("andersen:            a -> {:?}", and.target_names(a_loc2));
+    let st = steensgaard(&ir)?;
+    println!("steensgaard:         {} storage classes", st.class_count());
+
+    // 4. Function-pointer resolution strategies (§5).
+    let precise = pta.result.ig.len();
+    let all = build_ig_with_strategy(&ir, CallGraphStrategy::AllFunctions, 100_000)?.len();
+    let at = build_ig_with_strategy(&ir, CallGraphStrategy::AddressTaken, 100_000)?.len();
+    println!("\ninvocation-graph size: points-to {precise} | address-taken {at} | all-functions {all}");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quick start: analyse a small C program and inspect points-to facts.
+//!
+//! Run with `cargo run --example quickstart`.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = r#"
+        int x, y;
+
+        void swap_targets(int **a, int **b) {
+            int *t;
+            t = *a;
+            *a = *b;
+            *b = t;
+        }
+
+        int main(void) {
+            int *p;
+            int *q;
+            p = &x;
+            q = &y;
+            swap_targets(&p, &q);
+            return *p + *q;
+        }
+    "#;
+
+    let pta = pta::analyze_c(source)?;
+
+    println!("After swap_targets(&p, &q):");
+    for var in ["p", "q"] {
+        let targets = pta.exit_targets_of("main", var);
+        println!("  {var} points to {targets:?}");
+    }
+
+    // The whole merged points-to set at the end of main.
+    if let Some(ret) = pta.find_stmt("main", "return", 0) {
+        println!("\nAll pairs at the return of main:");
+        for (src, tgt, def) in pta.pairs_at(ret) {
+            println!("  ({src}, {tgt}, {def})");
+        }
+    }
+
+    // The invocation graph (one node per calling context).
+    println!("\nInvocation graph:");
+    print!("{}", pta.result.ig.render(&pta.ir));
+
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # pta — context-sensitive interprocedural points-to analysis for C
+//!
+//! A complete, from-scratch reproduction of Emami, Ghiya & Hendren,
+//! *"Context-Sensitive Interprocedural Points-to Analysis in the
+//! Presence of Function Pointers"* (PLDI 1994), as a Rust workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`cfront`] | C lexer, parser, type checker |
+//! | [`simple`] | The SIMPLE IR and the simplifier |
+//! | [`core`] | The points-to analysis, invocation graphs, map/unmap, function pointers, baselines, statistics |
+//! | [`apps`] | Alias pairs, pointer replacement, read/write sets, call graphs |
+//! | [`benchsuite`] | The 17-program suite + `livc`, and Tables 2–6 reproduction |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pta::prelude::*;
+//!
+//! let result = pta::analyze_c(
+//!     "int x;
+//!      void set(int **p, int *v) { *p = v; }
+//!      int main(void) { int *q; set(&q, &x); return *q; }",
+//! )?;
+//! assert_eq!(result.exit_targets_of("main", "q"), vec![("x".to_string(), Def::D)]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for runnable demonstrations and `EXPERIMENTS.md` for
+//! the reproduced evaluation.
+
+pub use pta_apps as apps;
+pub use pta_benchsuite as benchsuite;
+pub use pta_cfront as cfront;
+pub use pta_core as core;
+pub use pta_simple as simple;
+
+pub use pta_core::{
+    analyze, analyze_with, run_source, run_source_with, AnalysisConfig, AnalysisError,
+    AnalysisResult, Def, Pta, PtaError,
+};
+
+/// Compiles and analyses one C translation unit (alias of
+/// [`pta_core::run_source`]).
+///
+/// # Errors
+///
+/// Returns a [`PtaError`] for front-end or analysis failures.
+pub fn analyze_c(source: &str) -> Result<Pta, PtaError> {
+    pta_core::run_source(source)
+}
+
+/// Commonly used items.
+pub mod prelude {
+    pub use pta_apps::{alias_pairs_at, call_graph, replaceable_refs, stmt_rw_sets};
+    pub use pta_core::{
+        analyze, run_source, AnalysisConfig, AnalysisResult, Def, Pta, PtSet, PtaError,
+    };
+    pub use pta_simple::{compile, IrProgram};
+}
