@@ -1,0 +1,333 @@
+//! A self-contained, dependency-free micro-benchmark harness exposing
+//! the subset of the `criterion` 0.5 API that the `pta-bench` crate
+//! uses: [`Criterion`], [`BenchmarkId`], benchmark groups,
+//! `Bencher::iter`, and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! The build environment for this repository has no network access to
+//! crates.io, so the real criterion crate cannot be vendored; this shim
+//! keeps the bench sources unchanged and the `cargo bench` workflow
+//! alive. Timing is wall-clock (`std::time::Instant`) with a short
+//! calibration phase followed by fixed-count samples; the median,
+//! minimum, and maximum per-iteration times are reported.
+//!
+//! Supported command-line arguments (everything else is ignored so
+//! cargo/CI invocations never fail on an unknown flag):
+//!
+//! - `--test`     run every benchmark exactly once (smoke mode);
+//! - `--quick`    cut the measurement budget by 10×;
+//! - `<filter>`   a free argument restricts the run to benchmark ids
+//!   containing the substring.
+//!
+//! Results are also appended as JSON lines to the file named by the
+//! `CRITERION_JSON` environment variable when it is set, so CI can
+//! upload a machine-readable timing artifact.
+
+pub use std::hint::black_box;
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing statistics of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampled {
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Total iterations executed while measuring.
+    pub iterations: u64,
+}
+
+/// The measurement driver (a small stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    budget: Duration,
+    json: Option<std::path::PathBuf>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut quick = false;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" => test_mode = true,
+                "--quick" => quick = true,
+                // `cargo bench` passes `--bench`; profiles and report
+                // flags of real criterion are accepted and ignored.
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_owned()),
+            }
+        }
+        Criterion {
+            filter,
+            test_mode,
+            budget: if quick { Duration::from_millis(30) } else { Duration::from_millis(300) },
+            json: std::env::var_os("CRITERION_JSON").map(std::path::PathBuf::from),
+        }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Benchmarks a routine under the given id.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group; ids inside become `group/id`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.to_owned() }
+    }
+
+    fn run_one<F>(&mut self, id: &str, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.selected(id) {
+            return;
+        }
+        if self.test_mode {
+            let mut b = Bencher { mode: Mode::Once, total: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        let mut b = Bencher { mode: Mode::Measure(self.budget), total: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        let per_iter = if b.iters == 0 { Duration::ZERO } else { b.total / b.iters as u32 };
+        let s = Sampled { median: per_iter, min: per_iter, max: per_iter, iterations: b.iters };
+        println!(
+            "{id:<48} time: {:>12} ({} iterations)",
+            format_duration(s.median),
+            s.iterations
+        );
+        if let Some(path) = &self.json {
+            if let Ok(mut fh) =
+                std::fs::OpenOptions::new().create(true).append(true).open(path)
+            {
+                let _ = writeln!(
+                    fh,
+                    "{{\"id\":\"{}\",\"median_ns\":{},\"iterations\":{}}}",
+                    id.replace('"', "'"),
+                    s.median.as_nanos(),
+                    s.iterations
+                );
+            }
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+enum Mode {
+    Once,
+    Measure(Duration),
+}
+
+/// Runs the measured routine (a stand-in for `criterion::Bencher`).
+pub struct Bencher {
+    mode: Mode,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times the closure; in smoke mode it runs exactly once.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Once => {
+                black_box(f());
+                self.iters = 1;
+            }
+            Mode::Measure(budget) => {
+                // Warm-up / calibration round.
+                let t0 = Instant::now();
+                black_box(f());
+                let first = t0.elapsed();
+                // Aim for the budget; cap iteration count for very fast
+                // routines, and always take at least one timed sample.
+                let est = first.max(Duration::from_nanos(20));
+                let target =
+                    (budget.as_nanos() / est.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+                let start = Instant::now();
+                for _ in 0..target {
+                    black_box(f());
+                }
+                self.total = start.elapsed();
+                self.iters = target;
+            }
+        }
+    }
+}
+
+/// A benchmark group (a stand-in for `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks a routine under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.c.run_one(&full, &mut f);
+        self
+    }
+
+    /// Benchmarks a routine against a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.c.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A structured benchmark id (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter: `name/param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+
+    /// An id carrying only the parameter value.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+/// Conversion into the printable id used by groups.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declares a group of benchmark functions (compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point (compatible subset).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("merge", 32).into_benchmark_id(), "merge/32");
+        assert_eq!(BenchmarkId::from_parameter(7).into_benchmark_id(), "7");
+        assert_eq!("plain".into_benchmark_id(), "plain");
+    }
+
+    #[test]
+    fn bencher_smoke_runs_once() {
+        let mut calls = 0u32;
+        let mut b = Bencher { mode: Mode::Once, total: Duration::ZERO, iters: 0 };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.iters, 1);
+    }
+
+    #[test]
+    fn bencher_measure_runs_and_counts() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            mode: Mode::Measure(Duration::from_millis(1)),
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter(|| calls += 1);
+        // one calibration call plus the measured batch
+        assert_eq!(calls, b.iters + 1);
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(120)), "120 ns");
+        assert_eq!(format_duration(Duration::from_micros(5)), "5.000 µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.000 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -1,100 +1,131 @@
-//! Property-based tests (proptest) over the core data structures and
+//! Property-based tests (pta-prop) over the core data structures and
 //! the analysis pipeline.
 
-use proptest::prelude::*;
 use pta::core::points_to_set::{merge_flow, Def, PtSet};
 use pta::core::LocId;
+use pta_prop::{check, Rng};
 
 // ---------------------------------------------------------------------
 // PtSet lattice laws
 // ---------------------------------------------------------------------
 
-fn arb_def() -> impl Strategy<Value = Def> {
-    prop_oneof![Just(Def::D), Just(Def::P)]
-}
-
-prop_compose! {
-    fn arb_ptset()(pairs in prop::collection::vec((0u32..12, 0u32..12, arb_def()), 0..24))
-        -> PtSet
-    {
-        let mut s = PtSet::new();
-        for (a, b, d) in pairs {
-            // insert_weak keeps arbitrary mixes consistent.
-            s.insert_weak(LocId(a), LocId(b), d);
-        }
-        s
+fn arb_def(g: &mut Rng) -> Def {
+    if g.ratio(1, 2) {
+        Def::D
+    } else {
+        Def::P
     }
 }
 
-proptest! {
-    #[test]
-    fn merge_is_commutative(a in arb_ptset(), b in arb_ptset()) {
-        prop_assert_eq!(a.merge(&b), b.merge(&a));
+fn arb_ptset(g: &mut Rng) -> PtSet {
+    let mut s = PtSet::new();
+    for _ in 0..g.usize(0..24) {
+        let a = g.u32(0..12);
+        let b = g.u32(0..12);
+        let d = arb_def(g);
+        // insert_weak keeps arbitrary mixes consistent.
+        s.insert_weak(LocId(a), LocId(b), d);
     }
+    s
+}
 
-    #[test]
-    fn merge_is_associative(a in arb_ptset(), b in arb_ptset(), c in arb_ptset()) {
-        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
-    }
+#[test]
+fn merge_is_commutative() {
+    check("merge commutes", 256, |g| {
+        let (a, b) = (arb_ptset(g), arb_ptset(g));
+        assert_eq!(a.merge(&b), b.merge(&a));
+    });
+}
 
-    #[test]
-    fn merge_is_idempotent(a in arb_ptset()) {
-        prop_assert_eq!(a.merge(&a), a);
-    }
+#[test]
+fn merge_is_associative() {
+    check("merge associates", 256, |g| {
+        let (a, b, c) = (arb_ptset(g), arb_ptset(g), arb_ptset(g));
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+    });
+}
 
-    #[test]
-    fn merge_is_an_upper_bound(a in arb_ptset(), b in arb_ptset()) {
+#[test]
+fn merge_is_idempotent() {
+    check("merge idempotent", 256, |g| {
+        let a = arb_ptset(g);
+        assert_eq!(a.merge(&a), a);
+    });
+}
+
+#[test]
+fn merge_is_an_upper_bound() {
+    check("merge upper bound", 256, |g| {
+        let (a, b) = (arb_ptset(g), arb_ptset(g));
         let m = a.merge(&b);
-        prop_assert!(a.subset_of(&m), "a ⊄ merge");
-        prop_assert!(b.subset_of(&m), "b ⊄ merge");
-    }
+        assert!(a.subset_of(&m), "a ⊄ merge");
+        assert!(b.subset_of(&m), "b ⊄ merge");
+    });
+}
 
-    #[test]
-    fn subset_is_reflexive(a in arb_ptset()) {
-        prop_assert!(a.subset_of(&a));
-    }
+#[test]
+fn subset_is_reflexive() {
+    check("subset reflexive", 256, |g| {
+        let a = arb_ptset(g);
+        assert!(a.subset_of(&a));
+    });
+}
 
-    #[test]
-    fn subset_is_transitive(a in arb_ptset(), b in arb_ptset(), c in arb_ptset()) {
+#[test]
+fn subset_is_transitive() {
+    check("subset transitive", 256, |g| {
+        let (a, b, c) = (arb_ptset(g), arb_ptset(g), arb_ptset(g));
         let ab = a.merge(&b);
         let abc = ab.merge(&c);
-        prop_assert!(a.subset_of(&ab));
-        prop_assert!(ab.subset_of(&abc));
-        prop_assert!(a.subset_of(&abc));
-    }
+        assert!(a.subset_of(&ab));
+        assert!(ab.subset_of(&abc));
+        assert!(a.subset_of(&abc));
+    });
+}
 
-    #[test]
-    fn flow_merge_has_bottom_identity(a in arb_ptset()) {
-        prop_assert_eq!(merge_flow(Some(a.clone()), None), Some(a.clone()));
-        prop_assert_eq!(merge_flow(None, Some(a.clone())), Some(a));
-    }
+#[test]
+fn flow_merge_has_bottom_identity() {
+    check("flow bottom identity", 256, |g| {
+        let a = arb_ptset(g);
+        assert_eq!(merge_flow(Some(a.clone()), None), Some(a.clone()));
+        assert_eq!(merge_flow(None, Some(a.clone())), Some(a));
+    });
+}
 
-    #[test]
-    fn kill_removes_all_pairs_from_source(a in arb_ptset(), src in 0u32..12) {
-        let mut s = a;
+#[test]
+fn kill_removes_all_pairs_from_source() {
+    check("kill clears source", 256, |g| {
+        let mut s = arb_ptset(g);
+        let src = g.u32(0..12);
         s.kill_from(LocId(src));
-        prop_assert_eq!(s.target_count(LocId(src)), 0);
-    }
+        assert_eq!(s.target_count(LocId(src)), 0);
+    });
+}
 
-    #[test]
-    fn demote_leaves_no_definite_pairs(a in arb_ptset(), src in 0u32..12) {
-        let mut s = a;
+#[test]
+fn demote_leaves_no_definite_pairs() {
+    check("demote leaves only P", 256, |g| {
+        let mut s = arb_ptset(g);
+        let src = g.u32(0..12);
         s.demote_from(LocId(src));
         for (_, d) in s.targets(LocId(src)) {
-            prop_assert_eq!(d, Def::P);
+            assert_eq!(d, Def::P);
         }
-    }
+    });
+}
 
-    #[test]
-    fn merged_pair_is_definite_only_if_definite_in_both(a in arb_ptset(), b in arb_ptset()) {
+#[test]
+fn merged_pair_is_definite_only_if_definite_in_both() {
+    check("merge definiteness", 256, |g| {
+        let (a, b) = (arb_ptset(g), arb_ptset(g));
         let m = a.merge(&b);
         for (s, t, d) in m.iter() {
             if d == Def::D {
-                prop_assert_eq!(a.get(s, t), Some(Def::D));
-                prop_assert_eq!(b.get(s, t), Some(Def::D));
+                assert_eq!(a.get(s, t), Some(Def::D));
+                assert_eq!(b.get(s, t), Some(Def::D));
             }
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -116,10 +147,24 @@ fn render_program(stmts: &[u8]) -> String {
             5 => format!("if (c{}) p{} = &x{};", i % 3, op % 4, (op / 4) % 4),
             6 => format!("p{} = 0;", op % 4),
             7 => format!("p{} = (int*) malloc(4);", op % 4),
-            8 => format!("while (c{}) {{ p{} = p{}; c{} = c{} - 1; }}", i % 3, op % 4, (op / 4) % 4, i % 3, i % 3),
+            8 => format!(
+                "while (c{}) {{ p{} = p{}; c{} = c{} - 1; }}",
+                i % 3,
+                op % 4,
+                (op / 4) % 4,
+                i % 3,
+                i % 3
+            ),
             9 => format!("q{} = &p{};", op % 2, op % 4),
             10 => format!("x{} = x{} + 1;", op % 4, (op / 4) % 4),
-            _ => format!("if (c{}) q{} = &p{}; else q{} = &p{};", i % 3, op % 2, op % 4, op % 2, (op / 3) % 4),
+            _ => format!(
+                "if (c{}) q{} = &p{}; else q{} = &p{};",
+                i % 3,
+                op % 2,
+                op % 4,
+                op % 2,
+                (op / 3) % 4
+            ),
         };
         body.push_str("    ");
         body.push_str(&s);
@@ -131,33 +176,40 @@ fn render_program(stmts: &[u8]) -> String {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_stmts(g: &mut Rng, max: usize) -> Vec<u8> {
+    g.vec(1..max, |g| g.u8())
+}
 
-    #[test]
-    fn random_programs_analyze_and_keep_definition_3_1(stmts in prop::collection::vec(any::<u8>(), 1..30)) {
+#[test]
+fn random_programs_analyze_and_keep_definition_3_1() {
+    check("definition 3.1 holds", 64, |g| {
+        let stmts = arb_stmts(g, 30);
         let src = render_program(&stmts);
         let t = pta::analyze_c(&src).expect("generated program analyses");
         for set in t.result.per_stmt.values() {
             for src_loc in set.sources() {
                 let d_count = set.targets(src_loc).filter(|(_, d)| *d == Def::D).count();
-                prop_assert!(d_count <= 1, "source with {} definite targets", d_count);
+                assert!(d_count <= 1, "source with {d_count} definite targets");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn random_programs_are_deterministic(stmts in prop::collection::vec(any::<u8>(), 1..20)) {
+#[test]
+fn random_programs_are_deterministic() {
+    check("analysis deterministic", 32, |g| {
+        let stmts = arb_stmts(g, 20);
         let src = render_program(&stmts);
         let a = pta::analyze_c(&src).expect("analyses");
         let b = pta::analyze_c(&src).expect("analyses");
-        prop_assert_eq!(a.result.exit_set, b.result.exit_set);
-    }
+        assert_eq!(a.result.exit_set, b.result.exit_set);
+    });
+}
 
-    #[test]
-    fn random_programs_context_sensitive_at_least_as_precise_as_andersen(
-        stmts in prop::collection::vec(any::<u8>(), 1..20),
-    ) {
+#[test]
+fn random_programs_context_sensitive_at_least_as_precise_as_andersen() {
+    check("cs ⊆ andersen", 32, |g| {
+        let stmts = arb_stmts(g, 20);
         let src = render_program(&stmts);
         let t = pta::analyze_c(&src).expect("analyses");
         let ir = pta::simple::compile(&src).expect("compiles");
@@ -173,43 +225,51 @@ proptest! {
             }
             let sname = t.result.locs.name(s);
             let tname = t.result.locs.name(tgt);
-            let found = and.solution.iter().any(|(s2, t2, _)| {
-                and.locs.name(s2) == sname && and.locs.name(t2) == tname
-            });
-            prop_assert!(found, "pair ({sname},{tname}) missing from Andersen");
+            let found = and
+                .solution
+                .iter()
+                .any(|(s2, t2, _)| and.locs.name(s2) == sname && and.locs.name(t2) == tname);
+            assert!(found, "pair ({sname},{tname}) missing from Andersen");
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Front-end robustness: random token soup never panics.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn frontend_never_panics_on_ascii_soup(s in "[ -~\\n]{0,200}") {
+#[test]
+fn frontend_never_panics_on_ascii_soup() {
+    check("frontend total", 128, |g| {
+        let s = g.ascii_soup(0..200);
         let _ = pta::cfront::frontend(&s); // must return, not panic
-    }
+    });
+}
 
-    #[test]
-    fn lexer_round_trips_identifiers(name in "[a-z_][a-z0-9_]{0,12}") {
-        prop_assume!(pta::cfront::token::Keyword::from_str(&name).is_none());
-        let toks = pta::cfront::lexer::lex(&name).unwrap();
-        prop_assert_eq!(toks.len(), 2); // ident + EOF
-        match &toks[0].kind {
-            pta::cfront::token::TokenKind::Ident(n) => prop_assert_eq!(n, &name),
-            other => prop_assert!(false, "unexpected token {:?}", other),
+#[test]
+fn lexer_round_trips_identifiers() {
+    check("ident round-trip", 128, |g| {
+        let name = g.ident(13);
+        if pta::cfront::token::Keyword::from_str(&name).is_some() {
+            return; // keyword: lexes as a keyword token, skip
         }
-    }
+        let toks = pta::cfront::lexer::lex(&name).unwrap();
+        assert_eq!(toks.len(), 2); // ident + EOF
+        match &toks[0].kind {
+            pta::cfront::token::TokenKind::Ident(n) => assert_eq!(n, &name),
+            other => panic!("unexpected token {other:?}"),
+        }
+    });
+}
 
-    #[test]
-    fn lexer_round_trips_integers(v in 0i64..1_000_000_000) {
+#[test]
+fn lexer_round_trips_integers() {
+    check("integer round-trip", 128, |g| {
+        let v = g.u64(0..1_000_000_000) as i64;
         let toks = pta::cfront::lexer::lex(&v.to_string()).unwrap();
         match &toks[0].kind {
-            pta::cfront::token::TokenKind::IntLit(x) => prop_assert_eq!(*x, v),
-            other => prop_assert!(false, "unexpected token {:?}", other),
+            pta::cfront::token::TokenKind::IntLit(x) => assert_eq!(*x, v),
+            other => panic!("unexpected token {other:?}"),
         }
-    }
+    });
 }
