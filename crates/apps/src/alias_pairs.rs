@@ -164,7 +164,10 @@ mod tests {
         .unwrap();
         let ret = last_point(&t, "main");
         let pairs = alias_pairs_at(&t.result, ret, 3);
-        let pair = pairs.iter().find(|p| p.lhs == "**x" && p.rhs == "z").unwrap();
+        let pair = pairs
+            .iter()
+            .find(|p| p.lhs == "**x" && p.rhs == "z")
+            .unwrap();
         assert_eq!(pair.def, Def::D);
     }
 

@@ -65,7 +65,10 @@ pub fn call_graph(ir: &IrProgram, result: &AnalysisResult) -> CallGraph {
         let caller = ir.function(node.func).name.clone();
         for (cs, callee) in node.children.keys() {
             let callee_name = ir.function(*callee).name.clone();
-            g.edges.entry(caller.clone()).or_default().insert(callee_name.clone());
+            g.edges
+                .entry(caller.clone())
+                .or_default()
+                .insert(callee_name.clone());
             g.site_targets.entry(*cs).or_default().insert(callee_name);
         }
     }
@@ -105,7 +108,11 @@ mod tests {
         // strategies of §5).
         assert!(!callees.contains(&"unused_target"));
         // The single indirect site has two targets.
-        let site = g.site_targets.values().find(|s| s.len() == 2).expect("indirect site");
+        let site = g
+            .site_targets
+            .values()
+            .find(|s| s.len() == 2)
+            .expect("indirect site");
         assert_eq!(site.len(), 2);
     }
 

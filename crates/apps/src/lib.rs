@@ -20,7 +20,7 @@ pub mod pointer_replace;
 pub mod rw_sets;
 
 pub use alias_pairs::{alias_pairs_at, AliasPair};
-pub use null_check::{null_derefs, NullDeref, NullSeverity};
 pub use call_graph::{call_graph, CallGraph};
+pub use null_check::{null_derefs, NullDeref, NullSeverity};
 pub use pointer_replace::{replaceable_refs, Replacement};
 pub use rw_sets::{function_rw_sets, modref_summaries, stmt_rw_sets, RwSets};

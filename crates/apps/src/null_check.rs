@@ -47,7 +47,9 @@ impl std::fmt::Display for NullDeref {
 pub fn null_derefs(ir: &IrProgram, result: &mut AnalysisResult) -> Vec<NullDeref> {
     let mut out = Vec::new();
     for occ in collect_indirect_refs(ir) {
-        let VarRef::Deref { path, .. } = &occ.r else { continue };
+        let VarRef::Deref { path, .. } = &occ.r else {
+            continue;
+        };
         let set = result.at(occ.stmt);
         if set.is_empty() && !result.per_stmt.contains_key(&occ.stmt) {
             continue; // unreached program point
@@ -111,8 +113,7 @@ mod tests {
 
     #[test]
     fn conditional_assignment_is_possible() {
-        let findings =
-            run("int x, c; int main(void){ int *p; if (c) p = &x; return *p; }");
+        let findings = run("int x, c; int main(void){ int *p; if (c) p = &x; return *p; }");
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].severity, NullSeverity::Possible);
     }
@@ -141,11 +142,9 @@ mod tests {
 
     #[test]
     fn interprocedural_null_return() {
-        let findings = run(
-            "int x, c;
+        let findings = run("int x, c;
              int *maybe(void) { if (c) return &x; return 0; }
-             int main(void){ int *p; p = maybe(); return *p; }",
-        );
+             int main(void){ int *p; p = maybe(); return *p; }");
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].severity, NullSeverity::Possible);
         assert_eq!(findings[0].function, "main");

@@ -28,7 +28,11 @@ pub struct Replacement {
 
 impl std::fmt::Display for Replacement {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}@{}: {} -> {}", self.function, self.stmt, self.indirect, self.direct)
+        write!(
+            f,
+            "{}@{}: {} -> {}",
+            self.function, self.stmt, self.indirect, self.direct
+        )
     }
 }
 
@@ -49,7 +53,9 @@ fn replacement_for(
     result: &mut AnalysisResult,
     occ: &IndirectRef,
 ) -> Option<Replacement> {
-    let VarRef::Deref { path, shift, after } = &occ.r else { return None };
+    let VarRef::Deref { path, shift, after } = &occ.r else {
+        return None;
+    };
     // Only plain `*p` / `(*p).f` shapes replace cleanly.
     if *shift != pta_simple::IdxClass::Zero {
         return None;
@@ -71,7 +77,9 @@ fn replacement_for(
         .targets(ptr_locs[0].0)
         .filter(|(t, _)| !result.locs.is_null(*t))
         .collect();
-    let [(t, Def::D)] = targets[..] else { return None };
+    let [(t, Def::D)] = targets[..] else {
+        return None;
+    };
     if result.locs.is_symbolic(t) || result.locs.is_heap(t) || result.locs.is_summary(t) {
         return None;
     }
@@ -109,22 +117,22 @@ mod tests {
     #[test]
     fn definite_single_target_is_replaceable() {
         let reps = run("int x; int main(void){ int *p; int v; p = &x; v = *p; return v; }");
-        assert!(reps.iter().any(|r| r.indirect == "*p" && r.direct == "x"), "{reps:?}");
+        assert!(
+            reps.iter().any(|r| r.indirect == "*p" && r.direct == "x"),
+            "{reps:?}"
+        );
     }
 
     #[test]
     fn possible_target_is_not_replaceable() {
-        let reps = run(
-            "int x, y, c;
-             int main(void){ int *p; int v; if (c) p = &x; else p = &y; v = *p; return v; }",
-        );
+        let reps = run("int x, y, c;
+             int main(void){ int *p; int v; if (c) p = &x; else p = &y; v = *p; return v; }");
         assert!(reps.is_empty(), "{reps:?}");
     }
 
     #[test]
     fn heap_target_is_not_replaceable() {
-        let reps =
-            run("int main(void){ int *p; int v; p = (int*) malloc(4); v = *p; return v; }");
+        let reps = run("int main(void){ int *p; int v; p = (int*) malloc(4); v = *p; return v; }");
         assert!(reps.is_empty(), "{reps:?}");
     }
 
@@ -133,10 +141,8 @@ mod tests {
         // Inside f, p definitely points to the invisible variable 1_p —
         // the paper's footnote: replacement cannot be done for
         // invisibles.
-        let reps = run(
-            "int f(int *p){ return *p; }
-             int main(void){ int x; return f(&x); }",
-        );
+        let reps = run("int f(int *p){ return *p; }
+             int main(void){ int x; return f(&x); }");
         assert!(
             !reps.iter().any(|r| r.function == "f"),
             "invisible replaced: {reps:?}"
@@ -145,10 +151,8 @@ mod tests {
 
     #[test]
     fn field_replacement_through_definite_pointer() {
-        let reps = run(
-            "struct s { int v; int w; };
-             int main(void){ struct s t; struct s *p; int a; p = &t; a = p->v; return a; }",
-        );
+        let reps = run("struct s { int v; int w; };
+             int main(void){ struct s t; struct s *p; int a; p = &t; a = p->v; return a; }");
         assert!(
             reps.iter().any(|r| r.direct == "t.v"),
             "expected t.v replacement: {reps:?}"

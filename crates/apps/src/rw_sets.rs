@@ -53,10 +53,7 @@ pub fn stmt_rw_sets(ir: &IrProgram, result: &mut AnalysisResult) -> BTreeMap<Stm
 
 /// Aggregates statement sets per function (direct effects only; callee
 /// effects are visible through the per-statement sets of the callee).
-pub fn function_rw_sets(
-    ir: &IrProgram,
-    result: &mut AnalysisResult,
-) -> BTreeMap<String, RwSets> {
+pub fn function_rw_sets(ir: &IrProgram, result: &mut AnalysisResult) -> BTreeMap<String, RwSets> {
     let per_stmt = stmt_rw_sets(ir, result);
     let mut out: BTreeMap<String, RwSets> = BTreeMap::new();
     for (_, f) in ir.defined_functions() {
@@ -82,7 +79,11 @@ fn basic_rw(
     let mut rw = RwSets::default();
     let write = |result: &mut AnalysisResult, rw: &mut RwSets, r: &VarRef| {
         let ls = {
-            let mut env = pta_core::lvalue::RefEnv { ir, func, locs: &mut result.locs };
+            let mut env = pta_core::lvalue::RefEnv {
+                ir,
+                func,
+                locs: &mut result.locs,
+            };
             env.l_locations(&set, r)
         };
         if let [(l, Def::D)] = ls[..] {
@@ -97,7 +98,11 @@ fn basic_rw(
         // and reading through a pointer also reads the pointer itself.
         if let VarRef::Deref { path, .. } = r {
             let pl = {
-                let mut env = pta_core::lvalue::RefEnv { ir, func, locs: &mut result.locs };
+                let mut env = pta_core::lvalue::RefEnv {
+                    ir,
+                    func,
+                    locs: &mut result.locs,
+                };
                 env.path_locs(path)
             };
             for (l, _) in pl {
@@ -105,7 +110,11 @@ fn basic_rw(
             }
         }
         let ls = {
-            let mut env = pta_core::lvalue::RefEnv { ir, func, locs: &mut result.locs };
+            let mut env = pta_core::lvalue::RefEnv {
+                ir,
+                func,
+                locs: &mut result.locs,
+            };
             env.l_locations(&set, r)
         };
         for (l, _) in ls {
@@ -119,8 +128,11 @@ fn basic_rw(
             // inside still reads the pointer.
             Operand::AddrOf(VarRef::Deref { path, .. }) => {
                 let pl = {
-                    let mut env =
-                        pta_core::lvalue::RefEnv { ir, func, locs: &mut result.locs };
+                    let mut env = pta_core::lvalue::RefEnv {
+                        ir,
+                        func,
+                        locs: &mut result.locs,
+                    };
                     env.path_locs(path)
                 };
                 for (l, _) in pl {
@@ -152,7 +164,9 @@ fn basic_rw(
             read_op(result, &mut rw, size);
             write(result, &mut rw, lhs);
         }
-        BasicStmt::Call { lhs, target, args, .. } => {
+        BasicStmt::Call {
+            lhs, target, args, ..
+        } => {
             if let CallTarget::Indirect(r) = target {
                 read_ref(result, &mut rw, r);
             }
@@ -176,10 +190,7 @@ fn basic_rw(
 /// include the effects of everything it (transitively) calls, with
 /// callee-scoped locations (locals, temporaries, symbolic names)
 /// filtered out at the boundary — the caller-visible side effects.
-pub fn modref_summaries(
-    ir: &IrProgram,
-    result: &mut AnalysisResult,
-) -> BTreeMap<String, RwSets> {
+pub fn modref_summaries(ir: &IrProgram, result: &mut AnalysisResult) -> BTreeMap<String, RwSets> {
     let direct = function_rw_sets(ir, result);
     let cg = crate::call_graph::call_graph(ir, result);
     // Iterate to a fixed point over the (possibly cyclic) call graph.
@@ -249,7 +260,9 @@ mod tests {
     }
 
     fn names(t: &pta_core::Pta, s: &BTreeSet<LocId>) -> Vec<String> {
-        s.iter().map(|l| t.result.locs.name(*l).to_owned()).collect()
+        s.iter()
+            .map(|l| t.result.locs.name(*l).to_owned())
+            .collect()
     }
 
     #[test]
@@ -276,22 +289,22 @@ mod tests {
 
     #[test]
     fn possible_targets_are_may_writes_only() {
-        let (t, sets) = run(
-            "int x, y, c;
-             int main(void){ int *p; if (c) p = &x; else p = &y; *p = 1; return 0; }",
-        );
+        let (t, sets) = run("int x, y, c;
+             int main(void){ int *p; if (c) p = &x; else p = &y; *p = 1; return 0; }");
         let store = t.find_stmt("main", "*p = 1", 0).unwrap();
         let rw = &sets[&store];
         let w = names(&t, &rw.writes);
-        assert!(w.contains(&"x".to_string()) && w.contains(&"y".to_string()), "{w:?}");
+        assert!(
+            w.contains(&"x".to_string()) && w.contains(&"y".to_string()),
+            "{w:?}"
+        );
         assert!(rw.must_writes.is_empty());
     }
 
     #[test]
     fn conflict_detection() {
-        let (t, sets) = run(
-            "int x; int main(void){ int *p; int v; p = &x; *p = 1; v = x; return v; }",
-        );
+        let (t, sets) =
+            run("int x; int main(void){ int *p; int v; p = &x; *p = 1; v = x; return v; }");
         let store = t.find_stmt("main", "*p = 1", 0).unwrap();
         let load = t.find_stmt("main", "v = x", 0).unwrap();
         assert!(sets[&store].conflicts_with(&sets[&load]));
@@ -308,7 +321,9 @@ mod tests {
     }
 
     fn names_set(t: &pta_core::Pta, s: &BTreeSet<LocId>) -> Vec<String> {
-        s.iter().map(|l| t.result.locs.name(*l).to_owned()).collect()
+        s.iter()
+            .map(|l| t.result.locs.name(*l).to_owned())
+            .collect()
     }
 
     #[test]
@@ -321,7 +336,10 @@ mod tests {
         let ir = t.ir.clone();
         let sums = modref_summaries(&ir, &mut t.result);
         let mid_w = names_set(&t, &sums["mid"].writes);
-        assert!(mid_w.contains(&"g".to_string()), "mid writes g transitively: {mid_w:?}");
+        assert!(
+            mid_w.contains(&"g".to_string()),
+            "mid writes g transitively: {mid_w:?}"
+        );
         assert!(mid_w.contains(&"h".to_string()), "{mid_w:?}");
         let main_w = names_set(&t, &sums["main"].writes);
         assert!(main_w.contains(&"g".to_string()) && main_w.contains(&"h".to_string()));
@@ -337,7 +355,10 @@ mod tests {
         let sums = modref_summaries(&ir, &mut t.result);
         let main_w = names_set(&t, &sums["main"].writes);
         assert!(main_w.contains(&"g".to_string()), "{main_w:?}");
-        assert!(!main_w.contains(&"local".to_string()), "callee local leaked: {main_w:?}");
+        assert!(
+            !main_w.contains(&"local".to_string()),
+            "callee local leaked: {main_w:?}"
+        );
     }
 
     #[test]

@@ -20,23 +20,17 @@ fn bench_livc(c: &mut Criterion) {
     });
     g.bench_function("all_functions", |bench| {
         bench.iter(|| {
-            let g2 = build_ig_with_strategy(
-                black_box(&ir),
-                CallGraphStrategy::AllFunctions,
-                2_000_000,
-            )
-            .expect("builds");
+            let g2 =
+                build_ig_with_strategy(black_box(&ir), CallGraphStrategy::AllFunctions, 2_000_000)
+                    .expect("builds");
             black_box(g2.len())
         })
     });
     g.bench_function("address_taken", |bench| {
         bench.iter(|| {
-            let g2 = build_ig_with_strategy(
-                black_box(&ir),
-                CallGraphStrategy::AddressTaken,
-                2_000_000,
-            )
-            .expect("builds");
+            let g2 =
+                build_ig_with_strategy(black_box(&ir), CallGraphStrategy::AddressTaken, 2_000_000)
+                    .expect("builds");
             black_box(g2.len())
         })
     });

@@ -45,5 +45,10 @@ fn bench_full_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_frontend, bench_simplifier, bench_full_pipeline);
+criterion_group!(
+    benches,
+    bench_frontend,
+    bench_simplifier,
+    bench_full_pipeline
+);
 criterion_main!(benches);

@@ -18,9 +18,8 @@ pub fn chain_program(n: usize) -> String {
 /// Synthesizes a program with `n` call sites of one shared helper
 /// (stresses memoization and invocation-graph growth).
 pub fn fanout_program(n: usize) -> String {
-    let mut out = String::from(
-        "int x;\nvoid set(int **p, int *v) { *p = v; }\n int main(void) {\n",
-    );
+    let mut out =
+        String::from("int x;\nvoid set(int **p, int *v) { *p = v; }\n int main(void) {\n");
     for i in 0..n {
         out.push_str(&format!("    int *p{i};\n"));
     }
@@ -44,7 +43,9 @@ pub fn dispatch_program(n: usize) -> String {
         }
         out.push_str(&format!("h{i}"));
     }
-    out.push_str("};\nint k;\nint main(void) { void (*fp)(void); fp = table[k]; fp(); return 0; }\n");
+    out.push_str(
+        "};\nint k;\nint main(void) { void (*fp)(void); fp = table[k]; fp(); return 0; }\n",
+    );
     out
 }
 

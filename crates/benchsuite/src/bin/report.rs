@@ -2,60 +2,167 @@
 //! paper. Usage:
 //!
 //! ```text
-//! report [table2|table3|table4|table5|table6|livc|ablation|heap-sites|summary|all]
+//! report [SECTION] [--jobs N] [--timings] [--json PATH]
+//!
+//! SECTION: table2|table3|table4|table5|table6|livc|ablation|
+//!          heap-sites|summary|all        (default: all)
+//! --jobs N    worker threads (default: available parallelism; 1 = serial)
+//! --timings   append the per-benchmark timing table (suite sections only)
+//! --json PATH write suite timings as JSON (the CI bench artifact)
 //! ```
+//!
+//! Tables 2–6 are byte-identical for every `--jobs` value; timings are
+//! kept out of them and shown only on request.
 
 use pta_benchsuite::report;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let mut section: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut timings = false;
+    let mut json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<usize>() {
+                    Ok(n) => jobs = Some(n.max(1)),
+                    Err(_) => die(&format!("--jobs expects a number, got `{v}`")),
+                }
+            }
+            "--timings" => timings = true,
+            "--json" => match args.next() {
+                Some(p) => json = Some(p),
+                None => die("--json expects a file path"),
+            },
+            s if s.starts_with('-') => die(&format!("unknown flag `{s}`")),
+            s => section = Some(s.to_owned()),
+        }
+    }
+    const SECTIONS: &[&str] = &[
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "summary",
+        "livc",
+        "heap-sites",
+        "ablation",
+        "all",
+    ];
+    if let Some(s) = &section {
+        if !SECTIONS.contains(&s.as_str()) {
+            die(&format!(
+                "unknown section `{s}` (expected one of: {})",
+                SECTIONS.join(", ")
+            ));
+        }
+    }
+    let jobs = jobs.unwrap_or_else(pta_benchsuite::default_jobs);
+    let arg = section.unwrap_or_else(|| "all".to_owned());
     let want = |s: &str| arg == s || arg == "all";
 
-    if want("table2")
+    let suite_wanted = want("table2")
         || want("table3")
         || want("table4")
         || want("table5")
         || want("table6")
         || want("summary")
-    {
-        let suite = report::run_suite().expect("suite analyses cleanly");
+        || timings
+        || json.is_some();
+    if suite_wanted {
+        let suite = report::run_suite_jobs(jobs).expect("suite analyses cleanly");
         if want("table2") {
-            println!("== Table 2: benchmark characteristics ==\n{}", suite.table2());
+            println!(
+                "== Table 2: benchmark characteristics ==\n{}",
+                suite.table2()
+            );
         }
         if want("table3") {
-            println!("== Table 3: points-to statistics for indirect references ==\n{}", suite.table3());
+            println!(
+                "== Table 3: points-to statistics for indirect references ==\n{}",
+                suite.table3()
+            );
         }
         if want("table4") {
-            println!("== Table 4: categorization of points-to info used by indirect refs ==\n{}", suite.table4());
+            println!(
+                "== Table 4: categorization of points-to info used by indirect refs ==\n{}",
+                suite.table4()
+            );
         }
         if want("table5") {
-            println!("== Table 5: general points-to statistics ==\n{}", suite.table5());
+            println!(
+                "== Table 5: general points-to statistics ==\n{}",
+                suite.table5()
+            );
         }
         if want("table6") {
-            println!("== Table 6: invocation graph statistics ==\n{}", suite.table6());
+            println!(
+                "== Table 6: invocation graph statistics ==\n{}",
+                suite.table6()
+            );
         }
         if want("summary") {
             let s = suite.summary();
             println!("== Section 6 headline aggregates ==");
             println!("indirect references:           {}", s.ind_refs);
-            println!("overall avg targets/ref:       {:.2}  (paper: 1.13)", s.overall_avg);
-            println!("% definite single target:      {:.2}% (paper: 28.80%)", s.pct_definite);
-            println!("% at most one non-NULL target: {:.2}% (paper: 90.76%)", s.pct_single);
-            println!("% replaceable by direct ref:   {:.2}% (paper: 19.39%)", s.pct_replaceable);
-            println!("% pairs targeting the heap:    {:.2}% (paper: 27.92%)", s.pct_heap);
+            println!(
+                "overall avg targets/ref:       {:.2}  (paper: 1.13)",
+                s.overall_avg
+            );
+            println!(
+                "% definite single target:      {:.2}% (paper: 28.80%)",
+                s.pct_definite
+            );
+            println!(
+                "% at most one non-NULL target: {:.2}% (paper: 90.76%)",
+                s.pct_single
+            );
+            println!(
+                "% replaceable by direct ref:   {:.2}% (paper: 19.39%)",
+                s.pct_replaceable
+            );
+            println!(
+                "% pairs targeting the heap:    {:.2}% (paper: 27.92%)",
+                s.pct_heap
+            );
             println!();
+        }
+        if timings {
+            println!(
+                "== Suite timings (wall clock; not part of the tables) ==\n{}",
+                suite.timings_table()
+            );
+        }
+        if let Some(path) = &json {
+            std::fs::write(path, suite.timings_json())
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            eprintln!("wrote timings to {path}");
         }
     }
     if want("livc") {
-        let s = report::livc_study().expect("livc analyses cleanly");
+        let s = report::livc_study_jobs(jobs).expect("livc analyses cleanly");
         println!("== livc function-pointer study ==\n{}", s.render());
     }
     if want("heap-sites") {
-        let rows = report::heap_site_ablation().expect("heap-site ablation runs");
-        println!("== Allocation-site heap extension (E12) ==\n{}", report::render_heap_sites(&rows));
+        let rows = report::heap_site_ablation_jobs(jobs).expect("heap-site ablation runs");
+        println!(
+            "== Allocation-site heap extension (E12) ==\n{}",
+            report::render_heap_sites(&rows)
+        );
     }
     if want("ablation") {
-        let rows = report::ablation().expect("ablation analyses cleanly");
-        println!("== Context-sensitivity ablation ==\n{}", report::render_ablation(&rows));
+        let rows = report::ablation_jobs(jobs).expect("ablation analyses cleanly");
+        println!(
+            "== Context-sensitivity ablation ==\n{}",
+            report::render_ablation(&rows)
+        );
     }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("report: {msg}");
+    std::process::exit(2);
 }

@@ -9,7 +9,10 @@
 //! described with (see `DESIGN.md`). Absolute counts differ from the
 //! paper; trends are preserved and recorded in `EXPERIMENTS.md`.
 
+pub mod parallel;
 pub mod report;
+
+pub use parallel::default_jobs;
 
 use pta_core::{AnalysisConfig, AnalysisResult, PtaError};
 use pta_simple::IrProgram;
@@ -37,23 +40,41 @@ macro_rules! bench {
 
 /// The seventeen Table 2 benchmarks, in the paper's order.
 pub const SUITE: &[Benchmark] = &[
-    bench!("genetic", "Implementation of a genetic algorithm for sorting."),
+    bench!(
+        "genetic",
+        "Implementation of a genetic algorithm for sorting."
+    ),
     bench!("dry", "Dhrystone benchmark."),
     bench!("clinpack", "The C version of Linpack."),
     bench!("config", "Checks all the features of the C-language."),
     bench!("toplev", "The top level of a C compiler driver."),
     bench!("compress", "UNIX utility program."),
-    bench!("mway", "A unified version of the best algorithms for m-way partitioning."),
+    bench!(
+        "mway",
+        "A unified version of the best algorithms for m-way partitioning."
+    ),
     bench!("hash", "An implementation of a hash table."),
     bench!("misr", "Creates two MISRs and compares their signatures."),
-    bench!("xref", "A cross-reference program to build a tree of items."),
+    bench!(
+        "xref",
+        "A cross-reference program to build a tree of items."
+    ),
     bench!("stanford", "Stanford baby benchmark."),
     bench!("fixoutput", "A simple translator."),
     bench!("sim", "Finds local similarities with affine weights."),
-    bench!("travel", "Implements Traveling Salesman Problem with greedy heuristics."),
+    bench!(
+        "travel",
+        "Implements Traveling Salesman Problem with greedy heuristics."
+    ),
     bench!("csuite", "Part of test suite for vectorizing C compilers."),
-    bench!("msc", "Calculates the min spanning circle of a set of n points."),
-    bench!("lws", "Implements dynamic simulation of flexible water molecule."),
+    bench!(
+        "msc",
+        "Calculates the min spanning circle of a set of n points."
+    ),
+    bench!(
+        "lws",
+        "Implements dynamic simulation of flexible water molecule."
+    ),
 ];
 
 /// The `livc` function-pointer case study (§6).
@@ -122,8 +143,23 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "genetic", "dry", "clinpack", "config", "toplev", "compress", "mway", "hash",
-                "misr", "xref", "stanford", "fixoutput", "sim", "travel", "csuite", "msc", "lws",
+                "genetic",
+                "dry",
+                "clinpack",
+                "config",
+                "toplev",
+                "compress",
+                "mway",
+                "hash",
+                "misr",
+                "xref",
+                "stanford",
+                "fixoutput",
+                "sim",
+                "travel",
+                "csuite",
+                "msc",
+                "lws",
             ]
         );
     }

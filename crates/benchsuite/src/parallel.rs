@@ -1,0 +1,149 @@
+//! A tiny deterministic parallel driver over `std::thread::scope`.
+//!
+//! The suite programs are independent, so the report harness fans them
+//! out over a fixed pool of scoped worker threads pulling indices from
+//! one atomic counter (work stealing without a dependency). Results are
+//! reassembled in input order, so every table renders byte-identically
+//! to a single-threaded run — `--jobs 1` forces the serial path
+//! outright, which the test suite uses to prove it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism (1 when it cannot be queried).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item, running up to `jobs` scoped workers.
+/// Results come back in input order regardless of completion order.
+/// `jobs <= 1` runs strictly sequentially on the calling thread.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("suite worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs three independent closures, concurrently when `jobs > 1`.
+pub fn par_join3<A, B, C>(
+    jobs: usize,
+    fa: impl FnOnce() -> A + Send,
+    fb: impl FnOnce() -> B + Send,
+    fc: impl FnOnce() -> C + Send,
+) -> (A, B, C)
+where
+    A: Send,
+    B: Send,
+    C: Send,
+{
+    if jobs <= 1 {
+        return (fa(), fb(), fc());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(fb);
+        let hc = s.spawn(fc);
+        let a = fa();
+        (
+            a,
+            hb.join().expect("worker panicked"),
+            hc.join().expect("worker panicked"),
+        )
+    })
+}
+
+/// Runs four independent closures, concurrently when `jobs > 1` (the
+/// E11 ablation evaluates the context-sensitive analysis and three
+/// baselines of one benchmark this way).
+pub fn par_join4<A, B, C, D>(
+    jobs: usize,
+    fa: impl FnOnce() -> A + Send,
+    fb: impl FnOnce() -> B + Send,
+    fc: impl FnOnce() -> C + Send,
+    fd: impl FnOnce() -> D + Send,
+) -> (A, B, C, D)
+where
+    A: Send,
+    B: Send,
+    C: Send,
+    D: Send,
+{
+    if jobs <= 1 {
+        return (fa(), fb(), fc(), fd());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(fb);
+        let hc = s.spawn(fc);
+        let hd = s.spawn(fd);
+        let a = fa();
+        (
+            a,
+            hb.join().expect("worker panicked"),
+            hc.join().expect("worker panicked"),
+            hd.join().expect("worker panicked"),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = par_map(1, &items, |&x| x * x);
+        let parallel = par_map(8, &items, |&x| x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[7], 49);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map(4, &[5u32], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn par_joins_agree_with_serial() {
+        let (a, b, c) = par_join3(4, || 1, || "two", || 3.0);
+        assert_eq!((a, b, c), (1, "two", 3.0));
+        let (a, b, c, d) = par_join4(4, || 1u8, || 2u16, || 3u32, || 4u64);
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+        let (a, b, c, d) = par_join4(1, || 1u8, || 2u16, || 3u32, || 4u64);
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! The parallel suite driver must be invisible in the results: every
+//! rendered table and every computed study is byte-identical whether
+//! the work runs on one worker or many.
+
+use pta_benchsuite::report;
+
+#[test]
+fn tables_are_byte_identical_across_job_counts() {
+    let serial = report::run_suite_jobs(1).expect("serial suite");
+    let parallel = report::run_suite_jobs(4).expect("parallel suite");
+    assert_eq!(serial.table2(), parallel.table2(), "Table 2 differs");
+    assert_eq!(serial.table3(), parallel.table3(), "Table 3 differs");
+    assert_eq!(serial.table4(), parallel.table4(), "Table 4 differs");
+    assert_eq!(serial.table5(), parallel.table5(), "Table 5 differs");
+    assert_eq!(serial.table6(), parallel.table6(), "Table 6 differs");
+    assert_eq!(serial.summary(), parallel.summary(), "summary differs");
+    // Timings exist for every benchmark, in paper order, on both paths.
+    let names =
+        |r: &report::SuiteReport| r.timings.iter().map(|t| t.name.clone()).collect::<Vec<_>>();
+    assert_eq!(names(&serial), names(&parallel));
+    assert_eq!(serial.rows.len(), serial.timings.len());
+}
+
+#[test]
+fn livc_study_is_job_count_independent() {
+    let serial = report::livc_study_jobs(1).expect("serial livc");
+    let parallel = report::livc_study_jobs(3).expect("parallel livc");
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.render(), parallel.render());
+}
+
+#[test]
+fn ablation_is_job_count_independent() {
+    let serial = report::ablation_jobs(1).expect("serial ablation");
+    let parallel = report::ablation_jobs(4).expect("parallel ablation");
+    assert_eq!(serial, parallel);
+    assert_eq!(
+        report::render_ablation(&serial),
+        report::render_ablation(&parallel)
+    );
+}
+
+#[test]
+fn heap_site_ablation_is_job_count_independent() {
+    let serial = report::heap_site_ablation_jobs(1).expect("serial heap sites");
+    let parallel = report::heap_site_ablation_jobs(4).expect("parallel heap sites");
+    assert_eq!(serial, parallel);
+}

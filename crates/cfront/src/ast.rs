@@ -129,7 +129,11 @@ pub struct Expr {
 impl Expr {
     /// Creates an untyped expression.
     pub fn new(kind: ExprKind, span: Span) -> Self {
-        Expr { kind, span, ty: None }
+        Expr {
+            kind,
+            span,
+            ty: None,
+        }
     }
 
     /// The type of this expression.
@@ -138,7 +142,9 @@ impl Expr {
     ///
     /// Panics if semantic analysis has not run.
     pub fn ty(&self) -> &Type {
-        self.ty.as_ref().expect("expression type not computed; run sema first")
+        self.ty
+            .as_ref()
+            .expect("expression type not computed; run sema first")
     }
 }
 

@@ -35,7 +35,11 @@ pub struct Builtin {
 }
 
 fn sig(ret: Type, params: Vec<Type>, variadic: bool) -> FuncSig {
-    FuncSig { ret, params, variadic }
+    FuncSig {
+        ret,
+        params,
+        variadic,
+    }
 }
 
 fn vp() -> Type {
@@ -49,11 +53,23 @@ fn cp() -> Type {
 /// The table of modelled externals.
 pub fn builtins() -> Vec<Builtin> {
     use ExternEffect::*;
-    let b = |name, s, effect| Builtin { name, sig: s, effect };
+    let b = |name, s, effect| Builtin {
+        name,
+        sig: s,
+        effect,
+    };
     vec![
         b("malloc", sig(vp(), vec![Type::Int], false), ReturnsHeap),
-        b("calloc", sig(vp(), vec![Type::Int, Type::Int], false), ReturnsHeap),
-        b("realloc", sig(vp(), vec![vp(), Type::Int], false), ReturnsHeap),
+        b(
+            "calloc",
+            sig(vp(), vec![Type::Int, Type::Int], false),
+            ReturnsHeap,
+        ),
+        b(
+            "realloc",
+            sig(vp(), vec![vp(), Type::Int], false),
+            ReturnsHeap,
+        ),
         b("free", sig(Type::Void, vec![vp()], false), Free),
         b("exit", sig(Type::Void, vec![Type::Int], false), NoReturn),
         b("abort", sig(Type::Void, vec![], false), NoReturn),
@@ -70,16 +86,44 @@ pub fn builtins() -> Vec<Builtin> {
         b("putc", sig(Type::Int, vec![Type::Int, vp()], false), None),
         b("fopen", sig(vp(), vec![cp(), cp()], false), ReturnsHeap),
         b("fclose", sig(Type::Int, vec![vp()], false), None),
-        b("fgets", sig(cp(), vec![cp(), Type::Int, vp()], false), ReturnsFirstArg),
+        b(
+            "fgets",
+            sig(cp(), vec![cp(), Type::Int, vp()], false),
+            ReturnsFirstArg,
+        ),
         b("gets", sig(cp(), vec![cp()], false), ReturnsFirstArg),
-        b("strcpy", sig(cp(), vec![cp(), cp()], false), ReturnsFirstArg),
-        b("strncpy", sig(cp(), vec![cp(), cp(), Type::Int], false), ReturnsFirstArg),
-        b("strcat", sig(cp(), vec![cp(), cp()], false), ReturnsFirstArg),
+        b(
+            "strcpy",
+            sig(cp(), vec![cp(), cp()], false),
+            ReturnsFirstArg,
+        ),
+        b(
+            "strncpy",
+            sig(cp(), vec![cp(), cp(), Type::Int], false),
+            ReturnsFirstArg,
+        ),
+        b(
+            "strcat",
+            sig(cp(), vec![cp(), cp()], false),
+            ReturnsFirstArg,
+        ),
         b("strcmp", sig(Type::Int, vec![cp(), cp()], false), None),
-        b("strncmp", sig(Type::Int, vec![cp(), cp(), Type::Int], false), None),
+        b(
+            "strncmp",
+            sig(Type::Int, vec![cp(), cp(), Type::Int], false),
+            None,
+        ),
         b("strlen", sig(Type::Int, vec![cp()], false), None),
-        b("memset", sig(vp(), vec![vp(), Type::Int, Type::Int], false), ReturnsFirstArg),
-        b("memcpy", sig(vp(), vec![vp(), vp(), Type::Int], false), ReturnsFirstArg),
+        b(
+            "memset",
+            sig(vp(), vec![vp(), Type::Int, Type::Int], false),
+            ReturnsFirstArg,
+        ),
+        b(
+            "memcpy",
+            sig(vp(), vec![vp(), vp(), Type::Int], false),
+            ReturnsFirstArg,
+        ),
         b("atoi", sig(Type::Int, vec![cp()], false), None),
         b("atof", sig(Type::Double, vec![cp()], false), None),
         b("abs", sig(Type::Int, vec![Type::Int], false), None),
@@ -95,8 +139,16 @@ pub fn builtins() -> Vec<Builtin> {
         b("cos", sig(Type::Double, vec![Type::Double], false), None),
         b("tan", sig(Type::Double, vec![Type::Double], false), None),
         b("atan", sig(Type::Double, vec![Type::Double], false), None),
-        b("atan2", sig(Type::Double, vec![Type::Double, Type::Double], false), None),
-        b("pow", sig(Type::Double, vec![Type::Double, Type::Double], false), None),
+        b(
+            "atan2",
+            sig(Type::Double, vec![Type::Double, Type::Double], false),
+            None,
+        ),
+        b(
+            "pow",
+            sig(Type::Double, vec![Type::Double, Type::Double], false),
+            None,
+        ),
         b("exp", sig(Type::Double, vec![Type::Double], false), None),
         b("log", sig(Type::Double, vec![Type::Double], false), None),
         b("log10", sig(Type::Double, vec![Type::Double], false), None),
@@ -110,7 +162,10 @@ pub fn builtins() -> Vec<Builtin> {
 
 /// Looks up the effect class of a modelled external by name.
 pub fn extern_effect(name: &str) -> Option<ExternEffect> {
-    builtins().into_iter().find(|b| b.name == name).map(|b| b.effect)
+    builtins()
+        .into_iter()
+        .find(|b| b.name == name)
+        .map(|b| b.effect)
 }
 
 #[cfg(test)]

@@ -37,7 +37,11 @@ pub struct FrontendError {
 impl FrontendError {
     /// Creates a new error for the given phase.
     pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> Self {
-        FrontendError { phase, span, message: message.into() }
+        FrontendError {
+            phase,
+            span,
+            message: message.into(),
+        }
     }
 
     /// The phase that produced the error.

@@ -28,7 +28,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(source: &'a str) -> Self {
-        Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn run(mut self) -> Result<Vec<Token>> {
@@ -168,7 +173,10 @@ impl<'a> Lexer<'a> {
                 self.bump();
             }
             if self.pos == hex_start {
-                return Err(lex_err(start_span, "hex literal requires at least one digit"));
+                return Err(lex_err(
+                    start_span,
+                    "hex literal requires at least one digit",
+                ));
             }
             let text = std::str::from_utf8(&self.src[hex_start..self.pos]).expect("ascii");
             let value = i64::from_str_radix(text, 16)
@@ -212,15 +220,19 @@ impl<'a> Lexer<'a> {
             i64::from_str_radix(&text[1..], 8)
                 .map_err(|_| lex_err(start_span, format!("malformed octal literal `{text}`")))?
         } else {
-            text.parse::<i64>()
-                .map_err(|_| lex_err(start_span, format!("integer literal out of range `{text}`")))?
+            text.parse::<i64>().map_err(|_| {
+                lex_err(start_span, format!("integer literal out of range `{text}`"))
+            })?
         };
         self.skip_int_suffix();
         Ok(TokenKind::IntLit(value))
     }
 
     fn skip_int_suffix(&mut self) {
-        while matches!(self.peek(), Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')) {
+        while matches!(
+            self.peek(),
+            Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')
+        ) {
             self.bump();
         }
     }
@@ -243,7 +255,10 @@ impl<'a> Lexer<'a> {
             b'f' => 12,
             b'v' => 11,
             other => {
-                return Err(lex_err(span, format!("unknown escape `\\{}`", other as char)));
+                return Err(lex_err(
+                    span,
+                    format!("unknown escape `\\{}`", other as char),
+                ));
             }
         })
     }
@@ -405,7 +420,10 @@ impl<'a> Lexer<'a> {
                 }
             }
             other => {
-                return Err(lex_err(span, format!("unexpected character `{}`", other as char)));
+                return Err(lex_err(
+                    span,
+                    format!("unexpected character `{}`", other as char),
+                ));
             }
         };
         Ok(TokenKind::Punct(p))
@@ -417,7 +435,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src).expect("lex ok").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -453,11 +475,14 @@ mod tests {
 
     #[test]
     fn lex_int_suffixes() {
-        assert_eq!(kinds("10L 10UL 7u")[..3], [
-            TokenKind::IntLit(10),
-            TokenKind::IntLit(10),
-            TokenKind::IntLit(7)
-        ]);
+        assert_eq!(
+            kinds("10L 10UL 7u")[..3],
+            [
+                TokenKind::IntLit(10),
+                TokenKind::IntLit(10),
+                TokenKind::IntLit(7)
+            ]
+        );
     }
 
     #[test]

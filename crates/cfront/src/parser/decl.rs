@@ -159,7 +159,9 @@ impl Parser {
                     }
                     Ok(Type::Struct(id))
                 }
-                None => Ok(Type::Struct(self.program.structs.add_anon(is_union, fields))),
+                None => Ok(Type::Struct(
+                    self.program.structs.add_anon(is_union, fields),
+                )),
             }
         } else {
             match tag {
@@ -298,7 +300,11 @@ impl Parser {
             let (name, sp, ty) = d.apply(base);
             // Parameters of array/function type decay.
             let ty = ty.decay();
-            params.push(Param { name: name.unwrap_or_default(), ty, span: sp });
+            params.push(Param {
+                name: name.unwrap_or_default(),
+                ty,
+                span: sp,
+            });
             if !self.eat_punct(Punct::Comma) {
                 break;
             }
@@ -335,11 +341,17 @@ impl Parser {
         // type (including pointer / function-pointer returns).
         let (_, _, full_ty) = d.apply(base);
         let Type::Func(sig) = full_ty else {
-            return Err(parse_err(sp, format!("`{name}` does not declare a function")));
+            return Err(parse_err(
+                sp,
+                format!("`{name}` does not declare a function"),
+            ));
         };
         for p in &params {
             if p.name.is_empty() {
-                return Err(parse_err(sp, format!("unnamed parameter in definition of `{name}`")));
+                return Err(parse_err(
+                    sp,
+                    format!("unnamed parameter in definition of `{name}`"),
+                ));
             }
         }
         self.expect_punct(Punct::LBrace)?;
@@ -371,7 +383,11 @@ impl Parser {
                     params: sig
                         .params
                         .iter()
-                        .map(|t| Param { name: String::new(), ty: t.clone(), span: sp })
+                        .map(|t| Param {
+                            name: String::new(),
+                            ty: t.clone(),
+                            span: sp,
+                        })
                         .collect(),
                     variadic: sig.variadic,
                     body: None,
@@ -385,7 +401,15 @@ impl Parser {
                 } else {
                     None
                 };
-                self.add_global(Global { name, ty, init, span: sp }, sp)?;
+                self.add_global(
+                    Global {
+                        name,
+                        ty,
+                        init,
+                        span: sp,
+                    },
+                    sp,
+                )?;
             }
             if !self.eat_punct(Punct::Comma) {
                 break;
@@ -397,10 +421,18 @@ impl Parser {
     }
 
     fn add_function(&mut self, func: Function, sp: Span) -> Result<()> {
-        if let Some(pos) = self.program.functions.iter().position(|f| f.name == func.name) {
+        if let Some(pos) = self
+            .program
+            .functions
+            .iter()
+            .position(|f| f.name == func.name)
+        {
             let existing = &self.program.functions[pos];
             if existing.is_definition() && func.is_definition() {
-                return Err(parse_err(sp, format!("redefinition of function `{}`", func.name)));
+                return Err(parse_err(
+                    sp,
+                    format!("redefinition of function `{}`", func.name),
+                ));
             }
             if func.is_definition() {
                 self.program.functions[pos] = func;
@@ -415,7 +447,10 @@ impl Parser {
         if let Some(pos) = self.program.globals.iter().position(|x| x.name == g.name) {
             let existing = &mut self.program.globals[pos];
             if existing.init.is_some() && g.init.is_some() {
-                return Err(parse_err(sp, format!("redefinition of global `{}`", g.name)));
+                return Err(parse_err(
+                    sp,
+                    format!("redefinition of global `{}`", g.name),
+                ));
             }
             if g.init.is_some() {
                 existing.init = g.init;
@@ -423,7 +458,10 @@ impl Parser {
             return Ok(());
         }
         if self.program.functions.iter().any(|f| f.name == g.name) {
-            return Err(parse_err(sp, format!("`{}` redeclared as a variable", g.name)));
+            return Err(parse_err(
+                sp,
+                format!("`{}` redeclared as a variable", g.name),
+            ));
         }
         self.program.globals.push(g);
         Ok(())

@@ -39,7 +39,10 @@ impl Parser {
             self.bump();
             let rhs = self.assign_expr()?; // right-associative
             let span = lhs.span.to(rhs.span);
-            return Ok(Expr::new(ExprKind::Assign(Box::new(lhs), op, Box::new(rhs)), span));
+            return Ok(Expr::new(
+                ExprKind::Assign(Box::new(lhs), op, Box::new(rhs)),
+                span,
+            ));
         }
         Ok(lhs)
     }

@@ -38,7 +38,12 @@ pub(crate) struct Parser {
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0, program: Program::new(), enum_consts: BTreeMap::new() }
+        Parser {
+            tokens,
+            pos: 0,
+            program: Program::new(),
+            enum_consts: BTreeMap::new(),
+        }
     }
 
     fn translation_unit(&mut self) -> Result<()> {
@@ -115,7 +120,10 @@ impl Parser {
     }
 
     pub(crate) fn unexpected(&self, wanted: &str) -> FrontendError {
-        parse_err(self.span(), format!("expected {wanted}, found {}", self.peek().kind))
+        parse_err(
+            self.span(),
+            format!("expected {wanted}, found {}", self.peek().kind),
+        )
     }
 }
 
@@ -152,15 +160,22 @@ mod tests {
         let prog = p("int a, *b, c[4];");
         assert_eq!(prog.globals.len(), 3);
         assert_eq!(prog.globals[1].ty, Type::Int.ptr_to());
-        assert_eq!(prog.globals[2].ty, Type::Array(Box::new(Type::Int), Some(4)));
+        assert_eq!(
+            prog.globals[2].ty,
+            Type::Array(Box::new(Type::Int), Some(4))
+        );
     }
 
     #[test]
     fn parse_function_pointer_declarator() {
         let prog = p("int (*fp)(int, char*);");
         let ty = &prog.globals[0].ty;
-        let Type::Pointer(inner) = ty else { panic!("expected pointer, got {ty:?}") };
-        let Type::Func(sig) = inner.as_ref() else { panic!("expected function") };
+        let Type::Pointer(inner) = ty else {
+            panic!("expected pointer, got {ty:?}")
+        };
+        let Type::Func(sig) = inner.as_ref() else {
+            panic!("expected function")
+        };
         assert_eq!(sig.ret, Type::Int);
         assert_eq!(sig.params, vec![Type::Int, Type::Char.ptr_to()]);
         assert!(!sig.variadic);
@@ -172,7 +187,9 @@ mod tests {
         let Type::Array(elem, Some(24)) = &prog.globals[0].ty else {
             panic!("expected array[24]")
         };
-        let Type::Pointer(inner) = elem.as_ref() else { panic!("expected pointer") };
+        let Type::Pointer(inner) = elem.as_ref() else {
+            panic!("expected pointer")
+        };
         assert!(inner.is_func());
     }
 
@@ -192,7 +209,10 @@ mod tests {
         assert_eq!(prog.enum_consts["RED"], 0);
         assert_eq!(prog.enum_consts["GREEN"], 5);
         assert_eq!(prog.enum_consts["BLUE"], 6);
-        assert_eq!(prog.globals[0].ty, Type::Array(Box::new(Type::Int), Some(6)));
+        assert_eq!(
+            prog.globals[0].ty,
+            Type::Array(Box::new(Type::Int), Some(6))
+        );
     }
 
     #[test]
@@ -241,10 +261,13 @@ mod tests {
 
     #[test]
     fn parse_switch_arm_structure() {
-        let prog = p("int f(int x){ switch(x){ case 1: case 2: x=1; break; default: x=0; } return x; }");
+        let prog =
+            p("int f(int x){ switch(x){ case 1: case 2: x=1; break; default: x=0; } return x; }");
         let f = prog.function("f").unwrap().1;
         let body = f.body.as_ref().unwrap();
-        let StmtKind::Switch(_, arms) = &body[0].kind else { panic!("expected switch") };
+        let StmtKind::Switch(_, arms) = &body[0].kind else {
+            panic!("expected switch")
+        };
         assert_eq!(arms.len(), 2);
         assert_eq!(arms[0].labels, vec![Some(1), Some(2)]);
         assert_eq!(arms[1].labels, vec![None]);
@@ -257,8 +280,12 @@ mod tests {
         let StmtKind::Return(Some(e)) = &f.body.as_ref().unwrap()[0].kind else {
             panic!("expected return expr")
         };
-        let ExprKind::Cond(c, _, _) = &e.kind else { panic!("ternary at top") };
-        let ExprKind::Binary(BinaryOp::Eq, lhs, _) = &c.kind else { panic!("== below ?:") };
+        let ExprKind::Cond(c, _, _) = &e.kind else {
+            panic!("ternary at top")
+        };
+        let ExprKind::Binary(BinaryOp::Eq, lhs, _) = &c.kind else {
+            panic!("== below ?:")
+        };
         assert!(matches!(lhs.kind, ExprKind::Binary(BinaryOp::Add, _, _)));
     }
 
@@ -270,10 +297,8 @@ mod tests {
 
     #[test]
     fn parse_member_and_index_chains() {
-        let prog = p(
-            "struct s { int a[4]; struct s *next; };
-             int f(struct s *p){ return p->next->a[2] + (*p).a[0]; }",
-        );
+        let prog = p("struct s { int a[4]; struct s *next; };
+             int f(struct s *p){ return p->next->a[2] + (*p).a[0]; }");
         assert!(prog.function("f").unwrap().1.is_definition());
     }
 
@@ -281,7 +306,9 @@ mod tests {
     fn parse_global_initializers() {
         let prog = p("int a = 3; int t[3] = {1, 2, 3}; int *p = 0;");
         assert!(matches!(prog.globals[0].init, Some(Init::Expr(_))));
-        let Some(Init::List(items)) = &prog.globals[1].init else { panic!("list") };
+        let Some(Init::List(items)) = &prog.globals[1].init else {
+            panic!("list")
+        };
         assert_eq!(items.len(), 3);
     }
 

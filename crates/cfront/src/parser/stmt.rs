@@ -27,10 +27,12 @@ impl Parser {
             return self.local_declaration();
         }
         // Reject labels (goto-free subset): `ident :` not inside switch.
-        if matches!(self.peek().kind, TokenKind::Ident(_))
-            && self.peek_at(1).is_punct(Punct::Colon)
+        if matches!(self.peek().kind, TokenKind::Ident(_)) && self.peek_at(1).is_punct(Punct::Colon)
         {
-            return Err(parse_err(start, "labels/goto are not supported (structured subset)"));
+            return Err(parse_err(
+                start,
+                "labels/goto are not supported (structured subset)",
+            ));
         }
         match self.peek().kind {
             TokenKind::Punct(Punct::LBrace) => {
@@ -143,14 +145,23 @@ impl Parser {
                 return Err(parse_err(sp, "local declaration must declare a name"));
             };
             if ty.is_func() {
-                return Err(parse_err(sp, "local function declarations are not supported"));
+                return Err(parse_err(
+                    sp,
+                    "local function declarations are not supported",
+                ));
             }
             let init = if self.eat_punct(Punct::Assign) {
                 Some(self.initializer()?)
             } else {
                 None
             };
-            decls.push(LocalDecl { name, ty, init, local_id: None, span: sp });
+            decls.push(LocalDecl {
+                name,
+                ty,
+                init,
+                local_id: None,
+                span: sp,
+            });
             if !self.eat_punct(Punct::Comma) {
                 break;
             }
@@ -203,7 +214,11 @@ impl Parser {
                 }
                 stmts.push(self.statement()?);
             }
-            arms.push(SwitchArm { labels, stmts, span: arm_span });
+            arms.push(SwitchArm {
+                labels,
+                stmts,
+                span: arm_span,
+            });
         }
         Ok(Stmt::new(StmtKind::Switch(scrutinee, arms), start))
     }

@@ -36,7 +36,11 @@ pub fn analyze(program: &mut Program) -> Result<()> {
                 .sig
                 .params
                 .iter()
-                .map(|t| Param { name: String::new(), ty: t.clone(), span: Span::dummy() })
+                .map(|t| Param {
+                    name: String::new(),
+                    ty: t.clone(),
+                    span: Span::dummy(),
+                })
                 .collect(),
             variadic: b.sig.variadic,
             body: None,
@@ -119,7 +123,13 @@ impl<'a> FnCtx<'a> {
             let name = program.functions[func_idx].params[i].name.clone();
             scopes[0].insert(name, Resolution::Param(i as u32));
         }
-        FnCtx { program, func_idx, locals: Vec::new(), scopes, name_counts: BTreeMap::new() }
+        FnCtx {
+            program,
+            func_idx,
+            locals: Vec::new(),
+            scopes,
+            name_counts: BTreeMap::new(),
+        }
     }
 
     fn global_scope(program: &'a mut Program) -> Self {
@@ -156,10 +166,18 @@ impl<'a> FnCtx<'a> {
 
     fn declare_local(&mut self, name: &str, ty: Type, span: Span) -> LocalId {
         let count = self.name_counts.entry(name.to_owned()).or_insert(0);
-        let unique = if *count == 0 { name.to_owned() } else { format!("{name}${count}") };
+        let unique = if *count == 0 {
+            name.to_owned()
+        } else {
+            format!("{name}${count}")
+        };
         *count += 1;
         let id = LocalId(self.locals.len() as u32);
-        self.locals.push(Local { name: unique, ty, span });
+        self.locals.push(Local {
+            name: unique,
+            ty,
+            span,
+        });
         self.scopes
             .last_mut()
             .expect("scope stack never empty")
@@ -170,9 +188,9 @@ impl<'a> FnCtx<'a> {
     fn resolution_type(&self, r: Resolution) -> Type {
         match r {
             Resolution::Local(id) => self.locals[id.0 as usize].ty.clone(),
-            Resolution::Param(i) => {
-                self.program.functions[self.func_idx].params[i as usize].ty.clone()
-            }
+            Resolution::Param(i) => self.program.functions[self.func_idx].params[i as usize]
+                .ty
+                .clone(),
             Resolution::Global(id) => self.program.globals[id.0 as usize].ty.clone(),
             Resolution::Func(id) => {
                 let f = &self.program.functions[id.0 as usize];
@@ -413,7 +431,10 @@ impl<'a> FnCtx<'a> {
                     Type::Pointer(p) => Ok(*p),
                     _ => Err(sema_err(
                         span,
-                        format!("cannot index non-array type `{}`", bt.display(self.structs())),
+                        format!(
+                            "cannot index non-array type `{}`",
+                            bt.display(self.structs())
+                        ),
                     )),
                 }
             }
@@ -530,7 +551,9 @@ mod tests {
         let f = p.function("f").unwrap().1;
         let body = f.body.as_ref().unwrap();
         // `q = *pp` — check the assignment's type is int*.
-        let StmtKind::Expr(e) = &body[1].kind else { panic!() };
+        let StmtKind::Expr(e) = &body[1].kind else {
+            panic!()
+        };
         assert_eq!(e.ty, Some(Type::Int.ptr_to()));
     }
 
@@ -601,7 +624,9 @@ mod tests {
     fn pointer_arithmetic_types() {
         let p = check("int f(int *p, int *q) { p = p + 1; return q - p; }");
         let f = p.function("f").unwrap().1;
-        let StmtKind::Expr(e) = &f.body.as_ref().unwrap()[0].kind else { panic!() };
+        let StmtKind::Expr(e) = &f.body.as_ref().unwrap()[0].kind else {
+            panic!()
+        };
         assert_eq!(e.ty, Some(Type::Int.ptr_to()));
     }
 
@@ -609,7 +634,9 @@ mod tests {
     fn array_indexing_types() {
         let p = check("double m[8]; double f(int i) { return m[i]; }");
         let f = p.function("f").unwrap().1;
-        let StmtKind::Return(Some(e)) = &f.body.as_ref().unwrap()[0].kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &f.body.as_ref().unwrap()[0].kind else {
+            panic!()
+        };
         assert_eq!(e.ty, Some(Type::Double));
     }
 
@@ -617,14 +644,18 @@ mod tests {
     fn global_initializers_typed() {
         let p = check("int a = 1 + 2; int *pa = &a;");
         let g = p.global("pa").unwrap().1;
-        let Some(Init::Expr(e)) = &g.init else { panic!() };
+        let Some(Init::Expr(e)) = &g.init else {
+            panic!()
+        };
         assert_eq!(e.ty, Some(Type::Int.ptr_to()));
     }
 
     #[test]
     fn string_literal_is_char_pointer() {
         let p = check("char *msg = \"hello\";");
-        let Some(Init::Expr(e)) = &p.globals[0].init else { panic!() };
+        let Some(Init::Expr(e)) = &p.globals[0].init else {
+            panic!()
+        };
         assert_eq!(e.ty, Some(Type::Char.ptr_to()));
     }
 }

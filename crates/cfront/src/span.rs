@@ -19,7 +19,12 @@ pub struct Span {
 impl Span {
     /// Creates a new span.
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// A synthetic span for generated constructs.

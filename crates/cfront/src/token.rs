@@ -286,7 +286,12 @@ mod tests {
 
     #[test]
     fn keyword_round_trip() {
-        for kw in [Keyword::Int, Keyword::While, Keyword::Sizeof, Keyword::Volatile] {
+        for kw in [
+            Keyword::Int,
+            Keyword::While,
+            Keyword::Sizeof,
+            Keyword::Volatile,
+        ] {
             assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
         }
         assert_eq!(Keyword::from_str("notakeyword"), None);
@@ -305,7 +310,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(TokenKind::Punct(Punct::Arrow).to_string(), "`->`");
-        assert_eq!(TokenKind::Ident("abc".into()).to_string(), "identifier `abc`");
+        assert_eq!(
+            TokenKind::Ident("abc".into()).to_string(),
+            "identifier `abc`"
+        );
         assert_eq!(TokenKind::Eof.to_string(), "end of input");
     }
 }

@@ -277,7 +277,12 @@ impl StructTable {
     /// Adds an anonymous struct definition.
     pub fn add_anon(&mut self, is_union: bool, fields: Vec<Field>) -> StructId {
         let id = StructId(self.defs.len() as u32);
-        self.defs.push(StructDef { name: None, is_union, fields, complete: true });
+        self.defs.push(StructDef {
+            name: None,
+            is_union,
+            fields,
+            complete: true,
+        });
         id
     }
 
@@ -297,7 +302,10 @@ impl StructTable {
 
     /// Iterates over `(id, def)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (StructId, &StructDef)> {
-        self.defs.iter().enumerate().map(|(i, d)| (StructId(i as u32), d))
+        self.defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (StructId(i as u32), d))
     }
 }
 
@@ -314,7 +322,11 @@ pub fn size_of(ty: &Type, structs: &StructTable) -> i64 {
         Type::Struct(id) => {
             let def = structs.def(*id);
             if def.is_union {
-                def.fields.iter().map(|f| size_of(&f.ty, structs)).max().unwrap_or(0)
+                def.fields
+                    .iter()
+                    .map(|f| size_of(&f.ty, structs))
+                    .max()
+                    .unwrap_or(0)
             } else {
                 def.fields.iter().map(|f| size_of(&f.ty, structs)).sum()
             }
@@ -332,17 +344,32 @@ mod tests {
         let s = t.add_anon(
             false,
             vec![
-                Field { name: "a".into(), ty: Type::Int },
-                Field { name: "p".into(), ty: Type::Int.ptr_to() },
+                Field {
+                    name: "a".into(),
+                    ty: Type::Int,
+                },
+                Field {
+                    name: "p".into(),
+                    ty: Type::Int.ptr_to(),
+                },
             ],
         );
         assert_eq!(size_of(&Type::Struct(s), &t), 12);
-        assert_eq!(size_of(&Type::Array(Box::new(Type::Double), Some(3)), &t), 24);
+        assert_eq!(
+            size_of(&Type::Array(Box::new(Type::Double), Some(3)), &t),
+            24
+        );
         let u = t.add_anon(
             true,
             vec![
-                Field { name: "a".into(), ty: Type::Int },
-                Field { name: "d".into(), ty: Type::Double },
+                Field {
+                    name: "a".into(),
+                    ty: Type::Int,
+                },
+                Field {
+                    name: "d".into(),
+                    ty: Type::Double,
+                },
             ],
         );
         assert_eq!(size_of(&Type::Struct(u), &t), 8);
@@ -352,14 +379,22 @@ mod tests {
     fn decay_array_and_function() {
         let arr = Type::Array(Box::new(Type::Int), Some(10));
         assert_eq!(arr.decay(), Type::Int.ptr_to());
-        let f = Type::Func(Box::new(FuncSig { ret: Type::Int, params: vec![], variadic: false }));
+        let f = Type::Func(Box::new(FuncSig {
+            ret: Type::Int,
+            params: vec![],
+            variadic: false,
+        }));
         assert_eq!(f.decay(), Type::Pointer(Box::new(f.clone())));
         assert_eq!(Type::Int.decay(), Type::Int);
     }
 
     #[test]
     fn func_pointerish() {
-        let f = Type::Func(Box::new(FuncSig { ret: Type::Void, params: vec![], variadic: true }));
+        let f = Type::Func(Box::new(FuncSig {
+            ret: Type::Void,
+            params: vec![],
+            variadic: true,
+        }));
         assert!(f.is_func_pointerish());
         assert!(f.clone().decay().is_func_pointerish());
         assert!(!Type::Int.ptr_to().is_func_pointerish());
@@ -376,8 +411,14 @@ mod tests {
         assert!(t.complete(
             id,
             vec![
-                Field { name: "val".into(), ty: Type::Int },
-                Field { name: "next".into(), ty: Type::Struct(id).ptr_to() },
+                Field {
+                    name: "val".into(),
+                    ty: Type::Int
+                },
+                Field {
+                    name: "next".into(),
+                    ty: Type::Struct(id).ptr_to()
+                },
             ]
         ));
         assert!(t.def(id).complete);
@@ -390,10 +431,19 @@ mod tests {
     #[test]
     fn carries_pointers_through_aggregates() {
         let mut t = StructTable::new();
-        let plain = t.add_anon(false, vec![Field { name: "x".into(), ty: Type::Int }]);
+        let plain = t.add_anon(
+            false,
+            vec![Field {
+                name: "x".into(),
+                ty: Type::Int,
+            }],
+        );
         let ptry = t.add_anon(
             false,
-            vec![Field { name: "p".into(), ty: Type::Int.ptr_to() }],
+            vec![Field {
+                name: "p".into(),
+                ty: Type::Int.ptr_to(),
+            }],
         );
         assert!(!Type::Struct(plain).carries_pointers(&t));
         assert!(Type::Struct(ptry).carries_pointers(&t));
@@ -406,7 +456,9 @@ mod tests {
         let t = StructTable::new();
         assert_eq!(Type::Int.ptr_to().ptr_to().display(&t).to_string(), "int**");
         assert_eq!(
-            Type::Array(Box::new(Type::Char), Some(8)).display(&t).to_string(),
+            Type::Array(Box::new(Type::Char), Some(8))
+                .display(&t)
+                .to_string(),
             "char[8]"
         );
         let f = Type::Func(Box::new(FuncSig {

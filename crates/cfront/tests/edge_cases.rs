@@ -28,18 +28,21 @@ fn pointer_returning_function_definition() {
 #[test]
 fn double_pointer_returning_function() {
     let p = ok("int *q; int **addr(void) { return &q; } int main(void){ return **addr(); }");
-    assert_eq!(p.function("addr").unwrap().1.ret, Type::Int.ptr_to().ptr_to());
+    assert_eq!(
+        p.function("addr").unwrap().1.ret,
+        Type::Int.ptr_to().ptr_to()
+    );
 }
 
 #[test]
 fn function_returning_function_pointer() {
-    let p = ok(
-        "int f1(int a) { return a; }
+    let p = ok("int f1(int a) { return a; }
          int (*sel(void))(int) { return f1; }
-         int main(void){ int (*fp)(int); fp = sel(); return fp(3); }",
-    );
+         int main(void){ int (*fp)(int); fp = sel(); return fp(3); }");
     let sel = p.function("sel").unwrap().1;
-    let Type::Pointer(inner) = &sel.ret else { panic!("ret {:?}", sel.ret) };
+    let Type::Pointer(inner) = &sel.ret else {
+        panic!("ret {:?}", sel.ret)
+    };
     assert!(inner.is_func());
     assert_eq!(sel.params.len(), 0);
 }
@@ -48,7 +51,9 @@ fn function_returning_function_pointer() {
 fn pointer_to_array_parameter() {
     let p = ok("double f(double (*m)[4]) { return m[1][2]; } int main(void){ return 0; }");
     let f = p.function("f").unwrap().1;
-    let Type::Pointer(inner) = &f.params[0].ty else { panic!() };
+    let Type::Pointer(inner) = &f.params[0].ty else {
+        panic!()
+    };
     assert!(matches!(inner.as_ref(), Type::Array(_, Some(4))));
 }
 
@@ -61,7 +66,9 @@ fn array_parameter_decays() {
 #[test]
 fn array_of_arrays() {
     let p = ok("int grid[3][5]; int main(void){ return grid[1][2]; }");
-    let Type::Array(row, Some(3)) = &p.globals[0].ty else { panic!() };
+    let Type::Array(row, Some(3)) = &p.globals[0].ty else {
+        panic!()
+    };
     assert!(matches!(row.as_ref(), Type::Array(_, Some(5))));
 }
 
@@ -103,22 +110,18 @@ fn float_normalizes_to_double() {
 
 #[test]
 fn self_referential_struct() {
-    let p = ok(
-        "struct list { int v; struct list *next; };
-         int main(void){ struct list n; n.next = &n; return n.next->v; }",
-    );
+    let p = ok("struct list { int v; struct list *next; };
+         int main(void){ struct list n; n.next = &n; return n.next->v; }");
     let id = p.structs.by_tag("list").unwrap();
     assert_eq!(p.structs.def(id).fields[1].ty, Type::Struct(id).ptr_to());
 }
 
 #[test]
 fn mutually_referential_structs() {
-    let p = ok(
-        "struct b;
+    let p = ok("struct b;
          struct a { struct b *to_b; };
          struct b { struct a *to_a; };
-         int main(void){ struct a x; struct b y; x.to_b = &y; y.to_a = &x; return 0; }",
-    );
+         int main(void){ struct a x; struct b y; x.to_b = &y; y.to_a = &x; return 0; }");
     assert!(p.structs.by_tag("a").is_some());
     assert!(p.structs.by_tag("b").is_some());
 }
@@ -143,11 +146,9 @@ fn duplicate_field_is_an_error() {
 
 #[test]
 fn enum_values_and_expressions() {
-    let p = ok(
-        "enum e { A, B = A + 5, C };
+    let p = ok("enum e { A, B = A + 5, C };
          int arr[C];
-         int main(void){ return B; }",
-    );
+         int main(void){ return B; }");
     assert_eq!(p.enum_consts["A"], 0);
     assert_eq!(p.enum_consts["B"], 5);
     assert_eq!(p.enum_consts["C"], 6);
@@ -170,12 +171,10 @@ fn cast_chains() {
 
 #[test]
 fn sizeof_forms() {
-    let p = ok(
-        "struct s { int a; int *p; };
+    let p = ok("struct s { int a; int *p; };
          int main(void){ int n; struct s v;
             n = sizeof(int) + sizeof(struct s) + sizeof v + sizeof(int*);
-            return n; }",
-    );
+            return n; }");
     assert!(p.main().is_some());
 }
 
@@ -192,8 +191,12 @@ fn assignment_operators_all_parse() {
 #[test]
 fn string_concatenation() {
     let p = ok("char *s = \"abc\" \"def\"; int main(void){ return 0; }");
-    let Some(pta_cfront::ast::Init::Expr(e)) = &p.globals[0].init else { panic!() };
-    let ExprKind::StrLit(v) = &e.kind else { panic!("{e:?}") };
+    let Some(pta_cfront::ast::Init::Expr(e)) = &p.globals[0].init else {
+        panic!()
+    };
+    let ExprKind::StrLit(v) = &e.kind else {
+        panic!("{e:?}")
+    };
     assert_eq!(v, "abcdef");
 }
 
@@ -228,7 +231,12 @@ fn deeply_nested_blocks_shadow() {
 fn for_without_clauses() {
     let p = ok("int main(void){ int i; i = 0; for (;;) { i++; if (i > 3) break; } return i; }");
     let f = p.function("main").unwrap().1;
-    assert!(f.body.as_ref().unwrap().iter().any(|s| matches!(s.kind, StmtKind::For(..))));
+    assert!(f
+        .body
+        .as_ref()
+        .unwrap()
+        .iter()
+        .any(|s| matches!(s.kind, StmtKind::For(..))));
 }
 
 #[test]

@@ -159,12 +159,19 @@ fn main() -> ExitCode {
         );
         println!(
             "indirect refs {} | 1D {:?} | 1P {:?} | 2P {:?} | avg {:.2} | replaceable {}",
-            all.t3.ind_refs, all.t3.one_d, all.t3.one_p, all.t3.two_p, all.t3.avg(),
+            all.t3.ind_refs,
+            all.t3.one_d,
+            all.t3.one_p,
+            all.t3.two_p,
+            all.t3.avg(),
             all.t3.scalar_rep
         );
         println!(
             "ig nodes {} | call sites {} | functions {} | R {} | A {}",
-            all.t6.ig_nodes, all.t6.call_sites, all.t6.functions, all.t6.recursive,
+            all.t6.ig_nodes,
+            all.t6.call_sites,
+            all.t6.functions,
+            all.t6.recursive,
             all.t6.approximate
         );
         println!();

@@ -2,7 +2,7 @@
 //! [`analyze`] entry point.
 
 use crate::invocation_graph::InvocationGraph;
-use crate::location::{LocId, LocTable, Proj};
+use crate::location::{LocId, LocationTable, Proj};
 use crate::lvalue::RefEnv;
 use crate::points_to_set::{Def, PtSet};
 use pta_cfront::ast::FuncId;
@@ -76,7 +76,7 @@ impl Error for AnalysisError {}
 #[derive(Debug)]
 pub struct AnalysisResult {
     /// All abstract locations created during the analysis.
-    pub locs: LocTable,
+    pub locs: LocationTable,
     /// The final invocation graph (with memoized summaries and
     /// per-context map information).
     pub ig: InvocationGraph,
@@ -118,12 +118,12 @@ pub fn analyze_with(
     config: AnalysisConfig,
 ) -> Result<AnalysisResult, AnalysisError> {
     let entry = ir.entry.ok_or(AnalysisError::NoEntry)?;
-    let ig = InvocationGraph::build(ir, entry, config.max_ig_nodes)
-        .map_err(AnalysisError::IgBudget)?;
+    let ig =
+        InvocationGraph::build(ir, entry, config.max_ig_nodes).map_err(AnalysisError::IgBudget)?;
     let mut a = Analyzer {
         ir,
         config,
-        locs: LocTable::new(),
+        locs: LocationTable::new(),
         ig,
         per_stmt: BTreeMap::new(),
         warnings: Vec::new(),
@@ -163,7 +163,7 @@ pub fn analyze_with(
 pub(crate) struct Analyzer<'p> {
     pub(crate) ir: &'p IrProgram,
     pub(crate) config: AnalysisConfig,
-    pub(crate) locs: LocTable,
+    pub(crate) locs: LocationTable,
     pub(crate) ig: InvocationGraph,
     pub(crate) per_stmt: BTreeMap<StmtId, PtSet>,
     pub(crate) warnings: Vec<String>,
@@ -173,7 +173,11 @@ pub(crate) struct Analyzer<'p> {
 impl<'p> Analyzer<'p> {
     /// A reference-resolution environment for `func`.
     pub(crate) fn renv(&mut self, func: FuncId) -> RefEnv<'_> {
-        RefEnv { ir: self.ir, func, locs: &mut self.locs }
+        RefEnv {
+            ir: self.ir,
+            func,
+            locs: &mut self.locs,
+        }
     }
 
     pub(crate) fn warn(&mut self, msg: String) {
@@ -233,15 +237,14 @@ impl<'p> Analyzer<'p> {
                     }
                 }
             }
-            Type::Array(elem, _)
-                if elem.carries_pointers(&ir.structs) => {
-                    if let Some(h) = self.locs.project(loc, Proj::Head, ir) {
-                        self.ptr_leaves_into(h, out, depth + 1);
-                    }
-                    if let Some(t) = self.locs.project(loc, Proj::Tail, ir) {
-                        self.ptr_leaves_into(t, out, depth + 1);
-                    }
+            Type::Array(elem, _) if elem.carries_pointers(&ir.structs) => {
+                if let Some(h) = self.locs.project(loc, Proj::Head, ir) {
+                    self.ptr_leaves_into(h, out, depth + 1);
                 }
+                if let Some(t) = self.locs.project(loc, Proj::Tail, ir) {
+                    self.ptr_leaves_into(t, out, depth + 1);
+                }
+            }
             _ => {}
         }
     }

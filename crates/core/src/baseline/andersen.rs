@@ -7,7 +7,7 @@
 
 use crate::analysis::AnalysisError;
 use crate::baseline::insensitive::ptr_leaves;
-use crate::location::{LocId, LocTable};
+use crate::location::{LocId, LocationTable};
 use crate::lvalue::RefEnv;
 use crate::points_to_set::{Def, PtSet};
 use pta_cfront::ast::FuncId;
@@ -18,7 +18,7 @@ use pta_simple::{BasicStmt, CallTarget, IrProgram, Operand};
 #[derive(Debug)]
 pub struct AndersenResult {
     /// Locations created.
-    pub locs: LocTable,
+    pub locs: LocationTable,
     /// The single, global points-to solution (all pairs possible).
     pub solution: PtSet,
     /// Fixed-point rounds over the whole program.
@@ -46,7 +46,7 @@ impl AndersenResult {
 /// Returns [`AnalysisError::StepBudget`] if the fixed point does not
 /// settle within a generous bound.
 pub fn andersen(ir: &IrProgram) -> Result<AndersenResult, AnalysisError> {
-    let mut locs = LocTable::new();
+    let mut locs = LocationTable::new();
     locs.null();
     locs.heap();
     locs.strlit();
@@ -69,13 +69,17 @@ pub fn andersen(ir: &IrProgram) -> Result<AndersenResult, AnalysisError> {
             break;
         }
     }
-    Ok(AndersenResult { locs, solution, rounds })
+    Ok(AndersenResult {
+        locs,
+        solution,
+        rounds,
+    })
 }
 
 fn apply_stmt(
     ir: &IrProgram,
     func: FuncId,
-    locs: &mut LocTable,
+    locs: &mut LocationTable,
     sol: &mut PtSet,
     b: &BasicStmt,
 ) {
@@ -109,7 +113,9 @@ fn apply_stmt(
             };
             gen_only(sol, &l, &[(heap, Def::P)]);
         }
-        BasicStmt::Call { lhs, target, args, .. } => {
+        BasicStmt::Call {
+            lhs, target, args, ..
+        } => {
             let callees: Vec<FuncId> = match target {
                 CallTarget::Direct(f) => vec![*f],
                 CallTarget::Indirect(r) => {
@@ -117,22 +123,24 @@ fn apply_stmt(
                         let mut env = RefEnv { ir, func, locs };
                         env.r_locations(sol, r)
                     };
-                    targets.into_iter().filter_map(|(t, _)| locs.as_function(t)).collect()
+                    targets
+                        .into_iter()
+                        .filter_map(|(t, _)| locs.as_function(t))
+                        .collect()
                 }
             };
             for callee in callees {
                 apply_call(ir, func, locs, sol, callee, lhs.as_ref(), args);
             }
         }
-        BasicStmt::Return(Some(v))
-            if ir.function(func).ret.carries_pointers(&ir.structs) => {
-                let ret = locs.ret(ir, func);
-                let r = {
-                    let mut env = RefEnv { ir, func, locs };
-                    env.operand_r_locations(sol, v)
-                };
-                gen_only(sol, &[(ret, Def::P)], &r);
-            }
+        BasicStmt::Return(Some(v)) if ir.function(func).ret.carries_pointers(&ir.structs) => {
+            let ret = locs.ret(ir, func);
+            let r = {
+                let mut env = RefEnv { ir, func, locs };
+                env.operand_r_locations(sol, v)
+            };
+            gen_only(sol, &[(ret, Def::P)], &r);
+        }
         _ => {}
     }
 }
@@ -140,7 +148,7 @@ fn apply_stmt(
 fn apply_call(
     ir: &IrProgram,
     func: FuncId,
-    locs: &mut LocTable,
+    locs: &mut LocationTable,
     sol: &mut PtSet,
     callee: FuncId,
     lhs: Option<&pta_simple::VarRef>,
@@ -162,7 +170,10 @@ fn apply_call(
                 if let (Some(lhs), Some(arg0)) = (lhs, args.first()) {
                     let (l, r) = {
                         let mut env = RefEnv { ir, func, locs };
-                        (env.l_locations(sol, lhs), env.operand_r_locations(sol, arg0))
+                        (
+                            env.l_locations(sol, lhs),
+                            env.operand_r_locations(sol, arg0),
+                        )
                     };
                     gen_only(sol, &l, &r);
                 }
@@ -245,20 +256,16 @@ mod tests {
 
     #[test]
     fn flows_through_copies_and_derefs() {
-        let (ir, r) = run(
-            "int x;
-             int main(void){ int *p; int **pp; int *q; p = &x; pp = &p; q = *pp; return 0; }",
-        );
+        let (ir, r) = run("int x;
+             int main(void){ int *p; int **pp; int *q; p = &x; pp = &p; q = *pp; return 0; }");
         assert_eq!(targets(&ir, &r, "main", "q"), vec!["x"]);
     }
 
     #[test]
     fn interprocedural_flow_insensitive() {
-        let (ir, r) = run(
-            "int x, y;
+        let (ir, r) = run("int x, y;
              void set(int **p, int *v) { *p = v; }
-             int main(void){ int *a; int *b; set(&a, &x); set(&b, &y); return 0; }",
-        );
+             int main(void){ int *a; int *b; set(&a, &x); set(&b, &y); return 0; }");
         // Andersen pollutes across call sites.
         assert_eq!(targets(&ir, &r, "main", "a"), vec!["x", "y"]);
         assert_eq!(targets(&ir, &r, "main", "b"), vec!["x", "y"]);
@@ -266,11 +273,9 @@ mod tests {
 
     #[test]
     fn function_pointers_resolved_iteratively() {
-        let (ir, r) = run(
-            "int x; int *g;
+        let (ir, r) = run("int x; int *g;
              void s(void){ g = &x; }
-             int main(void){ void (*fp)(void); fp = s; fp(); return 0; }",
-        );
+             int main(void){ void (*fp)(void); fp = s; fp(); return 0; }");
         assert_eq!(targets(&ir, &r, "main", "g"), vec!["x"]);
     }
 }

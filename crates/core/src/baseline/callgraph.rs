@@ -65,31 +65,55 @@ fn visit_stmt_operands(s: &Stmt, f: &mut impl FnMut(&Operand)) {
     match s {
         Stmt::Basic(b, _) => on_basic(b, f),
         Stmt::Seq(v) => v.iter().for_each(|s| visit_stmt_operands(s, f)),
-        Stmt::If { cond, then_s, else_s, .. } => {
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+            ..
+        } => {
             on_cond(cond, f);
             visit_stmt_operands(then_s, f);
             if let Some(e) = else_s {
                 visit_stmt_operands(e, f);
             }
         }
-        Stmt::While { pre_cond, cond, body, .. } => {
+        Stmt::While {
+            pre_cond,
+            cond,
+            body,
+            ..
+        } => {
             visit_stmt_operands(pre_cond, f);
             on_cond(cond, f);
             visit_stmt_operands(body, f);
         }
-        Stmt::DoWhile { body, pre_cond, cond, .. } => {
+        Stmt::DoWhile {
+            body,
+            pre_cond,
+            cond,
+            ..
+        } => {
             visit_stmt_operands(body, f);
             visit_stmt_operands(pre_cond, f);
             on_cond(cond, f);
         }
-        Stmt::For { init, pre_cond, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            pre_cond,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             visit_stmt_operands(init, f);
             visit_stmt_operands(pre_cond, f);
             on_cond(cond, f);
             visit_stmt_operands(step, f);
             visit_stmt_operands(body, f);
         }
-        Stmt::Switch { scrutinee, arms, .. } => {
+        Stmt::Switch {
+            scrutinee, arms, ..
+        } => {
             f(scrutinee);
             for a in arms {
                 visit_stmt_operands(&a.body, f);
@@ -112,10 +136,7 @@ pub fn build_ig_with_strategy(
 ) -> Result<InvocationGraph, String> {
     let entry = ir.entry.ok_or_else(|| "program has no `main`".to_owned())?;
     let indirect_targets: Vec<FuncId> = match strategy {
-        CallGraphStrategy::AllFunctions => ir
-            .defined_functions()
-            .map(|(id, _)| id)
-            .collect(),
+        CallGraphStrategy::AllFunctions => ir.defined_functions().map(|(id, _)| id).collect(),
         CallGraphStrategy::AddressTaken => address_taken_functions(ir),
     };
     let mut g = InvocationGraph::build(ir, entry, max_nodes)?;
@@ -130,10 +151,17 @@ pub fn build_ig_with_strategy(
                 continue;
             }
             let func = g.node(id).func;
-            let Some(body) = ir.function(func).body.as_ref() else { continue };
+            let Some(body) = ir.function(func).body.as_ref() else {
+                continue;
+            };
             let mut indirect_sites = Vec::new();
             body.for_each_basic(&mut |b, _| {
-                if let BasicStmt::Call { target: CallTarget::Indirect(_), call_site, .. } = b {
+                if let BasicStmt::Call {
+                    target: CallTarget::Indirect(_),
+                    call_site,
+                    ..
+                } = b
+                {
                     indirect_sites.push(*call_site);
                 }
             });
@@ -169,8 +197,7 @@ mod tests {
     fn address_taken_finds_assigned_functions() {
         let ir = pta_simple::compile(PROG).unwrap();
         let at = address_taken_functions(&ir);
-        let names: Vec<&str> =
-            at.iter().map(|f| ir.function(*f).name.as_str()).collect();
+        let names: Vec<&str> = at.iter().map(|f| ir.function(*f).name.as_str()).collect();
         assert_eq!(names, vec!["a1", "a2"]);
     }
 

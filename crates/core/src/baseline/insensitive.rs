@@ -11,7 +11,7 @@
 //! boundaries) predicts a visible precision gap on indirect references.
 
 use crate::analysis::AnalysisError;
-use crate::location::{LocId, LocTable};
+use crate::location::{LocId, LocationTable};
 use crate::lvalue::RefEnv;
 use crate::points_to_set::{merge_flow, Def, Flow, PtSet};
 use pta_cfront::ast::FuncId;
@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 #[derive(Debug)]
 pub struct InsensitiveResult {
     /// Locations created.
-    pub locs: LocTable,
+    pub locs: LocationTable,
     /// Merged points-to facts per program point.
     pub per_stmt: BTreeMap<StmtId, PtSet>,
     /// Final output summary per function.
@@ -43,7 +43,7 @@ pub fn insensitive(ir: &IrProgram) -> Result<InsensitiveResult, AnalysisError> {
     let entry = ir.entry.ok_or(AnalysisError::NoEntry)?;
     let mut e = Engine {
         ir,
-        locs: LocTable::new(),
+        locs: LocationTable::new(),
         inputs: BTreeMap::new(),
         outputs: BTreeMap::new(),
         callers: BTreeMap::new(),
@@ -118,7 +118,7 @@ pub fn insensitive(ir: &IrProgram) -> Result<InsensitiveResult, AnalysisError> {
 
 struct Engine<'p> {
     ir: &'p IrProgram,
-    locs: LocTable,
+    locs: LocationTable,
     inputs: BTreeMap<FuncId, PtSet>,
     outputs: BTreeMap<FuncId, PtSet>,
     callers: BTreeMap<FuncId, BTreeSet<FuncId>>,
@@ -136,7 +136,11 @@ struct Out {
 
 impl<'p> Engine<'p> {
     fn env(&mut self, func: FuncId) -> RefEnv<'_> {
-        RefEnv { ir: self.ir, func, locs: &mut self.locs }
+        RefEnv {
+            ir: self.ir,
+            func,
+            locs: &mut self.locs,
+        }
     }
 
     fn record(&mut self, id: StmtId, s: &PtSet) {
@@ -178,7 +182,11 @@ impl<'p> Engine<'p> {
             }
         }
         for (p, d1) in l {
-            let d1 = if self.locs.is_summary(*p) { Def::P } else { *d1 };
+            let d1 = if self.locs.is_summary(*p) {
+                Def::P
+            } else {
+                *d1
+            };
             for (x, d2) in r {
                 out.insert(*p, *x, d1.and(*d2));
             }
@@ -199,11 +207,16 @@ impl<'p> Engine<'p> {
         input: Flow,
         touched: &mut BTreeSet<FuncId>,
     ) -> Result<Out, AnalysisError> {
-        let Some(input) = input else { return Ok(Out::default()) };
+        let Some(input) = input else {
+            return Ok(Out::default());
+        };
         match s {
             Stmt::Basic(b, id) => self.basic(func, b, *id, input, touched),
             Stmt::Seq(v) => {
-                let mut out = Out { normal: Some(input), ..Default::default() };
+                let mut out = Out {
+                    normal: Some(input),
+                    ..Default::default()
+                };
                 for s in v {
                     let mut nxt = self.stmt(func, s, out.normal.take(), touched)?;
                     out.normal = nxt.normal.take();
@@ -213,12 +226,17 @@ impl<'p> Engine<'p> {
                 }
                 Ok(out)
             }
-            Stmt::If { then_s, else_s, id, .. } => {
+            Stmt::If {
+                then_s, else_s, id, ..
+            } => {
                 self.record(*id, &input);
                 let mut t = self.stmt(func, then_s, Some(input.clone()), touched)?;
                 let mut e = match else_s {
                     Some(e) => self.stmt(func, e, Some(input), touched)?,
-                    None => Out { normal: Some(input), ..Default::default() },
+                    None => Out {
+                        normal: Some(input),
+                        ..Default::default()
+                    },
                 };
                 Ok(Out {
                     normal: merge_flow(t.normal.take(), e.normal.take()),
@@ -227,7 +245,9 @@ impl<'p> Engine<'p> {
                     ret: merge_flow(t.ret.take(), e.ret.take()),
                 })
             }
-            Stmt::While { pre_cond, body, id, .. } => {
+            Stmt::While {
+                pre_cond, body, id, ..
+            } => {
                 let mut inv = Some(input);
                 let mut brk = None;
                 let mut ret = None;
@@ -253,14 +273,20 @@ impl<'p> Engine<'p> {
                     inv = ni;
                 }
             }
-            Stmt::DoWhile { body, pre_cond, id, .. } => {
+            Stmt::DoWhile {
+                body, pre_cond, id, ..
+            } => {
                 let mut inv = Some(input);
                 let mut brk = None;
                 let mut ret = None;
                 loop {
                     let mut b = self.stmt(func, body, inv.clone(), touched)?;
-                    let mut pre =
-                        self.stmt(func, pre_cond, merge_flow(b.normal.take(), b.cont.take()), touched)?;
+                    let mut pre = self.stmt(
+                        func,
+                        pre_cond,
+                        merge_flow(b.normal.take(), b.cont.take()),
+                        touched,
+                    )?;
                     let test = pre.normal.take();
                     if let Some(t) = &test {
                         self.record(*id, t);
@@ -269,12 +295,24 @@ impl<'p> Engine<'p> {
                     ret = merge_flow(ret, merge_flow(b.ret.take(), pre.ret.take()));
                     let ni = merge_flow(inv.clone(), test.clone());
                     if ni == inv {
-                        return Ok(Out { normal: merge_flow(test, brk), brk: None, cont: None, ret });
+                        return Ok(Out {
+                            normal: merge_flow(test, brk),
+                            brk: None,
+                            cont: None,
+                            ret,
+                        });
                     }
                     inv = ni;
                 }
             }
-            Stmt::For { init, pre_cond, step, body, id, .. } => {
+            Stmt::For {
+                init,
+                pre_cond,
+                step,
+                body,
+                id,
+                ..
+            } => {
                 let mut i = self.stmt(func, init, Some(input), touched)?;
                 let mut inv = i.normal.take();
                 let mut brk = None;
@@ -286,22 +324,40 @@ impl<'p> Engine<'p> {
                         self.record(*id, t);
                     }
                     let mut b = self.stmt(func, body, test.clone(), touched)?;
-                    let mut st =
-                        self.stmt(func, step, merge_flow(b.normal.take(), b.cont.take()), touched)?;
+                    let mut st = self.stmt(
+                        func,
+                        step,
+                        merge_flow(b.normal.take(), b.cont.take()),
+                        touched,
+                    )?;
                     brk = merge_flow(brk, b.brk.take());
                     for r in [pre.ret.take(), b.ret.take(), st.ret.take()] {
                         ret = merge_flow(ret, r);
                     }
                     let ni = merge_flow(inv.clone(), st.normal.take());
                     if ni == inv {
-                        return Ok(Out { normal: merge_flow(test, brk), brk: None, cont: None, ret });
+                        return Ok(Out {
+                            normal: merge_flow(test, brk),
+                            brk: None,
+                            cont: None,
+                            ret,
+                        });
                     }
                     inv = ni;
                 }
             }
-            Stmt::Switch { arms, has_default, id, .. } => {
+            Stmt::Switch {
+                arms,
+                has_default,
+                id,
+                ..
+            } => {
                 self.record(*id, &input);
-                let mut exit = if *has_default { None } else { Some(input.clone()) };
+                let mut exit = if *has_default {
+                    None
+                } else {
+                    Some(input.clone())
+                };
                 let mut fall: Flow = None;
                 let mut cont = None;
                 let mut ret = None;
@@ -314,15 +370,26 @@ impl<'p> Engine<'p> {
                     ret = merge_flow(ret, o.ret.take());
                 }
                 exit = merge_flow(exit, fall);
-                Ok(Out { normal: exit, brk: None, cont, ret })
+                Ok(Out {
+                    normal: exit,
+                    brk: None,
+                    cont,
+                    ret,
+                })
             }
             Stmt::Break(id) => {
                 self.record(*id, &input);
-                Ok(Out { brk: Some(input), ..Default::default() })
+                Ok(Out {
+                    brk: Some(input),
+                    ..Default::default()
+                })
             }
             Stmt::Continue(id) => {
                 self.record(*id, &input);
-                Ok(Out { cont: Some(input), ..Default::default() })
+                Ok(Out {
+                    cont: Some(input),
+                    ..Default::default()
+                })
             }
         }
     }
@@ -341,7 +408,10 @@ impl<'p> Engine<'p> {
                 if self.is_ptr_lhs(func, lhs) {
                     let (l, r) = {
                         let mut env = self.env(func);
-                        (env.l_locations(&input, lhs), env.operand_r_locations(&input, rhs))
+                        (
+                            env.l_locations(&input, lhs),
+                            env.operand_r_locations(&input, rhs),
+                        )
                     };
                     Some(self.assign(input, &l, &r))
                 } else {
@@ -373,7 +443,9 @@ impl<'p> Engine<'p> {
                 };
                 Some(self.assign(input, &l, &r))
             }
-            BasicStmt::Call { lhs, target, args, .. } => {
+            BasicStmt::Call {
+                lhs, target, args, ..
+            } => {
                 return Ok(Out {
                     normal: self.call(func, target, lhs.as_ref(), args, input, touched)?,
                     ..Default::default()
@@ -382,8 +454,11 @@ impl<'p> Engine<'p> {
             BasicStmt::Return(v) => {
                 let mut out = input;
                 if let Some(v) = v {
-                    let carries =
-                        self.ir.function(func).ret.carries_pointers(&self.ir.structs);
+                    let carries = self
+                        .ir
+                        .function(func)
+                        .ret
+                        .carries_pointers(&self.ir.structs);
                     if carries {
                         let ret = self.locs.ret(self.ir, func);
                         let r = {
@@ -393,10 +468,16 @@ impl<'p> Engine<'p> {
                         out = self.assign(out, &[(ret, Def::D)], &r);
                     }
                 }
-                return Ok(Out { ret: Some(out), ..Default::default() });
+                return Ok(Out {
+                    ret: Some(out),
+                    ..Default::default()
+                });
             }
         };
-        Ok(Out { normal, ..Default::default() })
+        Ok(Out {
+            normal,
+            ..Default::default()
+        })
     }
 
     fn call(
@@ -457,7 +538,9 @@ impl<'p> Engine<'p> {
         let mut contrib = input.clone();
         let n = self.ir.function(callee).n_params;
         for i in 0..n {
-            let formal = self.locs.var(self.ir, callee, pta_simple::IrVarId(i as u32));
+            let formal = self
+                .locs
+                .var(self.ir, callee, pta_simple::IrVarId(i as u32));
             let leaves = ptr_leaves(&mut self.locs, self.ir, formal);
             for leaf in leaves {
                 let r = match args.get(i) {
@@ -493,8 +576,7 @@ impl<'p> Engine<'p> {
         let mut out = input.merge(&summary);
         if let Some(lhs) = lhs {
             let ret = self.locs.ret(self.ir, callee);
-            let r: Vec<(LocId, Def)> =
-                summary.targets(ret).map(|(t, _)| (t, Def::P)).collect();
+            let r: Vec<(LocId, Def)> = summary.targets(ret).map(|(t, _)| (t, Def::P)).collect();
             let l = {
                 let mut env = self.env(func);
                 env.l_locations(&out, lhs)
@@ -609,7 +691,7 @@ pub(crate) fn ref_is_pointerish(ir: &IrProgram, func: FuncId, lhs: &VarRef) -> b
 
 /// Pointer-leaf enumeration shared with the engines (a free-function
 /// variant of `Analyzer::ptr_leaves`).
-pub(crate) fn ptr_leaves(locs: &mut LocTable, ir: &IrProgram, loc: LocId) -> Vec<LocId> {
+pub(crate) fn ptr_leaves(locs: &mut LocationTable, ir: &IrProgram, loc: LocId) -> Vec<LocId> {
     use crate::location::Proj;
     use pta_cfront::types::Type;
     let mut out = Vec::new();
@@ -637,15 +719,14 @@ pub(crate) fn ptr_leaves(locs: &mut LocTable, ir: &IrProgram, loc: LocId) -> Vec
                     }
                 }
             }
-            Type::Array(elem, _)
-                if elem.carries_pointers(&ir.structs) => {
-                    if let Some(h) = locs.project(l, Proj::Head, ir) {
-                        stack.push((h, depth + 1));
-                    }
-                    if let Some(t) = locs.project(l, Proj::Tail, ir) {
-                        stack.push((t, depth + 1));
-                    }
+            Type::Array(elem, _) if elem.carries_pointers(&ir.structs) => {
+                if let Some(h) = locs.project(l, Proj::Head, ir) {
+                    stack.push((h, depth + 1));
                 }
+                if let Some(t) = locs.project(l, Proj::Tail, ir) {
+                    stack.push((t, depth + 1));
+                }
+            }
             _ => {}
         }
     }
@@ -669,9 +750,10 @@ mod tests {
         let set = r.summaries.get(&fid).cloned().unwrap_or_default();
         let vi = f.vars.iter().position(|v| v.name == var);
         let src = match vi {
-            Some(vi) => r
-                .locs
-                .lookup(&crate::location::LocBase::Var(fid, pta_simple::IrVarId(vi as u32)), &[]),
+            Some(vi) => r.locs.lookup(
+                &crate::location::LocBase::Var(fid, pta_simple::IrVarId(vi as u32)),
+                &[],
+            ),
             None => {
                 let gi = ir.globals.iter().position(|g| g.name == var).unwrap();
                 r.locs.lookup(
@@ -700,34 +782,31 @@ mod tests {
     fn contexts_are_merged_imprecisely() {
         // The context-insensitivity ablation: both call sites pollute
         // each other.
-        let (ir, r) = run(
-            "int x, y;
+        let (ir, r) = run("int x, y;
              void set(int **p, int *v) { *p = v; }
-             int main(void){ int *a; int *b; set(&a, &x); set(&b, &y); return 0; }",
-        );
+             int main(void){ int *a; int *b; set(&a, &x); set(&b, &y); return 0; }");
         let a = targets(&ir, &r, "main", "a");
         assert!(a.contains(&"x".to_string()), "got {a:?}");
-        assert!(a.contains(&"y".to_string()), "a should be polluted, got {a:?}");
+        assert!(
+            a.contains(&"y".to_string()),
+            "a should be polluted, got {a:?}"
+        );
     }
 
     #[test]
     fn converges_on_recursion() {
-        let (ir, r) = run(
-            "int x;
+        let (ir, r) = run("int x;
              void f(int **pp, int n){ if (n) { *pp = &x; f(pp, n-1); } }
-             int main(void){ int *p; f(&p, 3); return 0; }",
-        );
+             int main(void){ int *p; f(&p, 3); return 0; }");
         let p = targets(&ir, &r, "main", "p");
         assert!(p.contains(&"x".to_string()), "got {p:?}");
     }
 
     #[test]
     fn handles_function_pointers() {
-        let (ir, r) = run(
-            "int x; int *g;
+        let (ir, r) = run("int x; int *g;
              void s(void){ g = &x; }
-             int main(void){ void (*fp)(void); fp = s; fp(); return 0; }",
-        );
+             int main(void){ void (*fp)(void); fp = s; fp(); return 0; }");
         assert_eq!(targets(&ir, &r, "main", "g"), vec!["x"]);
     }
 }

@@ -7,7 +7,7 @@
 //! field-insensitive (projections collapse to the root variable).
 
 use crate::analysis::AnalysisError;
-use crate::location::{LocId, LocTable};
+use crate::location::{LocId, LocationTable};
 use pta_cfront::ast::FuncId;
 use pta_cfront::builtins::{extern_effect, ExternEffect};
 use pta_simple::{BasicStmt, CallTarget, IrProgram, Operand, VarBase, VarRef};
@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 #[derive(Debug)]
 pub struct SteensgaardResult {
     /// Locations created (root variables only — field-insensitive).
-    pub locs: LocTable,
+    pub locs: LocationTable,
     uf: UnionFind,
     pts: BTreeMap<u32, u32>,
 }
@@ -26,7 +26,9 @@ impl SteensgaardResult {
     /// All locations in the pointee class of `src` (its points-to set).
     pub fn targets(&self, src: LocId) -> Vec<LocId> {
         let c = self.uf.find_const(src.0);
-        let Some(p) = self.pts.get(&c) else { return Vec::new() };
+        let Some(p) = self.pts.get(&c) else {
+            return Vec::new();
+        };
         let p = self.uf.find_const(*p);
         let mut out: Vec<LocId> = (0..self.uf.len() as u32)
             .filter(|i| self.uf.find_const(*i) == p)
@@ -38,8 +40,11 @@ impl SteensgaardResult {
 
     /// Target names of a location, sorted.
     pub fn target_names(&self, src: LocId) -> Vec<String> {
-        let mut v: Vec<String> =
-            self.targets(src).into_iter().map(|t| self.locs.name(t).to_owned()).collect();
+        let mut v: Vec<String> = self
+            .targets(src)
+            .into_iter()
+            .map(|t| self.locs.name(t).to_owned())
+            .collect();
         v.sort();
         v
     }
@@ -109,7 +114,7 @@ impl UnionFind {
 
 struct Engine<'p> {
     ir: &'p IrProgram,
-    locs: LocTable,
+    locs: LocationTable,
     uf: UnionFind,
     pts: BTreeMap<u32, u32>,
 }
@@ -121,7 +126,12 @@ struct Engine<'p> {
 /// Currently infallible in practice; signature kept parallel to the
 /// other engines.
 pub fn steensgaard(ir: &IrProgram) -> Result<SteensgaardResult, AnalysisError> {
-    let mut e = Engine { ir, locs: LocTable::new(), uf: UnionFind::new(), pts: BTreeMap::new() };
+    let mut e = Engine {
+        ir,
+        locs: LocationTable::new(),
+        uf: UnionFind::new(),
+        pts: BTreeMap::new(),
+    };
     e.locs.null();
     e.locs.heap();
     e.locs.strlit();
@@ -137,7 +147,13 @@ pub fn steensgaard(ir: &IrProgram) -> Result<SteensgaardResult, AnalysisError> {
         let func = FuncId(fid as u32);
         let Some(body) = &f.body else { continue };
         body.for_each_basic(&mut |b, _| {
-            if let BasicStmt::Call { lhs, target: CallTarget::Indirect(r), args, .. } = b {
+            if let BasicStmt::Call {
+                lhs,
+                target: CallTarget::Indirect(r),
+                args,
+                ..
+            } = b
+            {
                 let fp = e.base_loc(func, r);
                 let targets: Vec<FuncId> = match fp {
                     Some(fp) => {
@@ -155,7 +171,11 @@ pub fn steensgaard(ir: &IrProgram) -> Result<SteensgaardResult, AnalysisError> {
             }
         });
     }
-    Ok(SteensgaardResult { locs: e.locs, uf: e.uf, pts: e.pts })
+    Ok(SteensgaardResult {
+        locs: e.locs,
+        uf: e.uf,
+        pts: e.pts,
+    })
 }
 
 struct SteensgaardResultView<'a, 'p> {
@@ -165,7 +185,9 @@ struct SteensgaardResultView<'a, 'p> {
 impl SteensgaardResultView<'_, '_> {
     fn targets(&self, src: LocId) -> Vec<LocId> {
         let c = self.e.uf.find_const(src.0);
-        let Some(p) = self.e.pts.get(&c) else { return Vec::new() };
+        let Some(p) = self.e.pts.get(&c) else {
+            return Vec::new();
+        };
         let p = self.e.uf.find_const(*p);
         (0..self.e.uf.len() as u32)
             .filter(|i| self.e.uf.find_const(*i) == p)
@@ -273,7 +295,9 @@ impl<'p> Engine<'p> {
 
     /// `lhs = <class>`: unify the lhs's pointee class with `rhs_class`.
     fn bind(&mut self, func: FuncId, lhs: &VarRef, rhs_class: u32) {
-        let Some(base) = self.base_loc(func, lhs) else { return };
+        let Some(base) = self.base_loc(func, lhs) else {
+            return;
+        };
         self.uf.ensure(base.0);
         let mut c = self.uf.find(base.0);
         for _ in 0..Self::deref_count(lhs) {
@@ -301,32 +325,40 @@ impl<'p> Engine<'p> {
                 let hc = self.uf.find(heap.0);
                 self.bind(func, lhs, hc);
             }
-            BasicStmt::Call { lhs, target: CallTarget::Direct(callee), args, .. } => {
+            BasicStmt::Call {
+                lhs,
+                target: CallTarget::Direct(callee),
+                args,
+                ..
+            } => {
                 self.call(func, *callee, lhs.as_ref(), args);
             }
             // Indirect calls are handled in the second pass.
             BasicStmt::Call { .. } => {}
             BasicStmt::Return(Some(v))
-                if self.ir.function(func).ret.carries_pointers(&self.ir.structs) => {
-                    let ret = self.locs.ret(self.ir, func);
-                    self.uf.ensure(ret.0);
-                    if let Some(vc) = self.operand_class(func, v) {
-                        let rp = {
-                            let c = self.uf.find(ret.0);
-                            self.pointee(c)
-                        };
-                        self.join(rp, vc);
-                    }
+                if self
+                    .ir
+                    .function(func)
+                    .ret
+                    .carries_pointers(&self.ir.structs) =>
+            {
+                let ret = self.locs.ret(self.ir, func);
+                self.uf.ensure(ret.0);
+                if let Some(vc) = self.operand_class(func, v) {
+                    let rp = {
+                        let c = self.uf.find(ret.0);
+                        self.pointee(c)
+                    };
+                    self.join(rp, vc);
                 }
+            }
             _ => {}
         }
     }
 
     fn call(&mut self, func: FuncId, callee: FuncId, lhs: Option<&VarRef>, args: &[Operand]) {
         if !self.ir.function(callee).is_defined() {
-            if let Some(ExternEffect::ReturnsHeap) =
-                extern_effect(&self.ir.function(callee).name)
-            {
+            if let Some(ExternEffect::ReturnsHeap) = extern_effect(&self.ir.function(callee).name) {
                 if let Some(lhs) = lhs {
                     let heap = self.locs.heap();
                     self.uf.ensure(heap.0);
@@ -338,7 +370,9 @@ impl<'p> Engine<'p> {
         }
         let n = self.ir.function(callee).n_params;
         for (i, arg) in args.iter().enumerate().take(n) {
-            let formal = self.locs.var(self.ir, callee, pta_simple::IrVarId(i as u32));
+            let formal = self
+                .locs
+                .var(self.ir, callee, pta_simple::IrVarId(i as u32));
             self.uf.ensure(formal.0);
             if let Some(ac) = self.operand_class(func, &arg.clone()) {
                 let fc = self.uf.find(formal.0);
@@ -347,7 +381,12 @@ impl<'p> Engine<'p> {
             }
         }
         if let Some(lhs) = lhs {
-            if self.ir.function(callee).ret.carries_pointers(&self.ir.structs) {
+            if self
+                .ir
+                .function(callee)
+                .ret
+                .carries_pointers(&self.ir.structs)
+            {
                 let ret = self.locs.ret(self.ir, callee);
                 self.uf.ensure(ret.0);
                 let rc = self.uf.find(ret.0);
@@ -407,9 +446,8 @@ mod tests {
     fn unification_is_coarser_than_andersen() {
         // q = &x; p = q; p = &y — Steensgaard unifies pts(p) and pts(q),
         // so q also "points to" y; Andersen would keep q at {x}.
-        let (ir, r) = run(
-            "int x, y; int main(void){ int *p; int *q; q = &x; p = q; p = &y; return 0; }",
-        );
+        let (ir, r) =
+            run("int x, y; int main(void){ int *p; int *q; q = &x; p = q; p = &y; return 0; }");
         let tq = targets(&ir, &r, "main", "q");
         assert!(tq.contains(&"x".to_string()), "got {tq:?}");
         assert!(tq.contains(&"y".to_string()), "got {tq:?}");
@@ -417,11 +455,9 @@ mod tests {
 
     #[test]
     fn interprocedural_unification() {
-        let (ir, r) = run(
-            "int x;
+        let (ir, r) = run("int x;
              void set(int **p, int *v) { *p = v; }
-             int main(void){ int *a; set(&a, &x); return 0; }",
-        );
+             int main(void){ int *a; set(&a, &x); return 0; }");
         let ta = targets(&ir, &r, "main", "a");
         assert!(ta.contains(&"x".to_string()), "got {ta:?}");
     }

@@ -61,8 +61,7 @@ impl<'p> Analyzer<'p> {
             .map_err(AnalysisError::IgBudget)?;
         // A child discovered at an indirect call site needs its direct
         // call structure expanded so recursion is detected eagerly.
-        if self.ig.node(child).kind == IgKind::Ordinary && self.ig.node(child).children.is_empty()
-        {
+        if self.ig.node(child).kind == IgKind::Ordinary && self.ig.node(child).children.is_empty() {
             self.ig
                 .expand_direct(ir, child, self.config.max_ig_nodes)
                 .map_err(AnalysisError::IgBudget)?;
@@ -105,7 +104,11 @@ impl<'p> Analyzer<'p> {
     ) -> Result<Flow, AnalysisError> {
         let ir = self.ir;
         if self.ig.node(node).kind == IgKind::Approximate {
-            let rec = self.ig.node(node).rec_edge.expect("approximate nodes have a partner");
+            let rec = self
+                .ig
+                .node(node)
+                .rec_edge
+                .expect("approximate nodes have a partner");
             if let Some(si) = &self.ig.node(rec).stored_input {
                 if func_input.subset_of(si) {
                     return Ok(self.ig.node(rec).stored_output.clone());
@@ -122,7 +125,11 @@ impl<'p> Analyzer<'p> {
             }
         }
         let func = self.ig.node(node).func;
-        let body = ir.function(func).body.as_ref().expect("node for a defined function");
+        let body = ir
+            .function(func)
+            .body
+            .as_ref()
+            .expect("node for a defined function");
         {
             let n = self.ig.node_mut(node);
             n.stored_input = Some(func_input.clone());
@@ -131,7 +138,12 @@ impl<'p> Analyzer<'p> {
             n.pending.clear();
         }
         loop {
-            let cur = self.ig.node(node).stored_input.clone().expect("input set above");
+            let cur = self
+                .ig
+                .node(node)
+                .stored_input
+                .clone()
+                .expect("input set above");
             let fo = self.process_stmt(func, node, body, Some(cur))?;
             let out = merge_flow(fo.normal, fo.ret);
             // Unresolved inputs from approximate descendants: generalize
@@ -223,7 +235,11 @@ impl<'p> Analyzer<'p> {
                 }
                 let unique = tr.len() == 1;
                 for t2 in tr {
-                    let d2 = if d == Def::D && unique { Def::D } else { Def::P };
+                    let d2 = if d == Def::D && unique {
+                        Def::D
+                    } else {
+                        Def::P
+                    };
                     crate::intra::push_pair(&mut r, t2, d2);
                 }
             }
@@ -267,7 +283,12 @@ impl<'p> Analyzer<'p> {
             }
             ExternEffect::ReturnsHeap => {
                 let heap = self.locs.heap();
-                Ok(Some(self.extern_bind(caller, lhs, Some(vec![(heap, Def::P)]), input)))
+                Ok(Some(self.extern_bind(
+                    caller,
+                    lhs,
+                    Some(vec![(heap, Def::P)]),
+                    input,
+                )))
             }
             ExternEffect::ReturnsFirstArg => {
                 let r = match args.first() {

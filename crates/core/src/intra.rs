@@ -25,7 +25,10 @@ pub(crate) struct FlowOut {
 
 impl FlowOut {
     pub(crate) fn normal(f: Flow) -> Self {
-        FlowOut { normal: f, ..Default::default() }
+        FlowOut {
+            normal: f,
+            ..Default::default()
+        }
     }
 
     fn absorb_exits(&mut self, other: &mut FlowOut) {
@@ -58,7 +61,12 @@ impl<'p> Analyzer<'p> {
                 }
                 Ok(out)
             }
-            Stmt::If { cond, then_s, else_s, id } => {
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+                id,
+            } => {
                 self.record(*id, &input);
                 self.record_cond_refs(func, cond, &input);
                 let mut t = self.process_stmt(func, node, then_s, Some(input.clone()))?;
@@ -71,7 +79,12 @@ impl<'p> Analyzer<'p> {
                 out.absorb_exits(&mut e);
                 Ok(out)
             }
-            Stmt::While { pre_cond, cond, body, id } => {
+            Stmt::While {
+                pre_cond,
+                cond,
+                body,
+                id,
+            } => {
                 let mut inv = Some(input);
                 let mut acc = FlowOut::default();
                 loop {
@@ -89,12 +102,22 @@ impl<'p> Analyzer<'p> {
                     let new_inv = merge_flow(inv.clone(), back);
                     if new_inv == inv {
                         let normal = merge_flow(test, acc.brk.take());
-                        return Ok(FlowOut { normal, brk: None, cont: None, ret: acc.ret });
+                        return Ok(FlowOut {
+                            normal,
+                            brk: None,
+                            cont: None,
+                            ret: acc.ret,
+                        });
                     }
                     inv = new_inv;
                 }
             }
-            Stmt::DoWhile { body, pre_cond, cond, id } => {
+            Stmt::DoWhile {
+                body,
+                pre_cond,
+                cond,
+                id,
+            } => {
                 let mut inv = Some(input);
                 let mut acc = FlowOut::default();
                 loop {
@@ -112,12 +135,24 @@ impl<'p> Analyzer<'p> {
                     let new_inv = merge_flow(inv.clone(), test.clone());
                     if new_inv == inv {
                         let normal = merge_flow(test, acc.brk.take());
-                        return Ok(FlowOut { normal, brk: None, cont: None, ret: acc.ret });
+                        return Ok(FlowOut {
+                            normal,
+                            brk: None,
+                            cont: None,
+                            ret: acc.ret,
+                        });
                     }
                     inv = new_inv;
                 }
             }
-            Stmt::For { init, pre_cond, cond, step, body, id } => {
+            Stmt::For {
+                init,
+                pre_cond,
+                cond,
+                step,
+                body,
+                id,
+            } => {
                 let mut i = self.process_stmt(func, node, init, Some(input))?;
                 let mut inv = i.normal.take();
                 let mut acc = FlowOut::default();
@@ -139,16 +174,30 @@ impl<'p> Analyzer<'p> {
                     let new_inv = merge_flow(inv.clone(), st.normal.take());
                     if new_inv == inv {
                         let normal = merge_flow(test, acc.brk.take());
-                        return Ok(FlowOut { normal, brk: None, cont: None, ret: acc.ret });
+                        return Ok(FlowOut {
+                            normal,
+                            brk: None,
+                            cont: None,
+                            ret: acc.ret,
+                        });
                     }
                     inv = new_inv;
                 }
             }
-            Stmt::Switch { scrutinee: _, arms, has_default, id } => {
+            Stmt::Switch {
+                scrutinee: _,
+                arms,
+                has_default,
+                id,
+            } => {
                 self.record(*id, &input);
                 // Conservative compositional rule: any arm may be
                 // entered from the dispatch; fall-through chains arms.
-                let mut exit: Flow = if *has_default { None } else { Some(input.clone()) };
+                let mut exit: Flow = if *has_default {
+                    None
+                } else {
+                    Some(input.clone())
+                };
                 let mut fall: Flow = None;
                 let mut acc = FlowOut::default();
                 for arm in arms {
@@ -160,15 +209,26 @@ impl<'p> Analyzer<'p> {
                     acc.ret = merge_flow(acc.ret.take(), o.ret.take());
                 }
                 exit = merge_flow(exit, fall);
-                Ok(FlowOut { normal: exit, brk: None, cont: acc.cont, ret: acc.ret })
+                Ok(FlowOut {
+                    normal: exit,
+                    brk: None,
+                    cont: acc.cont,
+                    ret: acc.ret,
+                })
             }
             Stmt::Break(id) => {
                 self.record(*id, &input);
-                Ok(FlowOut { brk: Some(input), ..Default::default() })
+                Ok(FlowOut {
+                    brk: Some(input),
+                    ..Default::default()
+                })
             }
             Stmt::Continue(id) => {
                 self.record(*id, &input);
-                Ok(FlowOut { cont: Some(input), ..Default::default() })
+                Ok(FlowOut {
+                    cont: Some(input),
+                    ..Default::default()
+                })
             }
         }
     }
@@ -248,7 +308,12 @@ impl<'p> Analyzer<'p> {
                 };
                 Ok(FlowOut::normal(Some(self.assign(input, &l, &r))))
             }
-            BasicStmt::Call { lhs, target, args, call_site } => {
+            BasicStmt::Call {
+                lhs,
+                target,
+                args,
+                call_site,
+            } => {
                 let out = self.process_call_stmt(
                     func,
                     node,
@@ -269,19 +334,17 @@ impl<'p> Analyzer<'p> {
                         out = self.assign_return(func, v, out);
                     }
                 }
-                Ok(FlowOut { ret: Some(out), ..Default::default() })
+                Ok(FlowOut {
+                    ret: Some(out),
+                    ..Default::default()
+                })
             }
         }
     }
 
     /// Records the returned pointer value into the function's
     /// return-value slot (`ret@f`), field-by-field for struct returns.
-    fn assign_return(
-        &mut self,
-        func: FuncId,
-        v: &pta_simple::Operand,
-        input: PtSet,
-    ) -> PtSet {
+    fn assign_return(&mut self, func: FuncId, v: &pta_simple::Operand, input: PtSet) -> PtSet {
         let ir = self.ir;
         let ret_loc = self.locs.ret(ir, func);
         let leaves = self.ptr_leaves(ret_loc);
@@ -324,7 +387,11 @@ impl<'p> Analyzer<'p> {
             }
         }
         for (p, d1) in l_locs {
-            let d1 = if self.locs.is_summary(*p) { Def::P } else { *d1 };
+            let d1 = if self.locs.is_summary(*p) {
+                Def::P
+            } else {
+                *d1
+            };
             for (x, d2) in r_locs {
                 out.insert(*p, *x, d1.and(*d2));
             }
@@ -335,7 +402,10 @@ impl<'p> Analyzer<'p> {
     /// Warns when an address value flows into a non-pointer destination
     /// (cast abuse loses points-to information).
     fn check_discarded_address(&mut self, func: FuncId, rhs: &pta_simple::Operand) {
-        if matches!(rhs, pta_simple::Operand::AddrOf(_) | pta_simple::Operand::Func(_)) {
+        if matches!(
+            rhs,
+            pta_simple::Operand::AddrOf(_) | pta_simple::Operand::Func(_)
+        ) {
             self.warn(format!(
                 "address value stored into a non-pointer in `{}`; points-to information is lost",
                 self.ir.function(func).name
@@ -371,7 +441,11 @@ fn project_operand(
 pub(crate) fn append_proj(r: VarRef, p: pta_simple::IrProj) -> VarRef {
     match r {
         VarRef::Path(path) => VarRef::Path(path.project(p)),
-        VarRef::Deref { path, shift, mut after } => {
+        VarRef::Deref {
+            path,
+            shift,
+            mut after,
+        } => {
             after.push(p);
             VarRef::Deref { path, shift, after }
         }

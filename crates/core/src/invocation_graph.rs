@@ -101,7 +101,10 @@ pub struct InvocationGraph {
 impl InvocationGraph {
     /// Creates an empty graph.
     pub fn empty() -> Self {
-        InvocationGraph { nodes: Vec::new(), root: None }
+        InvocationGraph {
+            nodes: Vec::new(),
+            root: None,
+        }
     }
 
     /// Builds the initial graph by depth-first traversal of the *direct*
@@ -151,7 +154,10 @@ impl InvocationGraph {
 
     /// Iterates nodes with ids.
     pub fn iter(&self) -> impl Iterator<Item = (IgNodeId, &IgNode)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (IgNodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (IgNodeId(i as u32), n))
     }
 
     /// Expands all direct call sites reachable under `at` (recursively).
@@ -167,7 +173,12 @@ impl InvocationGraph {
         };
         let mut calls: Vec<(CallSiteId, FuncId)> = Vec::new();
         body.for_each_basic(&mut |b, _| {
-            if let BasicStmt::Call { target: CallTarget::Direct(callee), call_site, .. } = b {
+            if let BasicStmt::Call {
+                target: CallTarget::Direct(callee),
+                call_site,
+                ..
+            } = b
+            {
                 if ir.function(*callee).is_defined() {
                     calls.push((*call_site, *callee));
                 }
@@ -175,8 +186,7 @@ impl InvocationGraph {
         });
         for (cs, callee) in calls {
             let child = self.ensure_child(ir, at, cs, callee, max_nodes)?;
-            if self.node(child).kind == IgKind::Ordinary && self.node(child).children.is_empty()
-            {
+            if self.node(child).kind == IgKind::Ordinary && self.node(child).children.is_empty() {
                 self.expand_direct(ir, child, max_nodes)?;
             }
         }
@@ -234,8 +244,16 @@ impl InvocationGraph {
         funcs.dedup();
         IgStats {
             nodes: self.nodes.len(),
-            recursive: self.nodes.iter().filter(|n| n.kind == IgKind::Recursive).count(),
-            approximate: self.nodes.iter().filter(|n| n.kind == IgKind::Approximate).count(),
+            recursive: self
+                .nodes
+                .iter()
+                .filter(|n| n.kind == IgKind::Recursive)
+                .count(),
+            approximate: self
+                .nodes
+                .iter()
+                .filter(|n| n.kind == IgKind::Approximate)
+                .count(),
             functions: funcs.len(),
         }
     }
@@ -264,10 +282,16 @@ impl InvocationGraph {
         }
         for (id, n) in self.iter() {
             for ((cs, _), child) in &n.children {
-                out.push_str(&format!("  n{} -> n{} [label=\"cs{}\"];\n", id.0, child.0, cs.0));
+                out.push_str(&format!(
+                    "  n{} -> n{} [label=\"cs{}\"];\n",
+                    id.0, child.0, cs.0
+                ));
             }
             if let Some(rec) = n.rec_edge {
-                out.push_str(&format!("  n{} -> n{} [style=dashed, constraint=false];\n", id.0, rec.0));
+                out.push_str(&format!(
+                    "  n{} -> n{} [style=dashed, constraint=false];\n",
+                    id.0, rec.0
+                ));
             }
         }
         out.push_str("}\n");
@@ -296,7 +320,12 @@ impl InvocationGraph {
 pub fn direct_callees(ir: &IrProgram, body: &Stmt) -> Vec<(CallSiteId, FuncId)> {
     let mut calls = Vec::new();
     body.for_each_basic(&mut |b, _| {
-        if let BasicStmt::Call { target: CallTarget::Direct(callee), call_site, .. } = b {
+        if let BasicStmt::Call {
+            target: CallTarget::Direct(callee),
+            call_site,
+            ..
+        } = b
+        {
             if ir.function(*callee).is_defined() {
                 calls.push((*call_site, *callee));
             }

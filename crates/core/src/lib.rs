@@ -33,6 +33,7 @@
 
 pub mod analysis;
 pub mod baseline;
+pub mod dense;
 pub mod invocation_graph;
 pub mod location;
 pub mod lvalue;
@@ -46,7 +47,7 @@ mod unmap;
 
 pub use analysis::{analyze, analyze_with, AnalysisConfig, AnalysisError, AnalysisResult};
 pub use invocation_graph::{IgKind, IgNode, IgNodeId, IgStats, InvocationGraph, MapInfo};
-pub use location::{LocBase, LocId, LocTable, Proj};
+pub use location::{LocBase, LocId, LocTable, LocationTable, Proj};
 pub use points_to_set::{Def, Flow, PtSet};
 
 use pta_simple::{IrProgram, StmtId};
@@ -154,9 +155,7 @@ impl Pta {
                 continue;
             }
             let scoped_elsewhere = match self.result.locs.get(id).base {
-                LocBase::Var(f, _) | LocBase::Symbolic(f, _) | LocBase::Ret(f) => {
-                    Some(f) != fid
-                }
+                LocBase::Var(f, _) | LocBase::Symbolic(f, _) | LocBase::Ret(f) => Some(f) != fid,
                 _ => false,
             };
             if !scoped_elsewhere {
@@ -169,14 +168,18 @@ impl Pta {
     /// Target names (with definiteness) of `var` in `func` at the given
     /// program point, NULL excluded, sorted by name.
     pub fn targets_at(&self, stmt: StmtId, func: &str, var: &str) -> Vec<(String, Def)> {
-        let Some(src) = self.loc_of(func, var) else { return Vec::new() };
+        let Some(src) = self.loc_of(func, var) else {
+            return Vec::new();
+        };
         let set = self.result.at(stmt);
         self.named_targets(&set, src)
     }
 
     /// Target names of `var` in the exit set of `main`.
     pub fn exit_targets_of(&self, func: &str, var: &str) -> Vec<(String, Def)> {
-        let Some(src) = self.loc_of(func, var) else { return Vec::new() };
+        let Some(src) = self.loc_of(func, var) else {
+            return Vec::new();
+        };
         self.named_targets(&self.result.exit_set, src)
     }
 
@@ -232,11 +235,7 @@ impl Pta {
     }
 }
 
-fn render_basic(
-    ir: &IrProgram,
-    f: &pta_simple::IrFunction,
-    b: &pta_simple::BasicStmt,
-) -> String {
+fn render_basic(ir: &IrProgram, f: &pta_simple::IrFunction, b: &pta_simple::BasicStmt) -> String {
     // Reuse the printer by wrapping the statement in a tiny tree.
     let stmt = pta_simple::Stmt::Basic(b.clone(), StmtId(0));
     let tmp = pta_simple::IrFunction {

@@ -7,12 +7,20 @@
 //! invisible variable, the single `heap` location, the `null`
 //! pseudo-location, string-literal storage, or a function (the target of
 //! a function pointer).
+//!
+//! [`LocationTable`] is the per-program interner behind the analysis:
+//! every location shape maps to a dense [`LocId`] exactly once, via an
+//! FxHash-bucketed index (no structural tree comparisons on the hot
+//! path), and each id carries a classification bitmask so predicates
+//! like [`LocationTable::is_summary`] are a single flag test instead of
+//! a match over the interned data.
 
+use crate::dense::{FxHashMap, FxHasher};
 use pta_cfront::ast::{FuncId, GlobalId};
 use pta_cfront::types::Type;
 use pta_simple::{IrProgram, IrVarId};
-use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// An interned abstract stack location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -88,19 +96,63 @@ pub struct SymbolicData {
     pub ty: Option<Type>,
 }
 
+// Per-location classification flags, computed once at intern time.
+const F_SUMMARY: u8 = 1 << 0;
+const F_NULL: u8 = 1 << 1;
+const F_FUNCTION: u8 = 1 << 2;
+const F_HEAP: u8 = 1 << 3;
+const F_SYMBOLIC: u8 = 1 << 4;
+
+fn classify(base: &LocBase, projs: &[Proj]) -> u8 {
+    let mut f = 0;
+    match base {
+        LocBase::Heap | LocBase::HeapSite(_) => f |= F_HEAP | F_SUMMARY,
+        LocBase::StrLit => f |= F_SUMMARY,
+        LocBase::Null => f |= F_NULL,
+        LocBase::Function(_) => f |= F_FUNCTION,
+        LocBase::Symbolic(..) => f |= F_SYMBOLIC,
+        _ => {}
+    }
+    if projs.iter().any(|p| matches!(p, Proj::Tail)) {
+        f |= F_SUMMARY;
+    }
+    f
+}
+
+fn key_hash(base: &LocBase, projs: &[Proj]) -> u64 {
+    let mut h = FxHasher::default();
+    base.hash(&mut h);
+    projs.hash(&mut h);
+    h.finish()
+}
+
+fn sym_hash(func: FuncId, name: &str) -> u64 {
+    let mut h = FxHasher::default();
+    func.hash(&mut h);
+    name.hash(&mut h);
+    h.finish()
+}
+
 /// Interning table for abstract locations.
 ///
 /// Locations are created deterministically in analysis order, so ids are
-/// stable for a given program and configuration.
+/// stable for a given program and configuration. The index maps the
+/// FxHash of `(base, projs)` to candidate ids (hand-rolled hash
+/// buckets), so lookups never clone the key and hits cost one hash plus
+/// a candidate comparison.
 #[derive(Debug, Default)]
-pub struct LocTable {
+pub struct LocationTable {
     data: Vec<LocData>,
-    index: BTreeMap<(LocBase, Vec<Proj>), LocId>,
+    flags: Vec<u8>,
+    index: FxHashMap<u64, Vec<LocId>>,
     symbolics: Vec<SymbolicData>,
-    sym_index: BTreeMap<(FuncId, String), u32>,
+    sym_index: FxHashMap<u64, Vec<u32>>,
 }
 
-impl LocTable {
+/// Former name of [`LocationTable`], kept for downstream code.
+pub type LocTable = LocationTable;
+
+impl LocationTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         Self::default()
@@ -128,17 +180,36 @@ impl LocTable {
 
     /// Finds an already-interned location.
     pub fn lookup(&self, base: &LocBase, projs: &[Proj]) -> Option<LocId> {
-        self.index.get(&(base.clone(), projs.to_vec())).copied()
+        let candidates = self.index.get(&key_hash(base, projs))?;
+        candidates.iter().copied().find(|&id| {
+            let d = &self.data[id.0 as usize];
+            d.base == *base && d.projs == projs
+        })
     }
 
     /// Interns a location.
-    pub fn intern(&mut self, base: LocBase, projs: Vec<Proj>, ty: Option<Type>, name: String) -> LocId {
-        if let Some(id) = self.index.get(&(base.clone(), projs.clone())) {
-            return *id;
+    pub fn intern(
+        &mut self,
+        base: LocBase,
+        projs: Vec<Proj>,
+        ty: Option<Type>,
+        name: String,
+    ) -> LocId {
+        if let Some(id) = self.lookup(&base, &projs) {
+            return id;
         }
         let id = LocId(self.data.len() as u32);
-        self.index.insert((base.clone(), projs.clone()), id);
-        self.data.push(LocData { base, projs, ty, name });
+        self.index
+            .entry(key_hash(&base, &projs))
+            .or_default()
+            .push(id);
+        self.flags.push(classify(&base, &projs));
+        self.data.push(LocData {
+            base,
+            projs,
+            ty,
+            name,
+        });
         id
     }
 
@@ -149,7 +220,12 @@ impl LocTable {
 
     /// An allocation-site heap location (extension).
     pub fn heap_site(&mut self, site: u32) -> LocId {
-        self.intern(LocBase::HeapSite(site), vec![], None, format!("heap@s{site}"))
+        self.intern(
+            LocBase::HeapSite(site),
+            vec![],
+            None,
+            format!("heap@s{site}"),
+        )
     }
 
     /// The `null` pseudo-location.
@@ -182,13 +258,23 @@ impl LocTable {
     /// The location of a variable root.
     pub fn var(&mut self, ir: &IrProgram, func: FuncId, v: IrVarId) -> LocId {
         let data = ir.function(func).var(v);
-        self.intern(LocBase::Var(func, v), vec![], Some(data.ty.clone()), data.name.clone())
+        self.intern(
+            LocBase::Var(func, v),
+            vec![],
+            Some(data.ty.clone()),
+            data.name.clone(),
+        )
     }
 
     /// The location of a global root.
     pub fn global(&mut self, ir: &IrProgram, g: GlobalId) -> LocId {
         let data = ir.global(g);
-        self.intern(LocBase::Global(g), vec![], Some(data.ty.clone()), data.name.clone())
+        self.intern(
+            LocBase::Global(g),
+            vec![],
+            Some(data.ty.clone()),
+            data.name.clone(),
+        )
     }
 
     /// Projects a location by one step, computing the resulting type and
@@ -225,15 +311,16 @@ impl LocTable {
     }
 
     /// Creates (or returns) a symbolic name owned by `func`.
-    pub fn symbolic(
-        &mut self,
-        func: FuncId,
-        name: &str,
-        depth: u32,
-        ty: Option<Type>,
-    ) -> LocId {
-        let sym_idx = match self.sym_index.get(&(func, name.to_owned())) {
-            Some(i) => *i,
+    pub fn symbolic(&mut self, func: FuncId, name: &str, depth: u32, ty: Option<Type>) -> LocId {
+        let h = sym_hash(func, name);
+        let found = self.sym_index.get(&h).and_then(|candidates| {
+            candidates.iter().copied().find(|&i| {
+                let s = &self.symbolics[i as usize];
+                s.func == func && s.name == name
+            })
+        });
+        let sym_idx = match found {
+            Some(i) => i,
             None => {
                 let i = self.symbolics.len() as u32;
                 self.symbolics.push(SymbolicData {
@@ -242,11 +329,16 @@ impl LocTable {
                     name: name.to_owned(),
                     ty: ty.clone(),
                 });
-                self.sym_index.insert((func, name.to_owned()), i);
+                self.sym_index.entry(h).or_default().push(i);
                 i
             }
         };
-        self.intern(LocBase::Symbolic(func, sym_idx), vec![], ty, name.to_owned())
+        self.intern(
+            LocBase::Symbolic(func, sym_idx),
+            vec![],
+            ty,
+            name.to_owned(),
+        )
     }
 
     /// Metadata of a symbolic location's base (if it is one).
@@ -262,23 +354,26 @@ impl LocTable {
         self.get(id).ty.as_ref()
     }
 
+    #[inline]
+    fn flag(&self, id: LocId, f: u8) -> bool {
+        self.flags[id.0 as usize] & f != 0
+    }
+
     /// True if this abstract location may stand for more than one real
     /// location, so that strong updates (kills) through it are unsound:
     /// the `heap`, string-literal storage, and any array-tail element.
     pub fn is_summary(&self, id: LocId) -> bool {
-        let d = self.get(id);
-        matches!(d.base, LocBase::Heap | LocBase::HeapSite(_) | LocBase::StrLit)
-            || d.projs.iter().any(|p| matches!(p, Proj::Tail))
+        self.flag(id, F_SUMMARY)
     }
 
     /// True if the location is the `null` pseudo-location.
     pub fn is_null(&self, id: LocId) -> bool {
-        matches!(self.get(id).base, LocBase::Null)
+        self.flag(id, F_NULL)
     }
 
     /// True for function code locations.
     pub fn is_function(&self, id: LocId) -> bool {
-        matches!(self.get(id).base, LocBase::Function(_))
+        self.flag(id, F_FUNCTION)
     }
 
     /// The function id if this is a function code location.
@@ -292,7 +387,7 @@ impl LocTable {
     /// True for heap locations (the summary `heap` or any
     /// allocation-site location).
     pub fn is_heap(&self, id: LocId) -> bool {
-        matches!(self.get(id).base, LocBase::Heap | LocBase::HeapSite(_))
+        self.flag(id, F_HEAP)
     }
 
     /// True if the location lives in the scope of `func` (its variables
@@ -306,7 +401,7 @@ impl LocTable {
 
     /// True for symbolic locations (at any projection depth).
     pub fn is_symbolic(&self, id: LocId) -> bool {
-        matches!(self.get(id).base, LocBase::Symbolic(..))
+        self.flag(id, F_SYMBOLIC)
     }
 
     /// Iterates over all interned ids.
@@ -333,7 +428,7 @@ mod tests {
     #[test]
     fn intern_is_idempotent() {
         let ir = tiny_ir();
-        let mut t = LocTable::new();
+        let mut t = LocationTable::new();
         let a = t.global(&ir, pta_cfront::ast::GlobalId(0));
         let b = t.global(&ir, pta_cfront::ast::GlobalId(0));
         assert_eq!(a, b);
@@ -343,7 +438,7 @@ mod tests {
     #[test]
     fn project_fields_and_arrays() {
         let ir = tiny_ir();
-        let mut t = LocTable::new();
+        let mut t = LocationTable::new();
         let gs = t.global(&ir, pta_cfront::ast::GlobalId(0));
         let p = t.project(gs, Proj::Field("p".into()), &ir).unwrap();
         assert_eq!(t.name(p), "gs.p");
@@ -360,7 +455,7 @@ mod tests {
     #[test]
     fn bad_projections_return_none() {
         let ir = tiny_ir();
-        let mut t = LocTable::new();
+        let mut t = LocationTable::new();
         let gs = t.global(&ir, pta_cfront::ast::GlobalId(0));
         assert!(t.project(gs, Proj::Field("zzz".into()), &ir).is_none());
         assert!(t.project(gs, Proj::Head, &ir).is_none());
@@ -371,7 +466,7 @@ mod tests {
     #[test]
     fn heap_projections_collapse() {
         let ir = tiny_ir();
-        let mut t = LocTable::new();
+        let mut t = LocationTable::new();
         let h = t.heap();
         assert_eq!(t.project(h, Proj::Field("p".into()), &ir), Some(h));
         assert_eq!(t.project(h, Proj::Tail, &ir), Some(h));
@@ -381,7 +476,7 @@ mod tests {
     #[test]
     fn symbolic_names_are_per_function() {
         let ir = tiny_ir();
-        let mut t = LocTable::new();
+        let mut t = LocationTable::new();
         let (main_id, _) = ir.function_by_name("main").unwrap();
         let (f1_id, _) = ir.function_by_name("f1").unwrap();
         let s1 = t.symbolic(main_id, "1_x", 1, Some(pta_cfront::types::Type::Int));
@@ -396,6 +491,7 @@ mod tests {
     #[test]
     fn scoping_and_classification() {
         let ir = tiny_ir();
+        // The old name still works through the alias.
         let mut t = LocTable::new();
         let (main_id, _) = ir.function_by_name("main").unwrap();
         let (f1_id, _) = ir.function_by_name("f1").unwrap();

@@ -6,7 +6,7 @@
 //! Both are sets of `(location, D|P)` pairs relative to the current
 //! points-to set `S`.
 
-use crate::location::{LocBase, LocId, LocTable, Proj};
+use crate::location::{LocBase, LocId, LocationTable, Proj};
 use crate::points_to_set::{Def, PtSet};
 use pta_cfront::ast::FuncId;
 use pta_simple::{Const, IdxClass, IrProgram, IrProj, Operand, VarBase, VarPath, VarRef};
@@ -18,7 +18,7 @@ pub struct RefEnv<'a> {
     /// The function whose scope references are resolved in.
     pub func: FuncId,
     /// The location table (locations are interned on demand).
-    pub locs: &'a mut LocTable,
+    pub locs: &'a mut LocationTable,
 }
 
 impl RefEnv<'_> {
@@ -97,7 +97,10 @@ impl RefEnv<'_> {
     /// put (pointer arithmetic within the pointed-to object).
     fn tailify(&mut self, t: LocId) -> LocId {
         let d = self.locs.get(t).clone();
-        if matches!(d.base, LocBase::Heap | LocBase::HeapSite(_) | LocBase::StrLit) {
+        if matches!(
+            d.base,
+            LocBase::Heap | LocBase::HeapSite(_) | LocBase::StrLit
+        ) {
             return t;
         }
         match d.projs.last() {
@@ -112,9 +115,7 @@ impl RefEnv<'_> {
                     None, // parent type unused: project recomputes via stored data
                     parent_name,
                 );
-                self.locs
-                    .project(parent, Proj::Tail, self.ir)
-                    .unwrap_or(t)
+                self.locs.project(parent, Proj::Tail, self.ir).unwrap_or(t)
             }
             _ => t,
         }
@@ -197,19 +198,27 @@ mod tests {
 
     struct Fixture {
         ir: IrProgram,
-        locs: LocTable,
+        locs: LocationTable,
         main: FuncId,
     }
 
     fn fixture(src: &str) -> Fixture {
         let ir = pta_simple::compile(src).expect("compile ok");
         let main = ir.entry.expect("main");
-        Fixture { ir, locs: LocTable::new(), main }
+        Fixture {
+            ir,
+            locs: LocationTable::new(),
+            main,
+        }
     }
 
     fn var_id(ir: &IrProgram, f: FuncId, name: &str) -> pta_simple::IrVarId {
         let func = ir.function(f);
-        let idx = func.vars.iter().position(|v| v.name == name).expect("var exists");
+        let idx = func
+            .vars
+            .iter()
+            .position(|v| v.name == name)
+            .expect("var exists");
         pta_simple::IrVarId(idx as u32)
     }
 
@@ -217,7 +226,11 @@ mod tests {
     fn direct_reference_llocs() {
         let mut fx = fixture("int main(void){ int a; a = 1; return a; }");
         let a = var_id(&fx.ir, fx.main, "a");
-        let mut env = RefEnv { ir: &fx.ir, func: fx.main, locs: &mut fx.locs };
+        let mut env = RefEnv {
+            ir: &fx.ir,
+            func: fx.main,
+            locs: &mut fx.locs,
+        };
         let r = VarRef::Path(VarPath::var(a));
         let ls = env.l_locations(&PtSet::new(), &r);
         assert_eq!(ls.len(), 1);
@@ -228,7 +241,11 @@ mod tests {
     #[test]
     fn array_reference_llocs_follow_table1() {
         let mut fx = fixture("int a[10]; int main(void){ return 0; }");
-        let mut env = RefEnv { ir: &fx.ir, func: fx.main, locs: &mut fx.locs };
+        let mut env = RefEnv {
+            ir: &fx.ir,
+            func: fx.main,
+            locs: &mut fx.locs,
+        };
         let ga = pta_cfront::ast::GlobalId(0);
         // a[0] → {(a[0], D)}
         let head = VarRef::Path(VarPath::global(ga).project(IrProj::Index(IdxClass::Zero)));
@@ -253,13 +270,21 @@ mod tests {
         let x = var_id(&fx.ir, fx.main, "x");
         let y = var_id(&fx.ir, fx.main, "y");
         let p = var_id(&fx.ir, fx.main, "p");
-        let mut env = RefEnv { ir: &fx.ir, func: fx.main, locs: &mut fx.locs };
+        let mut env = RefEnv {
+            ir: &fx.ir,
+            func: fx.main,
+            locs: &mut fx.locs,
+        };
         let (lx, ly, lp) = (
             env.locs.var(&fx.ir, fx.main, x),
             env.locs.var(&fx.ir, fx.main, y),
             env.locs.var(&fx.ir, fx.main, p),
         );
-        let deref = VarRef::Deref { path: VarPath::var(p), shift: IdxClass::Zero, after: vec![] };
+        let deref = VarRef::Deref {
+            path: VarPath::var(p),
+            shift: IdxClass::Zero,
+            after: vec![],
+        };
         let mut s = PtSet::new();
         s.insert(lp, lx, Def::D);
         let ls = env.l_locations(&s, &deref);
@@ -277,12 +302,20 @@ mod tests {
     fn deref_skips_null_targets() {
         let mut fx = fixture("int main(void){ int *p; p = 0; return 0; }");
         let p = var_id(&fx.ir, fx.main, "p");
-        let mut env = RefEnv { ir: &fx.ir, func: fx.main, locs: &mut fx.locs };
+        let mut env = RefEnv {
+            ir: &fx.ir,
+            func: fx.main,
+            locs: &mut fx.locs,
+        };
         let lp = env.locs.var(&fx.ir, fx.main, p);
         let null = env.locs.null();
         let mut s = PtSet::new();
         s.insert(lp, null, Def::D);
-        let deref = VarRef::Deref { path: VarPath::var(p), shift: IdxClass::Zero, after: vec![] };
+        let deref = VarRef::Deref {
+            path: VarPath::var(p),
+            shift: IdxClass::Zero,
+            after: vec![],
+        };
         assert!(env.l_locations(&s, &deref).is_empty());
     }
 
@@ -293,7 +326,11 @@ mod tests {
         let x = var_id(&fx.ir, fx.main, "x");
         let p = var_id(&fx.ir, fx.main, "p");
         let pp = var_id(&fx.ir, fx.main, "pp");
-        let mut env = RefEnv { ir: &fx.ir, func: fx.main, locs: &mut fx.locs };
+        let mut env = RefEnv {
+            ir: &fx.ir,
+            func: fx.main,
+            locs: &mut fx.locs,
+        };
         let (lx, lp, lpp) = (
             env.locs.var(&fx.ir, fx.main, x),
             env.locs.var(&fx.ir, fx.main, p),
@@ -302,7 +339,11 @@ mod tests {
         let mut s = PtSet::new();
         s.insert(lpp, lp, Def::D);
         s.insert(lp, lx, Def::P);
-        let deref = VarRef::Deref { path: VarPath::var(pp), shift: IdxClass::Zero, after: vec![] };
+        let deref = VarRef::Deref {
+            path: VarPath::var(pp),
+            shift: IdxClass::Zero,
+            after: vec![],
+        };
         let rs = env.r_locations(&s, &deref);
         assert_eq!(rs, vec![(lx, Def::P)]);
         // Make both hops definite → D.
@@ -317,7 +358,11 @@ mod tests {
     fn addr_of_operand_uses_llocs() {
         let mut fx = fixture("int main(void){ int a; return 0; }");
         let a = var_id(&fx.ir, fx.main, "a");
-        let mut env = RefEnv { ir: &fx.ir, func: fx.main, locs: &mut fx.locs };
+        let mut env = RefEnv {
+            ir: &fx.ir,
+            func: fx.main,
+            locs: &mut fx.locs,
+        };
         let la = env.locs.var(&fx.ir, fx.main, a);
         let op = Operand::AddrOf(VarRef::Path(VarPath::var(a)));
         let rs = env.operand_r_locations(&PtSet::new(), &op);
@@ -326,9 +371,12 @@ mod tests {
 
     #[test]
     fn null_and_function_operands() {
-        let mut fx =
-            fixture("int f(void){ return 1; } int main(void){ return f(); }");
-        let mut env = RefEnv { ir: &fx.ir, func: fx.main, locs: &mut fx.locs };
+        let mut fx = fixture("int f(void){ return 1; } int main(void){ return f(); }");
+        let mut env = RefEnv {
+            ir: &fx.ir,
+            func: fx.main,
+            locs: &mut fx.locs,
+        };
         let rs = env.operand_r_locations(&PtSet::new(), &Operand::int(0));
         assert_eq!(rs.len(), 1);
         assert!(env.locs.is_null(rs[0].0));
@@ -337,22 +385,34 @@ mod tests {
         let rs2 = env.operand_r_locations(&PtSet::new(), &Operand::Func(fid));
         assert!(env.locs.is_function(rs2[0].0));
         // Non-zero integer constants carry no address.
-        assert!(env.operand_r_locations(&PtSet::new(), &Operand::int(7)).is_empty());
+        assert!(env
+            .operand_r_locations(&PtSet::new(), &Operand::int(7))
+            .is_empty());
     }
 
     #[test]
     fn shift_semantics() {
         let mut fx = fixture("int a[10]; int main(void){ return 0; }");
-        let mut env = RefEnv { ir: &fx.ir, func: fx.main, locs: &mut fx.locs };
+        let mut env = RefEnv {
+            ir: &fx.ir,
+            func: fx.main,
+            locs: &mut fx.locs,
+        };
         let ga = env.locs.global(&fx.ir, pta_cfront::ast::GlobalId(0));
         let head = env.locs.project(ga, Proj::Head, &fx.ir).unwrap();
         let tail = env.locs.project(ga, Proj::Tail, &fx.ir).unwrap();
         assert_eq!(env.shift_loc(head, IdxClass::Zero), vec![(head, Def::D)]);
-        assert_eq!(env.shift_loc(head, IdxClass::Positive), vec![(tail, Def::D)]);
+        assert_eq!(
+            env.shift_loc(head, IdxClass::Positive),
+            vec![(tail, Def::D)]
+        );
         let unk = env.shift_loc(head, IdxClass::Unknown);
         assert_eq!(unk.len(), 2);
         // Shifting the tail stays in the tail.
-        assert_eq!(env.shift_loc(tail, IdxClass::Positive), vec![(tail, Def::D)]);
+        assert_eq!(
+            env.shift_loc(tail, IdxClass::Positive),
+            vec![(tail, Def::D)]
+        );
         // Shifting null drops it.
         let null = env.locs.null();
         assert!(env.shift_loc(null, IdxClass::Positive).is_empty());
@@ -366,8 +426,15 @@ mod tests {
         );
         let t = var_id(&fx.ir, fx.main, "t");
         let p = var_id(&fx.ir, fx.main, "p");
-        let mut env = RefEnv { ir: &fx.ir, func: fx.main, locs: &mut fx.locs };
-        let (lt, lp) = (env.locs.var(&fx.ir, fx.main, t), env.locs.var(&fx.ir, fx.main, p));
+        let mut env = RefEnv {
+            ir: &fx.ir,
+            func: fx.main,
+            locs: &mut fx.locs,
+        };
+        let (lt, lp) = (
+            env.locs.var(&fx.ir, fx.main, t),
+            env.locs.var(&fx.ir, fx.main, p),
+        );
         let mut s = PtSet::new();
         s.insert(lp, lt, Def::D);
         let r = VarRef::Deref {

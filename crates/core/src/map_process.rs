@@ -13,12 +13,13 @@
 //!   node.
 
 use crate::analysis::Analyzer;
+use crate::dense::{LocMap, LocSet};
 use crate::invocation_graph::MapInfo;
 use crate::location::{LocBase, LocId, Proj};
 use crate::points_to_set::{Def, PtSet};
 use pta_cfront::ast::FuncId;
 use pta_simple::Operand;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 /// The outcome of mapping a call.
 #[derive(Debug, Clone)]
@@ -46,9 +47,9 @@ impl<'p> Analyzer<'p> {
         let ir = self.ir;
         let mut st = MapState {
             sym_reps: MapInfo::new(),
-            tr: BTreeMap::new(),
+            tr: LocMap::with_capacity(self.locs.len()),
             raw: Vec::new(),
-            visited: BTreeSet::new(),
+            visited: LocSet::new(),
             queue: VecDeque::new(),
         };
 
@@ -142,7 +143,7 @@ impl<'p> Analyzer<'p> {
         Mapping {
             callee_input,
             sym_reps: st.sym_reps,
-            mapped_sources: st.visited.into_iter().collect(),
+            mapped_sources: st.visited.iter().collect(),
         }
     }
 
@@ -171,14 +172,16 @@ impl<'p> Analyzer<'p> {
         if self.loc_visible(t) {
             return t;
         }
-        if let Some(s) = st.tr.get(&t) {
-            return *s;
+        if let Some(s) = st.tr.get(t) {
+            return s;
         }
         // Longest mapped prefix: `x.f` translates through `x`'s symbol.
         let td = self.locs.get(t).clone();
         for k in (0..td.projs.len()).rev() {
-            let Some(prefix) = self.locs.lookup(&td.base, &td.projs[..k]) else { continue };
-            if let Some(base_sym) = st.tr.get(&prefix).copied() {
+            let Some(prefix) = self.locs.lookup(&td.base, &td.projs[..k]) else {
+                continue;
+            };
+            if let Some(base_sym) = st.tr.get(prefix) {
                 let mut cur = base_sym;
                 for p in &td.projs[k..] {
                     match self.locs.project(cur, p.clone(), self.ir) {
@@ -232,7 +235,9 @@ impl<'p> Analyzer<'p> {
                 let sd = self
                     .locs
                     .symbolic_data(
-                        self.locs.lookup(&d.base, &[]).expect("symbolic base interned"),
+                        self.locs
+                            .lookup(&d.base, &[])
+                            .expect("symbolic base interned"),
                     )
                     .expect("symbolic data");
                 // `1_x` → root `x`; keep any projections of `via`.
@@ -256,7 +261,7 @@ impl<'p> Analyzer<'p> {
     /// mapped target) for mapping: each pointer leaf inside `t` pairs
     /// with the corresponding leaf of its callee-side name.
     fn enqueue_content(&mut self, t: LocId, t2: LocId, st: &mut MapState) {
-        if st.visited.contains(&t) {
+        if st.visited.contains(t) {
             return;
         }
         let base_depth = self.locs.get(t).projs.len();
@@ -282,9 +287,10 @@ impl<'p> Analyzer<'p> {
 
 struct MapState {
     sym_reps: MapInfo,
-    tr: BTreeMap<LocId, LocId>,
+    /// Caller location → callee-side name (dense translation table).
+    tr: LocMap,
     raw: Vec<(LocId, LocId, Def)>,
-    visited: BTreeSet<LocId>,
+    visited: LocSet,
     queue: VecDeque<(LocId, LocId)>,
 }
 

@@ -3,9 +3,21 @@
 //! A points-to set is a set of triples `(x, y, D|P)`: abstract stack
 //! location `x` *definitely* or *possibly* contains the address of `y`
 //! (Definitions 3.1/3.2).
+//!
+//! # Representation
+//!
+//! Triples are packed into single `u64` words — source id in the high
+//! 32 bits, target id in bits 1..32, the definiteness in bit 0 (set
+//! for `D`) — and kept in one sorted flat array. Sorting by the word
+//! is sorting by `(source, target)`, so set operations (merge, subset,
+//! equality) are linear merge-joins over machine words, lookups are a
+//! binary search, and per-source ranges (`targets`, `kill_from`) are
+//! contiguous slices. Demoting `D → P` clears bit 0, which cannot
+//! reorder the array because pair keys are unique. Sets of up to six
+//! triples — the overwhelming majority of per-variable sets — live
+//! inline without a heap allocation.
 
 use crate::location::LocId;
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Definiteness of a points-to relationship.
@@ -39,10 +51,154 @@ impl fmt::Display for Def {
     }
 }
 
-/// A set of points-to triples, indexed by source location.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Bit 0 of a packed triple: set for `D`, clear for `P`.
+const D_BIT: u64 = 1;
+/// Mask selecting the `(source, target)` pair key of a packed triple.
+const KEY_MASK: u64 = !D_BIT;
+
+#[inline]
+fn pack(src: LocId, tgt: LocId, d: Def) -> u64 {
+    debug_assert!(tgt.0 < 1 << 31, "LocId overflows the packed target field");
+    key(src, tgt) | (d == Def::D) as u64
+}
+
+#[inline]
+fn key(src: LocId, tgt: LocId) -> u64 {
+    ((src.0 as u64) << 32) | ((tgt.0 as u64) << 1)
+}
+
+#[inline]
+fn unpack_src(e: u64) -> LocId {
+    LocId((e >> 32) as u32)
+}
+
+#[inline]
+fn unpack_tgt(e: u64) -> LocId {
+    LocId(((e >> 1) & 0x7FFF_FFFF) as u32)
+}
+
+#[inline]
+fn unpack_def(e: u64) -> Def {
+    if e & D_BIT != 0 {
+        Def::D
+    } else {
+        Def::P
+    }
+}
+
+/// Triples held inline before the set spills to the heap.
+const INLINE: usize = 6;
+
+/// Storage of the packed triples: a small inline buffer or a spilled
+/// vector. Invariant: the occupied prefix is sorted and pair keys are
+/// unique.
+#[derive(Clone)]
+enum Rep {
+    Inline { len: u8, buf: [u64; INLINE] },
+    Spilled(Vec<u64>),
+}
+
+impl Rep {
+    #[inline]
+    fn as_slice(&self) -> &[u64] {
+        match self {
+            Rep::Inline { len, buf } => &buf[..*len as usize],
+            Rep::Spilled(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [u64] {
+        match self {
+            Rep::Inline { len, buf } => &mut buf[..*len as usize],
+            Rep::Spilled(v) => v,
+        }
+    }
+
+    fn insert_at(&mut self, i: usize, e: u64) {
+        match self {
+            Rep::Inline { len, buf } => {
+                let n = *len as usize;
+                if n < INLINE {
+                    buf.copy_within(i..n, i + 1);
+                    buf[i] = e;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(n * 2);
+                    v.extend_from_slice(&buf[..i]);
+                    v.push(e);
+                    v.extend_from_slice(&buf[i..]);
+                    *self = Rep::Spilled(v);
+                }
+            }
+            Rep::Spilled(v) => v.insert(i, e),
+        }
+    }
+
+    fn remove_range(&mut self, range: std::ops::Range<usize>) {
+        match self {
+            Rep::Inline { len, buf } => {
+                let n = *len as usize;
+                buf.copy_within(range.end..n, range.start);
+                *len -= (range.end - range.start) as u8;
+            }
+            Rep::Spilled(v) => {
+                v.drain(range);
+            }
+        }
+    }
+
+    fn truncate(&mut self, n: usize) {
+        match self {
+            Rep::Inline { len, .. } => *len = (*len).min(n as u8),
+            Rep::Spilled(v) => v.truncate(n),
+        }
+    }
+
+    fn from_sorted(v: Vec<u64>) -> Self {
+        if v.len() <= INLINE {
+            let mut buf = [0u64; INLINE];
+            buf[..v.len()].copy_from_slice(&v);
+            Rep::Inline {
+                len: v.len() as u8,
+                buf,
+            }
+        } else {
+            Rep::Spilled(v)
+        }
+    }
+}
+
+impl Default for Rep {
+    fn default() -> Self {
+        Rep::Inline {
+            len: 0,
+            buf: [0; INLINE],
+        }
+    }
+}
+
+/// A set of points-to triples over interned locations, stored as one
+/// sorted array of packed `u64` words (see the module docs).
+#[derive(Clone, Default)]
 pub struct PtSet {
-    map: BTreeMap<LocId, BTreeMap<LocId, Def>>,
+    rep: Rep,
+}
+
+impl PartialEq for PtSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.rep.as_slice() == other.rep.as_slice()
+    }
+}
+
+impl Eq for PtSet {}
+
+impl fmt::Debug for PtSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set()
+            .entries(self.iter().map(|(s, t, d)| (s.0, t.0, d)))
+            .finish()
+    }
 }
 
 impl PtSet {
@@ -53,41 +209,73 @@ impl PtSet {
 
     /// Number of triples.
     pub fn len(&self) -> usize {
-        self.map.values().map(|m| m.len()).sum()
+        self.rep.as_slice().len()
     }
 
     /// True if there are no triples.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.rep.as_slice().is_empty()
+    }
+
+    /// Index of the pair `(src, tgt)` if present, else its insertion
+    /// point.
+    #[inline]
+    fn pair_index(&self, src: LocId, tgt: LocId) -> Result<usize, usize> {
+        let k = key(src, tgt);
+        let s = self.rep.as_slice();
+        let i = s.partition_point(|&e| (e & KEY_MASK) < k);
+        if s.get(i).is_some_and(|&e| e & KEY_MASK == k) {
+            Ok(i)
+        } else {
+            Err(i)
+        }
+    }
+
+    /// The contiguous index range of triples whose source is `src`.
+    #[inline]
+    fn source_range(&self, src: LocId) -> std::ops::Range<usize> {
+        let s = self.rep.as_slice();
+        let lo = (src.0 as u64) << 32;
+        let hi = ((src.0 as u64) + 1) << 32;
+        s.partition_point(|&e| e < lo)..s.partition_point(|&e| e < hi)
     }
 
     /// The definiteness of `(src, tgt)` if present.
     pub fn get(&self, src: LocId, tgt: LocId) -> Option<Def> {
-        self.map.get(&src).and_then(|m| m.get(&tgt)).copied()
+        self.pair_index(src, tgt)
+            .ok()
+            .map(|i| unpack_def(self.rep.as_slice()[i]))
     }
 
     /// True if the triple `(src, tgt, d)` with any definiteness exists.
     pub fn contains(&self, src: LocId, tgt: LocId) -> bool {
-        self.get(src, tgt).is_some()
+        self.pair_index(src, tgt).is_ok()
     }
 
     /// The targets of `src` with their definiteness.
     pub fn targets(&self, src: LocId) -> impl Iterator<Item = (LocId, Def)> + '_ {
-        self.map.get(&src).into_iter().flatten().map(|(l, d)| (*l, *d))
+        let r = self.source_range(src);
+        self.rep.as_slice()[r]
+            .iter()
+            .map(|&e| (unpack_tgt(e), unpack_def(e)))
     }
 
     /// Number of targets of `src`.
     pub fn target_count(&self, src: LocId) -> usize {
-        self.map.get(&src).map_or(0, |m| m.len())
+        self.source_range(src).len()
     }
 
     /// Inserts a triple. If the pair already exists, `D` wins: an
     /// insertion is a *generated* fact at the current point, which can
     /// only sharpen what survived kill/change processing.
     pub fn insert(&mut self, src: LocId, tgt: LocId, d: Def) {
-        let slot = self.map.entry(src).or_default().entry(tgt).or_insert(d);
-        if d == Def::D {
-            *slot = Def::D;
+        match self.pair_index(src, tgt) {
+            Ok(i) => {
+                if d == Def::D {
+                    self.rep.as_mut_slice()[i] |= D_BIT;
+                }
+            }
+            Err(i) => self.rep.insert_at(i, pack(src, tgt, d)),
         }
     }
 
@@ -95,64 +283,71 @@ impl PtSet {
     /// a different definiteness (used when accumulating from multiple
     /// contexts).
     pub fn insert_weak(&mut self, src: LocId, tgt: LocId, d: Def) {
-        match self.map.entry(src).or_default().entry(tgt) {
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(d);
-            }
-            std::collections::btree_map::Entry::Occupied(mut e) => {
-                if *e.get() != d {
-                    e.insert(Def::P);
+        match self.pair_index(src, tgt) {
+            Ok(i) => {
+                let e = &mut self.rep.as_mut_slice()[i];
+                if unpack_def(*e) != d {
+                    *e &= KEY_MASK;
                 }
             }
+            Err(i) => self.rep.insert_at(i, pack(src, tgt, d)),
         }
     }
 
     /// Removes every triple whose source is `src` ("kill").
     pub fn kill_from(&mut self, src: LocId) {
-        self.map.remove(&src);
+        let r = self.source_range(src);
+        if !r.is_empty() {
+            self.rep.remove_range(r);
+        }
     }
 
     /// Demotes every triple from `src` to `P` ("change").
     pub fn demote_from(&mut self, src: LocId) {
-        if let Some(m) = self.map.get_mut(&src) {
-            for d in m.values_mut() {
-                *d = Def::P;
-            }
+        let r = self.source_range(src);
+        for e in &mut self.rep.as_mut_slice()[r] {
+            *e &= KEY_MASK;
         }
     }
 
     /// Removes a specific triple.
     pub fn remove(&mut self, src: LocId, tgt: LocId) {
-        if let Some(m) = self.map.get_mut(&src) {
-            m.remove(&tgt);
-            if m.is_empty() {
-                self.map.remove(&src);
-            }
+        if let Ok(i) = self.pair_index(src, tgt) {
+            self.rep.remove_range(i..i + 1);
         }
     }
 
     /// Merges two flow facts at a control-flow join: a pair definite in
     /// both stays definite; a pair present in only one side, or possible
-    /// in either, is possible (Definition 3.3).
+    /// in either, is possible (Definition 3.3). A sorted merge-join.
     pub fn merge(&self, other: &PtSet) -> PtSet {
-        let mut out = PtSet::new();
-        for (src, tgts) in &self.map {
-            for (tgt, d) in tgts {
-                let merged = match other.get(*src, *tgt) {
-                    Some(od) => d.and(od),
-                    None => Def::P,
-                };
-                out.insert(*src, *tgt, merged);
-            }
-        }
-        for (src, tgts) in &other.map {
-            for (tgt, d) in tgts {
-                if !self.contains(*src, *tgt) {
-                    out.insert(*src, *tgt, d.and(Def::P));
+        let (a, b) = (self.rep.as_slice(), other.rep.as_slice());
+        let mut out = Vec::with_capacity(a.len().max(b.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let (ka, kb) = (a[i] & KEY_MASK, b[j] & KEY_MASK);
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Equal => {
+                    // D ∧ D = D: the definiteness bits AND together.
+                    out.push(ka | (a[i] & b[j] & D_BIT));
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    out.push(ka); // one-sided → P
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(kb);
+                    j += 1;
                 }
             }
         }
-        out
+        out.extend(a[i..].iter().map(|e| e & KEY_MASK));
+        out.extend(b[j..].iter().map(|e| e & KEY_MASK));
+        PtSet {
+            rep: Rep::from_sorted(out),
+        }
     }
 
     /// Accumulates `other` into `self` with [`PtSet::insert_weak`]
@@ -160,10 +355,8 @@ impl PtSet {
     /// [`PtSet::merge`], pairs present on only one side keep their
     /// definiteness — used for per-statement statistics over contexts.
     pub fn absorb(&mut self, other: &PtSet) {
-        for (src, tgts) in &other.map {
-            for (tgt, d) in tgts {
-                self.insert_weak(*src, *tgt, *d);
-            }
+        for (src, tgt, d) in other.iter() {
+            self.insert_weak(src, tgt, d);
         }
     }
 
@@ -171,48 +364,64 @@ impl PtSet {
     /// `self`: every triple of `self` appears in `other`, and a
     /// possible triple in `self` is not claimed definite by `other`
     /// (a definite claim is *stronger*, so it would not be a safe
-    /// generalization).
+    /// generalization). A sorted two-pointer walk.
     pub fn subset_of(&self, other: &PtSet) -> bool {
-        for (src, tgts) in &self.map {
-            for (tgt, d) in tgts {
-                match other.get(*src, *tgt) {
-                    None => return false,
-                    Some(Def::P) => {}
-                    Some(Def::D) => {
-                        if *d == Def::P {
-                            return false;
-                        }
-                    }
-                }
+        let (a, b) = (self.rep.as_slice(), other.rep.as_slice());
+        let mut j = 0;
+        for &ea in a {
+            let ka = ea & KEY_MASK;
+            while j < b.len() && (b[j] & KEY_MASK) < ka {
+                j += 1;
             }
+            if j >= b.len() || b[j] & KEY_MASK != ka {
+                return false;
+            }
+            // Fails only when `other` claims D for a pair `self` has
+            // as P (bit arithmetic: D = 1 > P = 0).
+            if ea & D_BIT < b[j] & D_BIT {
+                return false;
+            }
+            j += 1;
         }
         true
     }
 
-    /// Iterates all triples in deterministic order.
+    /// Iterates all triples in deterministic `(source, target)` order.
     pub fn iter(&self) -> impl Iterator<Item = (LocId, LocId, Def)> + '_ {
-        self.map
+        self.rep
+            .as_slice()
             .iter()
-            .flat_map(|(src, tgts)| tgts.iter().map(move |(tgt, d)| (*src, *tgt, *d)))
+            .map(|&e| (unpack_src(e), unpack_tgt(e), unpack_def(e)))
     }
 
-    /// Iterates all source locations.
+    /// Iterates all source locations (ascending, deduplicated).
     pub fn sources(&self) -> impl Iterator<Item = LocId> + '_ {
-        self.map.keys().copied()
+        let s = self.rep.as_slice();
+        let mut i = 0;
+        std::iter::from_fn(move || {
+            if i >= s.len() {
+                return None;
+            }
+            let src = unpack_src(s[i]);
+            while i < s.len() && unpack_src(s[i]) == src {
+                i += 1;
+            }
+            Some(src)
+        })
     }
 
     /// Retains only the triples satisfying the predicate.
     pub fn retain(&mut self, mut pred: impl FnMut(LocId, LocId, Def) -> bool) {
-        let mut empty = Vec::new();
-        for (src, tgts) in self.map.iter_mut() {
-            tgts.retain(|tgt, d| pred(*src, *tgt, *d));
-            if tgts.is_empty() {
-                empty.push(*src);
+        let s = self.rep.as_mut_slice();
+        let mut w = 0;
+        for r in 0..s.len() {
+            let e = s[r];
+            if pred(unpack_src(e), unpack_tgt(e), unpack_def(e)) {
+                s[w] = e;
+                w += 1;
             }
         }
-        for s in empty {
-            self.map.remove(&s);
-        }
+        self.rep.truncate(w);
     }
 }
 
@@ -386,5 +595,52 @@ mod tests {
         s.retain(|_, _, d| d == Def::D);
         assert_eq!(s.len(), 1);
         assert!(s.contains(l(0), l(1)));
+    }
+
+    // ---- packed-representation specifics --------------------------------
+
+    #[test]
+    fn spill_past_inline_capacity_preserves_order_and_content() {
+        let mut s = PtSet::new();
+        // Insert out of order, well past the inline capacity.
+        for i in (0..40u32).rev() {
+            s.insert(l(i % 7), l(i), if i % 3 == 0 { Def::D } else { Def::P });
+        }
+        assert_eq!(s.len(), 40);
+        let triples: Vec<_> = s.iter().collect();
+        let mut sorted = triples.clone();
+        sorted.sort_by_key(|(a, b, _)| (*a, *b));
+        assert_eq!(triples, sorted, "iteration is (source, target) ordered");
+        for (src, tgt, d) in triples {
+            assert_eq!(s.get(src, tgt), Some(d));
+        }
+    }
+
+    #[test]
+    fn equality_ignores_storage_mode() {
+        let mut a = PtSet::new();
+        for i in 0..20u32 {
+            a.insert(l(0), l(i), Def::P);
+        }
+        for i in 1..20u32 {
+            a.remove(l(0), l(i)); // spilled, then shrunk back to 1
+        }
+        let mut b = PtSet::new();
+        b.insert(l(0), l(0), Def::P);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kill_removes_a_contiguous_run_in_a_spilled_set() {
+        let mut s = PtSet::new();
+        for i in 0..10u32 {
+            s.insert(l(1), l(i), Def::P);
+        }
+        s.insert(l(0), l(0), Def::D);
+        s.insert(l(2), l(0), Def::D);
+        s.kill_from(l(1));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(l(0), l(0)));
+        assert!(s.contains(l(2), l(0)));
     }
 }

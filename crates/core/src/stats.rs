@@ -219,7 +219,10 @@ pub fn table2(name: &str, source: &str, ir: &IrProgram, result: &AnalysisResult)
         .locs
         .ids()
         .filter(|l| {
-            matches!(result.locs.get(*l).base, LocBase::Global(_) | LocBase::StrLit)
+            matches!(
+                result.locs.get(*l).base,
+                LocBase::Global(_) | LocBase::StrLit
+            )
         })
         .count()
         + 1; // heap
@@ -241,7 +244,13 @@ pub fn table2(name: &str, source: &str, ir: &IrProgram, result: &AnalysisResult)
     if min_vars == usize::MAX {
         min_vars = 0;
     }
-    Table2Row { name: name.to_owned(), lines, simple_stmts, min_vars, max_vars }
+    Table2Row {
+        name: name.to_owned(),
+        lines,
+        simple_stmts,
+        min_vars,
+        max_vars,
+    }
 }
 
 /// One indirect-reference occurrence: the program point and the
@@ -269,7 +278,11 @@ pub fn collect_indirect_refs(ir: &IrProgram) -> Vec<IndirectRef> {
 
 fn push_ref(func: FuncId, stmt: StmtId, r: &VarRef, out: &mut Vec<IndirectRef>) {
     if r.is_indirect() {
-        out.push(IndirectRef { func, stmt, r: r.clone() });
+        out.push(IndirectRef {
+            func,
+            stmt,
+            r: r.clone(),
+        });
     }
 }
 
@@ -303,7 +316,9 @@ fn collect_basic(func: FuncId, b: &BasicStmt, id: StmtId, out: &mut Vec<Indirect
             push_ref(func, id, lhs, out);
             push_op(func, id, size, out);
         }
-        BasicStmt::Call { lhs, target, args, .. } => {
+        BasicStmt::Call {
+            lhs, target, args, ..
+        } => {
             if let Some(l) = lhs {
                 push_ref(func, id, l, out);
             }
@@ -332,31 +347,58 @@ fn collect_stmt(func: FuncId, s: &Stmt, out: &mut Vec<IndirectRef>) {
     match s {
         Stmt::Basic(b, id) => collect_basic(func, b, *id, out),
         Stmt::Seq(v) => v.iter().for_each(|s| collect_stmt(func, s, out)),
-        Stmt::If { cond, then_s, else_s, id } => {
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+            id,
+        } => {
             collect_cond(func, cond, *id, out);
             collect_stmt(func, then_s, out);
             if let Some(e) = else_s {
                 collect_stmt(func, e, out);
             }
         }
-        Stmt::While { pre_cond, cond, body, id } => {
+        Stmt::While {
+            pre_cond,
+            cond,
+            body,
+            id,
+        } => {
             collect_stmt(func, pre_cond, out);
             collect_cond(func, cond, *id, out);
             collect_stmt(func, body, out);
         }
-        Stmt::DoWhile { body, pre_cond, cond, id } => {
+        Stmt::DoWhile {
+            body,
+            pre_cond,
+            cond,
+            id,
+        } => {
             collect_stmt(func, body, out);
             collect_stmt(func, pre_cond, out);
             collect_cond(func, cond, *id, out);
         }
-        Stmt::For { init, pre_cond, cond, step, body, id } => {
+        Stmt::For {
+            init,
+            pre_cond,
+            cond,
+            step,
+            body,
+            id,
+        } => {
             collect_stmt(func, init, out);
             collect_stmt(func, pre_cond, out);
             collect_cond(func, cond, *id, out);
             collect_stmt(func, step, out);
             collect_stmt(func, body, out);
         }
-        Stmt::Switch { scrutinee, arms, id, .. } => {
+        Stmt::Switch {
+            scrutinee,
+            arms,
+            id,
+            ..
+        } => {
             push_op(func, *id, scrutinee, out);
             for a in arms {
                 collect_stmt(func, &a.body, out);
@@ -374,9 +416,15 @@ fn pairs_used(
     occ: &IndirectRef,
     set: &PtSet,
 ) -> Vec<(LocId, LocId, Def)> {
-    let VarRef::Deref { path, .. } = &occ.r else { return Vec::new() };
+    let VarRef::Deref { path, .. } = &occ.r else {
+        return Vec::new();
+    };
     let ptr_locs = {
-        let mut env = RefEnv { ir, func: occ.func, locs: &mut result.locs };
+        let mut env = RefEnv {
+            ir,
+            func: occ.func,
+            locs: &mut result.locs,
+        };
         env.path_locs(path)
     };
     let mut out = Vec::new();
@@ -395,7 +443,10 @@ fn pairs_used(
 
 /// Table 3.
 pub fn table3(name: &str, ir: &IrProgram, result: &mut AnalysisResult) -> Table3Row {
-    let mut row = Table3Row { name: name.to_owned(), ..Default::default() };
+    let mut row = Table3Row {
+        name: name.to_owned(),
+        ..Default::default()
+    };
     for occ in collect_indirect_refs(ir) {
         let set = result.at(occ.stmt);
         let pairs = pairs_used(ir, result, &occ, &set);
@@ -463,7 +514,10 @@ fn loc_kind(
 
 /// Table 4.
 pub fn table4(name: &str, ir: &IrProgram, result: &mut AnalysisResult) -> Table4Row {
-    let mut row = Table4Row { name: name.to_owned(), ..Default::default() };
+    let mut row = Table4Row {
+        name: name.to_owned(),
+        ..Default::default()
+    };
     for occ in collect_indirect_refs(ir) {
         let set = result.at(occ.stmt);
         let pairs = pairs_used(ir, result, &occ, &set);
@@ -484,7 +538,10 @@ pub fn table4(name: &str, ir: &IrProgram, result: &mut AnalysisResult) -> Table4
 
 /// Table 5.
 pub fn table5(name: &str, _ir: &IrProgram, result: &AnalysisResult) -> Table5Row {
-    let mut row = Table5Row { name: name.to_owned(), ..Default::default() };
+    let mut row = Table5Row {
+        name: name.to_owned(),
+        ..Default::default()
+    };
     for set in result.per_stmt.values() {
         row.points += 1;
         let mut here = 0usize;
@@ -572,8 +629,7 @@ mod tests {
 
     #[test]
     fn table3_counts_heap_targets() {
-        let (ir, mut r) =
-            analysed("int main(void){ int *p; p = (int*) malloc(4); return *p; }");
+        let (ir, mut r) = analysed("int main(void){ int *p; p = (int*) malloc(4); return *p; }");
         let t3 = table3("t", &ir, &mut r);
         assert_eq!(t3.to_heap, 1);
         assert_eq!(t3.one_p, (1, 0)); // single possible target (heap)
@@ -581,8 +637,7 @@ mod tests {
 
     #[test]
     fn table3_null_single_target_is_possible() {
-        let (ir, mut r) =
-            analysed("int x, c; int main(void){ int *p; if (c) p = &x; return *p; }");
+        let (ir, mut r) = analysed("int x, c; int main(void){ int *p; if (c) p = &x; return *p; }");
         let t3 = table3("t", &ir, &mut r);
         // p → {x possibly, null possibly} — counted as "1 P".
         assert_eq!(t3.one_p, (1, 0));

@@ -10,11 +10,11 @@
 //! are updated weakly.
 
 use crate::analysis::Analyzer;
+use crate::dense::LocMap;
 use crate::invocation_graph::MapInfo;
 use crate::location::{LocBase, LocId};
 use crate::points_to_set::{Def, PtSet};
 use pta_cfront::ast::FuncId;
-use std::collections::BTreeMap;
 
 impl<'p> Analyzer<'p> {
     /// Translates `callee_out` back to the caller, starting from the
@@ -33,8 +33,8 @@ impl<'p> Analyzer<'p> {
         // Strong replacement for uniquely-named non-summary sources;
         // weak (demote) for the rest.
         for &l in mapped_sources {
-            let unique = match rev.get(&l) {
-                Some(sym) => sym_reps.get(sym).map_or(1, |r| r.len()) == 1,
+            let unique = match rev.get(l) {
+                Some(sym) => sym_reps.get(&sym).map_or(1, |r| r.len()) == 1,
                 None => true, // visible location: named by itself
             };
             if unique && !self.locs.is_summary(l) {
@@ -62,7 +62,11 @@ impl<'p> Analyzer<'p> {
             let unique = srcs.len() == 1 && tgts.len() == 1;
             for &s2 in &srcs {
                 for &t2 in &tgts {
-                    let d2 = if d == Def::D && unique { Def::D } else { Def::P };
+                    let d2 = if d == Def::D && unique {
+                        Def::D
+                    } else {
+                        Def::P
+                    };
                     out.insert_weak(s2, t2, d2);
                 }
             }
@@ -76,8 +80,12 @@ impl<'p> Analyzer<'p> {
         let d = self.locs.get(l).clone();
         match d.base {
             LocBase::Symbolic(f, _) if f == callee => {
-                let Some(base) = self.locs.lookup(&d.base, &[]) else { return Vec::new() };
-                let Some(reps) = sym_reps.get(&base) else { return Vec::new() };
+                let Some(base) = self.locs.lookup(&d.base, &[]) else {
+                    return Vec::new();
+                };
+                let Some(reps) = sym_reps.get(&base) else {
+                    return Vec::new();
+                };
                 let mut out = Vec::new();
                 for &rep in reps {
                     let mut cur = rep;
@@ -111,8 +119,8 @@ impl<'p> Analyzer<'p> {
         matches!(self.locs.get(l).base, LocBase::Var(f, _) if f == callee)
     }
 
-    fn reverse_map(&self, sym_reps: &MapInfo) -> BTreeMap<LocId, LocId> {
-        let mut rev = BTreeMap::new();
+    fn reverse_map(&self, sym_reps: &MapInfo) -> LocMap {
+        let mut rev = LocMap::with_capacity(self.locs.len());
         for (sym, reps) in sym_reps {
             for &r in reps {
                 rev.insert(r, *sym);

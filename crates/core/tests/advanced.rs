@@ -53,8 +53,10 @@ fn k_limit_is_configurable() {
             sink(&pp);
             return *p;
         }";
-    let cfg =
-        AnalysisConfig { max_sym_depth: 1, ..Default::default() }; // tight but safe
+    let cfg = AnalysisConfig {
+        max_sym_depth: 1,
+        ..Default::default()
+    }; // tight but safe
     let t = run_source_with(src, cfg).expect("analysis ok");
     let targets = t.exit_targets_of("main", "p");
     // With the tight limit the write may be blurred, but x (or a
@@ -69,10 +71,8 @@ fn k_limit_is_configurable() {
 fn symbolic_names_follow_paper_conventions() {
     // Inside the callee, main's q appears as 1_pp and its pointee as
     // 2_pp (one symbolic name per indirection level, §4.1).
-    let t = pta(
-        "void look(int **pp) { int *t; t = *pp; }
-         int main(void){ int x; int *q; q = &x; look(&q); return 0; }",
-    );
+    let t = pta("void look(int **pp) { int *t; t = *pp; }
+         int main(void){ int x; int *q; q = &x; look(&q); return 0; }");
     let inside = t.find_stmt("look", "t = *pp", 0).unwrap();
     let pairs = t.pairs_at(inside);
     assert!(
@@ -93,29 +93,25 @@ fn symbolic_names_follow_paper_conventions() {
 fn memo_is_input_sensitive() {
     // The same chain main→use is analysed with two different global
     // states; the second call must NOT reuse the first summary.
-    let t = pta(
-        "int x, y; int *g; int *out1; int *out2;
+    let t = pta("int x, y; int *g; int *out1; int *out2;
          void capture1(void) { out1 = g; }
          void capture2(void) { out2 = g; }
          int main(void){
             g = &x; capture1();
             g = &y; capture2();
-            return 0; }",
-    );
+            return 0; }");
     assert_eq!(t.exit_targets_of("main", "out1"), vec![d("x")]);
     assert_eq!(t.exit_targets_of("main", "out2"), vec![d("y")]);
 }
 
 #[test]
 fn same_function_two_states_two_nodes() {
-    let t = pta(
-        "int x, y; int *g; int *seen;
+    let t = pta("int x, y; int *g; int *seen;
          void capture(void) { seen = g; }
          int main(void){
             g = &x; capture();
             g = &y; capture();
-            return 0; }",
-    );
+            return 0; }");
     // Both states flow through separate IG nodes; the final `seen` is
     // the second call's result.
     assert_eq!(t.exit_targets_of("main", "seen"), vec![d("y")]);
@@ -128,20 +124,17 @@ fn same_function_two_states_two_nodes() {
 
 #[test]
 fn function_returning_function_pointer() {
-    let t = pta(
-        "int x; int *g;
+    let t = pta("int x; int *g;
          void setx(void){ g = &x; }
          void (*pick(void))(void) { return setx; }
-         int main(void){ void (*fp)(void); fp = pick(); fp(); return 0; }",
-    );
+         int main(void){ void (*fp)(void); fp = pick(); fp(); return 0; }");
     assert_eq!(t.exit_targets_of("main", "fp"), vec![d("setx")]);
     assert_eq!(t.exit_targets_of("main", "g"), vec![d("x")]);
 }
 
 #[test]
 fn struct_with_function_pointer_array() {
-    let t = pta(
-        "int x1, x2; int *g;
+    let t = pta("int x1, x2; int *g;
          void h1(void){ g = &x1; }
          void h2(void){ g = &x2; }
          struct vtbl { void (*ops[2])(void); };
@@ -151,8 +144,7 @@ fn struct_with_function_pointer_array() {
             v.ops[0] = h1;
             v.ops[1] = h2;
             v.ops[k]();
-            return 0; }",
-    );
+            return 0; }");
     let targets = t.exit_targets_of("main", "g");
     assert_eq!(targets, vec![p("x1"), p("x2")]);
 }
@@ -161,11 +153,9 @@ fn struct_with_function_pointer_array() {
 fn function_pointer_recursion_through_table() {
     // A self-referential dispatch: the table entry calls back through
     // the table — the IG must close the loop with an approximate node.
-    let t = pta(
-        "int n; int (*table[1])(void);
+    let t = pta("int n; int (*table[1])(void);
          int step(void) { if (n) { n = n - 1; return table[0](); } return 0; }
-         int main(void){ table[0] = step; return table[0](); }",
-    );
+         int main(void){ table[0] = step; return table[0](); }");
     let s = t.result.ig.stats();
     assert!(s.recursive >= 1, "{s:?}");
     assert!(s.approximate >= 1, "{s:?}");
@@ -175,16 +165,14 @@ fn function_pointer_recursion_through_table() {
 fn callback_with_data_pointer() {
     // The classic qsort-style pattern: a callback receives a pointer
     // the caller chose.
-    let t = pta(
-        "int total;
+    let t = pta("int total;
          void add(int *v) { total = total + *v; }
          void each(int *base, int n, void (*f)(int *)) {
             int i;
             for (i = 0; i < n; i++) f(&base[i]);
          }
          int data[8];
-         int main(void){ each(data, 8, add); return total; }",
-    );
+         int main(void){ each(data, 8, add); return total; }");
     // Inside `add`, v points into the data array (symbolically).
     let inside = t.find_stmt("add", "total", 0).unwrap();
     let pairs = t.pairs_at(inside);
@@ -200,38 +188,32 @@ fn callback_with_data_pointer() {
 
 #[test]
 fn struct_passed_by_value_maps_fields() {
-    let t = pta(
-        "struct box { int *a; int *b; };
+    let t = pta("struct box { int *a; int *b; };
          int x, y; int *got_a; int *got_b;
          void open(struct box bx) { got_a = bx.a; got_b = bx.b; }
          int main(void){
             struct box s; s.a = &x; s.b = &y;
             open(s);
-            return 0; }",
-    );
+            return 0; }");
     assert_eq!(t.exit_targets_of("main", "got_a"), vec![d("x")]);
     assert_eq!(t.exit_targets_of("main", "got_b"), vec![d("y")]);
 }
 
 #[test]
 fn mutation_of_by_value_struct_does_not_leak_back() {
-    let t = pta(
-        "struct box { int *a; };
+    let t = pta("struct box { int *a; };
          int x, y;
          void clobber(struct box bx) { bx.a = &y; }
-         int main(void){ struct box s; s.a = &x; clobber(s); return *s.a; }",
-    );
+         int main(void){ struct box s; s.a = &x; clobber(s); return *s.a; }");
     assert_eq!(t.exit_targets_of("main", "s.a"), vec![d("x")]);
 }
 
 #[test]
 fn pointer_to_struct_field_across_calls() {
-    let t = pta(
-        "struct rec { int *link; int v; };
+    let t = pta("struct rec { int *link; int v; };
          int x;
          void fill(struct rec *r) { r->link = &x; }
-         int main(void){ struct rec a; fill(&a); return *a.link; }",
-    );
+         int main(void){ struct rec a; fill(&a); return *a.link; }");
     assert_eq!(t.exit_targets_of("main", "a.link"), vec![d("x")]);
 }
 
@@ -247,7 +229,10 @@ fn ig_budget_error_is_reported() {
         int h(void){ g(); g(); g(); g(); return 0; }
         int main(void){ h(); h(); h(); h(); return 0; }";
     let ir = pta_simple::compile(src).unwrap();
-    let cfg = AnalysisConfig { max_ig_nodes: 5, ..Default::default() };
+    let cfg = AnalysisConfig {
+        max_ig_nodes: 5,
+        ..Default::default()
+    };
     let err = pta_core::analyze_with(&ir, cfg).unwrap_err();
     assert!(matches!(err, pta_core::AnalysisError::IgBudget(_)));
 }
@@ -256,7 +241,10 @@ fn ig_budget_error_is_reported() {
 fn step_budget_error_is_reported() {
     let src = "int main(void){ int i; for (i = 0; i < 10; i++) { i = i; } return 0; }";
     let ir = pta_simple::compile(src).unwrap();
-    let cfg = AnalysisConfig { max_steps: 2, ..Default::default() };
+    let cfg = AnalysisConfig {
+        max_steps: 2,
+        ..Default::default()
+    };
     let err = pta_core::analyze_with(&ir, cfg).unwrap_err();
     assert_eq!(err, pta_core::AnalysisError::StepBudget);
 }
@@ -265,7 +253,10 @@ fn step_budget_error_is_reported() {
 fn stats_recording_can_be_disabled() {
     let src = "int x; int main(void){ int *p; p = &x; return *p; }";
     let ir = pta_simple::compile(src).unwrap();
-    let cfg = AnalysisConfig { record_stats: false, ..Default::default() };
+    let cfg = AnalysisConfig {
+        record_stats: false,
+        ..Default::default()
+    };
     let r = pta_core::analyze_with(&ir, cfg).unwrap();
     assert!(r.per_stmt.is_empty());
     assert!(!r.exit_set.is_empty());
@@ -277,20 +268,16 @@ fn stats_recording_can_be_disabled() {
 
 #[test]
 fn string_literals_share_one_location() {
-    let t = pta(
-        "int main(void){ char *a; char *b; a = \"x\"; b = \"y\"; return a == b; }",
-    );
+    let t = pta("int main(void){ char *a; char *b; a = \"x\"; b = \"y\"; return a == b; }");
     assert_eq!(t.exit_targets_of("main", "a"), vec![p("strlit")]);
     assert_eq!(t.exit_targets_of("main", "b"), vec![p("strlit")]);
 }
 
 #[test]
 fn global_array_of_pointers_initializer() {
-    let t = pta(
-        "int x, y, z;
+    let t = pta("int x, y, z;
          int *table[3] = { &x, &y, &z };
-         int main(void){ return *table[0]; }",
-    );
+         int main(void){ return *table[0]; }");
     assert_eq!(t.exit_targets_of("main", "table[0]"), vec![d("x")]);
     let tail = t.exit_targets_of("main", "table[1..]");
     assert!(tail.contains(&p("y")) && tail.contains(&p("z")), "{tail:?}");
@@ -298,45 +285,37 @@ fn global_array_of_pointers_initializer() {
 
 #[test]
 fn address_of_field_of_deref_target() {
-    let t = pta(
-        "struct s { int v; };
+    let t = pta("struct s { int v; };
          int main(void){
             struct s t; struct s *p; int *q;
             p = &t; q = &p->v;
-            return *q; }",
-    );
+            return *q; }");
     assert_eq!(t.exit_targets_of("main", "q"), vec![d("t.v")]);
 }
 
 #[test]
 fn do_while_with_call_in_condition() {
-    let t = pta(
-        "int n; int x; int *g;
+    let t = pta("int n; int x; int *g;
          int step(void){ g = &x; n = n - 1; return n; }
-         int main(void){ do { } while (step()); return *g; }",
-    );
+         int main(void){ do { } while (step()); return *g; }");
     assert_eq!(t.exit_targets_of("main", "g"), vec![d("x")]);
 }
 
 #[test]
 fn exit_branch_prunes_flow() {
-    let t = pta(
-        "int x, y, c;
+    let t = pta("int x, y, c;
          int main(void){
             int *p;
             p = &x;
             if (c) { p = &y; exit(1); }
-            return *p; }",
-    );
+            return *p; }");
     // The exit() path never reaches the return: p is definitely &x.
     assert_eq!(t.exit_targets_of("main", "p"), vec![d("x")]);
 }
 
 #[test]
 fn warnings_deduplicate() {
-    let t = pta(
-        "int main(void){ mystery(); mystery(); mystery(); return 0; }",
-    );
+    let t = pta("int main(void){ mystery(); mystery(); mystery(); return 0; }");
     let count = t
         .result
         .warnings

@@ -39,10 +39,8 @@ fn copy_propagates_targets() {
 
 #[test]
 fn if_merge_makes_targets_possible() {
-    let t = pta(
-        "int x, y, c;
-         int main(void){ int *p; if (c) p = &x; else p = &y; return *p; }",
-    );
+    let t = pta("int x, y, c;
+         int main(void){ int *p; if (c) p = &x; else p = &y; return *p; }");
     assert_eq!(t.exit_targets_of("main", "p"), vec![p("x"), p("y")]);
 }
 
@@ -61,21 +59,17 @@ fn same_assignment_on_both_branches_stays_definite() {
 #[test]
 fn indirect_assignment_with_definite_pointer_strongly_updates() {
     // *pp = &y with pp definitely pointing to p kills p's old target.
-    let t = pta(
-        "int x, y;
-         int main(void){ int *p; int **pp; p = &x; pp = &p; *pp = &y; return *p; }",
-    );
+    let t = pta("int x, y;
+         int main(void){ int *p; int **pp; p = &x; pp = &p; *pp = &y; return *p; }");
     assert_eq!(t.exit_targets_of("main", "p"), vec![d("y")]);
 }
 
 #[test]
 fn indirect_assignment_with_possible_pointer_weakly_updates() {
-    let t = pta(
-        "int x, y, z, c;
+    let t = pta("int x, y, z, c;
          int main(void){ int *p; int *q; int **pp; p = &x; q = &y;
            if (c) pp = &p; else pp = &q;
-           *pp = &z; return *p; }",
-    );
+           *pp = &z; return *p; }");
     // p may still point to x, or may have been updated to z.
     assert_eq!(t.exit_targets_of("main", "p"), vec![p("x"), p("z")]);
     assert_eq!(t.exit_targets_of("main", "q"), vec![p("y"), p("z")]);
@@ -83,19 +77,15 @@ fn indirect_assignment_with_possible_pointer_weakly_updates() {
 
 #[test]
 fn two_hop_read_composes_definiteness() {
-    let t = pta(
-        "int x;
-         int main(void){ int *p; int **pp; int *r; p = &x; pp = &p; r = *pp; return *r; }",
-    );
+    let t = pta("int x;
+         int main(void){ int *p; int **pp; int *r; p = &x; pp = &p; r = *pp; return *r; }");
     assert_eq!(t.exit_targets_of("main", "r"), vec![d("x")]);
 }
 
 #[test]
 fn while_loop_reaches_fixed_point() {
-    let t = pta(
-        "int x, y, n;
-         int main(void){ int *p; p = &x; while (n) { p = &y; } return *p; }",
-    );
+    let t = pta("int x, y, n;
+         int main(void){ int *p; p = &x; while (n) { p = &y; } return *p; }");
     assert_eq!(t.exit_targets_of("main", "p"), vec![p("x"), p("y")]);
 }
 
@@ -124,34 +114,28 @@ fn do_while_executes_body_at_least_once() {
 
 #[test]
 fn switch_merges_all_arms() {
-    let t = pta(
-        "int x, y, z, c;
+    let t = pta("int x, y, z, c;
          int main(void){ int *p;
            switch (c) { case 1: p = &x; break; case 2: p = &y; break; default: p = &z; }
-           return *p; }",
-    );
+           return *p; }");
     assert_eq!(t.exit_targets_of("main", "p"), vec![p("x"), p("y"), p("z")]);
 }
 
 #[test]
 fn switch_without_default_keeps_input_path() {
-    let t = pta(
-        "int x, y, c;
+    let t = pta("int x, y, c;
          int main(void){ int *p; p = &x;
            switch (c) { case 1: p = &y; break; }
-           return *p; }",
-    );
+           return *p; }");
     assert_eq!(t.exit_targets_of("main", "p"), vec![p("x"), p("y")]);
 }
 
 #[test]
 fn switch_fallthrough_chains_arms() {
-    let t = pta(
-        "int x, y, c;
+    let t = pta("int x, y, c;
          int main(void){ int *p; int *q;
            switch (c) { case 1: p = &x; case 2: q = p; break; default: q = &y; }
-           return 0; }",
-    );
+           return 0; }");
     // q can get p's value (x after arm 1 falls through, or null) or &y.
     let targets = t.exit_targets_of("main", "q");
     assert!(targets.contains(&p("x")), "got {targets:?}");
@@ -160,23 +144,19 @@ fn switch_fallthrough_chains_arms() {
 
 #[test]
 fn break_merges_loop_exit_state() {
-    let t = pta(
-        "int x, y, n;
+    let t = pta("int x, y, n;
          int main(void){ int *p; p = &x;
            while (1) { if (n) { p = &y; break; } n++; }
-           return *p; }",
-    );
+           return *p; }");
     assert_eq!(t.exit_targets_of("main", "p"), vec![p("x"), p("y")]);
 }
 
 #[test]
 fn continue_merges_into_loop_head() {
-    let t = pta(
-        "int x, y, n;
+    let t = pta("int x, y, n;
          int main(void){ int *p; int i; p = &x;
            for (i = 0; i < n; i++) { if (i == 2) { p = &y; continue; } p = &x; }
-           return *p; }",
-    );
+           return *p; }");
     assert_eq!(t.exit_targets_of("main", "p"), vec![p("x"), p("y")]);
 }
 
@@ -186,10 +166,8 @@ fn continue_merges_into_loop_head() {
 
 #[test]
 fn array_head_and_tail_are_distinguished() {
-    let t = pta(
-        "int a[10];
-         int main(void){ int *p; int *q; p = &a[0]; q = &a[5]; return *p + *q; }",
-    );
+    let t = pta("int a[10];
+         int main(void){ int *p; int *q; p = &a[0]; q = &a[5]; return *p + *q; }");
     assert_eq!(t.exit_targets_of("main", "p"), vec![d("a[0]")]);
     assert_eq!(t.exit_targets_of("main", "q"), vec![d("a[1..]")]);
 }
@@ -204,10 +182,8 @@ fn unknown_index_yields_both_possibly() {
 fn array_tail_updates_are_weak() {
     // Storing into a[1] then a[2] must keep both pointers (a_tail is a
     // summary location).
-    let t = pta(
-        "int x, y; int *a[8];
-         int main(void){ a[1] = &x; a[2] = &y; return 0; }",
-    );
+    let t = pta("int x, y; int *a[8];
+         int main(void){ a[1] = &x; a[2] = &y; return 0; }");
     let tail_targets = t.exit_targets_of("main", "a[1..]");
     assert!(tail_targets.contains(&p("x")), "got {tail_targets:?}");
     assert!(tail_targets.contains(&p("y")), "got {tail_targets:?}");
@@ -231,33 +207,27 @@ fn pointer_increment_moves_head_to_tail() {
 
 #[test]
 fn struct_fields_are_separate_locations() {
-    let t = pta(
-        "struct pair { int *a; int *b; };
+    let t = pta("struct pair { int *a; int *b; };
          int x, y;
-         int main(void){ struct pair s; s.a = &x; s.b = &y; return *s.a; }",
-    );
+         int main(void){ struct pair s; s.a = &x; s.b = &y; return *s.a; }");
     assert_eq!(t.exit_targets_of("main", "s.a"), vec![d("x")]);
     assert_eq!(t.exit_targets_of("main", "s.b"), vec![d("y")]);
 }
 
 #[test]
 fn struct_copy_transfers_fields() {
-    let t = pta(
-        "struct pair { int *a; int *b; };
+    let t = pta("struct pair { int *a; int *b; };
          int x, y;
-         int main(void){ struct pair s; struct pair t; s.a = &x; s.b = &y; t = s; return *t.a; }",
-    );
+         int main(void){ struct pair s; struct pair t; s.a = &x; s.b = &y; t = s; return *t.a; }");
     assert_eq!(t.exit_targets_of("main", "t.a"), vec![d("x")]);
     assert_eq!(t.exit_targets_of("main", "t.b"), vec![d("y")]);
 }
 
 #[test]
 fn field_write_through_pointer() {
-    let t = pta(
-        "struct node { int v; struct node *next; };
+    let t = pta("struct node { int v; struct node *next; };
          int main(void){ struct node a; struct node b; struct node *p;
-           p = &a; p->next = &b; return 0; }",
-    );
+           p = &a; p->next = &b; return 0; }");
     assert_eq!(t.exit_targets_of("main", "a.next"), vec![d("b")]);
 }
 
@@ -273,12 +243,10 @@ fn malloc_points_to_heap_possibly() {
 
 #[test]
 fn heap_to_heap_links() {
-    let t = pta(
-        "struct node { struct node *next; };
+    let t = pta("struct node { struct node *next; };
          int main(void){ struct node *a; struct node *b;
            a = (struct node*) malloc(8); b = (struct node*) malloc(8);
-           a->next = b; return 0; }",
-    );
+           a->next = b; return 0; }");
     // heap points to heap (weak).
     let heap_targets = t.exit_targets_of("main", "heap");
     assert_eq!(heap_targets, vec![p("heap")]);
@@ -286,10 +254,8 @@ fn heap_to_heap_links() {
 
 #[test]
 fn heap_updates_are_always_weak() {
-    let t = pta(
-        "int x, y;
-         int main(void){ int **h; h = (int**) malloc(8); *h = &x; *h = &y; return 0; }",
-    );
+    let t = pta("int x, y;
+         int main(void){ int **h; h = (int**) malloc(8); *h = &x; *h = &y; return 0; }");
     let heap_targets = t.exit_targets_of("main", "heap");
     assert!(heap_targets.contains(&p("x")), "got {heap_targets:?}");
     assert!(heap_targets.contains(&p("y")), "got {heap_targets:?}");
@@ -301,11 +267,9 @@ fn heap_updates_are_always_weak() {
 
 #[test]
 fn callee_effect_through_parameter_returns_to_caller() {
-    let t = pta(
-        "int x;
+    let t = pta("int x;
          void set(int **p) { *p = &x; }
-         int main(void){ int *q; set(&q); return *q; }",
-    );
+         int main(void){ int *q; set(&q); return *q; }");
     assert_eq!(t.exit_targets_of("main", "q"), vec![d("x")]);
 }
 
@@ -313,124 +277,100 @@ fn callee_effect_through_parameter_returns_to_caller() {
 fn two_call_sites_stay_separate() {
     // The classic context-sensitivity test: information from one call
     // site must not pollute the other.
-    let t = pta(
-        "int x, y;
+    let t = pta("int x, y;
          void set(int **p, int *v) { *p = v; }
-         int main(void){ int *a; int *b; set(&a, &x); set(&b, &y); return *a + *b; }",
-    );
+         int main(void){ int *a; int *b; set(&a, &x); set(&b, &y); return *a + *b; }");
     assert_eq!(t.exit_targets_of("main", "a"), vec![d("x")]);
     assert_eq!(t.exit_targets_of("main", "b"), vec![d("y")]);
 }
 
 #[test]
 fn globals_updated_by_callee() {
-    let t = pta(
-        "int x; int *g;
+    let t = pta("int x; int *g;
          void setg(void) { g = &x; }
-         int main(void){ setg(); return *g; }",
-    );
+         int main(void){ setg(); return *g; }");
     assert_eq!(t.exit_targets_of("main", "g"), vec![d("x")]);
 }
 
 #[test]
 fn global_pointer_to_local_becomes_symbolic_in_callee() {
-    let t = pta(
-        "int *g; int x;
+    let t = pta("int *g; int x;
          void reader(void) { int *t; t = g; }
-         int main(void){ int y; g = &y; reader(); g = &x; return 0; }",
-    );
+         int main(void){ int y; g = &y; reader(); g = &x; return 0; }");
     assert_eq!(t.exit_targets_of("main", "g"), vec![d("x")]);
 }
 
 #[test]
 fn return_value_pointer() {
-    let t = pta(
-        "int x;
+    let t = pta("int x;
          int *give(void) { return &x; }
-         int main(void){ int *p; p = give(); return *p; }",
-    );
+         int main(void){ int *p; p = give(); return *p; }");
     assert_eq!(t.exit_targets_of("main", "p"), vec![d("x")]);
 }
 
 #[test]
 fn return_value_conditional_is_possible() {
-    let t = pta(
-        "int x, y, c;
+    let t = pta("int x, y, c;
          int *pick(void) { if (c) return &x; return &y; }
-         int main(void){ int *p; p = pick(); return *p; }",
-    );
+         int main(void){ int *p; p = pick(); return *p; }");
     assert_eq!(t.exit_targets_of("main", "p"), vec![p("x"), p("y")]);
 }
 
 #[test]
 fn struct_return_transfers_fields() {
-    let t = pta(
-        "struct pair { int *a; int *b; };
+    let t = pta("struct pair { int *a; int *b; };
          int x, y;
          struct pair make(void) { struct pair s; s.a = &x; s.b = &y; return s; }
-         int main(void){ struct pair t; t = make(); return *t.a; }",
-    );
+         int main(void){ struct pair t; t = make(); return *t.a; }");
     assert_eq!(t.exit_targets_of("main", "t.a"), vec![d("x")]);
     assert_eq!(t.exit_targets_of("main", "t.b"), vec![d("y")]);
 }
 
 #[test]
 fn multi_level_mapping_through_two_calls() {
-    let t = pta(
-        "int x;
+    let t = pta("int x;
          void inner(int **pp) { *pp = &x; }
          void outer(int **pp) { inner(pp); }
-         int main(void){ int *q; outer(&q); return *q; }",
-    );
+         int main(void){ int *q; outer(&q); return *q; }");
     assert_eq!(t.exit_targets_of("main", "q"), vec![d("x")]);
 }
 
 #[test]
 fn three_level_pointers_across_call() {
-    let t = pta(
-        "int x;
+    let t = pta("int x;
          void deep(int ***ppp) { **ppp = &x; }
-         int main(void){ int *q; int **qq; qq = &q; deep(&qq); return *q; }",
-    );
+         int main(void){ int *q; int **qq; qq = &q; deep(&qq); return *q; }");
     assert_eq!(t.exit_targets_of("main", "q"), vec![d("x")]);
 }
 
 #[test]
 fn callee_cannot_change_actual_itself() {
     // Pass-by-value: assigning the formal does not change the actual.
-    let t = pta(
-        "int x, y;
+    let t = pta("int x, y;
          void f(int *p) { p = &y; }
-         int main(void){ int *q; q = &x; f(q); return *q; }",
-    );
+         int main(void){ int *q; q = &x; f(q); return *q; }");
     assert_eq!(t.exit_targets_of("main", "q"), vec![d("x")]);
 }
 
 #[test]
 fn local_address_escaping_is_dropped_with_warning() {
-    let t = pta(
-        "int *bad(void) { int local; return &local; }
-         int main(void){ int *p; p = bad(); return 0; }",
-    );
+    let t = pta("int *bad(void) { int local; return &local; }
+         int main(void){ int *p; p = bad(); return 0; }");
     assert_eq!(t.exit_targets_of("main", "p"), vec![]);
     assert!(t.result.warnings.iter().any(|w| w.contains("escapes")));
 }
 
 #[test]
 fn unreachable_code_after_exit() {
-    let t = pta(
-        "int x, y;
-         int main(void){ int *p; p = &x; exit(1); p = &y; return *p; }",
-    );
+    let t = pta("int x, y;
+         int main(void){ int *p; p = &x; exit(1); p = &y; return *p; }");
     // The exit set is bottom → empty.
     assert!(t.result.exit_set.is_empty());
 }
 
 #[test]
 fn strcpy_returns_first_argument() {
-    let t = pta(
-        "int main(void){ char buf[64]; char *r; r = strcpy(buf, \"hi\"); return 0; }",
-    );
+    let t = pta("int main(void){ char buf[64]; char *r; r = strcpy(buf, \"hi\"); return 0; }");
     assert_eq!(t.exit_targets_of("main", "r"), vec![d("buf[0]")]);
 }
 
@@ -440,11 +380,9 @@ fn strcpy_returns_first_argument() {
 
 #[test]
 fn simple_recursion_terminates_and_is_sound() {
-    let t = pta(
-        "int x, y;
+    let t = pta("int x, y;
          void walk(int **pp, int n) { if (n) { *pp = &y; walk(pp, n - 1); } }
-         int main(void){ int *p; p = &x; walk(&p, 3); return *p; }",
-    );
+         int main(void){ int *p; p = &x; walk(&p, 3); return *p; }");
     let targets = t.exit_targets_of("main", "p");
     assert!(targets.contains(&p("x")) || targets.contains(&d("x")) || !targets.is_empty());
     assert!(targets.iter().any(|(n, _)| n == "y"), "got {targets:?}");
@@ -455,13 +393,11 @@ fn simple_recursion_terminates_and_is_sound() {
 
 #[test]
 fn mutual_recursion_converges() {
-    let t = pta(
-        "int x, y;
+    let t = pta("int x, y;
          void b(int **pp, int n);
          void a(int **pp, int n) { *pp = &x; if (n) b(pp, n - 1); }
          void b(int **pp, int n) { *pp = &y; if (n) a(pp, n - 1); }
-         int main(void){ int *p; a(&p, 5); return *p; }",
-    );
+         int main(void){ int *p; a(&p, 5); return *p; }");
     let targets = t.exit_targets_of("main", "p");
     assert!(targets.iter().any(|(n, _)| n == "x"), "got {targets:?}");
     assert!(targets.iter().any(|(n, _)| n == "y"), "got {targets:?}");
@@ -472,8 +408,7 @@ fn mutual_recursion_converges() {
 
 #[test]
 fn recursive_list_walk_over_heap() {
-    let t = pta(
-        "struct node { struct node *next; int v; };
+    let t = pta("struct node { struct node *next; int v; };
          struct node *find(struct node *l, int k) {
             if (l == 0) return 0;
             if (l->v == k) return l;
@@ -483,8 +418,7 @@ fn recursive_list_walk_over_heap() {
             head = (struct node*) malloc(16);
             head->next = (struct node*) malloc(16);
             r = find(head, 3);
-            return 0; }",
-    );
+            return 0; }");
     assert_eq!(t.exit_targets_of("main", "r"), vec![p("heap")]);
 }
 
@@ -494,30 +428,25 @@ fn recursive_list_walk_over_heap() {
 
 #[test]
 fn simple_function_pointer_call() {
-    let t = pta(
-        "int x; int *gp;
+    let t = pta("int x; int *gp;
          void set(void) { gp = &x; }
-         int main(void){ void (*fp)(void); fp = set; fp(); return *gp; }",
-    );
+         int main(void){ void (*fp)(void); fp = set; fp(); return *gp; }");
     assert_eq!(t.exit_targets_of("main", "gp"), vec![d("x")]);
 }
 
 #[test]
 fn function_pointer_targets_tracked() {
-    let t = pta(
-        "int f1(void){ return 1; }
+    let t = pta("int f1(void){ return 1; }
          int f2(void){ return 2; }
          int c;
-         int main(void){ int (*fp)(void); if (c) fp = f1; else fp = f2; return fp(); }",
-    );
+         int main(void){ int (*fp)(void); if (c) fp = f1; else fp = f2; return fp(); }");
     assert_eq!(t.exit_targets_of("main", "fp"), vec![p("f1"), p("f2")]);
 }
 
 #[test]
 fn figure6_example_reproduced() {
     // The exact program of Figure 6 of the paper.
-    let t = pta(
-        "int a,b,c;
+    let t = pta("int a,b,c;
          int *pa,*pb,*pc;
          int (*fp)();
          int cond;
@@ -544,14 +473,24 @@ fn figure6_example_reproduced() {
            fp();
            /* Point B */
            return 0;
-         }",
-    );
+         }");
     // Point A: state before the indirect call in main.
-    let call = t.find_stmt("main", "(*fp)", 0).expect("indirect call found");
+    let call = t
+        .find_stmt("main", "(*fp)", 0)
+        .expect("indirect call found");
     let at_a = t.pairs_at(call);
-    assert!(at_a.contains(&("fp".into(), "foo".into(), Def::P)), "A: {at_a:?}");
-    assert!(at_a.contains(&("fp".into(), "bar".into(), Def::P)), "A: {at_a:?}");
-    assert!(at_a.contains(&("pc".into(), "c".into(), Def::D)), "A: {at_a:?}");
+    assert!(
+        at_a.contains(&("fp".into(), "foo".into(), Def::P)),
+        "A: {at_a:?}"
+    );
+    assert!(
+        at_a.contains(&("fp".into(), "bar".into(), Def::P)),
+        "A: {at_a:?}"
+    );
+    assert!(
+        at_a.contains(&("pc".into(), "c".into(), Def::D)),
+        "A: {at_a:?}"
+    );
     // Point B: after the call (exit of main).
     let b_pairs: Vec<(String, Def)> = t.exit_targets_of("main", "pa");
     assert_eq!(b_pairs, vec![p("a")]);
@@ -561,14 +500,29 @@ fn figure6_example_reproduced() {
     // Point C: inside foo, fp definitely points to foo and pa to a.
     let point_c = t.find_stmt("foo", "return", 0).expect("return in foo");
     let at_c = t.pairs_at(point_c);
-    assert!(at_c.contains(&("fp".into(), "foo".into(), Def::D)), "C: {at_c:?}");
-    assert!(at_c.contains(&("pa".into(), "a".into(), Def::D)), "C: {at_c:?}");
-    assert!(at_c.contains(&("pc".into(), "c".into(), Def::D)), "C: {at_c:?}");
+    assert!(
+        at_c.contains(&("fp".into(), "foo".into(), Def::D)),
+        "C: {at_c:?}"
+    );
+    assert!(
+        at_c.contains(&("pa".into(), "a".into(), Def::D)),
+        "C: {at_c:?}"
+    );
+    assert!(
+        at_c.contains(&("pc".into(), "c".into(), Def::D)),
+        "C: {at_c:?}"
+    );
     // Point D: inside bar.
     let point_d = t.find_stmt("bar", "return", 0).expect("return in bar");
     let at_d = t.pairs_at(point_d);
-    assert!(at_d.contains(&("fp".into(), "bar".into(), Def::D)), "D: {at_d:?}");
-    assert!(at_d.contains(&("pb".into(), "b".into(), Def::D)), "D: {at_d:?}");
+    assert!(
+        at_d.contains(&("fp".into(), "bar".into(), Def::D)),
+        "D: {at_d:?}"
+    );
+    assert!(
+        at_d.contains(&("pb".into(), "b".into(), Def::D)),
+        "D: {at_d:?}"
+    );
     // The indirect call inside foo makes the chain main→foo→foo
     // recursive (Figure 7(c)).
     let s = t.result.ig.stats();
@@ -578,48 +532,40 @@ fn figure6_example_reproduced() {
 
 #[test]
 fn function_pointer_array_dispatch() {
-    let t = pta(
-        "int x1, x2; int *g;
+    let t = pta("int x1, x2; int *g;
          void h1(void){ g = &x1; }
          void h2(void){ g = &x2; }
          void (*table[2])(void) = { h1, h2 };
          int i;
-         int main(void){ void (*fp)(void); fp = table[i]; fp(); return 0; }",
-    );
+         int main(void){ void (*fp)(void); fp = table[i]; fp(); return 0; }");
     let targets = t.exit_targets_of("main", "g");
     assert_eq!(targets, vec![p("x1"), p("x2")]);
 }
 
 #[test]
 fn function_pointer_in_struct_field() {
-    let t = pta(
-        "int x; int *g;
+    let t = pta("int x; int *g;
          void setx(void){ g = &x; }
          struct ops { void (*run)(void); };
-         int main(void){ struct ops o; o.run = setx; o.run(); return *g; }",
-    );
+         int main(void){ struct ops o; o.run = setx; o.run(); return *g; }");
     assert_eq!(t.exit_targets_of("main", "g"), vec![d("x")]);
 }
 
 #[test]
 fn function_pointer_passed_as_argument() {
-    let t = pta(
-        "int x; int *g;
+    let t = pta("int x; int *g;
          void setx(void){ g = &x; }
          void apply(void (*f)(void)) { f(); }
-         int main(void){ apply(setx); return *g; }",
-    );
+         int main(void){ apply(setx); return *g; }");
     assert_eq!(t.exit_targets_of("main", "g"), vec![d("x")]);
 }
 
 #[test]
 fn multi_level_function_pointer() {
-    let t = pta(
-        "int x; int *g;
+    let t = pta("int x; int *g;
          void setx(void){ g = &x; }
          int main(void){ void (*fp)(void); void (**fpp)(void);
-            fp = setx; fpp = &fp; (*fpp)(); return *g; }",
-    );
+            fp = setx; fpp = &fp; (*fpp)(); return *g; }");
     assert_eq!(t.exit_targets_of("main", "g"), vec![d("x")]);
 }
 
@@ -629,11 +575,9 @@ fn multi_level_function_pointer() {
 
 #[test]
 fn invocation_graph_statistics_reported() {
-    let t = pta(
-        "int f(void){ return 1; }
+    let t = pta("int f(void){ return 1; }
          int g(void){ return f(); }
-         int main(void){ g(); g(); return 0; }",
-    );
+         int main(void){ g(); g(); return 0; }");
     let s = t.result.ig.stats();
     assert_eq!(s.nodes, 5);
     assert_eq!(s.functions, 3);
@@ -643,11 +587,9 @@ fn invocation_graph_statistics_reported() {
 fn memoization_reuses_summaries() {
     // Both calls of g have the same (empty-ish) input: the second one
     // must reuse the memoized output rather than re-analyzing.
-    let t = pta(
-        "int x; int *gl;
+    let t = pta("int x; int *gl;
          void g(void){ gl = &x; }
-         int main(void){ g(); g(); return 0; }",
-    );
+         int main(void){ g(); g(); return 0; }");
     assert_eq!(t.exit_targets_of("main", "gl"), vec![d("x")]);
 }
 
@@ -700,7 +642,10 @@ fn unknown_extern_warns_by_default() {
 #[test]
 fn unknown_extern_errors_in_strict_mode() {
     let ir = pta_simple::compile("int main(void){ mystery(); return 0; }").unwrap();
-    let cfg = pta_core::AnalysisConfig { strict_externs: true, ..Default::default() };
+    let cfg = pta_core::AnalysisConfig {
+        strict_externs: true,
+        ..Default::default()
+    };
     let err = pta_core::analyze_with(&ir, cfg).unwrap_err();
     assert!(matches!(err, pta_core::AnalysisError::Unsupported(_)));
 }
@@ -711,5 +656,8 @@ fn per_stmt_info_is_recorded() {
     assert!(!t.result.per_stmt.is_empty());
     let ret = t.find_stmt("main", "return", 0).unwrap();
     let pairs = t.pairs_at(ret);
-    assert!(pairs.contains(&("p".into(), "x".into(), Def::D)), "got {pairs:?}");
+    assert!(
+        pairs.contains(&("p".into(), "x".into(), Def::D)),
+        "got {pairs:?}"
+    );
 }

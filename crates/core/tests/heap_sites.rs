@@ -4,7 +4,10 @@
 use pta_core::{run_source_with, AnalysisConfig, Def};
 
 fn pta_sites(src: &str) -> pta_core::Pta {
-    let cfg = AnalysisConfig { heap_sites: true, ..Default::default() };
+    let cfg = AnalysisConfig {
+        heap_sites: true,
+        ..Default::default()
+    };
     run_source_with(src, cfg).expect("analysis ok")
 }
 
@@ -28,8 +31,14 @@ fn single_heap_mode_conflates_sites() {
         "int main(void){ int *p; int *q; p = (int*) malloc(4); q = (int*) malloc(4); return 0; }",
     )
     .expect("analysis ok");
-    assert_eq!(t.exit_targets_of("main", "p"), vec![("heap".to_string(), Def::P)]);
-    assert_eq!(t.exit_targets_of("main", "q"), vec![("heap".to_string(), Def::P)]);
+    assert_eq!(
+        t.exit_targets_of("main", "p"),
+        vec![("heap".to_string(), Def::P)]
+    );
+    assert_eq!(
+        t.exit_targets_of("main", "q"),
+        vec![("heap".to_string(), Def::P)]
+    );
 }
 
 #[test]
@@ -62,7 +71,10 @@ fn sites_survive_calls() {
     );
     let site = t.exit_targets_of("main", "p")[0].0.clone();
     assert!(site.starts_with("heap@"));
-    assert_eq!(t.exit_targets_of("main", &site), vec![("x".to_string(), Def::P)]);
+    assert_eq!(
+        t.exit_targets_of("main", &site),
+        vec![("x".to_string(), Def::P)]
+    );
 }
 
 #[test]

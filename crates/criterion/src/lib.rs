@@ -68,7 +68,11 @@ impl Default for Criterion {
         Criterion {
             filter,
             test_mode,
-            budget: if quick { Duration::from_millis(30) } else { Duration::from_millis(300) },
+            budget: if quick {
+                Duration::from_millis(30)
+            } else {
+                Duration::from_millis(300)
+            },
             json: std::env::var_os("CRITERION_JSON").map(std::path::PathBuf::from),
         }
     }
@@ -89,8 +93,11 @@ impl Criterion {
     }
 
     /// Opens a named group; ids inside become `group/id`.
-    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { c: self, name: name.to_owned() }
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
     }
 
     fn run_one<F>(&mut self, id: &str, f: &mut F)
@@ -101,23 +108,42 @@ impl Criterion {
             return;
         }
         if self.test_mode {
-            let mut b = Bencher { mode: Mode::Once, total: Duration::ZERO, iters: 0 };
+            let mut b = Bencher {
+                mode: Mode::Once,
+                total: Duration::ZERO,
+                iters: 0,
+            };
             f(&mut b);
             println!("test {id} ... ok");
             return;
         }
-        let mut b = Bencher { mode: Mode::Measure(self.budget), total: Duration::ZERO, iters: 0 };
+        let mut b = Bencher {
+            mode: Mode::Measure(self.budget),
+            total: Duration::ZERO,
+            iters: 0,
+        };
         f(&mut b);
-        let per_iter = if b.iters == 0 { Duration::ZERO } else { b.total / b.iters as u32 };
-        let s = Sampled { median: per_iter, min: per_iter, max: per_iter, iterations: b.iters };
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / b.iters as u32
+        };
+        let s = Sampled {
+            median: per_iter,
+            min: per_iter,
+            max: per_iter,
+            iterations: b.iters,
+        };
         println!(
             "{id:<48} time: {:>12} ({} iterations)",
             format_duration(s.median),
             s.iterations
         );
         if let Some(path) = &self.json {
-            if let Ok(mut fh) =
-                std::fs::OpenOptions::new().create(true).append(true).open(path)
+            if let Ok(mut fh) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
             {
                 let _ = writeln!(
                     fh,
@@ -172,8 +198,7 @@ impl Bencher {
                 // Aim for the budget; cap iteration count for very fast
                 // routines, and always take at least one timed sample.
                 let est = first.max(Duration::from_nanos(20));
-                let target =
-                    (budget.as_nanos() / est.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+                let target = (budget.as_nanos() / est.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
                 let start = Instant::now();
                 for _ in 0..target {
                     black_box(f());
@@ -235,12 +260,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id with a function name and a parameter: `name/param`.
     pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
-        BenchmarkId { id: format!("{name}/{param}") }
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
     }
 
     /// An id carrying only the parameter value.
     pub fn from_parameter(param: impl fmt::Display) -> Self {
-        BenchmarkId { id: param.to_string() }
+        BenchmarkId {
+            id: param.to_string(),
+        }
     }
 }
 
@@ -295,7 +324,10 @@ mod tests {
 
     #[test]
     fn benchmark_ids_render() {
-        assert_eq!(BenchmarkId::new("merge", 32).into_benchmark_id(), "merge/32");
+        assert_eq!(
+            BenchmarkId::new("merge", 32).into_benchmark_id(),
+            "merge/32"
+        );
         assert_eq!(BenchmarkId::from_parameter(7).into_benchmark_id(), "7");
         assert_eq!("plain".into_benchmark_id(), "plain");
     }
@@ -303,7 +335,11 @@ mod tests {
     #[test]
     fn bencher_smoke_runs_once() {
         let mut calls = 0u32;
-        let mut b = Bencher { mode: Mode::Once, total: Duration::ZERO, iters: 0 };
+        let mut b = Bencher {
+            mode: Mode::Once,
+            total: Duration::ZERO,
+            iters: 0,
+        };
         b.iter(|| calls += 1);
         assert_eq!(calls, 1);
         assert_eq!(b.iters, 1);

@@ -61,7 +61,10 @@ impl ProgramBuilder {
     /// Declares a global variable.
     pub fn global(&mut self, name: &str, ty: Type) -> Var {
         let id = GlobalId(self.globals.len() as u32);
-        self.globals.push(IrGlobal { name: name.to_owned(), ty });
+        self.globals.push(IrGlobal {
+            name: name.to_owned(),
+            ty,
+        });
         Var::Global(id)
     }
 
@@ -115,7 +118,11 @@ impl FunctionBuilder {
     /// Adds a local variable.
     pub fn local(&mut self, name: &str, ty: Type) -> Var {
         let id = IrVarId(self.vars.len() as u32);
-        self.vars.push(IrVar { name: name.to_owned(), ty, kind: VarKind::Local });
+        self.vars.push(IrVar {
+            name: name.to_owned(),
+            ty,
+            kind: VarKind::Local,
+        });
         Var::Local(id)
     }
 
@@ -133,7 +140,11 @@ impl FunctionBuilder {
 
     /// A dereference reference `*v`.
     pub fn deref(&self, v: Var) -> VarRef {
-        VarRef::Deref { path: v.path(), shift: IdxClass::Zero, after: vec![] }
+        VarRef::Deref {
+            path: v.path(),
+            shift: IdxClass::Zero,
+            after: vec![],
+        }
     }
 
     /// `lhs = &target;`
@@ -188,7 +199,9 @@ impl FunctionBuilder {
 
     /// `return v;`
     pub fn ret_var(&mut self, v: Var) -> StmtId {
-        self.emit(BasicStmt::Return(Some(Operand::Ref(VarRef::Path(v.path())))))
+        self.emit(BasicStmt::Return(Some(Operand::Ref(VarRef::Path(
+            v.path(),
+        )))))
     }
 
     /// `return ref;`

@@ -123,12 +123,18 @@ pub struct VarPath {
 impl VarPath {
     /// A bare variable path.
     pub fn var(id: IrVarId) -> Self {
-        VarPath { base: VarBase::Var(id), projs: Vec::new() }
+        VarPath {
+            base: VarBase::Var(id),
+            projs: Vec::new(),
+        }
     }
 
     /// A bare global path.
     pub fn global(id: GlobalId) -> Self {
-        VarPath { base: VarBase::Global(id), projs: Vec::new() }
+        VarPath {
+            base: VarBase::Global(id),
+            projs: Vec::new(),
+        }
     }
 
     /// Returns this path extended with one more projection.
@@ -445,7 +451,13 @@ impl Stmt {
                 pre_cond.for_each_basic(f);
                 body.for_each_basic(f);
             }
-            Stmt::For { init, pre_cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                pre_cond,
+                step,
+                body,
+                ..
+            } => {
                 init.for_each_basic(f);
                 pre_cond.for_each_basic(f);
                 step.for_each_basic(f);

@@ -32,7 +32,10 @@ pub fn lower(program: &ast::Program) -> Result<IrProgram, FrontendError> {
     let globals: Vec<IrGlobal> = program
         .globals
         .iter()
-        .map(|g| IrGlobal { name: g.name.clone(), ty: g.ty.clone() })
+        .map(|g| IrGlobal {
+            name: g.name.clone(),
+            ty: g.ty.clone(),
+        })
         .collect();
 
     let mut ir = IrProgram {
@@ -51,7 +54,11 @@ pub fn lower(program: &ast::Program) -> Result<IrProgram, FrontendError> {
             .params
             .iter()
             .enumerate()
-            .map(|(i, p)| IrVar { name: p.name.clone(), ty: p.ty.clone(), kind: VarKind::Param(i as u32) })
+            .map(|(i, p)| IrVar {
+                name: p.name.clone(),
+                ty: p.ty.clone(),
+                kind: VarKind::Param(i as u32),
+            })
             .collect();
         vars.extend(f.locals.iter().map(|l| IrVar {
             name: l.name.clone(),
@@ -124,7 +131,11 @@ impl<'a> Lower<'a> {
 
     fn temp(&mut self, ty: Type) -> IrVarId {
         let id = IrVarId(self.vars.len() as u32);
-        self.vars.push(IrVar { name: format!("_t{}", self.vars.len()), ty, kind: VarKind::Temp });
+        self.vars.push(IrVar {
+            name: format!("_t{}", self.vars.len()),
+            ty,
+            kind: VarKind::Temp,
+        });
         id
     }
 
@@ -147,15 +158,21 @@ impl<'a> Lower<'a> {
             stmt: id,
             indirect: matches!(target, CallTarget::Indirect(_)),
         });
-        out.push(Stmt::Basic(BasicStmt::Call { lhs, target, args, call_site: cs }, id));
+        out.push(Stmt::Basic(
+            BasicStmt::Call {
+                lhs,
+                target,
+                args,
+                call_site: cs,
+            },
+            id,
+        ));
     }
 
     /// Resolves an identifier to its IR path base.
     fn res_path(&self, r: Resolution) -> Option<VarPath> {
         match r {
-            Resolution::Local(id) => {
-                Some(VarPath::var(IrVarId(self.n_params as u32 + id.0)))
-            }
+            Resolution::Local(id) => Some(VarPath::var(IrVarId(self.n_params as u32 + id.0))),
             Resolution::Param(i) => Some(VarPath::var(IrVarId(i))),
             Resolution::Global(id) => Some(VarPath::global(id)),
             _ => None,
@@ -190,7 +207,12 @@ impl<'a> Lower<'a> {
                     None => None,
                 };
                 let id = self.fresh_id();
-                out.push(Stmt::If { cond, then_s: Box::new(Stmt::Seq(then_v)), else_s, id });
+                out.push(Stmt::If {
+                    cond,
+                    then_s: Box::new(Stmt::Seq(then_v)),
+                    else_s,
+                    id,
+                });
                 Ok(())
             }
             StmtKind::While(c, b) => {
@@ -260,10 +282,18 @@ impl<'a> Lower<'a> {
                     for s in &arm.stmts {
                         self.stmt(&mut body, s)?;
                     }
-                    ir_arms.push(IrSwitchArm { labels: arm.labels.clone(), body: Stmt::Seq(body) });
+                    ir_arms.push(IrSwitchArm {
+                        labels: arm.labels.clone(),
+                        body: Stmt::Seq(body),
+                    });
                 }
                 let id = self.fresh_id();
-                out.push(Stmt::Switch { scrutinee, arms: ir_arms, has_default, id });
+                out.push(Stmt::Switch {
+                    scrutinee,
+                    arms: ir_arms,
+                    has_default,
+                    id,
+                });
                 Ok(())
             }
             StmtKind::Break => {
@@ -331,8 +361,19 @@ impl<'a> Lower<'a> {
     fn emit_incdec(&mut self, out: &mut Vec<Stmt>, lv: &VarRef, ty: &Type, op: UnaryOp) {
         let inc = matches!(op, UnaryOp::PreInc | UnaryOp::PostInc);
         if ty.is_pointer() {
-            let shift = if inc { IdxClass::Positive } else { IdxClass::Unknown };
-            self.emit(out, BasicStmt::PtrArith { lhs: lv.clone(), ptr: lv.clone(), shift });
+            let shift = if inc {
+                IdxClass::Positive
+            } else {
+                IdxClass::Unknown
+            };
+            self.emit(
+                out,
+                BasicStmt::PtrArith {
+                    lhs: lv.clone(),
+                    ptr: lv.clone(),
+                    shift,
+                },
+            );
         } else {
             let bop = if inc { BinaryOp::Add } else { BinaryOp::Sub };
             self.emit(
@@ -364,7 +405,9 @@ impl<'a> Lower<'a> {
             }
             (Init::List(items), Type::Array(elem, _)) => {
                 for (i, item) in items.iter().enumerate() {
-                    let p = path.clone().project(IrProj::Index(IdxClass::of_const(i as i64)));
+                    let p = path
+                        .clone()
+                        .project(IrProj::Index(IdxClass::of_const(i as i64)));
                     self.lower_init(out, p, elem, item, span)?;
                 }
                 Ok(())
@@ -421,7 +464,11 @@ impl<'a> Lower<'a> {
                     return Ok(ref_project(b, IrProj::Index(IdxClass::Zero)));
                 }
                 let path = self.pointer_path(out, inner)?;
-                Ok(VarRef::Deref { path, shift: IdxClass::Zero, after: vec![] })
+                Ok(VarRef::Deref {
+                    path,
+                    shift: IdxClass::Zero,
+                    after: vec![],
+                })
             }
             ExprKind::Index(base, idx) => {
                 let class = self.idx_class(idx);
@@ -436,7 +483,11 @@ impl<'a> Lower<'a> {
                 } else {
                     // Pointer subscript: one dereference with a shift.
                     let path = self.pointer_path(out, base)?;
-                    Ok(VarRef::Deref { path, shift: class, after: vec![] })
+                    Ok(VarRef::Deref {
+                        path,
+                        shift: class,
+                        after: vec![],
+                    })
                 }
             }
             ExprKind::Cast(_, inner) => self.lvalue(out, inner),
@@ -457,7 +508,13 @@ impl<'a> Lower<'a> {
             Operand::Ref(VarRef::Path(p)) => Ok(p),
             other => {
                 let t = self.temp(ty);
-                self.emit(out, BasicStmt::Copy { lhs: VarRef::Path(VarPath::var(t)), rhs: other });
+                self.emit(
+                    out,
+                    BasicStmt::Copy {
+                        lhs: VarRef::Path(VarPath::var(t)),
+                        rhs: other,
+                    },
+                );
                 Ok(VarPath::var(t))
             }
         }
@@ -538,7 +595,13 @@ impl<'a> Lower<'a> {
                 let lv = self.lvalue(out, inner)?;
                 let t = self.temp(inner.ty().clone());
                 let tref = VarRef::Path(VarPath::var(t));
-                self.emit(out, BasicStmt::Copy { lhs: tref.clone(), rhs: Operand::Ref(lv.clone()) });
+                self.emit(
+                    out,
+                    BasicStmt::Copy {
+                        lhs: tref.clone(),
+                        rhs: Operand::Ref(lv.clone()),
+                    },
+                );
                 self.emit_incdec(out, &lv, inner.ty(), *op);
                 Ok(Operand::Ref(tref))
             }
@@ -558,7 +621,14 @@ impl<'a> Lower<'a> {
                 }
                 let t = self.temp(e.ty().clone());
                 let lhs = VarRef::Path(VarPath::var(t));
-                self.emit(out, BasicStmt::Unary { lhs: lhs.clone(), op: *op, rhs: v });
+                self.emit(
+                    out,
+                    BasicStmt::Unary {
+                        lhs: lhs.clone(),
+                        op: *op,
+                        rhs: v,
+                    },
+                );
                 Ok(Operand::Ref(lhs))
             }
             ExprKind::Binary(op, a, b) => self.lower_binary(out, e, *op, a, b),
@@ -569,8 +639,7 @@ impl<'a> Lower<'a> {
                         self.assign_into_ref(out, lv.clone(), lhs.ty(), rhs)?;
                     }
                     Some(bop) => {
-                        if lhs.ty().is_pointer() && matches!(bop, BinaryOp::Add | BinaryOp::Sub)
-                        {
+                        if lhs.ty().is_pointer() && matches!(bop, BinaryOp::Add | BinaryOp::Sub) {
                             let shift = match (bop, const_int(rhs)) {
                                 (BinaryOp::Add, Some(0)) | (BinaryOp::Sub, Some(0)) => {
                                     IdxClass::Zero
@@ -583,7 +652,11 @@ impl<'a> Lower<'a> {
                             }
                             self.emit(
                                 out,
-                                BasicStmt::PtrArith { lhs: lv.clone(), ptr: lv.clone(), shift },
+                                BasicStmt::PtrArith {
+                                    lhs: lv.clone(),
+                                    ptr: lv.clone(),
+                                    shift,
+                                },
                             );
                         } else {
                             let v = self.rvalue(out, rhs)?;
@@ -607,10 +680,22 @@ impl<'a> Lower<'a> {
                 let tref = VarRef::Path(VarPath::var(tmp));
                 let mut then_v = Vec::new();
                 let tv = self.rvalue(&mut then_v, t)?;
-                self.emit(&mut then_v, BasicStmt::Copy { lhs: tref.clone(), rhs: tv });
+                self.emit(
+                    &mut then_v,
+                    BasicStmt::Copy {
+                        lhs: tref.clone(),
+                        rhs: tv,
+                    },
+                );
                 let mut else_v = Vec::new();
                 let fv = self.rvalue(&mut else_v, f)?;
-                self.emit(&mut else_v, BasicStmt::Copy { lhs: tref.clone(), rhs: fv });
+                self.emit(
+                    &mut else_v,
+                    BasicStmt::Copy {
+                        lhs: tref.clone(),
+                        rhs: fv,
+                    },
+                );
                 let id = self.fresh_id();
                 out.push(Stmt::If {
                     cond,
@@ -628,9 +713,10 @@ impl<'a> Lower<'a> {
             ExprKind::SizeofTy(ty) => {
                 Ok(Operand::int(pta_cfront::types::size_of(ty, self.structs())))
             }
-            ExprKind::SizeofExpr(inner) => {
-                Ok(Operand::int(pta_cfront::types::size_of(inner.ty(), self.structs())))
-            }
+            ExprKind::SizeofExpr(inner) => Ok(Operand::int(pta_cfront::types::size_of(
+                inner.ty(),
+                self.structs(),
+            ))),
             ExprKind::Comma(a, b) => {
                 self.expr_stmt(out, a)?;
                 self.rvalue(out, b)
@@ -662,7 +748,11 @@ impl<'a> Lower<'a> {
         // Pointer arithmetic: result is a pointer.
         let rty = e.ty().decay();
         if rty.is_pointer() && matches!(op, BinaryOp::Add | BinaryOp::Sub) {
-            let (ptr_e, int_e) = if a.ty().decay().is_pointer() { (a, b) } else { (b, a) };
+            let (ptr_e, int_e) = if a.ty().decay().is_pointer() {
+                (a, b)
+            } else {
+                (b, a)
+            };
             let shift = match (op, const_int(int_e)) {
                 (_, Some(0)) => IdxClass::Zero,
                 (BinaryOp::Add, Some(v)) if v > 0 => IdxClass::Positive,
@@ -685,7 +775,14 @@ impl<'a> Lower<'a> {
             let pr = self.operand_to_ref(out, pv, rty.clone());
             let t = self.temp(rty);
             let lhs = VarRef::Path(VarPath::var(t));
-            self.emit(out, BasicStmt::PtrArith { lhs: lhs.clone(), ptr: pr, shift });
+            self.emit(
+                out,
+                BasicStmt::PtrArith {
+                    lhs: lhs.clone(),
+                    ptr: pr,
+                    shift,
+                },
+            );
             return Ok(Operand::Ref(lhs));
         }
         let av = self.rvalue(out, a)?;
@@ -697,7 +794,15 @@ impl<'a> Lower<'a> {
         }
         let t = self.temp(e.ty().clone());
         let lhs = VarRef::Path(VarPath::var(t));
-        self.emit(out, BasicStmt::Binary { lhs: lhs.clone(), op, a: av, b: bv });
+        self.emit(
+            out,
+            BasicStmt::Binary {
+                lhs: lhs.clone(),
+                op,
+                a: av,
+                b: bv,
+            },
+        );
         Ok(Operand::Ref(lhs))
     }
 
@@ -727,7 +832,13 @@ impl<'a> Lower<'a> {
         );
         let mut const_v = Vec::new();
         let k = if op == BinaryOp::LogAnd { 0 } else { 1 };
-        self.emit(&mut const_v, BasicStmt::Copy { lhs: tref.clone(), rhs: Operand::int(k) });
+        self.emit(
+            &mut const_v,
+            BasicStmt::Copy {
+                lhs: tref.clone(),
+                rhs: Operand::int(k),
+            },
+        );
         let (then_v, else_v) = if op == BinaryOp::LogAnd {
             (eval_b, const_v)
         } else {
@@ -749,7 +860,13 @@ impl<'a> Lower<'a> {
             other => {
                 let t = self.temp(ty);
                 let lhs = VarRef::Path(VarPath::var(t));
-                self.emit(out, BasicStmt::Copy { lhs: lhs.clone(), rhs: other });
+                self.emit(
+                    out,
+                    BasicStmt::Copy {
+                        lhs: lhs.clone(),
+                        rhs: other,
+                    },
+                );
                 lhs
             }
         }
@@ -814,7 +931,10 @@ impl<'a> Lower<'a> {
             _ => {
                 self.emit(
                     out,
-                    BasicStmt::Copy { lhs: lhs.clone(), rhs: Operand::Ref(rhs.clone()) },
+                    BasicStmt::Copy {
+                        lhs: lhs.clone(),
+                        rhs: Operand::Ref(rhs.clone()),
+                    },
                 );
             }
         }
@@ -849,7 +969,13 @@ impl<'a> Lower<'a> {
                 }
                 let t = self.temp(e.ty().clone());
                 let lhs = VarRef::Path(VarPath::var(t));
-                self.emit(out, BasicStmt::Alloc { lhs: lhs.clone(), size });
+                self.emit(
+                    out,
+                    BasicStmt::Alloc {
+                        lhs: lhs.clone(),
+                        size,
+                    },
+                );
                 return Ok(Some(Operand::Ref(lhs)));
             }
         }
@@ -916,7 +1042,13 @@ impl<'a> Lower<'a> {
             other => {
                 let t = self.temp(e.ty().decay());
                 let lhs = VarRef::Path(VarPath::var(t));
-                self.emit(out, BasicStmt::Copy { lhs: lhs.clone(), rhs: other });
+                self.emit(
+                    out,
+                    BasicStmt::Copy {
+                        lhs: lhs.clone(),
+                        rhs: other,
+                    },
+                );
                 Ok(CallTarget::Indirect(lhs))
             }
         }
@@ -953,7 +1085,11 @@ impl<'a> Lower<'a> {
 pub(crate) fn ref_project(r: VarRef, p: IrProj) -> VarRef {
     match r {
         VarRef::Path(path) => VarRef::Path(path.project(p)),
-        VarRef::Deref { path, shift, mut after } => {
+        VarRef::Deref {
+            path,
+            shift,
+            mut after,
+        } => {
             after.push(p);
             VarRef::Deref { path, shift, after }
         }
@@ -983,16 +1119,28 @@ fn shift_addr(r: &VarRef, shift: IdxClass) -> Option<VarRef> {
                 _ => None,
             }
         }
-        VarRef::Deref { path, shift: s0, after } => {
+        VarRef::Deref {
+            path,
+            shift: s0,
+            after,
+        } => {
             if after.is_empty() {
                 let s = combine(*s0);
-                Some(VarRef::Deref { path: path.clone(), shift: s, after: vec![] })
+                Some(VarRef::Deref {
+                    path: path.clone(),
+                    shift: s,
+                    after: vec![],
+                })
             } else {
                 let mut after = after.clone();
                 match after.last_mut() {
                     Some(IrProj::Index(c)) => {
                         *c = combine(*c);
-                        Some(VarRef::Deref { path: path.clone(), shift: *s0, after })
+                        Some(VarRef::Deref {
+                            path: path.clone(),
+                            shift: *s0,
+                            after,
+                        })
                     }
                     _ => None,
                 }

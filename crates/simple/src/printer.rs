@@ -58,7 +58,12 @@ fn print_stmt(out: &mut String, p: &IrProgram, f: &IrFunction, s: &Stmt, level: 
                 print_stmt(out, p, f, s, level);
             }
         }
-        Stmt::If { cond, then_s, else_s, id } => {
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+            id,
+        } => {
             indent(out, level);
             let _ = writeln!(out, "if ({}) {{  [{}]", cond_str(p, f, cond), id);
             print_stmt(out, p, f, then_s, level + 1);
@@ -70,7 +75,12 @@ fn print_stmt(out: &mut String, p: &IrProgram, f: &IrFunction, s: &Stmt, level: 
             indent(out, level);
             let _ = writeln!(out, "}}");
         }
-        Stmt::While { pre_cond, cond, body, id } => {
+        Stmt::While {
+            pre_cond,
+            cond,
+            body,
+            id,
+        } => {
             if pre_cond.count_basic() > 0 {
                 indent(out, level);
                 let _ = writeln!(out, "/* cond eval */");
@@ -82,7 +92,12 @@ fn print_stmt(out: &mut String, p: &IrProgram, f: &IrFunction, s: &Stmt, level: 
             indent(out, level);
             let _ = writeln!(out, "}}");
         }
-        Stmt::DoWhile { body, pre_cond, cond, id } => {
+        Stmt::DoWhile {
+            body,
+            pre_cond,
+            cond,
+            id,
+        } => {
             indent(out, level);
             let _ = writeln!(out, "do {{  [{}]", id);
             print_stmt(out, p, f, body, level + 1);
@@ -90,7 +105,14 @@ fn print_stmt(out: &mut String, p: &IrProgram, f: &IrFunction, s: &Stmt, level: 
             indent(out, level);
             let _ = writeln!(out, "}} while ({});", cond_str(p, f, cond));
         }
-        Stmt::For { init, pre_cond, cond, step, body, id } => {
+        Stmt::For {
+            init,
+            pre_cond,
+            cond,
+            step,
+            body,
+            id,
+        } => {
             indent(out, level);
             let _ = writeln!(out, "for-init:  [{}]", id);
             print_stmt(out, p, f, init, level + 1);
@@ -104,9 +126,19 @@ fn print_stmt(out: &mut String, p: &IrProgram, f: &IrFunction, s: &Stmt, level: 
             indent(out, level);
             let _ = writeln!(out, "}}");
         }
-        Stmt::Switch { scrutinee, arms, id, .. } => {
+        Stmt::Switch {
+            scrutinee,
+            arms,
+            id,
+            ..
+        } => {
             indent(out, level);
-            let _ = writeln!(out, "switch ({}) {{  [{}]", operand_str(p, f, scrutinee), id);
+            let _ = writeln!(
+                out,
+                "switch ({}) {{  [{}]",
+                operand_str(p, f, scrutinee),
+                id
+            );
             for arm in arms {
                 indent(out, level + 1);
                 let labels: Vec<String> = arm
@@ -239,7 +271,12 @@ fn basic_str(p: &IrProgram, f: &IrFunction, b: &BasicStmt) -> String {
             format!("{} = {};", ref_str(p, f, lhs), operand_str(p, f, rhs))
         }
         BasicStmt::Unary { lhs, op, rhs } => {
-            format!("{} = {}{};", ref_str(p, f, lhs), unop_str(*op), operand_str(p, f, rhs))
+            format!(
+                "{} = {}{};",
+                ref_str(p, f, lhs),
+                unop_str(*op),
+                operand_str(p, f, rhs)
+            )
         }
         BasicStmt::Binary { lhs, op, a, b } => format!(
             "{} = {} {} {};",
@@ -257,9 +294,18 @@ fn basic_str(p: &IrProgram, f: &IrFunction, b: &BasicStmt) -> String {
             format!("{} = {} {sh};", ref_str(p, f, lhs), ref_str(p, f, ptr))
         }
         BasicStmt::Alloc { lhs, size } => {
-            format!("{} = malloc({});", ref_str(p, f, lhs), operand_str(p, f, size))
+            format!(
+                "{} = malloc({});",
+                ref_str(p, f, lhs),
+                operand_str(p, f, size)
+            )
         }
-        BasicStmt::Call { lhs, target, args, call_site } => {
+        BasicStmt::Call {
+            lhs,
+            target,
+            args,
+            call_site,
+        } => {
             let callee = match target {
                 CallTarget::Direct(id) => p.function(*id).name.clone(),
                 CallTarget::Indirect(r) => format!("(*{})", ref_str(p, f, r)),
@@ -285,7 +331,12 @@ fn basic_str(p: &IrProgram, f: &IrFunction, b: &BasicStmt) -> String {
 pub fn cond_str(p: &IrProgram, f: &IrFunction, c: &CondExpr) -> String {
     match c {
         CondExpr::Rel(op, a, b) => {
-            format!("{} {} {}", operand_str(p, f, a), binop_str(*op), operand_str(p, f, b))
+            format!(
+                "{} {} {}",
+                operand_str(p, f, a),
+                binop_str(*op),
+                operand_str(p, f, b)
+            )
         }
         CondExpr::Test(a) => operand_str(p, f, a),
         CondExpr::Not(a) => format!("!{}", operand_str(p, f, a)),

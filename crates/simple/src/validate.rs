@@ -21,7 +21,11 @@ pub struct ValidationError {
 
 impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SIMPLE invariant violated in `{}`: {}", self.function, self.message)
+        write!(
+            f,
+            "SIMPLE invariant violated in `{}`: {}",
+            self.function, self.message
+        )
     }
 }
 
@@ -37,7 +41,12 @@ pub fn validate(p: &IrProgram) -> Result<(), ValidationError> {
     let mut seen_calls = BTreeSet::new();
     for f in &p.functions {
         let Some(body) = &f.body else { continue };
-        let mut v = Validator { p, f, seen_ids: &mut seen_ids, seen_calls: &mut seen_calls };
+        let mut v = Validator {
+            p,
+            f,
+            seen_ids: &mut seen_ids,
+            seen_calls: &mut seen_calls,
+        };
         v.stmt(body)?;
     }
     Ok(())
@@ -52,7 +61,10 @@ struct Validator<'a> {
 
 impl Validator<'_> {
     fn err(&self, message: impl Into<String>) -> ValidationError {
-        ValidationError { function: self.f.name.clone(), message: message.into() }
+        ValidationError {
+            function: self.f.name.clone(),
+            message: message.into(),
+        }
     }
 
     fn id(&mut self, id: StmtId) -> Result<(), ValidationError> {
@@ -124,7 +136,12 @@ impl Validator<'_> {
                 self.varref(lhs)?;
                 self.operand(size)
             }
-            BasicStmt::Call { lhs, target, args, call_site } => {
+            BasicStmt::Call {
+                lhs,
+                target,
+                args,
+                call_site,
+            } => {
                 if !self.seen_calls.insert(*call_site) {
                     return Err(self.err(format!("duplicate call site {call_site}")));
                 }
@@ -173,7 +190,12 @@ impl Validator<'_> {
                 }
                 Ok(())
             }
-            Stmt::If { cond, then_s, else_s, id } => {
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+                id,
+            } => {
                 self.id(*id)?;
                 self.cond(cond)?;
                 self.stmt(then_s)?;
@@ -182,19 +204,36 @@ impl Validator<'_> {
                 }
                 Ok(())
             }
-            Stmt::While { pre_cond, cond, body, id } => {
+            Stmt::While {
+                pre_cond,
+                cond,
+                body,
+                id,
+            } => {
                 self.id(*id)?;
                 self.stmt(pre_cond)?;
                 self.cond(cond)?;
                 self.stmt(body)
             }
-            Stmt::DoWhile { body, pre_cond, cond, id } => {
+            Stmt::DoWhile {
+                body,
+                pre_cond,
+                cond,
+                id,
+            } => {
                 self.id(*id)?;
                 self.stmt(body)?;
                 self.stmt(pre_cond)?;
                 self.cond(cond)
             }
-            Stmt::For { init, pre_cond, cond, step, body, id } => {
+            Stmt::For {
+                init,
+                pre_cond,
+                cond,
+                step,
+                body,
+                id,
+            } => {
                 self.id(*id)?;
                 self.stmt(init)?;
                 self.stmt(pre_cond)?;
@@ -202,7 +241,12 @@ impl Validator<'_> {
                 self.stmt(step)?;
                 self.stmt(body)
             }
-            Stmt::Switch { scrutinee, arms, id, .. } => {
+            Stmt::Switch {
+                scrutinee,
+                arms,
+                id,
+                ..
+            } => {
                 self.id(*id)?;
                 self.operand(scrutinee)?;
                 for a in arms {

@@ -12,7 +12,10 @@ fn body_text(ir: &IrProgram, name: &str) -> String {
 fn basics(ir: &IrProgram, name: &str) -> Vec<BasicStmt> {
     let (_, f) = ir.function_by_name(name).expect("function exists");
     let mut v = Vec::new();
-    f.body.as_ref().unwrap().for_each_basic(&mut |b, _| v.push(b.clone()));
+    f.body
+        .as_ref()
+        .unwrap()
+        .for_each_basic(&mut |b, _| v.push(b.clone()));
     v
 }
 
@@ -26,8 +29,10 @@ fn simple_assignment_chain() {
 
 #[test]
 fn double_indirection_introduces_temp() {
-    let ir = compile("int main(void){ int x; int *p; int **pp; pp = &p; **pp = 1; x = **pp; return x; }")
-        .unwrap();
+    let ir = compile(
+        "int main(void){ int x; int *p; int **pp; pp = &p; **pp = 1; x = **pp; return x; }",
+    )
+    .unwrap();
     let t = body_text(&ir, "main");
     // **pp must be split: t = *pp; *t = 1;
     assert!(t.contains("_t"), "expected a temp, got:\n{t}");
@@ -72,8 +77,10 @@ fn chained_arrows_split() {
 
 #[test]
 fn array_head_tail_classification() {
-    let ir = compile("int a[10]; int main(void){ int i; i = 1; a[0] = 1; a[5] = 2; a[i] = 3; return 0; }")
-        .unwrap();
+    let ir = compile(
+        "int a[10]; int main(void){ int i; i = 1; a[0] = 1; a[5] = 2; a[i] = 3; return 0; }",
+    )
+    .unwrap();
     let t = body_text(&ir, "main");
     assert!(t.contains("a[0] = 1;"), "got:\n{t}");
     assert!(t.contains("a[+] = 2;"), "got:\n{t}");
@@ -133,7 +140,12 @@ fn calloc_and_realloc_become_alloc() {
     )
     .unwrap();
     let bs = basics(&ir, "main");
-    assert_eq!(bs.iter().filter(|b| matches!(b, BasicStmt::Alloc { .. })).count(), 2);
+    assert_eq!(
+        bs.iter()
+            .filter(|b| matches!(b, BasicStmt::Alloc { .. }))
+            .count(),
+        2
+    );
 }
 
 #[test]
@@ -169,7 +181,15 @@ fn explicit_deref_call_syntax() {
     let bs = basics(&ir, "main");
     let indirects = bs
         .iter()
-        .filter(|b| matches!(b, BasicStmt::Call { target: CallTarget::Indirect(_), .. }))
+        .filter(|b| {
+            matches!(
+                b,
+                BasicStmt::Call {
+                    target: CallTarget::Indirect(_),
+                    ..
+                }
+            )
+        })
         .count();
     assert_eq!(indirects, 1);
 }
@@ -189,7 +209,10 @@ fn call_through_function_pointer_array() {
     let bs = basics(&ir, "main");
     assert!(bs.iter().any(|b| matches!(
         b,
-        BasicStmt::Call { target: CallTarget::Indirect(VarRef::Path(_)), .. }
+        BasicStmt::Call {
+            target: CallTarget::Indirect(VarRef::Path(_)),
+            ..
+        }
     )));
 }
 
@@ -340,7 +363,13 @@ fn pointer_arithmetic_becomes_ptr_arith() {
         .collect();
     assert_eq!(shifts, vec![IdxClass::Positive, IdxClass::Positive]);
     // p + 0 folds to a plain copy.
-    assert!(bs.iter().any(|b| matches!(b, BasicStmt::Copy { rhs: Operand::Ref(_), .. })));
+    assert!(bs.iter().any(|b| matches!(
+        b,
+        BasicStmt::Copy {
+            rhs: Operand::Ref(_),
+            ..
+        }
+    )));
 }
 
 #[test]
@@ -353,10 +382,16 @@ fn addr_of_array_element_plus_constant_folds() {
 
 #[test]
 fn string_literal_operand() {
-    let ir = compile("int main(void){ char *s; s = \"hello\"; printf(\"%s\", s); return 0; }")
-        .unwrap();
+    let ir =
+        compile("int main(void){ char *s; s = \"hello\"; printf(\"%s\", s); return 0; }").unwrap();
     let bs = basics(&ir, "main");
-    assert!(bs.iter().any(|b| matches!(b, BasicStmt::Copy { rhs: Operand::Str(_), .. })));
+    assert!(bs.iter().any(|b| matches!(
+        b,
+        BasicStmt::Copy {
+            rhs: Operand::Str(_),
+            ..
+        }
+    )));
 }
 
 #[test]
@@ -371,15 +406,17 @@ fn sizeof_folds_to_constant() {
 fn return_value_simplified() {
     let ir = compile("int f(int a, int b){ return a * b + 1; }").unwrap();
     let bs = basics(&ir, "f");
-    assert!(matches!(bs.last(), Some(BasicStmt::Return(Some(Operand::Ref(_))))));
+    assert!(matches!(
+        bs.last(),
+        Some(BasicStmt::Return(Some(Operand::Ref(_))))
+    ));
 }
 
 #[test]
 fn stmt_ids_unique_and_counted() {
-    let ir = compile(
-        "int f(int x){ if (x) { x = 1; } else { x = 2; } while (x) { x--; } return x; }",
-    )
-    .unwrap();
+    let ir =
+        compile("int f(int x){ if (x) { x = 1; } else { x = 2; } while (x) { x--; } return x; }")
+            .unwrap();
     // validate() already ran inside compile(); recheck the counter.
     assert!(ir.n_stmts > 0);
     assert!(ir.total_basic_stmts() > 0);

@@ -80,10 +80,7 @@ fn out_of_range_callee_rejected() {
 fn statement_id_beyond_counter_rejected() {
     let mut ir = valid_program();
     let fid = ir.function_by_name("main").unwrap().0;
-    let bogus = Stmt::Basic(
-        BasicStmt::Return(None),
-        StmtId(ir.n_stmts + 100),
-    );
+    let bogus = Stmt::Basic(BasicStmt::Return(None), StmtId(ir.n_stmts + 100));
     let f = &mut ir.functions[fid.0 as usize];
     f.body = Some(bogus);
     let err = validate(&ir).unwrap_err();
@@ -122,8 +119,17 @@ fn printer_covers_all_statement_kinds() {
     .unwrap();
     let text = pta_simple::printer::print_program(&ir);
     for needle in [
-        "p = &x;", "malloc(", "callee(", "for", "while", "do {", "switch", "break;",
-        "continue;", "return r;", "+ k",
+        "p = &x;",
+        "malloc(",
+        "callee(",
+        "for",
+        "while",
+        "do {",
+        "switch",
+        "break;",
+        "continue;",
+        "return r;",
+        "+ k",
     ] {
         assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
     }

@@ -35,13 +35,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. The paper's context-sensitive analysis.
     let pta = run_source(source)?;
-    println!("context-sensitive:   a -> {:?}", pta.exit_targets_of("main", "a"));
-    println!("                     b -> {:?}", pta.exit_targets_of("main", "b"));
+    println!(
+        "context-sensitive:   a -> {:?}",
+        pta.exit_targets_of("main", "a")
+    );
+    println!(
+        "                     b -> {:?}",
+        pta.exit_targets_of("main", "b")
+    );
 
     // 2. Context-insensitive: the two calls of `set` pollute each other.
     let ins = insensitive(&ir)?;
     let (main_id, mainf) = ir.function_by_name("main").expect("main");
-    let a_idx = mainf.vars.iter().position(|v| v.name == "a").expect("var a");
+    let a_idx = mainf
+        .vars
+        .iter()
+        .position(|v| v.name == "a")
+        .expect("var a");
     let a_loc = ins
         .locs
         .lookup(
@@ -74,6 +84,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let precise = pta.result.ig.len();
     let all = build_ig_with_strategy(&ir, CallGraphStrategy::AllFunctions, 100_000)?.len();
     let at = build_ig_with_strategy(&ir, CallGraphStrategy::AddressTaken, 100_000)?.len();
-    println!("\ninvocation-graph size: points-to {precise} | address-taken {at} | all-functions {all}");
+    println!(
+        "\ninvocation-graph size: points-to {precise} | address-taken {at} | all-functions {all}"
+    );
     Ok(())
 }

@@ -45,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\n{} replacement(s) found.", replacements.len());
     assert!(
-        replacements.iter().all(|r| r.function == "area" || r.function == "main"),
+        replacements
+            .iter()
+            .all(|r| r.function == "area" || r.function == "main"),
         "only definite single-target references replace"
     );
     Ok(())

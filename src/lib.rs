@@ -54,7 +54,7 @@ pub fn analyze_c(source: &str) -> Result<Pta, PtaError> {
 pub mod prelude {
     pub use pta_apps::{alias_pairs_at, call_graph, replaceable_refs, stmt_rw_sets};
     pub use pta_core::{
-        analyze, run_source, AnalysisConfig, AnalysisResult, Def, Pta, PtSet, PtaError,
+        analyze, run_source, AnalysisConfig, AnalysisResult, Def, PtSet, Pta, PtaError,
     };
     pub use pta_simple::{compile, IrProgram};
 }

@@ -65,10 +65,8 @@ fn context_sensitivity_preserves_definiteness() {
     // The ablation: definite information survives under the
     // context-sensitive analysis but degrades when contexts merge.
     let rows = report::ablation().expect("ablation");
-    let mean_cs: f64 =
-        rows.iter().map(|r| r.definite_cs).sum::<f64>() / rows.len() as f64;
-    let mean_ci: f64 =
-        rows.iter().map(|r| r.definite_ci).sum::<f64>() / rows.len() as f64;
+    let mean_cs: f64 = rows.iter().map(|r| r.definite_cs).sum::<f64>() / rows.len() as f64;
+    let mean_ci: f64 = rows.iter().map(|r| r.definite_ci).sum::<f64>() / rows.len() as f64;
     assert!(
         mean_cs > mean_ci + 5.0,
         "expected a definiteness gap: cs={mean_cs:.1}% ci={mean_ci:.1}%"
@@ -122,10 +120,7 @@ fn definiteness_invariant_holds_on_the_suite() {
         let a = benchsuite::analyse(b).unwrap();
         for (id, set) in &a.result.per_stmt {
             for src in set.sources() {
-                let d_targets = set
-                    .targets(src)
-                    .filter(|(_, d)| *d == pta::Def::D)
-                    .count();
+                let d_targets = set.targets(src).filter(|(_, d)| *d == pta::Def::D).count();
                 assert!(
                     d_targets <= 1,
                     "{}@{id}: {} has {} definite targets",
@@ -173,7 +168,10 @@ fn builder_constructed_ir_analyzes() {
         .iter()
         .filter(|(_, t, _)| !result.locs.is_null(*t))
         .map(|(s, t, _)| {
-            (result.locs.name(s).to_owned(), result.locs.name(t).to_owned())
+            (
+                result.locs.name(s).to_owned(),
+                result.locs.name(t).to_owned(),
+            )
         })
         .collect();
     assert_eq!(pairs, vec![("p".to_string(), "x".to_string())]);

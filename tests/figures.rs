@@ -18,10 +18,7 @@ fn figure_2a_every_chain_has_a_node() {
     )
     .unwrap();
     let r = t.result.ig.render(&t.ir);
-    assert_eq!(
-        r,
-        "main\n  g\n    f\n  g\n    f\n"
-    );
+    assert_eq!(r, "main\n  g\n    f\n  g\n    f\n");
 }
 
 #[test]
@@ -157,7 +154,10 @@ fn figure_9_closure_is_conservative() {
     assert!(pt.contains(&("b".into(), "c".into(), Def::P)));
     let pairs = alias_pairs_at(&t.result, ret, 3);
     // The closure produces the (documented) spurious (**a, c).
-    assert!(pairs.iter().any(|p| p.lhs == "**a" && p.rhs == "c"), "{pairs:?}");
+    assert!(
+        pairs.iter().any(|p| p.lhs == "**a" && p.rhs == "c"),
+        "{pairs:?}"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -178,13 +178,14 @@ fn mapping_two_definite_pointers_to_one_invisible() {
     // Inside peek, both globals point (definitely) to the same symbolic.
     let last = t.find_stmt("peek", "t2 = g2", 0).unwrap();
     let pairs = t.pairs_at(last);
-    let g1_t: Vec<&(String, String, Def)> =
-        pairs.iter().filter(|(s, _, _)| s == "g1").collect();
-    let g2_t: Vec<&(String, String, Def)> =
-        pairs.iter().filter(|(s, _, _)| s == "g2").collect();
+    let g1_t: Vec<&(String, String, Def)> = pairs.iter().filter(|(s, _, _)| s == "g1").collect();
+    let g2_t: Vec<&(String, String, Def)> = pairs.iter().filter(|(s, _, _)| s == "g2").collect();
     assert_eq!(g1_t.len(), 1, "{pairs:?}");
     assert_eq!(g2_t.len(), 1, "{pairs:?}");
-    assert_eq!(g1_t[0].1, g2_t[0].1, "one symbolic name per invisible: {pairs:?}");
+    assert_eq!(
+        g1_t[0].1, g2_t[0].1,
+        "one symbolic name per invisible: {pairs:?}"
+    );
     assert_eq!(g1_t[0].2, Def::D);
     assert_eq!(g2_t[0].2, Def::D);
 }
@@ -202,10 +203,9 @@ fn unmapping_restores_caller_names() {
     .unwrap();
     assert_eq!(t.exit_targets_of("main", "q"), vec![("x".into(), Def::D)]);
     // The map info stored on the IG nodes names the symbolics.
-    let any_sym = t
-        .result
-        .ig
-        .iter()
-        .any(|(_, n)| !n.map_info.is_empty());
-    assert!(any_sym, "map information recorded on invocation-graph nodes");
+    let any_sym = t.result.ig.iter().any(|(_, n)| !n.map_info.is_empty());
+    assert!(
+        any_sym,
+        "map information recorded on invocation-graph nodes"
+    );
 }
