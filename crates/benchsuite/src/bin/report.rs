@@ -3,40 +3,73 @@
 //!
 //! ```text
 //! report [SECTION] [--jobs N] [--timings] [--json PATH]
+//!        [--deadline MS] [--budget N]
 //!
 //! SECTION: table2|table3|table4|table5|table6|livc|ablation|
 //!          heap-sites|summary|all        (default: all)
-//! --jobs N    worker threads (default: available parallelism; 1 = serial)
-//! --timings   append the per-benchmark timing table (suite sections only)
-//! --json PATH write suite timings as JSON (the CI bench artifact)
+//! --jobs N     worker threads (default: available parallelism; 1 = serial)
+//! --timings    append the per-benchmark timing table (suite sections only)
+//! --json PATH  write suite timings as JSON (the CI bench artifact)
+//! --deadline MS wall-clock budget per benchmark analysis, in
+//!              milliseconds; exhaustion degrades to cheaper analyses
+//!              (rows are tagged with their fidelity)
+//! --budget N   statement budget per benchmark analysis (same ladder)
 //! ```
 //!
 //! Tables 2–6 are byte-identical for every `--jobs` value; timings are
 //! kept out of them and shown only on request.
+//!
+//! Exit status: `0` on a clean run, `1` when any suite row failed or an
+//! analysis errored, `2` on a usage error.
 
 use pta_benchsuite::report;
+use pta_core::AnalysisConfig;
+use std::time::Duration;
+
+/// Usage error (bad flags).
+const EXIT_USAGE: i32 = 2;
+/// A benchmark failed to analyse (partial report printed).
+const EXIT_ANALYSIS: i32 = 1;
 
 fn main() {
     let mut section: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut timings = false;
     let mut json: Option<String> = None;
+    let mut config = AnalysisConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--jobs" => {
                 let v = args.next().unwrap_or_default();
                 match v.parse::<usize>() {
-                    Ok(n) => jobs = Some(n.max(1)),
-                    Err(_) => die(&format!("--jobs expects a number, got `{v}`")),
+                    Ok(0) => die_usage(
+                        "--jobs expects a positive number (got 0); use 1 for a serial run",
+                    ),
+                    Ok(n) => jobs = Some(n),
+                    Err(_) => die_usage(&format!("--jobs expects a number, got `{v}`")),
                 }
             }
             "--timings" => timings = true,
             "--json" => match args.next() {
                 Some(p) => json = Some(p),
-                None => die("--json expects a file path"),
+                None => die_usage("--json expects a file path"),
             },
-            s if s.starts_with('-') => die(&format!("unknown flag `{s}`")),
+            "--deadline" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<u64>() {
+                    Ok(ms) => config.deadline = Some(Duration::from_millis(ms)),
+                    Err(_) => die_usage(&format!("--deadline expects milliseconds, got `{v}`")),
+                }
+            }
+            "--budget" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<u64>() {
+                    Ok(n) if n > 0 => config.max_steps = n,
+                    _ => die_usage(&format!("--budget expects a positive number, got `{v}`")),
+                }
+            }
+            s if s.starts_with('-') => die_usage(&format!("unknown flag `{s}`")),
             s => section = Some(s.to_owned()),
         }
     }
@@ -54,7 +87,7 @@ fn main() {
     ];
     if let Some(s) = &section {
         if !SECTIONS.contains(&s.as_str()) {
-            die(&format!(
+            die_usage(&format!(
                 "unknown section `{s}` (expected one of: {})",
                 SECTIONS.join(", ")
             ));
@@ -63,6 +96,7 @@ fn main() {
     let jobs = jobs.unwrap_or_else(pta_benchsuite::default_jobs);
     let arg = section.unwrap_or_else(|| "all".to_owned());
     let want = |s: &str| arg == s || arg == "all";
+    let mut failed = false;
 
     let suite_wanted = want("table2")
         || want("table3")
@@ -73,7 +107,7 @@ fn main() {
         || timings
         || json.is_some();
     if suite_wanted {
-        let suite = report::run_suite_jobs(jobs).expect("suite analyses cleanly");
+        let suite = report::run_benchmarks_cfg(pta_benchsuite::SUITE, jobs, config.clone());
         if want("table2") {
             println!(
                 "== Table 2: benchmark characteristics ==\n{}",
@@ -138,31 +172,56 @@ fn main() {
         }
         if let Some(path) = &json {
             std::fs::write(path, suite.timings_json())
-                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                .unwrap_or_else(|e| die_usage(&format!("cannot write {path}: {e}")));
             eprintln!("wrote timings to {path}");
+        }
+        if !suite.is_clean() {
+            eprint!("{}", suite.render_failures());
+        }
+        if !suite.failures().is_empty() {
+            failed = true;
         }
     }
     if want("livc") {
-        let s = report::livc_study_jobs(jobs).expect("livc analyses cleanly");
-        println!("== livc function-pointer study ==\n{}", s.render());
+        match report::livc_study_jobs(jobs) {
+            Ok(s) => println!("== livc function-pointer study ==\n{}", s.render()),
+            Err(e) => {
+                eprintln!("report: livc study failed: {e}");
+                failed = true;
+            }
+        }
     }
     if want("heap-sites") {
-        let rows = report::heap_site_ablation_jobs(jobs).expect("heap-site ablation runs");
-        println!(
-            "== Allocation-site heap extension (E12) ==\n{}",
-            report::render_heap_sites(&rows)
-        );
+        match report::heap_site_ablation_jobs(jobs) {
+            Ok(rows) => println!(
+                "== Allocation-site heap extension (E12) ==\n{}",
+                report::render_heap_sites(&rows)
+            ),
+            Err(e) => {
+                eprintln!("report: heap-site ablation failed: {e}");
+                failed = true;
+            }
+        }
     }
     if want("ablation") {
-        let rows = report::ablation_jobs(jobs).expect("ablation analyses cleanly");
-        println!(
-            "== Context-sensitivity ablation ==\n{}",
-            report::render_ablation(&rows)
-        );
+        match report::ablation_jobs(jobs) {
+            Ok(rows) => println!(
+                "== Context-sensitivity ablation ==\n{}",
+                report::render_ablation(&rows)
+            ),
+            Err(e) => {
+                eprintln!("report: ablation failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("report: some analyses failed; see the rows above");
+        std::process::exit(EXIT_ANALYSIS);
     }
 }
 
-fn die(msg: &str) -> ! {
+fn die_usage(msg: &str) -> ! {
     eprintln!("report: {msg}");
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE);
 }

@@ -83,6 +83,11 @@ pub const LIVC: Benchmark = bench!(
     "Livermore loops dispatched through three arrays of 24 function pointers."
 );
 
+/// A reserved benchmark name whose suite job panics deliberately. Used
+/// by the fault-isolation tests (and never present in [`SUITE`]) to
+/// prove one crashing job yields a failed row instead of a dead run.
+pub const PANIC_BENCH_NAME: &str = "__panic__";
+
 /// Every embedded program (the suite plus `livc`).
 pub fn all_benchmarks() -> Vec<Benchmark> {
     let mut v = SUITE.to_vec();

@@ -6,7 +6,18 @@
 //! reassembled in input order, so every table renders byte-identically
 //! to a single-threaded run — `--jobs 1` forces the serial path
 //! outright, which the test suite uses to prove it.
+//!
+//! Panic isolation: every item/closure runs under
+//! [`std::panic::catch_unwind`], so one panicking job can no longer
+//! tear down its siblings mid-flight — every other job still completes
+//! and contributes its result. A panic is then re-raised on the calling
+//! thread (the first one, in input order, for determinism). Callers
+//! that want panics as *data* instead — the suite driver does, so a
+//! crashing benchmark becomes a failed table row — wrap their closure
+//! in [`catch_panic`] themselves, which makes the drivers' own re-raise
+//! unreachable.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads to use by default: the machine's available
@@ -15,9 +26,45 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Runs `f`, converting a panic into an `Err` with the panic message.
+/// The building block for treating a crashing benchmark as a failed
+/// row instead of a dead process.
+pub fn catch_panic<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(&*p))
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+type Caught<R> = Result<R, Box<dyn std::any::Any + Send>>;
+
+/// Re-raises the first panic (input order) among caught results,
+/// otherwise unwraps them all.
+fn resume_first<R>(results: Vec<Caught<R>>) -> Vec<R> {
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+    out
+}
+
 /// Applies `f` to every item, running up to `jobs` scoped workers.
 /// Results come back in input order regardless of completion order.
 /// `jobs <= 1` runs strictly sequentially on the calling thread.
+///
+/// A panicking item no longer aborts its siblings: every other item
+/// still runs to completion, then the first panic (in input order) is
+/// re-raised here. Wrap `f` in [`catch_panic`] to get panics as values.
 pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -26,10 +73,15 @@ where
 {
     let jobs = jobs.min(items.len());
     if jobs <= 1 {
-        return items.iter().map(f).collect();
+        return resume_first(
+            items
+                .iter()
+                .map(|it| catch_unwind(AssertUnwindSafe(|| f(it))))
+                .collect(),
+        );
     }
     let next = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, R)> = std::thread::scope(|s| {
+    let mut indexed: Vec<(usize, Caught<R>)> = std::thread::scope(|s| {
         let workers: Vec<_> = (0..jobs)
             .map(|_| {
                 s.spawn(|| {
@@ -37,7 +89,7 @@ where
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
-                        local.push((i, f(item)));
+                        local.push((i, catch_unwind(AssertUnwindSafe(|| f(item)))));
                     }
                     local
                 })
@@ -45,14 +97,21 @@ where
             .collect();
         workers
             .into_iter()
-            .flat_map(|w| w.join().expect("suite worker panicked"))
+            .flat_map(|w| match w.join() {
+                Ok(local) => local,
+                // The worker loop itself cannot panic (f is caught);
+                // defensively surface anything unexpected.
+                Err(p) => std::panic::resume_unwind(p),
+            })
             .collect()
     });
     indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+    resume_first(indexed.into_iter().map(|(_, r)| r).collect())
 }
 
 /// Runs three independent closures, concurrently when `jobs > 1`.
+/// All three run to completion even if one panics; the first panic (in
+/// argument order) is then re-raised.
 pub fn par_join3<A, B, C>(
     jobs: usize,
     fa: impl FnOnce() -> A + Send,
@@ -64,24 +123,33 @@ where
     B: Send,
     C: Send,
 {
-    if jobs <= 1 {
-        return (fa(), fb(), fc());
-    }
-    std::thread::scope(|s| {
-        let hb = s.spawn(fb);
-        let hc = s.spawn(fc);
-        let a = fa();
+    let (a, b, c) = if jobs <= 1 {
         (
-            a,
-            hb.join().expect("worker panicked"),
-            hc.join().expect("worker panicked"),
+            catch_unwind(AssertUnwindSafe(fa)),
+            catch_unwind(AssertUnwindSafe(fb)),
+            catch_unwind(AssertUnwindSafe(fc)),
         )
-    })
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(|| catch_unwind(AssertUnwindSafe(fb)));
+            let hc = s.spawn(|| catch_unwind(AssertUnwindSafe(fc)));
+            let a = catch_unwind(AssertUnwindSafe(fa));
+            (a, join_caught(hb), join_caught(hc))
+        })
+    };
+    match (a, b, c) {
+        (Ok(a), Ok(b), Ok(c)) => (a, b, c),
+        (a, b, c) => {
+            let p = [a.err(), b.err(), c.err()];
+            resume_any(p)
+        }
+    }
 }
 
 /// Runs four independent closures, concurrently when `jobs > 1` (the
 /// E11 ablation evaluates the context-sensitive analysis and three
-/// baselines of one benchmark this way).
+/// baselines of one benchmark this way). Panic semantics as
+/// [`par_join3`].
 pub fn par_join4<A, B, C, D>(
     jobs: usize,
     fa: impl FnOnce() -> A + Send,
@@ -95,21 +163,45 @@ where
     C: Send,
     D: Send,
 {
-    if jobs <= 1 {
-        return (fa(), fb(), fc(), fd());
-    }
-    std::thread::scope(|s| {
-        let hb = s.spawn(fb);
-        let hc = s.spawn(fc);
-        let hd = s.spawn(fd);
-        let a = fa();
+    let (a, b, c, d) = if jobs <= 1 {
         (
-            a,
-            hb.join().expect("worker panicked"),
-            hc.join().expect("worker panicked"),
-            hd.join().expect("worker panicked"),
+            catch_unwind(AssertUnwindSafe(fa)),
+            catch_unwind(AssertUnwindSafe(fb)),
+            catch_unwind(AssertUnwindSafe(fc)),
+            catch_unwind(AssertUnwindSafe(fd)),
         )
-    })
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(|| catch_unwind(AssertUnwindSafe(fb)));
+            let hc = s.spawn(|| catch_unwind(AssertUnwindSafe(fc)));
+            let hd = s.spawn(|| catch_unwind(AssertUnwindSafe(fd)));
+            let a = catch_unwind(AssertUnwindSafe(fa));
+            (a, join_caught(hb), join_caught(hc), join_caught(hd))
+        })
+    };
+    match (a, b, c, d) {
+        (Ok(a), Ok(b), Ok(c), Ok(d)) => (a, b, c, d),
+        (a, b, c, d) => {
+            let p = [a.err(), b.err(), c.err(), d.err()];
+            resume_any(p)
+        }
+    }
+}
+
+fn join_caught<R>(h: std::thread::ScopedJoinHandle<'_, Caught<R>>) -> Caught<R> {
+    match h.join() {
+        Ok(r) => r,
+        Err(p) => Err(p),
+    }
+}
+
+fn resume_any<const N: usize>(panics: [Option<Box<dyn std::any::Any + Send>>; N]) -> ! {
+    let p = panics
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("resume_any called without a panic");
+    std::panic::resume_unwind(p)
 }
 
 #[cfg(test)]
@@ -145,5 +237,66 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn catch_panic_returns_the_message() {
+        assert_eq!(catch_panic(|| 7), Ok(7));
+        let err = catch_panic(|| -> u32 { panic!("boom {}", 42) }).unwrap_err();
+        assert!(err.contains("boom 42"), "{err}");
+    }
+
+    #[test]
+    fn one_panicking_item_does_not_kill_siblings() {
+        // Caught per item: the siblings' results are all computed, and
+        // catch_panic turns the bad one into a value.
+        let items: Vec<u32> = (0..16).collect();
+        for jobs in [1, 4] {
+            let out = par_map(jobs, &items, |&x| {
+                catch_panic(move || {
+                    assert!(x != 7, "seven is right out");
+                    x * 2
+                })
+            });
+            assert_eq!(out.len(), 16);
+            assert_eq!(out[6], Ok(12));
+            assert!(out[7].as_ref().unwrap_err().contains("seven"));
+            assert_eq!(out[15], Ok(30));
+        }
+    }
+
+    #[test]
+    fn uncaught_panic_still_propagates_after_siblings_finish() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let done = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..8).collect();
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map(4, &items, |&x| {
+                if x == 3 {
+                    panic!("job 3 exploded");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        assert!(r.is_err());
+        // Every non-panicking sibling completed despite the panic.
+        assert_eq!(done.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn par_join_runs_all_closures_despite_a_panic() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let done = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_join3(
+                4,
+                || done.fetch_add(1, Ordering::Relaxed),
+                || panic!("middle closure exploded"),
+                || done.fetch_add(1, Ordering::Relaxed),
+            )
+        }));
+        assert!(r.is_err());
+        assert_eq!(done.load(Ordering::Relaxed), 2);
     }
 }

@@ -7,14 +7,14 @@
 //! analysed concurrently (see [`crate::parallel`]) but reported in
 //! paper order, so the rendered tables are identical for any job count.
 
-use crate::parallel::{default_jobs, par_join3, par_join4, par_map};
-use crate::{all_benchmarks, analyse, Analysed, Benchmark, LIVC, SUITE};
+use crate::parallel::{catch_panic, default_jobs, par_join3, par_join4, par_map};
+use crate::{all_benchmarks, analyse, Analysed, Benchmark, LIVC, PANIC_BENCH_NAME, SUITE};
 use pta_core::baseline::{
     address_taken_functions, andersen, build_ig_with_strategy, insensitive, steensgaard,
     CallGraphStrategy,
 };
 use pta_core::stats::{self, BenchmarkStats};
-use pta_core::{Def, PtSet, PtaError};
+use pta_core::{AnalysisConfig, AnalysisError, Def, Fidelity, PtSet, PtaError};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -27,11 +27,88 @@ pub struct BenchTiming {
     pub duration: Duration,
 }
 
+/// One successfully analysed benchmark with its statistics and the
+/// provenance of the numbers (which rung of the degradation ladder
+/// produced them).
+#[derive(Debug)]
+pub struct AnalysedRow {
+    /// The analysed benchmark.
+    pub analysed: Analysed,
+    /// Its statistics (Tables 2–6 inputs).
+    pub stats: BenchmarkStats,
+    /// Which analysis produced the result.
+    pub fidelity: Fidelity,
+    /// The ladder rungs that failed before `fidelity` succeeded.
+    pub degradations: Vec<(Fidelity, AnalysisError)>,
+}
+
+/// How a suite row failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteErrorKind {
+    /// The worker panicked (caught; siblings unaffected).
+    Panic,
+    /// The front end rejected the program.
+    Frontend,
+    /// The analysis failed unrecoverably (ladder included).
+    Analysis,
+}
+
+/// A benchmark that produced no analysis: the row survives into the
+/// report (deterministically, in paper order) so one bad program shows
+/// up as one failed line instead of killing the whole run.
+#[derive(Debug, Clone)]
+pub struct SuiteError {
+    /// Benchmark name.
+    pub name: String,
+    /// Failure category.
+    pub kind: SuiteErrorKind,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            SuiteErrorKind::Panic => "panic",
+            SuiteErrorKind::Frontend => "frontend error",
+            SuiteErrorKind::Analysis => "analysis error",
+        };
+        write!(f, "{}: {kind}: {}", self.name, self.message)
+    }
+}
+
+/// One row of the suite report: analysed or failed.
+#[derive(Debug)]
+pub enum SuiteRow {
+    /// The benchmark was analysed (possibly at degraded fidelity).
+    Analysed(Box<AnalysedRow>),
+    /// The benchmark produced no result.
+    Failed(SuiteError),
+}
+
+impl SuiteRow {
+    /// The benchmark name of either variant.
+    pub fn name(&self) -> &str {
+        match self {
+            SuiteRow::Analysed(r) => r.analysed.bench.name,
+            SuiteRow::Failed(e) => &e.name,
+        }
+    }
+
+    /// The analysed row, when there is one.
+    pub fn as_analysed(&self) -> Option<&AnalysedRow> {
+        match self {
+            SuiteRow::Analysed(r) => Some(r),
+            SuiteRow::Failed(_) => None,
+        }
+    }
+}
+
 /// The whole suite, analysed, with its statistics.
 #[derive(Debug)]
 pub struct SuiteReport {
-    /// Per-benchmark analysis and statistics (paper order).
-    pub rows: Vec<(Analysed, BenchmarkStats)>,
+    /// Per-benchmark rows (paper order), failed ones included.
+    pub rows: Vec<SuiteRow>,
     /// Per-benchmark timings (paper order).
     pub timings: Vec<BenchTiming>,
     /// Worker threads used.
@@ -41,47 +118,145 @@ pub struct SuiteReport {
 }
 
 /// Analyses the full 17-program suite with [`default_jobs`] workers.
-///
-/// # Errors
-///
-/// Propagates the first benchmark failure (a suite bug).
-pub fn run_suite() -> Result<SuiteReport, PtaError> {
+/// Never fails: a crashing or budget-exhausted benchmark becomes a
+/// failed or degraded row.
+pub fn run_suite() -> SuiteReport {
     run_suite_jobs(default_jobs())
 }
 
 /// [`run_suite`] with an explicit worker count (`1` forces the serial
 /// path).
+pub fn run_suite_jobs(jobs: usize) -> SuiteReport {
+    run_benchmarks_cfg(SUITE, jobs, AnalysisConfig::default())
+}
+
+/// The suite driver over an explicit benchmark list and configuration.
 ///
-/// # Errors
-///
-/// As [`run_suite`].
-pub fn run_suite_jobs(jobs: usize) -> Result<SuiteReport, PtaError> {
+/// Fault isolation: each benchmark's job runs under `catch_unwind`, so
+/// a panic in one worker yields a [`SuiteRow::Failed`] row while every
+/// sibling completes normally. Budget exhaustion degrades through
+/// [`pta_core::analyze_resilient`] and tags the row's [`Fidelity`].
+/// Rows come back in input order for every job count.
+pub fn run_benchmarks_cfg(
+    benches: &[Benchmark],
+    jobs: usize,
+    config: AnalysisConfig,
+) -> SuiteReport {
     let start = Instant::now();
-    let results = par_map(jobs, SUITE, |b| {
+    let results = par_map(jobs, benches, |b| {
         let t0 = Instant::now();
-        let mut a = analyse(*b)?;
-        let s = stats::compute(b.name, b.source, &a.ir, &mut a.result);
-        Ok::<_, PtaError>((a, s, t0.elapsed()))
+        let row = match catch_panic(|| suite_job(*b, config.clone())) {
+            Ok(Ok(row)) => SuiteRow::Analysed(Box::new(row)),
+            Ok(Err(e)) => {
+                let kind = match &e {
+                    PtaError::Frontend(_) => SuiteErrorKind::Frontend,
+                    PtaError::Analysis(_) => SuiteErrorKind::Analysis,
+                };
+                SuiteRow::Failed(SuiteError {
+                    name: b.name.to_owned(),
+                    kind,
+                    message: e.to_string(),
+                })
+            }
+            Err(msg) => SuiteRow::Failed(SuiteError {
+                name: b.name.to_owned(),
+                kind: SuiteErrorKind::Panic,
+                message: msg,
+            }),
+        };
+        (row, t0.elapsed())
     });
     let mut rows = Vec::new();
     let mut timings = Vec::new();
-    for r in results {
-        let (a, s, d) = r?;
+    for (row, d) in results {
         timings.push(BenchTiming {
-            name: a.bench.name.to_owned(),
+            name: row.name().to_owned(),
             duration: d,
         });
-        rows.push((a, s));
+        rows.push(row);
     }
-    Ok(SuiteReport {
+    SuiteReport {
         rows,
         timings,
         jobs: jobs.max(1),
         wall: start.elapsed(),
+    }
+}
+
+/// One benchmark's full job: compile, analyse through the degradation
+/// ladder, compute statistics.
+fn suite_job(b: Benchmark, config: AnalysisConfig) -> Result<AnalysedRow, PtaError> {
+    if b.name == PANIC_BENCH_NAME {
+        panic!("deliberate suite-job panic (fault-isolation test hook)");
+    }
+    let ir = pta_simple::compile(b.source)?;
+    let outcome = pta_core::analyze_resilient(&ir, config)?;
+    let mut analysed = Analysed {
+        bench: b,
+        ir,
+        result: outcome.result,
+    };
+    let stats = stats::compute(b.name, b.source, &analysed.ir, &mut analysed.result);
+    Ok(AnalysedRow {
+        analysed,
+        stats,
+        fidelity: outcome.fidelity,
+        degradations: outcome.degradations,
     })
 }
 
 impl SuiteReport {
+    /// The successfully analysed rows, in paper order.
+    pub fn analysed_rows(&self) -> impl Iterator<Item = &AnalysedRow> {
+        self.rows.iter().filter_map(SuiteRow::as_analysed)
+    }
+
+    /// The failed rows, in paper order.
+    pub fn failures(&self) -> Vec<&SuiteError> {
+        self.rows
+            .iter()
+            .filter_map(|r| match r {
+                SuiteRow::Failed(e) => Some(e),
+                SuiteRow::Analysed(_) => None,
+            })
+            .collect()
+    }
+
+    /// The rows that degraded below full context-sensitive fidelity.
+    pub fn degraded(&self) -> Vec<&AnalysedRow> {
+        self.analysed_rows()
+            .filter(|r| !r.fidelity.is_full())
+            .collect()
+    }
+
+    /// True when every row analysed at full fidelity.
+    pub fn is_clean(&self) -> bool {
+        self.failures().is_empty() && self.degraded().is_empty()
+    }
+
+    /// Renders the failure/degradation summary (empty string when
+    /// clean).
+    pub fn render_failures(&self) -> String {
+        let mut out = String::new();
+        for e in self.failures() {
+            let _ = writeln!(out, "FAILED   {e}");
+        }
+        for r in self.degraded() {
+            let _ = writeln!(
+                out,
+                "DEGRADED {}: answered by the {} fallback ({})",
+                r.analysed.bench.name,
+                r.fidelity,
+                r.degradations
+                    .iter()
+                    .map(|(f, e)| format!("{f}: {e}"))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            );
+        }
+        out
+    }
+
     /// Renders Table 2.
     pub fn table2(&self) -> String {
         let mut out = String::new();
@@ -90,7 +265,12 @@ impl SuiteReport {
             "{:<10} {:>6} {:>8} {:>8} {:>8}  Description",
             "Benchmark", "Lines", "#stmts", "Min#var", "Max#var"
         );
-        for (a, s) in &self.rows {
+        for row in &self.rows {
+            let Some(r) = row.as_analysed() else {
+                failed_line(&mut out, row);
+                continue;
+            };
+            let (a, s) = (&r.analysed, &r.stats);
             let _ = writeln!(
                 out,
                 "{:<10} {:>6} {:>8} {:>8} {:>8}  {}",
@@ -124,12 +304,16 @@ impl SuiteReport {
             "Tot",
             "Avg"
         );
-        for (_, s) in &self.rows {
-            let t = &s.t3;
+        for row in &self.rows {
+            let Some(r) = row.as_analysed() else {
+                failed_line(&mut out, row);
+                continue;
+            };
+            let t = &r.stats.t3;
             let pair = |p: (usize, usize)| format!("{}/{}", p.0, p.1);
             let _ = writeln!(
                 out,
-                "{:<10} {:>7} {:>7} {:>7} {:>7} {:>7} {:>5} {:>6} {:>7} {:>6} {:>5} {:>5.2}",
+                "{:<10} {:>7} {:>7} {:>7} {:>7} {:>7} {:>5} {:>6} {:>7} {:>6} {:>5} {:>5.2}{}",
                 t.name,
                 pair(t.one_d),
                 pair(t.one_p),
@@ -141,7 +325,8 @@ impl SuiteReport {
                 t.to_stack,
                 t.to_heap,
                 t.tot(),
-                t.avg()
+                t.avg(),
+                fidelity_marker(r)
             );
         }
         let agg = self.summary();
@@ -162,8 +347,12 @@ impl SuiteReport {
             "{:<10} | {:>5} {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} {:>5}",
             "Benchmark", "f.lo", "f.gl", "f.fp", "f.sy", "t.lo", "t.gl", "t.fp", "t.sy"
         );
-        for (_, s) in &self.rows {
-            let t = &s.t4;
+        for row in &self.rows {
+            let Some(r) = row.as_analysed() else {
+                failed_line(&mut out, row);
+                continue;
+            };
+            let t = &r.stats.t4;
             let _ = writeln!(
                 out,
                 "{:<10} | {:>5} {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} {:>5}",
@@ -189,8 +378,12 @@ impl SuiteReport {
             "{:<10} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6}",
             "Benchmark", "Stk->Stk", "Stk->Hp", "Hp->Hp", "Hp->Stk", "Avg", "Max"
         );
-        for (_, s) in &self.rows {
-            let t = &s.t5;
+        for row in &self.rows {
+            let Some(r) = row.as_analysed() else {
+                failed_line(&mut out, row);
+                continue;
+            };
+            let t = &r.stats.t5;
             let _ = writeln!(
                 out,
                 "{:<10} {:>9} {:>9} {:>9} {:>9} {:>6.1} {:>6}",
@@ -214,8 +407,12 @@ impl SuiteReport {
             "{:<10} {:>8} {:>9} {:>6} {:>4} {:>4} {:>6} {:>6}",
             "Benchmark", "ig-nodes", "call-site", "#fns", "R", "A", "Avgc", "Avgf"
         );
-        for (_, s) in &self.rows {
-            let t = &s.t6;
+        for row in &self.rows {
+            let Some(r) = row.as_analysed() else {
+                failed_line(&mut out, row);
+                continue;
+            };
+            let t = &r.stats.t6;
             let _ = writeln!(
                 out,
                 "{:<10} {:>8} {:>9} {:>6} {:>4} {:>4} {:>6.2} {:>6.2}",
@@ -257,22 +454,38 @@ impl SuiteReport {
     }
 
     /// The timings as a JSON document (the CI `BENCH_1.json` artifact).
+    /// Each benchmark entry carries its result provenance: a
+    /// `"fidelity"` tag for analysed rows, `"failed"` plus an `"error"`
+    /// message for failed ones.
     pub fn timings_json(&self) -> String {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"jobs\":{},\"wall_ms\":{:.3},\"benchmarks\":[",
+            "{{\"jobs\":{},\"wall_ms\":{:.3},\"failures\":{},\"benchmarks\":[",
             self.jobs,
-            self.wall.as_secs_f64() * 1e3
+            self.wall.as_secs_f64() * 1e3,
+            self.failures().len()
         );
-        for (i, t) in self.timings.iter().enumerate() {
+        for (i, (t, row)) in self.timings.iter().zip(&self.rows).enumerate() {
             let _ = write!(
                 out,
-                "{}{{\"name\":\"{}\",\"ms\":{:.3}}}",
+                "{}{{\"name\":\"{}\",\"ms\":{:.3},",
                 if i == 0 { "" } else { "," },
                 t.name,
                 t.duration.as_secs_f64() * 1e3
             );
+            match row {
+                SuiteRow::Analysed(r) => {
+                    let _ = write!(out, "\"fidelity\":\"{}\"}}", r.fidelity);
+                }
+                SuiteRow::Failed(e) => {
+                    let _ = write!(
+                        out,
+                        "\"failed\":true,\"error\":\"{}\"}}",
+                        json_escape(&e.message)
+                    );
+                }
+            }
         }
         out.push_str("]}\n");
         out
@@ -286,8 +499,8 @@ impl SuiteReport {
         let mut rep = 0usize;
         let mut to_stack = 0usize;
         let mut to_heap = 0usize;
-        for (_, s) in &self.rows {
-            let t = &s.t3;
+        for r in self.analysed_rows() {
+            let t = &r.stats.t3;
             ind += t.ind_refs;
             one_d += t.one_d.0 + t.one_d.1;
             single += t.one_d.0 + t.one_d.1 + t.one_p.0 + t.one_p.1 + t.zero;
@@ -316,6 +529,39 @@ impl SuiteReport {
             pct_heap: pct(to_heap, tot),
         }
     }
+}
+
+/// Appends a table line for a failed row, keeping the table's
+/// benchmark column aligned.
+fn failed_line(out: &mut String, row: &SuiteRow) {
+    if let SuiteRow::Failed(e) = row {
+        let _ = writeln!(out, "{:<10} FAILED ({})", e.name, e.message);
+    }
+}
+
+/// A trailing provenance marker for degraded rows (empty at full
+/// fidelity, so clean tables render byte-identically to before).
+fn fidelity_marker(r: &AnalysedRow) -> String {
+    if r.fidelity.is_full() {
+        String::new()
+    } else {
+        format!("  [{}]", r.fidelity)
+    }
+}
+
+/// Minimal JSON string escaping for error messages.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// The §6 headline aggregates.
@@ -379,11 +625,10 @@ pub fn livc_study_jobs(jobs: usize) -> Result<LivcStudy, PtaError> {
         || build_ig_with_strategy(&ir, CallGraphStrategy::AllFunctions, 2_000_000).map(|g| g.len()),
         || build_ig_with_strategy(&ir, CallGraphStrategy::AddressTaken, 2_000_000).map(|g| g.len()),
     );
-    let budget = |e| PtaError::Analysis(pta_core::AnalysisError::IgBudget(e));
     Ok(LivcStudy {
         precise_nodes: precise?,
-        all_functions_nodes: all.map_err(budget)?,
-        address_taken_nodes: at.map_err(budget)?,
+        all_functions_nodes: all?,
+        address_taken_nodes: at?,
         total_functions: ir.defined_functions().count(),
         address_taken_functions: address_taken_functions(&ir).len(),
         indirect_sites: ir.call_sites.iter().filter(|c| c.indirect).count(),

@@ -6,8 +6,9 @@ use pta_benchsuite::report;
 
 #[test]
 fn tables_are_byte_identical_across_job_counts() {
-    let serial = report::run_suite_jobs(1).expect("serial suite");
-    let parallel = report::run_suite_jobs(4).expect("parallel suite");
+    let serial = report::run_suite_jobs(1);
+    let parallel = report::run_suite_jobs(4);
+    assert!(serial.is_clean(), "{}", serial.render_failures());
     assert_eq!(serial.table2(), parallel.table2(), "Table 2 differs");
     assert_eq!(serial.table3(), parallel.table3(), "Table 3 differs");
     assert_eq!(serial.table4(), parallel.table4(), "Table 4 differs");
@@ -19,6 +20,67 @@ fn tables_are_byte_identical_across_job_counts() {
         |r: &report::SuiteReport| r.timings.iter().map(|t| t.name.clone()).collect::<Vec<_>>();
     assert_eq!(names(&serial), names(&parallel));
     assert_eq!(serial.rows.len(), serial.timings.len());
+}
+
+#[test]
+fn panicking_job_becomes_a_failed_row_on_every_job_count() {
+    use pta_benchsuite::{benchmark, Benchmark, PANIC_BENCH_NAME};
+    let benches = vec![
+        benchmark("hash").unwrap(),
+        Benchmark {
+            name: PANIC_BENCH_NAME,
+            source: "int main(void) { return 0; }",
+            description: "deliberately panicking job",
+        },
+        benchmark("travel").unwrap(),
+    ];
+    let cfg = pta_core::AnalysisConfig::default();
+    let reference = report::run_benchmarks_cfg(&benches, 1, cfg.clone());
+    for jobs in 1..=8 {
+        let suite = report::run_benchmarks_cfg(&benches, jobs, cfg.clone());
+        // The panic is contained: its row fails, the siblings analyse.
+        assert_eq!(suite.rows.len(), 3, "jobs={jobs}");
+        assert!(suite.rows[0].as_analysed().is_some(), "jobs={jobs}");
+        assert!(suite.rows[2].as_analysed().is_some(), "jobs={jobs}");
+        let failures = suite.failures();
+        assert_eq!(failures.len(), 1, "jobs={jobs}");
+        assert_eq!(failures[0].name, PANIC_BENCH_NAME);
+        assert_eq!(failures[0].kind, report::SuiteErrorKind::Panic);
+        assert!(failures[0].message.contains("deliberate"), "{failures:?}");
+        assert!(!suite.is_clean());
+        // The partial tables are deterministic and job-count independent.
+        assert_eq!(suite.table2(), reference.table2(), "jobs={jobs}");
+        assert_eq!(suite.table3(), reference.table3(), "jobs={jobs}");
+        assert_eq!(suite.table6(), reference.table6(), "jobs={jobs}");
+        assert_eq!(suite.summary(), reference.summary(), "jobs={jobs}");
+        // The failed row shows up in the rendered tables and the JSON.
+        assert!(suite.table2().contains("FAILED"), "jobs={jobs}");
+        assert!(suite.render_failures().contains(PANIC_BENCH_NAME));
+        assert!(suite.timings_json().contains("\"failed\":true"));
+    }
+}
+
+#[test]
+fn budget_exhaustion_degrades_a_row_instead_of_failing() {
+    use pta_benchsuite::benchmark;
+    let benches = vec![benchmark("hash").unwrap()];
+    let cfg = pta_core::AnalysisConfig {
+        max_steps: 10,
+        ..Default::default()
+    };
+    let suite = report::run_benchmarks_cfg(&benches, 1, cfg);
+    assert!(suite.failures().is_empty(), "{}", suite.render_failures());
+    let degraded = suite.degraded();
+    assert_eq!(degraded.len(), 1);
+    assert!(!degraded[0].fidelity.is_full());
+    assert!(!degraded[0].degradations.is_empty());
+    // The provenance reaches the rendered table and the JSON artifact.
+    assert!(suite
+        .table3()
+        .contains(&format!("[{}]", degraded[0].fidelity)));
+    assert!(suite
+        .timings_json()
+        .contains(&format!("\"fidelity\":\"{}\"", degraded[0].fidelity)));
 }
 
 #[test]

@@ -112,7 +112,7 @@ impl Parser {
                 let t = self.bump();
                 match t.kind {
                     TokenKind::Ident(s) => Ok((s, t.span)),
-                    _ => unreachable!(),
+                    _ => unreachable!("peek matched TokenKind::Ident"),
                 }
             }
             _ => Err(self.unexpected("an identifier")),

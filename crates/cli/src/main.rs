@@ -3,14 +3,18 @@
 //! ```text
 //! pta <file.c> [--simple] [--points-to] [--ig] [--call-graph]
 //!              [--aliases] [--replace] [--tables] [--warnings]
+//!              [--deadline MS] [--budget N]
 //! ```
 //!
 //! With no flags, prints a short summary. `--points-to` dumps the
-//! merged points-to set at every program point.
+//! merged points-to set at every program point. `--deadline` and
+//! `--budget` bound the analysis; when a bound trips, the run degrades
+//! to a cheaper engine and the summary reports the fidelity.
 
 use pta_apps::{alias_pairs_at, call_graph, null_derefs, replaceable_refs};
-use pta_core::stats;
+use pta_core::{stats, AnalysisConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Options {
     file: Option<String>,
@@ -24,6 +28,7 @@ struct Options {
     warnings: bool,
     dot: bool,
     null: bool,
+    config: AnalysisConfig,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -39,8 +44,10 @@ fn parse_args() -> Result<Options, String> {
         warnings: false,
         dot: false,
         null: false,
+        config: AnalysisConfig::default(),
     };
-    for a in std::env::args().skip(1) {
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
         match a.as_str() {
             "--simple" => o.simple = true,
             "--points-to" => o.points_to = true,
@@ -52,6 +59,17 @@ fn parse_args() -> Result<Options, String> {
             "--warnings" => o.warnings = true,
             "--dot" => o.dot = true,
             "--null" => o.null = true,
+            "--deadline" => {
+                let ms: u64 = parse_value(&mut argv, "--deadline")?;
+                o.config.deadline = Some(Duration::from_millis(ms));
+            }
+            "--budget" => {
+                let n: u64 = parse_value(&mut argv, "--budget")?;
+                if n == 0 {
+                    return Err("--budget must be positive".to_owned());
+                }
+                o.config.max_steps = n;
+            }
             "--help" | "-h" => return Err(usage()),
             f if !f.starts_with('-') => {
                 if o.file.is_some() {
@@ -68,9 +86,19 @@ fn parse_args() -> Result<Options, String> {
     Ok(o)
 }
 
+fn parse_value<T: std::str::FromStr>(
+    argv: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    let raw = argv.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse()
+        .map_err(|_| format!("{flag}: invalid value `{raw}`"))
+}
+
 fn usage() -> String {
     "usage: pta <file.c> [--simple] [--points-to] [--ig] [--call-graph] \
-     [--aliases] [--replace] [--tables] [--warnings] [--dot] [--null]"
+     [--aliases] [--replace] [--tables] [--warnings] [--dot] [--null] \
+     [--deadline MS] [--budget N]"
         .to_owned()
 }
 
@@ -90,13 +118,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut pta = match pta_core::run_source(&source) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("pta: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let (mut pta, fidelity, degradations) =
+        match pta_core::run_source_resilient(&source, opts.config.clone()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("pta: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    for (rung, why) in &degradations {
+        eprintln!("pta: {rung} analysis exceeded its budget ({why}); falling back");
+    }
 
     if opts.simple {
         println!("== SIMPLE form ==");
@@ -204,14 +236,20 @@ fn main() -> ExitCode {
 
     // Default summary.
     let s = pta.result.ig.stats();
+    let fidelity_note = if fidelity.is_full() {
+        String::new()
+    } else {
+        format!(" [fidelity: {fidelity}]")
+    };
     println!(
-        "{}: {} functions, {} SIMPLE statements, {} invocation-graph nodes, {} points-to pairs at exit, {} warnings",
+        "{}: {} functions, {} SIMPLE statements, {} invocation-graph nodes, {} points-to pairs at exit, {} warnings{}",
         file,
         pta.ir.defined_functions().count(),
         pta.ir.total_basic_stmts(),
         s.nodes,
         pta.result.exit_set.len(),
-        pta.result.warnings.len()
+        pta.result.warnings.len(),
+        fidelity_note
     );
     ExitCode::SUCCESS
 }

@@ -1,7 +1,8 @@
 //! The analysis driver: configuration, results, and the top-level
 //! [`analyze`] entry point.
 
-use crate::invocation_graph::InvocationGraph;
+use crate::budget::{Budget, BudgetKind, Exhausted, TripPoint};
+use crate::invocation_graph::{IgNodeId, InvocationGraph};
 use crate::location::{LocId, LocationTable, Proj};
 use crate::lvalue::RefEnv;
 use crate::points_to_set::{Def, PtSet};
@@ -11,8 +12,13 @@ use pta_simple::{IrProgram, StmtId};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
-/// Tunable parameters of the analysis.
+/// Tunable parameters of the analysis, including its resource budgets.
+///
+/// Every budget exhaustion surfaces as a distinct [`AnalysisError`]
+/// variant; [`crate::resilient::analyze_resilient`] turns those errors
+/// into degraded-but-sound answers instead.
 #[derive(Debug, Clone)]
 pub struct AnalysisConfig {
     /// Maximum symbolic-name depth per invisible-variable chain (the
@@ -31,6 +37,20 @@ pub struct AnalysisConfig {
     /// paper's single `heap` location (extension; improves heap
     /// precision at the cost of more locations).
     pub heap_sites: bool,
+    /// Wall-clock deadline for one analysis run (`None` = unbounded).
+    /// Checked cooperatively every few statements and at every
+    /// fixed-point round, so a run ends within a small overshoot of
+    /// the deadline rather than exactly at it.
+    pub deadline: Option<Duration>,
+    /// Cardinality cap on any single flow fact (points-to set). Blowups
+    /// multiply pair counts long before they exhaust memory; this trips
+    /// them early with a precise location.
+    pub max_pt_pairs: usize,
+    /// Depth cap on the map process's pointer-chain traversal (how many
+    /// indirection levels of the caller's state are conveyed into a
+    /// callee). Distinct from `max_sym_depth`, which bounds the *names*
+    /// invented for invisible variables, not the traversal itself.
+    pub max_map_depth: u32,
 }
 
 impl Default for AnalysisConfig {
@@ -42,30 +62,115 @@ impl Default for AnalysisConfig {
             max_steps: 50_000_000,
             record_stats: true,
             heap_sites: false,
+            deadline: None,
+            max_pt_pairs: 4_000_000,
+            max_map_depth: 128,
         }
     }
 }
 
-/// Errors the analysis can report.
+/// Errors the analysis can report. The budget variants carry a
+/// [`TripPoint`] saying *where* the resource ran out.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AnalysisError {
     /// The program has no `main`.
     NoEntry,
-    /// The invocation graph exceeded its configured bound.
-    IgBudget(String),
+    /// The invocation graph exceeded its configured node bound.
+    IgBudget {
+        /// The configured cap.
+        limit: usize,
+        /// The invocation chain whose extension tripped the cap.
+        at: TripPoint,
+    },
     /// The statement budget was exceeded (non-termination guard).
-    StepBudget,
+    StepBudget {
+        /// The configured cap.
+        limit: u64,
+        /// Where processing stopped.
+        at: TripPoint,
+    },
+    /// The wall-clock deadline passed.
+    Deadline {
+        /// The configured deadline.
+        limit: Duration,
+        /// Where processing stopped.
+        at: TripPoint,
+    },
+    /// A single points-to set grew beyond the cardinality cap.
+    PtBudget {
+        /// The configured cap.
+        limit: usize,
+        /// The observed cardinality.
+        size: usize,
+        /// The statement whose flow fact blew up.
+        at: TripPoint,
+    },
+    /// The map process chased a pointer chain deeper than the cap.
+    MapDepthBudget {
+        /// The configured cap.
+        limit: u32,
+        /// The call being mapped.
+        at: TripPoint,
+    },
     /// A construct the analysis does not support.
     Unsupported(String),
+    /// An internal invariant failed (e.g. a panic caught by the
+    /// resilient driver). Always a bug, but reported as an error so a
+    /// suite run can continue past it.
+    Internal(String),
+}
+
+impl AnalysisError {
+    /// The budget that ran out, when this error is a budget exhaustion.
+    /// The degradation ladder treats exactly these (plus [`Internal`])
+    /// as recoverable by a cheaper analysis.
+    ///
+    /// [`Internal`]: AnalysisError::Internal
+    pub fn budget_kind(&self) -> Option<BudgetKind> {
+        match self {
+            AnalysisError::IgBudget { .. } => Some(BudgetKind::IgNodes),
+            AnalysisError::StepBudget { .. } => Some(BudgetKind::Steps),
+            AnalysisError::Deadline { .. } => Some(BudgetKind::Deadline),
+            AnalysisError::PtBudget { .. } => Some(BudgetKind::PtPairs),
+            AnalysisError::MapDepthBudget { .. } => Some(BudgetKind::MapDepth),
+            _ => None,
+        }
+    }
+
+    /// True if a cheaper analysis may still produce an answer (budget
+    /// exhaustions and caught internal failures).
+    pub fn is_recoverable(&self) -> bool {
+        self.budget_kind().is_some() || matches!(self, AnalysisError::Internal(_))
+    }
 }
 
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnalysisError::NoEntry => write!(f, "program has no `main` function"),
-            AnalysisError::IgBudget(m) => write!(f, "{m}"),
-            AnalysisError::StepBudget => write!(f, "analysis exceeded its statement budget"),
+            AnalysisError::IgBudget { limit, at } => write!(
+                f,
+                "invocation graph exceeded {limit} nodes {at}; raise AnalysisConfig::max_ig_nodes"
+            ),
+            AnalysisError::StepBudget { limit, at } => write!(
+                f,
+                "analysis exceeded its statement budget ({limit}) {at}; raise AnalysisConfig::max_steps"
+            ),
+            AnalysisError::Deadline { limit, at } => write!(
+                f,
+                "analysis exceeded its deadline ({} ms) {at}",
+                limit.as_millis()
+            ),
+            AnalysisError::PtBudget { limit, size, at } => write!(
+                f,
+                "a points-to set grew to {size} pairs (cap {limit}) {at}; raise AnalysisConfig::max_pt_pairs"
+            ),
+            AnalysisError::MapDepthBudget { limit, at } => write!(
+                f,
+                "map process exceeded its pointer-chain depth cap ({limit}) {at}; raise AnalysisConfig::max_map_depth"
+            ),
             AnalysisError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+            AnalysisError::Internal(m) => write!(f, "internal analysis failure: {m}"),
         }
     }
 }
@@ -118,8 +223,14 @@ pub fn analyze_with(
     config: AnalysisConfig,
 ) -> Result<AnalysisResult, AnalysisError> {
     let entry = ir.entry.ok_or(AnalysisError::NoEntry)?;
-    let ig =
-        InvocationGraph::build(ir, entry, config.max_ig_nodes).map_err(AnalysisError::IgBudget)?;
+    let budget = Budget::new(
+        config.max_steps,
+        config.deadline,
+        config.max_pt_pairs,
+        config.max_map_depth,
+    );
+    let ig = InvocationGraph::build(ir, entry, config.max_ig_nodes)
+        .map_err(|o| o.into_error(ir, None))?;
     let mut a = Analyzer {
         ir,
         config,
@@ -127,7 +238,7 @@ pub fn analyze_with(
         ig,
         per_stmt: BTreeMap::new(),
         warnings: Vec::new(),
-        steps: 0,
+        budget,
     };
     // Pre-intern the distinguished locations so their ids are stable.
     a.locs.null();
@@ -167,10 +278,36 @@ pub(crate) struct Analyzer<'p> {
     pub(crate) ig: InvocationGraph,
     pub(crate) per_stmt: BTreeMap<StmtId, PtSet>,
     pub(crate) warnings: Vec<String>,
-    pub(crate) steps: u64,
+    pub(crate) budget: Budget,
 }
 
 impl<'p> Analyzer<'p> {
+    /// Builds the trip context for a budget exhaustion: the current
+    /// function, the invocation-graph chain that reached it, and the
+    /// statement (when one is at hand).
+    pub(crate) fn trip(&self, node: IgNodeId, stmt: Option<StmtId>) -> TripPoint {
+        let function = self.ir.function(self.ig.node(node).func).name.clone();
+        TripPoint {
+            function,
+            ig_path: self.ig.path_to(self.ir, node),
+            stmt,
+        }
+    }
+
+    /// Converts a raw budget exhaustion into the matching error variant.
+    pub(crate) fn exhausted(
+        &self,
+        e: Exhausted,
+        node: IgNodeId,
+        stmt: Option<StmtId>,
+    ) -> AnalysisError {
+        let at = self.trip(node, stmt);
+        match e {
+            Exhausted::Steps(limit) => AnalysisError::StepBudget { limit, at },
+            Exhausted::Deadline(limit) => AnalysisError::Deadline { limit, at },
+            Exhausted::PtPairs { limit, size } => AnalysisError::PtBudget { limit, size, at },
+        }
+    }
     /// A reference-resolution environment for `func`.
     pub(crate) fn renv(&mut self, func: FuncId) -> RefEnv<'_> {
         RefEnv {

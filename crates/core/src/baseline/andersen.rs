@@ -46,6 +46,21 @@ impl AndersenResult {
 /// Returns [`AnalysisError::StepBudget`] if the fixed point does not
 /// settle within a generous bound.
 pub fn andersen(ir: &IrProgram) -> Result<AndersenResult, AnalysisError> {
+    andersen_budgeted(ir, None)
+}
+
+/// [`andersen`] with an optional wall-clock deadline, checked once per
+/// fixed-point round. Used by the degradation ladder so a fallback rung
+/// cannot itself hang.
+///
+/// # Errors
+///
+/// As [`andersen`], plus [`AnalysisError::Deadline`] on expiry.
+pub fn andersen_budgeted(
+    ir: &IrProgram,
+    deadline: Option<std::time::Duration>,
+) -> Result<AndersenResult, AnalysisError> {
+    let budget = crate::budget::Budget::new(u64::MAX, deadline, usize::MAX, u32::MAX);
     let mut locs = LocationTable::new();
     locs.null();
     locs.heap();
@@ -55,7 +70,17 @@ pub fn andersen(ir: &IrProgram) -> Result<AndersenResult, AnalysisError> {
     loop {
         rounds += 1;
         if rounds > 10_000 {
-            return Err(AnalysisError::StepBudget);
+            // Internal fixed-point guard, not a configured budget.
+            return Err(AnalysisError::StepBudget {
+                limit: 10_000,
+                at: crate::baseline::baseline_trip("andersen", ir, None),
+            });
+        }
+        if budget.check_deadline().is_err() {
+            return Err(AnalysisError::Deadline {
+                limit: deadline.unwrap_or_default(),
+                at: crate::baseline::baseline_trip("andersen", ir, None),
+            });
         }
         let before = solution.clone();
         for (fid, f) in ir.functions.iter().enumerate() {

@@ -6,6 +6,7 @@
 //! whose *address is taken*. Both blow up the graph (619 and 589 nodes
 //! vs 203 for livc in the paper).
 
+use crate::analysis::AnalysisError;
 use crate::invocation_graph::{IgKind, InvocationGraph};
 use pta_cfront::ast::FuncId;
 use pta_simple::{BasicStmt, CallTarget, CondExpr, IrProgram, Operand, Stmt};
@@ -128,18 +129,20 @@ fn visit_stmt_operands(s: &Stmt, f: &mut impl FnMut(&Operand)) {
 ///
 /// # Errors
 ///
-/// Returns an error string when the graph exceeds `max_nodes`.
+/// Returns [`AnalysisError::NoEntry`] for a `main`-less program and
+/// [`AnalysisError::IgBudget`] when the graph exceeds `max_nodes`.
 pub fn build_ig_with_strategy(
     ir: &IrProgram,
     strategy: CallGraphStrategy,
     max_nodes: usize,
-) -> Result<InvocationGraph, String> {
-    let entry = ir.entry.ok_or_else(|| "program has no `main`".to_owned())?;
+) -> Result<InvocationGraph, AnalysisError> {
+    let entry = ir.entry.ok_or(AnalysisError::NoEntry)?;
     let indirect_targets: Vec<FuncId> = match strategy {
         CallGraphStrategy::AllFunctions => ir.defined_functions().map(|(id, _)| id).collect(),
         CallGraphStrategy::AddressTaken => address_taken_functions(ir),
     };
-    let mut g = InvocationGraph::build(ir, entry, max_nodes)?;
+    let overflow = |o: crate::invocation_graph::IgOverflow| o.into_error(ir, None);
+    let mut g = InvocationGraph::build(ir, entry, max_nodes).map_err(overflow)?;
     // Expand indirect sites recursively until no node grows.
     let mut changed = true;
     while changed {
@@ -168,11 +171,13 @@ pub fn build_ig_with_strategy(
             for cs in indirect_sites {
                 for &callee in &indirect_targets {
                     let before = g.len();
-                    let child = g.ensure_child(ir, id, cs, callee, max_nodes)?;
+                    let child = g
+                        .ensure_child(ir, id, cs, callee, max_nodes)
+                        .map_err(overflow)?;
                     if g.len() != before {
                         changed = true;
                         if g.node(child).kind == IgKind::Ordinary {
-                            g.expand_direct(ir, child, max_nodes)?;
+                            g.expand_direct(ir, child, max_nodes).map_err(overflow)?;
                         }
                     }
                 }

@@ -11,6 +11,7 @@
 //! boundaries) predicts a visible precision gap on indirect references.
 
 use crate::analysis::AnalysisError;
+use crate::baseline::baseline_trip;
 use crate::location::{LocId, LocationTable};
 use crate::lvalue::RefEnv;
 use crate::points_to_set::{merge_flow, Def, Flow, PtSet};
@@ -40,6 +41,21 @@ pub struct InsensitiveResult {
 ///
 /// Returns [`AnalysisError::NoEntry`] when the program has no `main`.
 pub fn insensitive(ir: &IrProgram) -> Result<InsensitiveResult, AnalysisError> {
+    insensitive_budgeted(ir, None)
+}
+
+/// [`insensitive`] with an optional wall-clock deadline, checked once
+/// per function (re-)analysis. Used by the degradation ladder so a
+/// fallback rung cannot itself hang.
+///
+/// # Errors
+///
+/// As [`insensitive`], plus [`AnalysisError::Deadline`] on expiry.
+pub fn insensitive_budgeted(
+    ir: &IrProgram,
+    deadline: Option<std::time::Duration>,
+) -> Result<InsensitiveResult, AnalysisError> {
+    let budget = crate::budget::Budget::new(u64::MAX, deadline, usize::MAX, u32::MAX);
     let entry = ir.entry.ok_or(AnalysisError::NoEntry)?;
     let mut e = Engine {
         ir,
@@ -71,7 +87,17 @@ pub fn insensitive(ir: &IrProgram) -> Result<InsensitiveResult, AnalysisError> {
     while let Some(f) = work.pop_front() {
         guard += 1;
         if guard > 100_000 {
-            return Err(AnalysisError::StepBudget);
+            // Internal fixed-point guard, not a configured budget.
+            return Err(AnalysisError::StepBudget {
+                limit: 100_000,
+                at: baseline_trip("insensitive", ir, Some(f)),
+            });
+        }
+        if budget.check_deadline().is_err() {
+            return Err(AnalysisError::Deadline {
+                limit: deadline.unwrap_or_default(),
+                at: baseline_trip("insensitive", ir, Some(f)),
+            });
         }
         e.iterations += 1;
         let input = e.inputs.get(&f).cloned().unwrap_or_default();

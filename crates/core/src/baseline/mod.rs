@@ -18,7 +18,22 @@ pub mod callgraph;
 pub mod insensitive;
 pub mod steensgaard;
 
-pub use andersen::{andersen, AndersenResult};
+pub use andersen::{andersen, andersen_budgeted, AndersenResult};
 pub use callgraph::{address_taken_functions, build_ig_with_strategy, CallGraphStrategy};
-pub use insensitive::{insensitive, InsensitiveResult};
-pub use steensgaard::{steensgaard, SteensgaardResult};
+pub use insensitive::{insensitive, insensitive_budgeted, InsensitiveResult};
+pub use steensgaard::{steensgaard, steensgaard_budgeted, SteensgaardResult};
+
+use crate::budget::TripPoint;
+use pta_cfront::ast::FuncId;
+use pta_simple::IrProgram;
+
+/// Trip context for a budget that ran out inside a baseline analysis
+/// (baselines have no invocation graph, so the "path" names the
+/// baseline instead).
+pub(crate) fn baseline_trip(which: &str, ir: &IrProgram, func: Option<FuncId>) -> TripPoint {
+    TripPoint {
+        function: func.map_or_else(|| String::from("?"), |f| ir.function(f).name.clone()),
+        ig_path: format!("{which} baseline"),
+        stmt: None,
+    }
+}

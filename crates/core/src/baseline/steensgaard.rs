@@ -126,6 +126,25 @@ struct Engine<'p> {
 /// Currently infallible in practice; signature kept parallel to the
 /// other engines.
 pub fn steensgaard(ir: &IrProgram) -> Result<SteensgaardResult, AnalysisError> {
+    steensgaard_budgeted(ir, None)
+}
+
+/// [`steensgaard`] with an optional wall-clock deadline, checked once
+/// per function pass. The last rung of the degradation ladder still
+/// must not hang.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Deadline`] on expiry.
+pub fn steensgaard_budgeted(
+    ir: &IrProgram,
+    deadline: Option<std::time::Duration>,
+) -> Result<SteensgaardResult, AnalysisError> {
+    let budget = crate::budget::Budget::new(u64::MAX, deadline, usize::MAX, u32::MAX);
+    let expired = |f: FuncId| AnalysisError::Deadline {
+        limit: deadline.unwrap_or_default(),
+        at: crate::baseline::baseline_trip("steensgaard", ir, Some(f)),
+    };
     let mut e = Engine {
         ir,
         locs: LocationTable::new(),
@@ -138,6 +157,9 @@ pub fn steensgaard(ir: &IrProgram) -> Result<SteensgaardResult, AnalysisError> {
     for (fid, f) in ir.functions.iter().enumerate() {
         let func = FuncId(fid as u32);
         let Some(body) = &f.body else { continue };
+        if budget.check_deadline().is_err() {
+            return Err(expired(func));
+        }
         body.for_each_basic(&mut |b, _| e.stmt(func, b));
     }
     // Resolve indirect calls against the (now complete) unification and
@@ -146,6 +168,9 @@ pub fn steensgaard(ir: &IrProgram) -> Result<SteensgaardResult, AnalysisError> {
     for (fid, f) in ir.functions.iter().enumerate() {
         let func = FuncId(fid as u32);
         let Some(body) = &f.body else { continue };
+        if budget.check_deadline().is_err() {
+            return Err(expired(func));
+        }
         body.for_each_basic(&mut |b, _| {
             if let BasicStmt::Call {
                 lhs,

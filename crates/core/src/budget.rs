@@ -1,0 +1,240 @@
+//! Cooperative resource budgets for the analysis.
+//!
+//! The paper's algorithm is worst-case exponential (invocation-graph
+//! size) and the fixed-point loops can be very slow on adversarial
+//! inputs, so every production entry point runs under a [`Budget`]:
+//! a statement-count ceiling, an optional wall-clock deadline, a
+//! points-to-set cardinality cap, and a map-process depth cap. Budgets
+//! are checked cooperatively on the hot loops via the cheap
+//! [`Budget::step`] — the wall clock is only consulted every
+//! [`DEADLINE_STRIDE`] statements so the common path stays a counter
+//! increment and a mask test.
+//!
+//! Exhaustion is reported as a distinct [`AnalysisError`] variant
+//! carrying a [`TripPoint`]: the function being analysed, the
+//! invocation-graph path that reached it, and the statement id (when
+//! one is at hand). Callers that prefer degraded answers over errors
+//! use the [`crate::resilient`] ladder on top of these errors.
+
+use pta_simple::StmtId;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How often (in processed statements) the wall clock is consulted.
+/// A power of two so the check compiles to a mask test.
+pub const DEADLINE_STRIDE: u64 = 64;
+
+/// Where a budget tripped: enough context to point a user at the
+/// offending part of their program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TripPoint {
+    /// The function being analysed when the budget ran out.
+    pub function: String,
+    /// The invocation-graph path from `main` (e.g. `main > f > g`).
+    pub ig_path: String,
+    /// The statement being processed, if the trip happened at one.
+    pub stmt: Option<StmtId>,
+}
+
+impl TripPoint {
+    /// A trip point with no context (used where none is available).
+    pub fn unknown() -> Self {
+        TripPoint {
+            function: String::from("?"),
+            ig_path: String::new(),
+            stmt: None,
+        }
+    }
+}
+
+impl fmt::Display for TripPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in `{}`", self.function)?;
+        if !self.ig_path.is_empty() {
+            write!(f, " (via {})", self.ig_path)?;
+        }
+        if let Some(s) = self.stmt {
+            write!(f, " at {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Which resource ran out (used by the degradation ladder to decide
+/// whether an error is recoverable by a cheaper analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// Statement-count ceiling.
+    Steps,
+    /// Wall-clock deadline.
+    Deadline,
+    /// Invocation-graph node cap.
+    IgNodes,
+    /// Points-to-set cardinality cap.
+    PtPairs,
+    /// Map-process pointer-chain depth cap.
+    MapDepth,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BudgetKind::Steps => "statement budget",
+            BudgetKind::Deadline => "wall-clock deadline",
+            BudgetKind::IgNodes => "invocation-graph node budget",
+            BudgetKind::PtPairs => "points-to-set cardinality budget",
+            BudgetKind::MapDepth => "map-process depth budget",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Runtime budget state, threaded through the analyzer. Creation
+/// snapshots the clock, so a deadline bounds one analysis run (each
+/// rung of the degradation ladder gets a fresh one).
+#[derive(Debug, Clone)]
+pub struct Budget {
+    steps: u64,
+    max_steps: u64,
+    start: Instant,
+    deadline: Option<Duration>,
+    max_pt_pairs: usize,
+    max_map_depth: u32,
+}
+
+/// What [`Budget::step`] found; the caller attaches the trip point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exhausted {
+    /// Step ceiling crossed (carries the limit).
+    Steps(u64),
+    /// Deadline crossed (carries the limit).
+    Deadline(Duration),
+    /// Cardinality cap crossed (carries limit and observed size).
+    PtPairs { limit: usize, size: usize },
+}
+
+impl Budget {
+    /// A budget from the configured limits, starting the clock now.
+    pub fn new(
+        max_steps: u64,
+        deadline: Option<Duration>,
+        max_pt_pairs: usize,
+        max_map_depth: u32,
+    ) -> Self {
+        Budget {
+            steps: 0,
+            max_steps,
+            start: Instant::now(),
+            deadline,
+            max_pt_pairs,
+            max_map_depth,
+        }
+    }
+
+    /// An effectively unlimited budget (tests, internal helpers).
+    pub fn unlimited() -> Self {
+        Budget::new(u64::MAX, None, usize::MAX, u32::MAX)
+    }
+
+    /// Statements processed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Time elapsed since the budget was created.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The configured map-process depth cap.
+    pub fn max_map_depth(&self) -> u32 {
+        self.max_map_depth
+    }
+
+    /// Accounts for one processed statement and checks the step,
+    /// deadline, and cardinality budgets. `set_size` is the cardinality
+    /// of the flow fact at this statement (checked every step — it is
+    /// already O(1) to obtain).
+    #[inline]
+    pub fn step(&mut self, set_size: usize) -> Result<(), Exhausted> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(Exhausted::Steps(self.max_steps));
+        }
+        if set_size > self.max_pt_pairs {
+            return Err(Exhausted::PtPairs {
+                limit: self.max_pt_pairs,
+                size: set_size,
+            });
+        }
+        if self.steps % DEADLINE_STRIDE == 1 {
+            self.check_deadline()?;
+        }
+        Ok(())
+    }
+
+    /// Checks only the wall clock (for coarse loops that do substantial
+    /// work per iteration, e.g. fixed-point rounds).
+    #[inline]
+    pub fn check_deadline(&self) -> Result<(), Exhausted> {
+        if let Some(d) = self.deadline {
+            if self.start.elapsed() >= d {
+                return Err(Exhausted::Deadline(d));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_budget_trips_at_the_limit() {
+        let mut b = Budget::new(3, None, usize::MAX, 8);
+        assert!(b.step(0).is_ok());
+        assert!(b.step(0).is_ok());
+        assert!(b.step(0).is_ok());
+        assert_eq!(b.step(0), Err(Exhausted::Steps(3)));
+    }
+
+    #[test]
+    fn cardinality_budget_trips_on_large_sets() {
+        let mut b = Budget::new(u64::MAX, None, 10, 8);
+        assert!(b.step(10).is_ok());
+        assert_eq!(
+            b.step(11),
+            Err(Exhausted::PtPairs {
+                limit: 10,
+                size: 11
+            })
+        );
+    }
+
+    #[test]
+    fn zero_deadline_trips_on_first_step() {
+        let mut b = Budget::new(u64::MAX, Some(Duration::ZERO), usize::MAX, 8);
+        assert_eq!(b.step(0), Err(Exhausted::Deadline(Duration::ZERO)));
+    }
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let mut b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.step(1_000_000).is_ok());
+        }
+    }
+
+    #[test]
+    fn trip_point_renders_context() {
+        let t = TripPoint {
+            function: "f".into(),
+            ig_path: "main > f".into(),
+            stmt: Some(StmtId(7)),
+        };
+        let s = t.to_string();
+        assert!(s.contains("`f`") && s.contains("main > f"), "{s}");
+        assert!(TripPoint::unknown().to_string().contains('?'));
+    }
+}

@@ -58,15 +58,15 @@ impl<'p> Analyzer<'p> {
         let child = self
             .ig
             .ensure_child(ir, node, cs, callee, self.config.max_ig_nodes)
-            .map_err(AnalysisError::IgBudget)?;
+            .map_err(|o| o.into_error(ir, None))?;
         // A child discovered at an indirect call site needs its direct
         // call structure expanded so recursion is detected eagerly.
         if self.ig.node(child).kind == IgKind::Ordinary && self.ig.node(child).children.is_empty() {
             self.ig
                 .expand_direct(ir, child, self.config.max_ig_nodes)
-                .map_err(AnalysisError::IgBudget)?;
+                .map_err(|o| o.into_error(ir, None))?;
         }
-        let mapping = self.map_process(caller, callee, args, &input);
+        let mapping = self.map_process(caller, node, callee, args, &input)?;
         self.ig.node_mut(child).map_info = mapping.sym_reps.clone();
         let out = self.analyze_node(child, mapping.callee_input.clone())?;
         match out {
@@ -138,6 +138,11 @@ impl<'p> Analyzer<'p> {
             n.pending.clear();
         }
         loop {
+            // Fixed-point rounds can each be expensive; re-check the
+            // deadline between them even if few statements ran.
+            if let Err(e) = self.budget.check_deadline() {
+                return Err(self.exhausted(e, node, None));
+            }
             let cur = self
                 .ig
                 .node(node)

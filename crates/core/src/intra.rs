@@ -249,9 +249,8 @@ impl<'p> Analyzer<'p> {
         id: StmtId,
         input: PtSet,
     ) -> Result<FlowOut, AnalysisError> {
-        self.steps += 1;
-        if self.steps > self.config.max_steps {
-            return Err(AnalysisError::StepBudget);
+        if let Err(e) = self.budget.step(input.len()) {
+            return Err(self.exhausted(e, node, Some(id)));
         }
         self.record(id, &input);
         match b {

@@ -7,11 +7,38 @@
 //! structure) and extended incrementally at indirect call sites during
 //! points-to analysis (§5).
 
+use crate::analysis::AnalysisError;
+use crate::budget::TripPoint;
 use crate::location::LocId;
 use crate::points_to_set::{Flow, PtSet};
 use pta_cfront::ast::FuncId;
-use pta_simple::{BasicStmt, CallSiteId, CallTarget, IrProgram, Stmt};
+use pta_simple::{BasicStmt, CallSiteId, CallTarget, IrProgram, Stmt, StmtId};
 use std::collections::BTreeMap;
+
+/// The invocation graph hit its node cap while being extended. Carries
+/// the invocation chain that tripped it so the error can say *where*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IgOverflow {
+    /// The configured cap.
+    pub limit: usize,
+    /// Function names from `main` down to the call that did not fit.
+    pub chain: Vec<String>,
+}
+
+impl IgOverflow {
+    /// Converts into the analysis-level budget error.
+    pub fn into_error(self, _ir: &IrProgram, stmt: Option<StmtId>) -> AnalysisError {
+        let function = self.chain.last().cloned().unwrap_or_else(|| "?".into());
+        AnalysisError::IgBudget {
+            limit: self.limit,
+            at: TripPoint {
+                function,
+                ig_path: self.chain.join(" > "),
+                stmt,
+            },
+        }
+    }
+}
 
 /// Index of a node in the invocation graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -113,7 +140,7 @@ impl InvocationGraph {
     ///
     /// `max_nodes` bounds the construction (the graph is worst-case
     /// exponential in program size).
-    pub fn build(ir: &IrProgram, entry: FuncId, max_nodes: usize) -> Result<Self, String> {
+    pub fn build(ir: &IrProgram, entry: FuncId, max_nodes: usize) -> Result<Self, IgOverflow> {
         let mut g = InvocationGraph::empty();
         let root = g.push(IgNode::new(entry, None, IgKind::Ordinary));
         g.root = Some(root);
@@ -160,13 +187,27 @@ impl InvocationGraph {
             .map(|(i, n)| (IgNodeId(i as u32), n))
     }
 
+    /// Renders the invocation chain from the root down to `node` as
+    /// `main > f > g` (trip-point context for budget errors).
+    pub fn path_to(&self, ir: &IrProgram, node: IgNodeId) -> String {
+        let mut names = Vec::new();
+        let mut cur = Some(node);
+        while let Some(id) = cur {
+            let n = self.node(id);
+            names.push(ir.function(n.func).name.clone());
+            cur = n.parent;
+        }
+        names.reverse();
+        names.join(" > ")
+    }
+
     /// Expands all direct call sites reachable under `at` (recursively).
     pub fn expand_direct(
         &mut self,
         ir: &IrProgram,
         at: IgNodeId,
         max_nodes: usize,
-    ) -> Result<(), String> {
+    ) -> Result<(), IgOverflow> {
         let func = self.node(at).func;
         let Some(body) = ir.function(func).body.as_ref() else {
             return Ok(());
@@ -200,19 +241,26 @@ impl InvocationGraph {
     /// expanded over their own direct calls by the caller.
     pub fn ensure_child(
         &mut self,
-        _ir: &IrProgram,
+        ir: &IrProgram,
         parent: IgNodeId,
         cs: CallSiteId,
         callee: FuncId,
         max_nodes: usize,
-    ) -> Result<IgNodeId, String> {
+    ) -> Result<IgNodeId, IgOverflow> {
         if let Some(id) = self.node(parent).children.get(&(cs, callee)) {
             return Ok(*id);
         }
         if self.nodes.len() >= max_nodes {
-            return Err(format!(
-                "invocation graph exceeded {max_nodes} nodes; raise AnalysisConfig::max_ig_nodes"
-            ));
+            let mut chain: Vec<String> = self
+                .path_to(ir, parent)
+                .split(" > ")
+                .map(str::to_owned)
+                .collect();
+            chain.push(ir.function(callee).name.clone());
+            return Err(IgOverflow {
+                limit: max_nodes,
+                chain,
+            });
         }
         // Look for `callee` among the ancestors (including `parent`).
         let mut anc = Some(parent);
@@ -452,6 +500,23 @@ mod tests {
         .unwrap();
         let entry = ir.entry.unwrap();
         let err = InvocationGraph::build(&ir, entry, 4).unwrap_err();
-        assert!(err.contains("exceeded"));
+        assert_eq!(err.limit, 4);
+        assert_eq!(err.chain.first().map(String::as_str), Some("main"));
+        let msg = err.into_error(&ir, None).to_string();
+        assert!(msg.contains("exceeded") && msg.contains("main"), "{msg}");
+    }
+
+    #[test]
+    fn path_to_renders_the_chain() {
+        let (ir, g) = build(
+            "int f(void){ return 1; }
+             int g(void){ return f(); }
+             int main(void){ return g(); }",
+        );
+        let (leaf, _) = g
+            .iter()
+            .find(|(_, n)| ir.function(n.func).name == "f")
+            .expect("f has a node");
+        assert_eq!(g.path_to(&ir, leaf), "main > g > f");
     }
 }

@@ -33,11 +33,13 @@
 
 pub mod analysis;
 pub mod baseline;
+pub mod budget;
 pub mod dense;
 pub mod invocation_graph;
 pub mod location;
 pub mod lvalue;
 pub mod points_to_set;
+pub mod resilient;
 pub mod stats;
 
 mod interproc;
@@ -46,9 +48,11 @@ mod map_process;
 mod unmap;
 
 pub use analysis::{analyze, analyze_with, AnalysisConfig, AnalysisError, AnalysisResult};
+pub use budget::{Budget, BudgetKind, TripPoint};
 pub use invocation_graph::{IgKind, IgNode, IgNodeId, IgStats, InvocationGraph, MapInfo};
 pub use location::{LocBase, LocId, LocTable, LocationTable, Proj};
 pub use points_to_set::{Def, Flow, PtSet};
+pub use resilient::{analyze_resilient, Fidelity, ResilientOutcome};
 
 use pta_simple::{IrProgram, StmtId};
 use std::error::Error;
@@ -124,6 +128,36 @@ pub fn run_source_with(source: &str, config: AnalysisConfig) -> Result<Pta, PtaE
 pub fn run_ir(ir: IrProgram) -> Result<Pta, PtaError> {
     let result = analyze(&ir)?;
     Ok(Pta { ir, result })
+}
+
+/// What [`run_source_resilient`] returns: the analysed program, the
+/// ladder rung that produced the result, and the rungs that failed
+/// first (with the budget error that pushed past each one).
+pub type ResilientRun = (Pta, Fidelity, Vec<(Fidelity, AnalysisError)>);
+
+/// [`run_source_with`] through the degradation ladder: budget-exhausted
+/// runs fall back to cheaper analyses (see [`analyze_resilient`]), so
+/// the returned [`Pta`] carries a [`Fidelity`]-tagged result instead of
+/// a budget error.
+///
+/// # Errors
+///
+/// Returns a [`PtaError`] for front-end failures, non-recoverable
+/// analysis failures, or an exhausted ladder.
+pub fn run_source_resilient(
+    source: &str,
+    config: AnalysisConfig,
+) -> Result<ResilientRun, PtaError> {
+    let ir = pta_simple::compile(source)?;
+    let outcome = analyze_resilient(&ir, config)?;
+    Ok((
+        Pta {
+            ir,
+            result: outcome.result,
+        },
+        outcome.fidelity,
+        outcome.degradations,
+    ))
 }
 
 impl Pta {

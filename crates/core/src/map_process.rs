@@ -12,9 +12,9 @@
 //!   recorded as per-context map information on the invocation-graph
 //!   node.
 
-use crate::analysis::Analyzer;
+use crate::analysis::{AnalysisError, Analyzer};
 use crate::dense::{LocMap, LocSet};
-use crate::invocation_graph::MapInfo;
+use crate::invocation_graph::{IgNodeId, MapInfo};
 use crate::location::{LocBase, LocId, Proj};
 use crate::points_to_set::{Def, PtSet};
 use pta_cfront::ast::FuncId;
@@ -36,14 +36,22 @@ pub(crate) struct Mapping {
 
 impl<'p> Analyzer<'p> {
     /// Builds the callee input set, symbolic names, and map information
-    /// for one call.
+    /// for one call. `node` is the caller's invocation-graph node (trip
+    /// context for the depth budget).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::MapDepthBudget`] when the pointer-chain
+    /// traversal exceeds `AnalysisConfig::max_map_depth`, and
+    /// [`AnalysisError::Deadline`] when the wall clock runs out mid-map.
     pub(crate) fn map_process(
         &mut self,
         caller: FuncId,
+        node: IgNodeId,
         callee: FuncId,
         args: &[Operand],
         input: &PtSet,
-    ) -> Mapping {
+    ) -> Result<Mapping, AnalysisError> {
         let ir = self.ir;
         let mut st = MapState {
             sym_reps: MapInfo::new(),
@@ -82,7 +90,7 @@ impl<'p> Analyzer<'p> {
                 for (t, d) in definite_first(targets) {
                     let t2 = self.translate(callee, t, leaf, &mut st);
                     st.raw.push((leaf, t2, d));
-                    self.enqueue_content(t, t2, &mut st);
+                    self.enqueue_content(t, t2, 2, &mut st);
                 }
             }
         }
@@ -97,12 +105,12 @@ impl<'p> Analyzer<'p> {
         for gi in 0..ir.globals.len() {
             let g = self.locs.global(ir, pta_cfront::ast::GlobalId(gi as u32));
             for leaf in self.ptr_leaves(g) {
-                st.queue.push_back((leaf, leaf));
+                st.queue.push_back((leaf, leaf, 1));
             }
         }
         // --- the heap is visible everywhere ---------------------------
         let heap = self.locs.heap();
-        st.queue.push_back((heap, heap));
+        st.queue.push_back((heap, heap, 1));
         // (extension) allocation-site heap locations are visible too
         let sites: Vec<crate::location::LocId> = self
             .locs
@@ -110,11 +118,25 @@ impl<'p> Analyzer<'p> {
             .filter(|l| matches!(self.locs.get(*l).base, LocBase::HeapSite(_)))
             .collect();
         for site in sites {
-            st.queue.push_back((site, site));
+            st.queue.push_back((site, site, 1));
         }
 
         // --- propagate through all pointer levels ----------------------
-        while let Some((c_src, k_src)) = st.queue.pop_front() {
+        let max_depth = self.budget.max_map_depth();
+        let mut pops: u32 = 0;
+        while let Some((c_src, k_src, depth)) = st.queue.pop_front() {
+            if depth > max_depth {
+                return Err(AnalysisError::MapDepthBudget {
+                    limit: max_depth,
+                    at: self.map_trip(node, caller, callee),
+                });
+            }
+            pops += 1;
+            if pops.is_multiple_of(256) {
+                if let Err(e) = self.budget.check_deadline() {
+                    return Err(self.exhausted(e, node, None));
+                }
+            }
             if !st.visited.insert(c_src) {
                 continue;
             }
@@ -122,7 +144,7 @@ impl<'p> Analyzer<'p> {
             for (t, d) in definite_first(targets) {
                 let t2 = self.translate(callee, t, k_src, &mut st);
                 st.raw.push((k_src, t2, d));
-                self.enqueue_content(t, t2, &mut st);
+                self.enqueue_content(t, t2, depth + 1, &mut st);
             }
         }
 
@@ -140,10 +162,23 @@ impl<'p> Analyzer<'p> {
             };
             callee_input.insert_weak(s, t, d);
         }
-        Mapping {
+        Ok(Mapping {
             callee_input,
             sym_reps: st.sym_reps,
             mapped_sources: st.visited.iter().collect(),
+        })
+    }
+
+    /// Trip context for a budget that ran out while mapping a call.
+    fn map_trip(&self, node: IgNodeId, caller: FuncId, callee: FuncId) -> crate::budget::TripPoint {
+        crate::budget::TripPoint {
+            function: self.ir.function(caller).name.clone(),
+            ig_path: format!(
+                "{} > {}",
+                self.ig.path_to(self.ir, node),
+                self.ir.function(callee).name
+            ),
+            stmt: None,
         }
     }
 
@@ -259,8 +294,9 @@ impl<'p> Analyzer<'p> {
 
     /// Schedules the pointer content of caller location `t` (itself a
     /// mapped target) for mapping: each pointer leaf inside `t` pairs
-    /// with the corresponding leaf of its callee-side name.
-    fn enqueue_content(&mut self, t: LocId, t2: LocId, st: &mut MapState) {
+    /// with the corresponding leaf of its callee-side name. `depth` is
+    /// the indirection level the leaf sits at (budgeted).
+    fn enqueue_content(&mut self, t: LocId, t2: LocId, depth: u32, st: &mut MapState) {
         if st.visited.contains(t) {
             return;
         }
@@ -279,7 +315,7 @@ impl<'p> Analyzer<'p> {
                 }
             }
             if ok {
-                st.queue.push_back((leaf, k_leaf));
+                st.queue.push_back((leaf, k_leaf, depth));
             }
         }
     }
@@ -291,7 +327,8 @@ struct MapState {
     tr: LocMap,
     raw: Vec<(LocId, LocId, Def)>,
     visited: LocSet,
-    queue: VecDeque<(LocId, LocId)>,
+    /// `(caller loc, callee-side name, indirection depth)`.
+    queue: VecDeque<(LocId, LocId, u32)>,
 }
 
 fn definite_first(mut v: Vec<(LocId, Def)>) -> Vec<(LocId, Def)> {

@@ -234,7 +234,10 @@ fn ig_budget_error_is_reported() {
         ..Default::default()
     };
     let err = pta_core::analyze_with(&ir, cfg).unwrap_err();
-    assert!(matches!(err, pta_core::AnalysisError::IgBudget(_)));
+    assert!(matches!(
+        err,
+        pta_core::AnalysisError::IgBudget { limit: 5, .. }
+    ));
 }
 
 #[test]
@@ -246,7 +249,10 @@ fn step_budget_error_is_reported() {
         ..Default::default()
     };
     let err = pta_core::analyze_with(&ir, cfg).unwrap_err();
-    assert_eq!(err, pta_core::AnalysisError::StepBudget);
+    assert!(matches!(
+        err,
+        pta_core::AnalysisError::StepBudget { limit: 2, .. }
+    ));
 }
 
 #[test]

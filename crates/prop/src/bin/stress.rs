@@ -1,0 +1,74 @@
+//! Stress-harness driver: generates pathological programs and runs
+//! them through the resilient analysis under tight budgets, failing
+//! (exit 1) if any case panics or violates a robustness invariant.
+//!
+//! ```text
+//! stress [--cases N] [--seed S] [--deadline MS] [--steps N] [--json PATH]
+//! ```
+
+use pta_prop::stress::{run_stress, StressConfig};
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: stress [--cases N] [--seed S] [--deadline MS] [--steps N] [--json PATH]";
+
+fn main() -> ExitCode {
+    let mut cfg = StressConfig::default();
+    let mut json_path: Option<String> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |what: &str| {
+            argv.next()
+                .unwrap_or_else(|| die_usage(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--cases" => cfg.cases = parse(&value("--cases"), "--cases"),
+            "--seed" => cfg.seed = parse_seed(&value("--seed")),
+            "--deadline" => cfg.deadline_ms = parse(&value("--deadline"), "--deadline"),
+            "--steps" => cfg.tight_steps = parse(&value("--steps"), "--steps"),
+            "--json" => json_path = Some(value("--json")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => die_usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if cfg.cases == 0 {
+        die_usage("--cases must be positive");
+    }
+
+    let summary = run_stress(&cfg);
+    print!("{}", summary.render());
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, summary.to_json()) {
+            eprintln!("stress: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if summary.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die_usage(&format!("{flag}: invalid value `{s}`")))
+}
+
+fn parse_seed(s: &str) -> u64 {
+    let parsed = match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.unwrap_or_else(|_| die_usage(&format!("--seed: invalid value `{s}`")))
+}
+
+fn die_usage(msg: &str) -> ! {
+    eprintln!("stress: {msg}\n{USAGE}");
+    std::process::exit(2);
+}

@@ -17,6 +17,9 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
+pub mod cgen;
+pub mod stress;
+
 /// Default base seed; fixed so CI runs are reproducible.
 pub const DEFAULT_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 
@@ -141,9 +144,14 @@ pub fn replay(seed: u64, mut f: impl FnMut(&mut Rng)) {
     f(&mut g);
 }
 
-fn case_seed(base: u64, case: u32) -> u64 {
-    // One SplitMix64 step decorrelates consecutive case seeds.
-    Rng::new(base ^ ((case as u64) << 17 | 0x5DEE_CE66)).next_u64()
+/// The derived seed for `case` under `base` — the value a failing
+/// [`check`] prints, and what the stress harness records per case.
+pub fn case_seed(base: u64, case: u32) -> u64 {
+    // One SplitMix64 step decorrelates consecutive case seeds. The mix
+    // must be injective in `case`: an OR against a dense constant (as an
+    // earlier version used) absorbs the case bits and hands many cases
+    // the same seed.
+    Rng::new(base.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))).next_u64()
 }
 
 #[cfg(test)]
@@ -180,6 +188,17 @@ mod tests {
             assert!(!id.is_empty() && id.len() < 8);
             let first = id.as_bytes()[0];
             assert!(first == b'_' || first.is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn case_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for case in 0..4096 {
+            assert!(
+                seen.insert(case_seed(DEFAULT_SEED, case)),
+                "seed collision at case {case}"
+            );
         }
     }
 

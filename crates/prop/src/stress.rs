@@ -1,0 +1,333 @@
+//! The stress harness: feed generated pathological programs (see
+//! [`crate::cgen`]) through the resilient analysis pipeline under tight
+//! budgets, and check the three robustness invariants:
+//!
+//! 1. **termination** — every run finishes within its (generous outer)
+//!    deadline because the budgets trip cooperatively;
+//! 2. **no panics** — a panic anywhere in the pipeline is caught and
+//!    reported as a harness failure, never a crash;
+//! 3. **tagged fidelity** — whatever comes back is either a
+//!    full-precision result or one explicitly tagged with the fallback
+//!    rung that produced it.
+//!
+//! Everything is seeded, so any failing case prints the seed needed to
+//! replay it exactly.
+
+use crate::{case_seed, cgen, Rng};
+use pta_core::{AnalysisConfig, Fidelity};
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Knobs for a stress run.
+#[derive(Debug, Clone)]
+pub struct StressConfig {
+    /// Number of generated programs to run.
+    pub cases: u32,
+    /// Base seed; each case derives its own seed from it.
+    pub seed: u64,
+    /// Per-analysis deadline in milliseconds (each ladder rung gets a
+    /// fresh one).
+    pub deadline_ms: u64,
+    /// Step budget used for the tight-budget cases.
+    pub tight_steps: u64,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            cases: 64,
+            seed: crate::DEFAULT_SEED,
+            deadline_ms: 2_000,
+            // Low enough that the generated programs reliably trip it
+            // (the analyser counts coarse per-statement steps).
+            tight_steps: 25,
+        }
+    }
+}
+
+/// What happened to one generated program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// Analysis completed; `Fidelity::ContextSensitive` means no rung
+    /// was skipped, anything else is a tagged degradation.
+    Analysed(Fidelity),
+    /// The whole ladder tripped its budgets — acceptable (it
+    /// terminated, with provenance), but worth counting separately.
+    LadderExhausted(String),
+    /// Invariant violation: the pipeline panicked or returned a
+    /// non-recoverable error on a generated (valid) program.
+    Failed(String),
+}
+
+/// One case's record, sufficient to replay it.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// Case index within the run.
+    pub case: u32,
+    /// Seed that regenerates this exact program.
+    pub seed: u64,
+    /// Which generator family produced the program.
+    pub family: &'static str,
+    /// Whether the tight step budget was applied.
+    pub tight: bool,
+    /// The outcome.
+    pub outcome: CaseOutcome,
+    /// Wall-clock time for the case.
+    pub elapsed: Duration,
+}
+
+/// Aggregate results of a stress run.
+#[derive(Debug, Clone)]
+pub struct StressSummary {
+    /// Per-case records, in case order.
+    pub reports: Vec<CaseReport>,
+    /// Wall-clock time for the whole run.
+    pub wall: Duration,
+}
+
+impl StressSummary {
+    /// Count of full-precision completions.
+    pub fn full(&self) -> usize {
+        self.count(|o| matches!(o, CaseOutcome::Analysed(f) if f.is_full()))
+    }
+
+    /// Count of tagged degradations.
+    pub fn degraded(&self) -> usize {
+        self.count(|o| matches!(o, CaseOutcome::Analysed(f) if !f.is_full()))
+    }
+
+    /// Count of exhausted ladders (terminated, budget provenance, no
+    /// result).
+    pub fn exhausted(&self) -> usize {
+        self.count(|o| matches!(o, CaseOutcome::LadderExhausted(_)))
+    }
+
+    /// The invariant violations. A robust build has none.
+    pub fn failures(&self) -> Vec<&CaseReport> {
+        self.reports
+            .iter()
+            .filter(|r| matches!(r.outcome, CaseOutcome::Failed(_)))
+            .collect()
+    }
+
+    /// True when no case violated an invariant.
+    pub fn is_clean(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    fn count(&self, f: impl Fn(&CaseOutcome) -> bool) -> usize {
+        self.reports.iter().filter(|r| f(&r.outcome)).count()
+    }
+
+    /// Human-readable summary, one line per failure.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "stress: {} cases in {:?} — {} full, {} degraded, {} exhausted, {} FAILED",
+            self.reports.len(),
+            self.wall,
+            self.full(),
+            self.degraded(),
+            self.exhausted(),
+            self.failures().len(),
+        );
+        for r in self.failures() {
+            let CaseOutcome::Failed(msg) = &r.outcome else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "  case {} [{}{}] seed {:#x}: {msg}",
+                r.case,
+                r.family,
+                if r.tight { ", tight" } else { "" },
+                r.seed,
+            );
+        }
+        out
+    }
+
+    /// Machine-readable summary (JSON, no external deps).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"cases\":{},\"full\":{},\"degraded\":{},\"exhausted\":{},\"failed\":{},\"wall_ms\":{},\"results\":[",
+            self.reports.len(),
+            self.full(),
+            self.degraded(),
+            self.exhausted(),
+            self.failures().len(),
+            self.wall.as_millis(),
+        );
+        for (i, r) in self.reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (status, detail) = match &r.outcome {
+                CaseOutcome::Analysed(f) => ("analysed", f.tag().to_owned()),
+                CaseOutcome::LadderExhausted(m) => ("exhausted", m.clone()),
+                CaseOutcome::Failed(m) => ("failed", m.clone()),
+            };
+            let _ = write!(
+                out,
+                "{{\"case\":{},\"seed\":\"{:#x}\",\"family\":\"{}\",\"tight\":{},\"status\":\"{status}\",\"detail\":\"{}\",\"ms\":{}}}",
+                r.case,
+                r.seed,
+                r.family,
+                r.tight,
+                json_escape(&detail),
+                r.elapsed.as_millis(),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs one generated program under the given budgets and classifies
+/// the outcome. Panics anywhere in the pipeline become
+/// [`CaseOutcome::Failed`].
+pub fn run_case(source: &str, config: AnalysisConfig) -> CaseOutcome {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        pta_core::run_source_resilient(source, config)
+    }));
+    match caught {
+        Ok(Ok((_, fidelity, _))) => CaseOutcome::Analysed(fidelity),
+        Ok(Err(e)) => {
+            let msg = e.to_string();
+            if is_budget_error(&e) {
+                CaseOutcome::LadderExhausted(msg)
+            } else {
+                CaseOutcome::Failed(format!("non-recoverable error: {msg}"))
+            }
+        }
+        Err(p) => CaseOutcome::Failed(format!("panic: {}", panic_text(&*p))),
+    }
+}
+
+fn is_budget_error(e: &pta_core::PtaError) -> bool {
+    match e {
+        pta_core::PtaError::Analysis(a) => a.budget_kind().is_some(),
+        pta_core::PtaError::Frontend(_) => false,
+    }
+}
+
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string payload>")
+    }
+}
+
+/// Runs the full stress suite: `cases` generated programs cycling
+/// through the generator families, alternating generous and tight
+/// budgets so both the full analysis and the degradation ladder get
+/// exercised.
+pub fn run_stress(cfg: &StressConfig) -> StressSummary {
+    let start = Instant::now();
+    let mut reports = Vec::with_capacity(cfg.cases as usize);
+    for case in 0..cfg.cases {
+        let seed = case_seed(cfg.seed, case);
+        let mut g = Rng::new(seed);
+        let family = cgen::FAMILIES[case as usize % cgen::FAMILIES.len()];
+        let source = cgen::generate(family, &mut g);
+        // Every other case gets a tight step budget to force the
+        // ladder; the rest run with only the deadline as a backstop.
+        let tight = case % 2 == 1;
+        let config = AnalysisConfig {
+            deadline: Some(Duration::from_millis(cfg.deadline_ms)),
+            max_steps: if tight { cfg.tight_steps } else { u64::MAX },
+            ..AnalysisConfig::default()
+        };
+        let t0 = Instant::now();
+        let outcome = run_case(&source, config);
+        reports.push(CaseReport {
+            case,
+            seed,
+            family,
+            tight,
+            outcome,
+            elapsed: t0.elapsed(),
+        });
+    }
+    StressSummary {
+        reports,
+        wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stress_smoke_is_clean() {
+        let summary = run_stress(&StressConfig {
+            cases: 16,
+            ..StressConfig::default()
+        });
+        assert!(summary.is_clean(), "{}", summary.render());
+        assert_eq!(summary.reports.len(), 16);
+        // Both paths get exercised: some cases complete at full
+        // precision, and the alternating tight budget forces the
+        // degradation ladder at least once.
+        assert!(summary.full() > 0, "{}", summary.render());
+        assert!(summary.degraded() > 0, "{}", summary.render());
+    }
+
+    #[test]
+    fn tight_budget_forces_tagged_degradation() {
+        let source = cgen::wide_indirect(16);
+        let config = AnalysisConfig {
+            max_steps: 5,
+            ..AnalysisConfig::default()
+        };
+        match run_case(&source, config) {
+            CaseOutcome::Analysed(f) => assert!(!f.is_full(), "expected a degraded tag"),
+            other => panic!("expected a tagged analysis, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_and_render_shapes() {
+        let summary = run_stress(&StressConfig {
+            cases: 4,
+            ..StressConfig::default()
+        });
+        let json = summary.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cases\":4"));
+        assert!(json.contains("\"family\":\"deep-chain\""));
+        assert!(summary.render().contains("4 cases"));
+    }
+
+    #[test]
+    fn panicking_pipeline_is_reported_not_propagated() {
+        // An invalid program is a frontend error, not a panic; the
+        // harness classifies it as Failed without crashing.
+        let out = run_case("int main(void) {", AnalysisConfig::default());
+        assert!(matches!(out, CaseOutcome::Failed(_)), "{out:?}");
+    }
+}

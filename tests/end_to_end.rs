@@ -28,7 +28,8 @@ fn table5_heap_never_points_back_to_stack() {
 
 #[test]
 fn suite_summary_matches_paper_shape() {
-    let suite = report::run_suite().expect("suite analyses");
+    let suite = report::run_suite();
+    assert!(suite.is_clean(), "{}", suite.render_failures());
     let s = suite.summary();
     // Paper: overall average 1.13, per-program max 1.77. Our synthetic
     // suite is close to 1 for most programs; assert the same regime.
@@ -88,8 +89,10 @@ fn context_sensitivity_preserves_definiteness() {
 fn invocation_graphs_stay_moderate() {
     // §6: "our approach of explicitly following call-chains is
     // practical for real programs of moderate size".
-    let suite = report::run_suite().expect("suite analyses");
-    for (_, s) in &suite.rows {
+    let suite = report::run_suite();
+    assert!(suite.is_clean(), "{}", suite.render_failures());
+    for r in suite.analysed_rows() {
+        let s = &r.stats;
         assert!(
             s.t6.ig_nodes < 2_000,
             "{}: invocation graph exploded ({} nodes)",

@@ -1,0 +1,15 @@
+/* Checked-in stress case (from the pta-prop fnptr-knot generator):
+ * a ring of functions re-targeting one global function pointer and
+ * calling through it. Under a tight step budget the context-sensitive
+ * analysis must degrade to a tagged fallback, not hang or panic. */
+int n;
+void (*fp)(void);
+void k0(void) { if (n) { n = n - 1; fp(); } }
+void k1(void) { if (n) { n = n - 1; fp = k0; fp(); } }
+void k2(void) { if (n) { n = n - 1; fp = k1; fp(); } }
+void k3(void) { if (n) { n = n - 1; fp = k2; fp(); } }
+void k4(void) { if (n) { n = n - 1; fp = k3; fp(); } }
+void k5(void) { if (n) { n = n - 1; fp = k4; fp(); } }
+void k6(void) { if (n) { n = n - 1; fp = k5; fp(); } }
+void k7(void) { if (n) { n = n - 1; fp = k6; fp(); } }
+int main(void) { n = 16; fp = k7; fp(); return n; }

@@ -273,3 +273,61 @@ fn lexer_round_trips_integers() {
         }
     });
 }
+
+// ---------------------------------------------------------------------
+// Pipeline robustness: panics are bugs, errors are fine
+// ---------------------------------------------------------------------
+
+/// Runs the whole pipeline on `src` and asserts it returns (Ok or Err)
+/// rather than panicking. This is the executable form of the panic-site
+/// audit: every `unwrap`/`expect` left in `pta-cfront` and `pta-core`
+/// is an internal invariant, so no input may reach one.
+fn assert_no_panic(src: &str) {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = pta::core::run_source(src);
+    }));
+    assert!(caught.is_ok(), "pipeline panicked on input:\n{src}");
+}
+
+#[test]
+fn pipeline_never_panics_on_ascii_soup() {
+    check("no panic on soup", 256, |g| {
+        assert_no_panic(&g.ascii_soup(0..400));
+    });
+}
+
+#[test]
+fn pipeline_never_panics_on_keyword_soup() {
+    const WORDS: &[&str] = &[
+        "int", "void", "*", "&", "(", ")", "{", "}", ";", ",", "=", "if", "while", "return",
+        "struct", "x", "p", "main", "[", "]", "1", "malloc", ".", "->", "double", "for", "else",
+        "switch", "case", "break", "0",
+    ];
+    check("no panic on keyword soup", 256, |g| {
+        let n = g.usize(0..80);
+        let src: Vec<&str> = (0..n).map(|_| *g.pick(WORDS)).collect();
+        assert_no_panic(&src.join(" "));
+    });
+}
+
+#[test]
+fn pipeline_never_panics_on_mutated_valid_programs() {
+    check("no panic on mutations", 128, |g| {
+        let family = *g.pick(pta_prop::cgen::FAMILIES);
+        let mut bytes = pta_prop::cgen::generate(family, g).into_bytes();
+        for _ in 0..g.usize(1..8) {
+            if bytes.is_empty() {
+                break;
+            }
+            let i = g.usize(0..bytes.len());
+            match g.usize(0..3) {
+                0 => bytes[i] = b' ' + (g.next_u64() % 95) as u8,
+                1 => {
+                    bytes.remove(i);
+                }
+                _ => bytes.insert(i, b' ' + (g.next_u64() % 95) as u8),
+            }
+        }
+        assert_no_panic(&String::from_utf8_lossy(&bytes));
+    });
+}
