@@ -2,14 +2,16 @@
 //! paper. Usage:
 //!
 //! ```text
-//! report [SECTION] [--jobs N] [--timings] [--json PATH]
+//! report [SECTION] [--jobs N] [--timings] [--lint] [--json PATH]
 //!        [--deadline MS] [--budget N]
 //!
 //! SECTION: table2|table3|table4|table5|table6|livc|ablation|
 //!          heap-sites|summary|all        (default: all)
 //! --jobs N     worker threads (default: available parallelism; 1 = serial)
 //! --timings    append the per-benchmark timing table (suite sections only)
-//! --json PATH  write suite timings as JSON (the CI bench artifact)
+//! --lint       append the per-benchmark diagnostics table (pta-lint)
+//! --json PATH  write suite timings as JSON (the CI bench artifact);
+//!              entries embed per-benchmark diagnostic counts
 //! --deadline MS wall-clock budget per benchmark analysis, in
 //!              milliseconds; exhaustion degrades to cheaper analyses
 //!              (rows are tagged with their fidelity)
@@ -35,6 +37,7 @@ fn main() {
     let mut section: Option<String> = None;
     let mut jobs: Option<usize> = None;
     let mut timings = false;
+    let mut lint = false;
     let mut json: Option<String> = None;
     let mut config = AnalysisConfig::default();
     let mut args = std::env::args().skip(1);
@@ -51,6 +54,7 @@ fn main() {
                 }
             }
             "--timings" => timings = true,
+            "--lint" => lint = true,
             "--json" => match args.next() {
                 Some(p) => json = Some(p),
                 None => die_usage("--json expects a file path"),
@@ -105,6 +109,7 @@ fn main() {
         || want("table6")
         || want("summary")
         || timings
+        || lint
         || json.is_some();
     if suite_wanted {
         let suite = report::run_benchmarks_cfg(pta_benchsuite::SUITE, jobs, config.clone());
@@ -168,6 +173,12 @@ fn main() {
             println!(
                 "== Suite timings (wall clock; not part of the tables) ==\n{}",
                 suite.timings_table()
+            );
+        }
+        if lint {
+            println!(
+                "== Diagnostics per benchmark (pta-lint) ==\n{}",
+                suite.lint_table()
             );
         }
         if let Some(path) = &json {

@@ -40,6 +40,8 @@ pub struct AnalysedRow {
     pub fidelity: Fidelity,
     /// The ladder rungs that failed before `fidelity` succeeded.
     pub degradations: Vec<(Fidelity, AnalysisError)>,
+    /// Diagnostics the lint pass derived from the points-to facts.
+    pub lint: Vec<pta_lint::Diagnostic>,
 }
 
 /// How a suite row failed.
@@ -197,11 +199,18 @@ fn suite_job(b: Benchmark, config: AnalysisConfig) -> Result<AnalysedRow, PtaErr
         result: outcome.result,
     };
     let stats = stats::compute(b.name, b.source, &analysed.ir, &mut analysed.result);
+    let lint = pta_lint::lint_ir(
+        &analysed.ir,
+        &analysed.result,
+        outcome.fidelity,
+        &pta_lint::LintOptions::default(),
+    );
     Ok(AnalysedRow {
         analysed,
         stats,
         fidelity: outcome.fidelity,
         degradations: outcome.degradations,
+        lint,
     })
 }
 
@@ -476,7 +485,12 @@ impl SuiteReport {
             );
             match row {
                 SuiteRow::Analysed(r) => {
-                    let _ = write!(out, "\"fidelity\":\"{}\"}}", r.fidelity);
+                    let c = pta_lint::DiagnosticCounts::of(&r.lint);
+                    let _ = write!(
+                        out,
+                        "\"fidelity\":\"{}\",\"diagnostics\":{{\"errors\":{},\"warnings\":{}}}}}",
+                        r.fidelity, c.errors, c.warnings
+                    );
                 }
                 SuiteRow::Failed(e) => {
                     let _ = write!(
@@ -488,6 +502,52 @@ impl SuiteReport {
             }
         }
         out.push_str("]}\n");
+        out
+    }
+
+    /// Renders the per-benchmark diagnostics table (the `--lint`
+    /// section): error/warning counts plus a per-check breakdown.
+    /// Byte-identical for every job count, like the paper tables.
+    pub fn lint_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>6} {:>8}  checks",
+            "bench", "errors", "warnings"
+        );
+        for row in &self.rows {
+            let Some(r) = row.as_analysed() else {
+                failed_line(&mut out, row);
+                continue;
+            };
+            let c = pta_lint::DiagnosticCounts::of(&r.lint);
+            let mut by_check: Vec<(&str, usize)> = Vec::new();
+            for d in &r.lint {
+                match by_check.iter_mut().find(|(id, _)| *id == d.check_id) {
+                    Some((_, n)) => *n += 1,
+                    None => by_check.push((d.check_id, 1)),
+                }
+            }
+            by_check.sort();
+            let breakdown = if by_check.is_empty() {
+                "-".to_owned()
+            } else {
+                by_check
+                    .iter()
+                    .map(|(id, n)| format!("{id}:{n}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            let _ = writeln!(
+                out,
+                "{:<10} {:>6} {:>8}  {}{}",
+                r.analysed.bench.name,
+                c.errors,
+                c.warnings,
+                breakdown,
+                fidelity_marker(r)
+            );
+        }
         out
     }
 
@@ -739,6 +799,7 @@ pub fn ablation_one_jobs(b: Benchmark, jobs: usize) -> Result<AblationRow, PtaEr
         per_stmt: ins.per_stmt,
         exit_set: ins.exit_set,
         warnings: Vec::new(),
+        escapes: Vec::new(),
     };
     let ci = stats::table3(b.name, &ir, &mut ins_result).avg();
     let t3_ins = stats::table3(b.name, &ir, &mut ins_result);
@@ -759,6 +820,7 @@ pub fn ablation_one_jobs(b: Benchmark, jobs: usize) -> Result<AblationRow, PtaEr
             },
             exit_set: and.solution.clone(),
             warnings: Vec::new(),
+            escapes: Vec::new(),
         };
         stats::table3(b.name, &ir, &mut and_result).avg()
     };
@@ -785,6 +847,7 @@ pub fn ablation_one_jobs(b: Benchmark, jobs: usize) -> Result<AblationRow, PtaEr
             },
             exit_set: sol,
             warnings: Vec::new(),
+            escapes: Vec::new(),
         };
         stats::table3(b.name, &ir, &mut st_result).avg()
     };

@@ -4,12 +4,18 @@
 //! pta <file.c> [--simple] [--points-to] [--ig] [--call-graph]
 //!              [--aliases] [--replace] [--tables] [--warnings]
 //!              [--deadline MS] [--budget N]
+//! pta lint <file.c>... [--json] [--allow ID] [--deny ID] [--jobs N]
+//!              [--deadline MS] [--budget N]
 //! ```
 //!
 //! With no flags, prints a short summary. `--points-to` dumps the
 //! merged points-to set at every program point. `--deadline` and
 //! `--budget` bound the analysis; when a bound trips, the run degrades
 //! to a cheaper engine and the summary reports the fidelity.
+//!
+//! `pta lint` runs the diagnostics passes (see the `pta-lint` crate)
+//! and exits 0 when clean, 1 when any error-severity finding or file
+//! failure occurred, and 2 on usage errors.
 
 use pta_apps::{alias_pairs_at, call_graph, null_derefs, replaceable_refs};
 use pta_core::{stats, AnalysisConfig};
@@ -102,7 +108,123 @@ fn usage() -> String {
         .to_owned()
 }
 
+struct LintCliOptions {
+    files: Vec<String>,
+    json: bool,
+    jobs: usize,
+    lint: pta_lint::LintOptions,
+    config: AnalysisConfig,
+}
+
+fn lint_usage() -> String {
+    let checks: Vec<String> = pta_lint::all_checks()
+        .iter()
+        .map(|c| format!("  {:<15} {}", c.id(), c.description()))
+        .collect();
+    format!(
+        "usage: pta lint <file.c>... [--json] [--allow ID] [--deny ID] \
+         [--jobs N] [--deadline MS] [--budget N]\nchecks:\n{}",
+        checks.join("\n")
+    )
+}
+
+fn parse_lint_args(args: impl Iterator<Item = String>) -> Result<LintCliOptions, String> {
+    let mut o = LintCliOptions {
+        files: Vec::new(),
+        json: false,
+        jobs: 1,
+        lint: pta_lint::LintOptions::default(),
+        config: AnalysisConfig::default(),
+    };
+    let mut argv = args.peekable();
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--json" => o.json = true,
+            "--allow" => o.lint.allow.push(parse_value(&mut argv, "--allow")?),
+            "--deny" => o.lint.deny.push(parse_value(&mut argv, "--deny")?),
+            "--jobs" => {
+                o.jobs = parse_value(&mut argv, "--jobs")?;
+                if o.jobs == 0 {
+                    return Err("--jobs must be positive".to_owned());
+                }
+            }
+            "--deadline" => {
+                let ms: u64 = parse_value(&mut argv, "--deadline")?;
+                o.config.deadline = Some(Duration::from_millis(ms));
+            }
+            "--budget" => {
+                let n: u64 = parse_value(&mut argv, "--budget")?;
+                if n == 0 {
+                    return Err("--budget must be positive".to_owned());
+                }
+                o.config.max_steps = n;
+            }
+            "--help" | "-h" => return Err(lint_usage()),
+            f if !f.starts_with('-') => o.files.push(f.to_owned()),
+            other => return Err(format!("unknown flag `{other}`\n{}", lint_usage())),
+        }
+    }
+    if o.files.is_empty() {
+        return Err(lint_usage());
+    }
+    let unknown = o.lint.unknown_ids();
+    if !unknown.is_empty() {
+        return Err(format!(
+            "unknown check id{}: {}\n{}",
+            if unknown.len() == 1 { "" } else { "s" },
+            unknown.join(", "),
+            lint_usage()
+        ));
+    }
+    Ok(o)
+}
+
+fn run_lint(args: impl Iterator<Item = String>) -> ExitCode {
+    let opts = match parse_lint_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut inputs = Vec::new();
+    for path in &opts.files {
+        match std::fs::read_to_string(path) {
+            Ok(source) => inputs.push(pta_lint::FileInput {
+                path: path.clone(),
+                source,
+            }),
+            Err(e) => {
+                eprintln!("pta lint: cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let reports = pta_lint::lint_files(&inputs, &opts.config, &opts.lint, opts.jobs);
+    if opts.json {
+        print!("{}", pta_lint::render_json(&reports));
+    } else {
+        print!("{}", pta_lint::render_text(&reports));
+    }
+    let failed = reports.iter().any(|r| r.error.is_some());
+    let errors = reports
+        .iter()
+        .flat_map(|r| r.diagnostics.iter())
+        .any(|d| d.severity == pta_lint::Severity::Error);
+    if failed || errors {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
+    {
+        let mut argv = std::env::args().skip(1);
+        if argv.next().as_deref() == Some("lint") {
+            return run_lint(argv);
+        }
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {

@@ -8,7 +8,7 @@ use crate::lvalue::RefEnv;
 use crate::points_to_set::{Def, PtSet};
 use pta_cfront::ast::FuncId;
 use pta_cfront::types::Type;
-use pta_simple::{IrProgram, StmtId};
+use pta_simple::{CallSiteId, IrProgram, StmtId};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -177,6 +177,35 @@ impl fmt::Display for AnalysisError {
 
 impl Error for AnalysisError {}
 
+/// The boundary a callee-local address escaped through (see
+/// [`EscapeEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EscapeVia {
+    /// Via a caller-visible memory location during the unmap process.
+    Unmap,
+    /// Via the callee's return value.
+    Return,
+}
+
+/// A dangling-pointer event: during unmap, a caller-visible location
+/// (or the return value) was found pointing at a local of the returning
+/// callee. The engine drops the pair (the storage is dead); the event
+/// records what was dropped so clients can report the bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscapeEvent {
+    /// The function whose local escaped.
+    pub callee: FuncId,
+    /// The call site the escape was observed at.
+    pub call_site: CallSiteId,
+    /// The boundary the address crossed.
+    pub via: EscapeVia,
+    /// Name of the escaping callee-local location.
+    pub local: String,
+    /// Definiteness of the dropped pair: `D` means the dangling pointer
+    /// exists on every path through the call.
+    pub def: Def,
+}
+
 /// The output of the context-sensitive points-to analysis.
 #[derive(Debug)]
 pub struct AnalysisResult {
@@ -194,6 +223,9 @@ pub struct AnalysisResult {
     /// Non-fatal diagnostics (pointer arithmetic warnings, escaping
     /// locals, unmodelled externals, …).
     pub warnings: Vec<String>,
+    /// Structured dangling-pointer events observed during unmap (empty
+    /// for the fallback engines, which do not model scopes).
+    pub escapes: Vec<EscapeEvent>,
 }
 
 impl AnalysisResult {
@@ -238,6 +270,7 @@ pub fn analyze_with(
         ig,
         per_stmt: BTreeMap::new(),
         warnings: Vec::new(),
+        escapes: Vec::new(),
         budget,
     };
     // Pre-intern the distinguished locations so their ids are stable.
@@ -266,6 +299,7 @@ pub fn analyze_with(
         per_stmt: a.per_stmt,
         exit_set,
         warnings: a.warnings,
+        escapes: a.escapes,
     })
 }
 
@@ -278,6 +312,7 @@ pub(crate) struct Analyzer<'p> {
     pub(crate) ig: InvocationGraph,
     pub(crate) per_stmt: BTreeMap<StmtId, PtSet>,
     pub(crate) warnings: Vec<String>,
+    pub(crate) escapes: Vec<EscapeEvent>,
     pub(crate) budget: Budget,
 }
 
@@ -321,6 +356,24 @@ impl<'p> Analyzer<'p> {
         if !self.warnings.contains(&msg) {
             self.warnings.push(msg);
         }
+    }
+
+    /// Records a dangling-pointer event (deduplicated; strengthened to
+    /// `D` if the same escape is later seen definitely).
+    pub(crate) fn escape(&mut self, ev: EscapeEvent) {
+        for e in &mut self.escapes {
+            if e.callee == ev.callee
+                && e.call_site == ev.call_site
+                && e.via == ev.via
+                && e.local == ev.local
+            {
+                if ev.def == Def::D {
+                    e.def = Def::D;
+                }
+                return;
+            }
+        }
+        self.escapes.push(ev);
     }
 
     /// Records the points-to set at a program point, merging across

@@ -73,6 +73,7 @@ impl<'p> Analyzer<'p> {
             None => Ok(None), // ⊥: pending recursive input, or the callee never returns
             Some(callee_out) => {
                 let mut caller_out = self.unmap_process(
+                    cs,
                     callee,
                     &input,
                     &callee_out,
@@ -82,6 +83,7 @@ impl<'p> Analyzer<'p> {
                 if let Some(lhs) = lhs {
                     caller_out = self.bind_return(
                         caller,
+                        cs,
                         callee,
                         lhs,
                         &callee_out,
@@ -184,9 +186,11 @@ impl<'p> Analyzer<'p> {
 
     /// Binds the callee's return value to the call's destination,
     /// field-by-field for struct returns.
+    #[allow(clippy::too_many_arguments)]
     fn bind_return(
         &mut self,
         caller: FuncId,
+        cs: CallSiteId,
         callee: FuncId,
         lhs: &VarRef,
         callee_out: &PtSet,
@@ -237,6 +241,14 @@ impl<'p> Analyzer<'p> {
                         "address of a local of `{}` escapes through its return value (dangling pointer dropped)",
                         self.ir.function(callee).name
                     ));
+                    let local = self.locs.name(t).to_owned();
+                    self.escape(crate::analysis::EscapeEvent {
+                        callee,
+                        call_site: cs,
+                        via: crate::analysis::EscapeVia::Return,
+                        local,
+                        def: d,
+                    });
                 }
                 let unique = tr.len() == 1;
                 for t2 in tr {

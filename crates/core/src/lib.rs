@@ -39,6 +39,7 @@ pub mod invocation_graph;
 pub mod location;
 pub mod lvalue;
 pub mod points_to_set;
+pub mod query;
 pub mod resilient;
 pub mod stats;
 
@@ -47,11 +48,14 @@ mod intra;
 mod map_process;
 mod unmap;
 
-pub use analysis::{analyze, analyze_with, AnalysisConfig, AnalysisError, AnalysisResult};
+pub use analysis::{
+    analyze, analyze_with, AnalysisConfig, AnalysisError, AnalysisResult, EscapeEvent, EscapeVia,
+};
 pub use budget::{Budget, BudgetKind, TripPoint};
 pub use invocation_graph::{IgKind, IgNode, IgNodeId, IgStats, InvocationGraph, MapInfo};
 pub use location::{LocBase, LocId, LocTable, LocationTable, Proj};
 pub use points_to_set::{Def, Flow, PtSet};
+pub use query::FactQuery;
 pub use resilient::{analyze_resilient, Fidelity, ResilientOutcome};
 
 use pta_simple::{IrProgram, StmtId};
@@ -279,6 +283,7 @@ fn render_basic(ir: &IrProgram, f: &pta_simple::IrFunction, b: &pta_simple::Basi
         vars: f.vars.clone(),
         body: Some(stmt),
         variadic: f.variadic,
+        span: f.span,
     };
     pta_simple::printer::print_function(ir, &tmp)
 }

@@ -163,6 +163,7 @@ fn run_insensitive(
         per_stmt: r.per_stmt,
         exit_set: r.exit_set,
         warnings: Vec::new(),
+        escapes: Vec::new(),
     })
 }
 
@@ -174,6 +175,7 @@ fn run_andersen(ir: &IrProgram, config: &AnalysisConfig) -> Result<AnalysisResul
         per_stmt: replicate(ir, &r.solution),
         exit_set: r.solution,
         warnings: Vec::new(),
+        escapes: Vec::new(),
     })
 }
 
@@ -189,6 +191,7 @@ fn run_steensgaard(
         per_stmt: replicate(ir, &sol),
         exit_set: sol,
         warnings: Vec::new(),
+        escapes: Vec::new(),
     })
 }
 

@@ -9,18 +9,20 @@
 //! the callee's facts; summaries and multi-representative invisibles
 //! are updated weakly.
 
-use crate::analysis::Analyzer;
+use crate::analysis::{Analyzer, EscapeEvent, EscapeVia};
 use crate::dense::LocMap;
 use crate::invocation_graph::MapInfo;
 use crate::location::{LocBase, LocId};
 use crate::points_to_set::{Def, PtSet};
 use pta_cfront::ast::FuncId;
+use pta_simple::CallSiteId;
 
 impl<'p> Analyzer<'p> {
     /// Translates `callee_out` back to the caller, starting from the
     /// caller's `input` at the call site.
     pub(crate) fn unmap_process(
         &mut self,
+        cs: CallSiteId,
         callee: FuncId,
         input: &PtSet,
         callee_out: &PtSet,
@@ -56,6 +58,14 @@ impl<'p> Analyzer<'p> {
                         "address of a local of `{}` escapes through its caller (dangling pointer dropped)",
                         self.ir.function(callee).name
                     ));
+                    let local = self.locs.name(t).to_owned();
+                    self.escape(EscapeEvent {
+                        callee,
+                        call_site: cs,
+                        via: EscapeVia::Unmap,
+                        local,
+                        def: d,
+                    });
                 }
                 continue;
             }

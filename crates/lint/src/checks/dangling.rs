@@ -1,0 +1,54 @@
+//! `dangling-stack`: the address of a callee local escaping the call.
+//!
+//! The unmap process (§4.1) drops points-to pairs whose target is a
+//! local of the returning callee — the storage is dead. The engine
+//! records each such drop as an [`pta_core::EscapeEvent`]; this check
+//! turns them into diagnostics at the responsible call site. A pair
+//! that was definite in the callee's output dangles on every path
+//! through the call: error. Fallback engines don't model scopes and
+//! record no events, so degraded runs report nothing here.
+
+use crate::{Check, Diagnostic, LintContext, Severity};
+use pta_core::{Def, EscapeVia};
+
+/// See the module docs.
+pub struct DanglingStack;
+
+impl Check for DanglingStack {
+    fn id(&self) -> &'static str {
+        "dangling-stack"
+    }
+
+    fn description(&self) -> &'static str {
+        "address of a stack local outliving its frame"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for ev in &cx.result.escapes {
+            let site = &cx.ir.call_sites[ev.call_site.0 as usize];
+            let caller = cx.ir.function(site.caller);
+            let callee = cx.ir.function(ev.callee);
+            let via = match ev.via {
+                EscapeVia::Unmap => "a location visible to the caller",
+                EscapeVia::Return => "its return value",
+            };
+            out.push(Diagnostic {
+                check_id: self.id(),
+                severity: if ev.def == Def::D {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                },
+                fidelity: cx.fidelity,
+                function: caller.name.clone(),
+                stmt: Some(site.stmt),
+                span: cx.query.span_of(site.stmt),
+                message: format!(
+                    "call to `{}` leaks the address of its local `{}` through {}; \
+                     the pointer dangles once `{}` returns",
+                    callee.name, ev.local, via, callee.name
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! The built-in checks and their registry.
+
+mod dangling;
+mod heap_escape;
+mod indirect_call;
+mod null_deref;
+mod unreachable;
+
+pub use dangling::DanglingStack;
+pub use heap_escape::HeapEscape;
+pub use indirect_call::IndirectCall;
+pub use null_deref::NullDeref;
+pub use unreachable::UnreachableFn;
+
+use crate::Check;
+
+/// The default registry, in reporting-stable order.
+pub fn all_checks() -> Vec<Box<dyn Check>> {
+    vec![
+        Box::new(NullDeref),
+        Box::new(DanglingStack),
+        Box::new(IndirectCall),
+        Box::new(UnreachableFn),
+        Box::new(HeapEscape),
+    ]
+}

@@ -1,0 +1,47 @@
+//! `unreachable-fn`: defined functions the program can never invoke.
+//!
+//! The invocation graph enumerates every function the analysis could
+//! reach from `main`, indirect calls included (Figure 5 grows the graph
+//! as function-pointer targets are discovered). The graph is a sound
+//! over-approximation, so a defined function absent from it is
+//! *definitely* never invoked. Fallback results have no invocation
+//! graph; [`pta_core::FactQuery::reachable_functions`] then widens to
+//! the direct call graph plus address-taken functions, and the
+//! fidelity cap turns the findings into warnings.
+
+use crate::{Check, Diagnostic, LintContext, Severity};
+
+/// See the module docs.
+pub struct UnreachableFn;
+
+impl Check for UnreachableFn {
+    fn id(&self) -> &'static str {
+        "unreachable-fn"
+    }
+
+    fn description(&self) -> &'static str {
+        "functions on no invocation path from the entry"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(entry) = cx.ir.entry else { return };
+        let reach = cx.query.reachable_functions();
+        for (fid, f) in cx.ir.defined_functions() {
+            if fid == entry || reach.contains(&fid) {
+                continue;
+            }
+            out.push(Diagnostic {
+                check_id: self.id(),
+                severity: Severity::Error,
+                fidelity: cx.fidelity,
+                function: f.name.clone(),
+                stmt: None,
+                span: f.span,
+                message: format!(
+                    "function `{}` is defined but on no invocation path from `main`",
+                    f.name
+                ),
+            });
+        }
+    }
+}

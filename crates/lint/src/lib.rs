@@ -1,0 +1,379 @@
+//! # pta-lint — pointer diagnostics on top of the points-to facts
+//!
+//! A client analysis (DESIGN.md §6): it runs *after* the points-to
+//! analysis and turns the computed facts into user-facing diagnostics,
+//! graded by the paper's definitely/possibly lattice — a *definite* bad
+//! fact is an error, a merely *possible* one is a warning.
+//!
+//! Five checks ship in the default registry ([`all_checks`]):
+//!
+//! | id              | reports                                           |
+//! |-----------------|---------------------------------------------------|
+//! | `null-deref`    | dereference of a NULL/uninitialized pointer        |
+//! | `dangling-stack`| address of a callee local escaping its lifetime    |
+//! | `indirect-call` | fn-pointer calls with no / mismatched targets      |
+//! | `unreachable-fn`| functions on no invocation-graph path from `main`  |
+//! | `heap-escape`   | heap reachable only from dead locals at scope exit |
+//!
+//! Diagnostics respect the degradation ladder: results produced by a
+//! fallback engine (anything but the full context-sensitive analysis)
+//! carry their [`Fidelity`] tag and are *capped at warning severity* —
+//! a degraded run has imprecise facts, so nothing it reports can be
+//! called definite. The cap is applied after `--deny` escalation, so it
+//! cannot be overridden.
+//!
+//! ```
+//! let run = pta_lint::lint_source(
+//!     "int main(void) { int *p; return *p; }",
+//!     pta_core::AnalysisConfig::default(),
+//!     &pta_lint::LintOptions::default(),
+//! )?;
+//! assert_eq!(run.diagnostics[0].check_id, "null-deref");
+//! assert_eq!(run.diagnostics[0].severity, pta_lint::Severity::Error);
+//! # Ok::<(), pta_core::PtaError>(())
+//! ```
+
+pub mod checks;
+pub mod render;
+pub mod runner;
+
+pub use checks::all_checks;
+pub use render::{render_json, render_text};
+pub use runner::{lint_files, FileInput, FileReport};
+
+use pta_cfront::span::Span;
+use pta_core::query::FactQuery;
+use pta_core::{AnalysisConfig, AnalysisResult, Fidelity, PtaError};
+use pta_simple::{IrProgram, StmtId};
+use std::fmt;
+
+/// How bad a finding is, following the D/P lattice: definite facts are
+/// errors, possible facts are warnings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The bad state is possible on some path (P).
+    Warning,
+    /// The bad state holds on every path (D).
+    Error,
+}
+
+impl Severity {
+    /// Machine-readable tag (used in JSON output).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One finding of one check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The reporting check (stable id, e.g. `null-deref`).
+    pub check_id: &'static str,
+    /// Error for definite findings, warning for possible ones. Always
+    /// [`Severity::Warning`] when `fidelity` is degraded.
+    pub severity: Severity,
+    /// The engine that produced the underlying facts.
+    pub fidelity: Fidelity,
+    /// The function the finding is in.
+    pub function: String,
+    /// The program point, when the finding is tied to a statement.
+    pub stmt: Option<StmtId>,
+    /// Source location (dummy for programs built without source).
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}[{}]: {}",
+            self.span, self.severity, self.check_id, self.message
+        )?;
+        if !self.fidelity.is_full() {
+            write!(f, " (degraded: {})", self.fidelity)?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything a [`Check`] may look at, read-only.
+pub struct LintContext<'a> {
+    /// The program in SIMPLE form.
+    pub ir: &'a IrProgram,
+    /// The analysis results.
+    pub result: &'a AnalysisResult,
+    /// Which engine produced `result`.
+    pub fidelity: Fidelity,
+    /// Read-only fact queries over `ir` + `result`.
+    pub query: FactQuery<'a>,
+}
+
+/// One diagnostics pass. Implementations must be deterministic: same
+/// program and facts, same findings in the same order.
+pub trait Check {
+    /// Stable kebab-case id (used by `--allow` / `--deny`).
+    fn id(&self) -> &'static str;
+    /// One-line description for `--help`-style listings.
+    fn description(&self) -> &'static str;
+    /// Appends this check's findings to `out`.
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// Which checks run and how findings are graded.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Check ids to skip entirely.
+    pub allow: Vec<String>,
+    /// Check ids whose findings escalate to errors (still capped at
+    /// warning on degraded runs).
+    pub deny: Vec<String>,
+}
+
+impl LintOptions {
+    fn allowed(&self, id: &str) -> bool {
+        self.allow.iter().any(|a| a == id)
+    }
+
+    fn denied(&self, id: &str) -> bool {
+        self.deny.iter().any(|d| d == id)
+    }
+
+    /// The ids that neither [`all_checks`] nor anything else knows —
+    /// catching typos in `--allow foo`.
+    pub fn unknown_ids(&self) -> Vec<String> {
+        let known: Vec<&str> = all_checks().iter().map(|c| c.id()).collect();
+        self.allow
+            .iter()
+            .chain(self.deny.iter())
+            .filter(|id| !known.contains(&id.as_str()))
+            .cloned()
+            .collect()
+    }
+}
+
+/// Error and warning counts of one diagnostics run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiagnosticCounts {
+    /// Number of error-severity findings.
+    pub errors: usize,
+    /// Number of warning-severity findings.
+    pub warnings: usize,
+}
+
+impl DiagnosticCounts {
+    /// Tallies a slice of diagnostics.
+    pub fn of(diags: &[Diagnostic]) -> Self {
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        DiagnosticCounts {
+            errors,
+            warnings: diags.len() - errors,
+        }
+    }
+
+    /// Total findings.
+    pub fn total(&self) -> usize {
+        self.errors + self.warnings
+    }
+}
+
+/// Runs the registered checks over one analysed program.
+///
+/// Findings are sorted by source position (then check id and message)
+/// and deduplicated. Grading order: the check's own D/P-derived
+/// severity, then `--deny` escalation, then — unconditionally last —
+/// the fidelity cap: a degraded run never yields an error.
+pub fn lint_ir(
+    ir: &IrProgram,
+    result: &AnalysisResult,
+    fidelity: Fidelity,
+    opts: &LintOptions,
+) -> Vec<Diagnostic> {
+    let cx = LintContext {
+        ir,
+        result,
+        fidelity,
+        query: FactQuery::new(ir, result),
+    };
+    let mut out = Vec::new();
+    for check in all_checks() {
+        if opts.allowed(check.id()) {
+            continue;
+        }
+        check.run(&cx, &mut out);
+    }
+    for d in &mut out {
+        if opts.denied(d.check_id) {
+            d.severity = Severity::Error;
+        }
+        if !fidelity.is_full() {
+            d.severity = Severity::Warning;
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.span.line, a.span.col, a.stmt, a.check_id, &a.message).cmp(&(
+            b.span.line,
+            b.span.col,
+            b.stmt,
+            b.check_id,
+            &b.message,
+        ))
+    });
+    out.dedup();
+    out
+}
+
+/// A linted compilation: the findings plus the fidelity of the facts
+/// they were derived from.
+#[derive(Debug)]
+pub struct LintRun {
+    /// The sorted findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Which engine produced the facts.
+    pub fidelity: Fidelity,
+}
+
+/// Compiles, analyses (through the degradation ladder), and lints one
+/// C source.
+///
+/// # Errors
+///
+/// Returns a [`PtaError`] for front-end failures or an exhausted
+/// ladder; analysis budget errors degrade instead of failing.
+pub fn lint_source(
+    source: &str,
+    config: AnalysisConfig,
+    opts: &LintOptions,
+) -> Result<LintRun, PtaError> {
+    let (pta, fidelity, _) = pta_core::run_source_resilient(source, config)?;
+    let diagnostics = lint_ir(&pta.ir, &pta.result, fidelity, opts);
+    Ok(LintRun {
+        diagnostics,
+        fidelity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        lint_source(src, AnalysisConfig::default(), &LintOptions::default())
+            .expect("lints")
+            .diagnostics
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let d = lint(
+            "int x;
+             int main(void) { int *p; p = &x; *p = 1; return *p; }",
+        );
+        assert!(d.is_empty(), "unexpected: {d:?}");
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_kebab() {
+        let mut ids: Vec<&str> = all_checks().iter().map(|c| c.id()).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        assert!(ids
+            .iter()
+            .all(|id| id.chars().all(|c| c.is_ascii_lowercase() || c == '-')));
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn allow_drops_a_check() {
+        let src = "int main(void) { int *p; return *p; }";
+        let opts = LintOptions {
+            allow: vec!["null-deref".into()],
+            ..Default::default()
+        };
+        let run = lint_source(src, AnalysisConfig::default(), &opts).expect("lints");
+        assert!(run.diagnostics.iter().all(|d| d.check_id != "null-deref"));
+    }
+
+    #[test]
+    fn deny_escalates_on_full_fidelity_runs() {
+        // A *possible* null deref: warning by default, error under deny.
+        let src = "int x;
+                   int c;
+                   int main(void) { int *p; if (c) { p = &x; } return *p; }";
+        let base = lint(src);
+        let warn = base
+            .iter()
+            .find(|d| d.check_id == "null-deref")
+            .expect("possible null deref found");
+        assert_eq!(warn.severity, Severity::Warning);
+        let opts = LintOptions {
+            deny: vec!["null-deref".into()],
+            ..Default::default()
+        };
+        let run = lint_source(src, AnalysisConfig::default(), &opts).expect("lints");
+        let esc = run
+            .diagnostics
+            .iter()
+            .find(|d| d.check_id == "null-deref")
+            .expect("still found");
+        assert_eq!(esc.severity, Severity::Error);
+    }
+
+    #[test]
+    fn degraded_runs_never_emit_errors_even_under_deny() {
+        // A call so the step budget actually trips, plus an
+        // uninitialized deref that is a definite error at full fidelity.
+        let src = "int x;
+                   void set(int **p, int *v) { *p = v; }
+                   int main(void) { int *q; int *r; set(&q, &x); return *r; }";
+        // Starve the full analysis so the ladder degrades.
+        let config = AnalysisConfig {
+            max_steps: 1,
+            ..Default::default()
+        };
+        let opts = LintOptions {
+            deny: vec![
+                "null-deref".into(),
+                "dangling-stack".into(),
+                "indirect-call".into(),
+                "unreachable-fn".into(),
+                "heap-escape".into(),
+            ],
+            ..Default::default()
+        };
+        let run = lint_source(src, config, &opts).expect("lints");
+        assert!(!run.fidelity.is_full(), "run degraded");
+        assert!(
+            run.diagnostics
+                .iter()
+                .all(|d| d.severity == Severity::Warning),
+            "no error escapes a degraded run: {:?}",
+            run.diagnostics
+        );
+        assert!(run.diagnostics.iter().all(|d| !d.fidelity.is_full()));
+    }
+
+    #[test]
+    fn unknown_ids_are_reported() {
+        let opts = LintOptions {
+            allow: vec!["null-deref".into(), "no-such-check".into()],
+            deny: vec!["also-bogus".into()],
+        };
+        assert_eq!(opts.unknown_ids(), vec!["no-such-check", "also-bogus"]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Text and JSON rendering of diagnostics.
+//!
+//! JSON is hand-rolled (the build environment is offline, so no serde);
+//! the shape matches the benchmark suite's reports: stable key order,
+//! one object per diagnostic.
+
+use crate::runner::FileReport;
+use crate::{Diagnostic, DiagnosticCounts};
+use std::fmt::Write as _;
+
+/// Renders file reports the way compilers do:
+/// `path:line:col: severity[check-id]: message`, with a trailing
+/// per-severity summary line.
+pub fn render_text(reports: &[FileReport]) -> String {
+    let mut out = String::new();
+    let mut counts = DiagnosticCounts::default();
+    for r in reports {
+        if let Some(err) = &r.error {
+            let _ = writeln!(out, "{}: failed: {}", r.path, err);
+            continue;
+        }
+        for d in &r.diagnostics {
+            let _ = writeln!(out, "{}:{}", r.path, d);
+        }
+        let c = DiagnosticCounts::of(&r.diagnostics);
+        counts.errors += c.errors;
+        counts.warnings += c.warnings;
+    }
+    let _ = writeln!(
+        out,
+        "{} error{}, {} warning{}",
+        counts.errors,
+        if counts.errors == 1 { "" } else { "s" },
+        counts.warnings,
+        if counts.warnings == 1 { "" } else { "s" },
+    );
+    out
+}
+
+/// Renders file reports as one JSON document.
+pub fn render_json(reports: &[FileReport]) -> String {
+    let mut out = String::from("{\n  \"files\": [\n");
+    let mut counts = DiagnosticCounts::default();
+    for (i, r) in reports.iter().enumerate() {
+        let sep = if i + 1 == reports.len() { "" } else { "," };
+        out.push_str("    {\"path\": \"");
+        out.push_str(&json_escape(&r.path));
+        out.push('"');
+        if let Some(err) = &r.error {
+            let _ = write!(out, ", \"error\": \"{}\"", json_escape(err));
+            let _ = writeln!(out, "}}{sep}");
+            continue;
+        }
+        if let Some(fid) = r.fidelity {
+            let _ = write!(
+                out,
+                ", \"fidelity\": \"{}\", \"degraded\": {}",
+                fid.tag(),
+                !fid.is_full()
+            );
+        }
+        out.push_str(", \"diagnostics\": [");
+        for (j, d) in r.diagnostics.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&diagnostic_json(d));
+        }
+        let c = DiagnosticCounts::of(&r.diagnostics);
+        counts.errors += c.errors;
+        counts.warnings += c.warnings;
+        let _ = writeln!(out, "]}}{sep}");
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"errors\": {}, \"warnings\": {}\n}}\n",
+        counts.errors, counts.warnings
+    );
+    out
+}
+
+fn diagnostic_json(d: &Diagnostic) -> String {
+    format!(
+        "{{\"check\": \"{}\", \"severity\": \"{}\", \"fidelity\": \"{}\", \
+         \"function\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+        d.check_id,
+        d.severity.tag(),
+        d.fidelity.tag(),
+        json_escape(&d.function),
+        d.span.line,
+        d.span.col,
+        json_escape(&d.message),
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta_core::AnalysisConfig;
+
+    fn report(src: &str) -> FileReport {
+        crate::runner::lint_files(
+            &[crate::runner::FileInput {
+                path: "t.c".into(),
+                source: src.into(),
+            }],
+            &AnalysisConfig::default(),
+            &crate::LintOptions::default(),
+            1,
+        )
+        .remove(0)
+    }
+
+    #[test]
+    fn text_lists_path_line_and_summary() {
+        let r = report("int main(void) { int *p; return *p; }");
+        let txt = render_text(&[r]);
+        assert!(txt.contains("t.c:"), "{txt}");
+        assert!(txt.contains("error[null-deref]"), "{txt}");
+        assert!(txt.lines().last().unwrap().contains("error"), "{txt}");
+    }
+
+    #[test]
+    fn json_is_balanced_and_tagged() {
+        let r = report("int main(void) { int *p; return *p; }");
+        let js = render_json(&[r]);
+        assert_eq!(
+            js.matches('{').count(),
+            js.matches('}').count(),
+            "balanced braces: {js}"
+        );
+        assert!(js.contains("\"fidelity\": \"context-sensitive\""), "{js}");
+        assert!(js.contains("\"check\": \"null-deref\""), "{js}");
+    }
+
+    #[test]
+    fn frontend_failures_render_as_errors_not_panics() {
+        let r = report("int main( {");
+        assert!(r.error.is_some());
+        let txt = render_text(std::slice::from_ref(&r));
+        assert!(txt.contains("failed"), "{txt}");
+        let js = render_json(&[r]);
+        assert!(js.contains("\"error\""), "{js}");
+    }
+}

@@ -204,14 +204,36 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Runs one generated program under the given budgets and classifies
-/// the outcome. Panics anywhere in the pipeline become
-/// [`CaseOutcome::Failed`].
+/// the outcome. Panics anywhere in the pipeline — including the lint
+/// passes, which run on every successful analysis — become
+/// [`CaseOutcome::Failed`]. A degraded run that still emits an
+/// error-severity diagnostic violates the fidelity contract and is
+/// likewise a failure.
 pub fn run_case(source: &str, config: AnalysisConfig) -> CaseOutcome {
     let caught = catch_unwind(AssertUnwindSafe(|| {
-        pta_core::run_source_resilient(source, config)
+        let (pta, fidelity, degradations) = pta_core::run_source_resilient(source, config)?;
+        let diags = pta_lint::lint_ir(
+            &pta.ir,
+            &pta.result,
+            fidelity,
+            &pta_lint::LintOptions::default(),
+        );
+        Ok::<_, pta_core::PtaError>(((pta, fidelity, degradations), diags))
     }));
     match caught {
-        Ok(Ok((_, fidelity, _))) => CaseOutcome::Analysed(fidelity),
+        Ok(Ok(((_, fidelity, _), diags))) => {
+            if !fidelity.is_full()
+                && diags
+                    .iter()
+                    .any(|d| d.severity == pta_lint::Severity::Error)
+            {
+                return CaseOutcome::Failed(format!(
+                    "degraded run ({}) emitted an error-severity diagnostic",
+                    fidelity.tag()
+                ));
+            }
+            CaseOutcome::Analysed(fidelity)
+        }
         Ok(Err(e)) => {
             let msg = e.to_string();
             if is_budget_error(&e) {

@@ -1,0 +1,101 @@
+//! Property tests for the lint passes (`pta-lint`) over generated
+//! pathological programs:
+//!
+//! 1. linting terminates and never panics, whatever the generators
+//!    throw at it (the stress harness runs the full registry on every
+//!    successful analysis and treats a panic as a failure);
+//! 2. a degraded run never yields an error-severity diagnostic;
+//! 3. multi-file lint output is byte-identical for every worker count.
+
+use pta_core::AnalysisConfig;
+use pta_lint::{lint_files, render_json, render_text, FileInput, LintOptions, Severity};
+use pta_prop::stress::{run_stress, StressConfig};
+use pta_prop::{case_seed, cgen, Rng};
+use std::time::Duration;
+
+/// A deterministic corpus drawn from every generator family, sized to
+/// keep the test fast while still covering the interesting shapes.
+fn corpus(cases: u32) -> Vec<FileInput> {
+    (0..cases)
+        .map(|case| {
+            let seed = case_seed(pta_prop::DEFAULT_SEED, case);
+            let mut g = Rng::new(seed);
+            let family = cgen::FAMILIES[case as usize % cgen::FAMILIES.len()];
+            FileInput {
+                path: format!("<{family}-{case}>"),
+                source: cgen::generate(family, &mut g),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn lint_on_pathological_programs_terminates_without_panicking() {
+    // The stress harness lints every analysed case; any panic or
+    // fidelity-contract violation shows up as a failure report.
+    let summary = run_stress(&StressConfig {
+        cases: 24,
+        ..StressConfig::default()
+    });
+    assert!(summary.is_clean(), "{}", summary.render());
+    // The alternating tight budget guarantees the degraded path (and
+    // its severity cap) was actually exercised, not just the full one.
+    assert!(summary.degraded() > 0, "{}", summary.render());
+    assert!(summary.full() > 0, "{}", summary.render());
+}
+
+#[test]
+fn degraded_lint_runs_emit_no_error_severity() {
+    // Force the ladder on every file with a starvation budget and make
+    // the findings as loud as possible: even with every check denied,
+    // the fidelity cap must keep degraded findings at warning level.
+    let opts = LintOptions {
+        deny: pta_lint::all_checks()
+            .iter()
+            .map(|c| c.id().to_owned())
+            .collect(),
+        ..LintOptions::default()
+    };
+    let config = AnalysisConfig {
+        max_steps: 5,
+        deadline: Some(Duration::from_millis(2_000)),
+        ..AnalysisConfig::default()
+    };
+    let reports = lint_files(&corpus(12), &config, &opts, 4);
+    for r in &reports {
+        assert!(r.error.is_none(), "{}: {:?}", r.path, r.error);
+        let degraded = r.fidelity.is_some_and(|f| !f.is_full());
+        if degraded {
+            for d in &r.diagnostics {
+                assert!(
+                    d.severity != Severity::Error,
+                    "{}: degraded run emitted {d}",
+                    r.path
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lint_output_is_identical_for_every_worker_count() {
+    let inputs = corpus(16);
+    let opts = LintOptions::default();
+    let config = AnalysisConfig::default();
+    let baseline = lint_files(&inputs, &config, &opts, 1);
+    let base_text = render_text(&baseline);
+    let base_json = render_json(&baseline);
+    for jobs in 2..=8 {
+        let reports = lint_files(&inputs, &config, &opts, jobs);
+        assert_eq!(
+            base_text,
+            render_text(&reports),
+            "text diverged at --jobs {jobs}"
+        );
+        assert_eq!(
+            base_json,
+            render_json(&reports),
+            "json diverged at --jobs {jobs}"
+        );
+    }
+}

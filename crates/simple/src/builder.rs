@@ -238,6 +238,7 @@ impl FunctionBuilder {
             vars: self.vars,
             body: Some(Stmt::Seq(self.stmts)),
             variadic: false,
+            span: pta_cfront::span::Span::dummy(),
         });
         (self.program, id)
     }
@@ -252,6 +253,7 @@ impl FunctionBuilder {
             entry: Some(id),
             n_stmts: b.n_stmts,
             call_sites: b.call_sites,
+            spans: Vec::new(),
         }
     }
 }

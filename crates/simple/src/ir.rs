@@ -9,6 +9,7 @@
 //! cover every reference shape.
 
 use pta_cfront::ast::{BinaryOp, FuncId, GlobalId, UnaryOp};
+use pta_cfront::span::Span;
 use pta_cfront::types::{StructTable, Type};
 use std::fmt;
 
@@ -495,6 +496,8 @@ pub struct IrFunction {
     pub body: Option<Stmt>,
     /// True if variadic.
     pub variadic: bool,
+    /// Source location of the definition (dummy for built programs).
+    pub span: Span,
 }
 
 impl IrFunction {
@@ -540,6 +543,9 @@ pub struct IrProgram {
     pub n_stmts: u32,
     /// All call sites.
     pub call_sites: Vec<CallSiteInfo>,
+    /// Source span of each program point, indexed by [`StmtId`]. Empty
+    /// for programs assembled with the builder (spans are then dummy).
+    pub spans: Vec<Span>,
 }
 
 impl IrProgram {
@@ -560,6 +566,12 @@ impl IrProgram {
     /// Global lookup.
     pub fn global(&self, id: GlobalId) -> &IrGlobal {
         &self.globals[id.0 as usize]
+    }
+
+    /// The source span of a program point (dummy when the program was
+    /// built without source, e.g. via the builder).
+    pub fn span_of(&self, id: StmtId) -> Span {
+        self.spans.get(id.0 as usize).copied().unwrap_or_default()
     }
 
     /// Iterates over defined functions.

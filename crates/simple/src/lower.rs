@@ -45,6 +45,7 @@ pub fn lower(program: &ast::Program) -> Result<IrProgram, FrontendError> {
         entry: program.main(),
         n_stmts: 0,
         call_sites: Vec::new(),
+        spans: Vec::new(),
     };
 
     let mut next_stmt = 0u32;
@@ -75,6 +76,8 @@ pub fn lower(program: &ast::Program) -> Result<IrProgram, FrontendError> {
                     next_stmt: &mut next_stmt,
                     call_sites: &mut ir.call_sites,
                     n_params: f.params.len(),
+                    spans: &mut ir.spans,
+                    cur_span: f.span,
                 };
                 let mut out = Vec::new();
                 // Hoist global initializers into the entry function.
@@ -99,6 +102,7 @@ pub fn lower(program: &ast::Program) -> Result<IrProgram, FrontendError> {
             vars,
             body,
             variadic: f.variadic,
+            span: f.span,
         });
     }
     ir.n_stmts = next_stmt;
@@ -116,6 +120,8 @@ struct Lower<'a> {
     next_stmt: &'a mut u32,
     call_sites: &'a mut Vec<CallSiteInfo>,
     n_params: usize,
+    spans: &'a mut Vec<Span>,
+    cur_span: Span,
 }
 
 impl<'a> Lower<'a> {
@@ -126,6 +132,8 @@ impl<'a> Lower<'a> {
     fn fresh_id(&mut self) -> StmtId {
         let id = StmtId(*self.next_stmt);
         *self.next_stmt += 1;
+        debug_assert_eq!(self.spans.len(), id.0 as usize);
+        self.spans.push(self.cur_span);
         id
     }
 
@@ -182,6 +190,7 @@ impl<'a> Lower<'a> {
     // ----- statements ------------------------------------------------------
 
     fn stmt(&mut self, out: &mut Vec<Stmt>, s: &AStmt) -> Result<(), FrontendError> {
+        self.cur_span = s.span;
         match &s.kind {
             StmtKind::Expr(e) => self.expr_stmt(out, e),
             StmtKind::Decl(decls) => {
@@ -398,6 +407,7 @@ impl<'a> Lower<'a> {
         init: &Init,
         span: Span,
     ) -> Result<(), FrontendError> {
+        self.cur_span = span;
         match (init, ty) {
             (Init::Expr(e), _) => {
                 let lv = VarRef::Path(path);

@@ -10,6 +10,7 @@
 //! | [`simple`] | The SIMPLE IR and the simplifier |
 //! | [`core`] | The points-to analysis, invocation graphs, map/unmap, function pointers, baselines, statistics |
 //! | [`apps`] | Alias pairs, pointer replacement, read/write sets, call graphs |
+//! | [`lint`] | Client diagnostics built on the points-to facts (`pta lint`) |
 //! | [`benchsuite`] | The 17-program suite + `livc`, and Tables 2–6 reproduction |
 //!
 //! ## Quick start
@@ -33,6 +34,7 @@ pub use pta_apps as apps;
 pub use pta_benchsuite as benchsuite;
 pub use pta_cfront as cfront;
 pub use pta_core as core;
+pub use pta_lint as lint;
 pub use pta_simple as simple;
 
 pub use pta_core::{

@@ -1,0 +1,167 @@
+//! Golden tests for the `pta-lint` diagnostics over the checked-in
+//! corpus in `tests/programs/lint/`: one program per check category,
+//! one clean program the linter must stay silent on, and one program
+//! mixing several findings. Each `<name>.c` has a `<name>.expected`
+//! golden holding the exact rendered output.
+
+use pta::core::{AnalysisConfig, Fidelity};
+use pta::lint::{lint_files, render_json, render_text, FileInput, LintOptions, Severity};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/programs/lint")
+}
+
+/// The corpus as lint inputs, keyed by basename so goldens and output
+/// are independent of the checkout location. Sorted for determinism.
+fn corpus() -> Vec<FileInput> {
+    let mut inputs: Vec<FileInput> = std::fs::read_dir(corpus_dir())
+        .expect("corpus dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "c"))
+        .map(|p| FileInput {
+            path: p.file_name().unwrap().to_string_lossy().into_owned(),
+            source: std::fs::read_to_string(&p).expect("corpus file"),
+        })
+        .collect();
+    inputs.sort_by(|a, b| a.path.cmp(&b.path));
+    assert!(inputs.len() >= 10, "expected a ~10-program corpus");
+    inputs
+}
+
+#[test]
+fn every_program_matches_its_golden() {
+    for input in corpus() {
+        let golden_path = corpus_dir().join(input.path.replace(".c", ".expected"));
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", golden_path.display()));
+        let reports = lint_files(
+            std::slice::from_ref(&input),
+            &AnalysisConfig::default(),
+            &LintOptions::default(),
+            1,
+        );
+        let got = render_text(&reports);
+        assert_eq!(
+            got, golden,
+            "{}: diagnostics diverged from the golden",
+            input.path
+        );
+    }
+}
+
+#[test]
+fn no_orphan_goldens() {
+    // Every .expected belongs to a .c — a renamed program must take its
+    // golden along.
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir") {
+        let p = entry.expect("dir entry").path();
+        if p.extension().is_some_and(|e| e == "expected") {
+            let src = p.with_extension("c");
+            assert!(src.exists(), "golden without a program: {}", p.display());
+        }
+    }
+}
+
+#[test]
+fn corpus_covers_all_five_check_categories() {
+    let reports = lint_files(
+        &corpus(),
+        &AnalysisConfig::default(),
+        &LintOptions::default(),
+        1,
+    );
+    let mut seen: Vec<&str> = reports
+        .iter()
+        .flat_map(|r| r.diagnostics.iter().map(|d| d.check_id))
+        .collect();
+    seen.sort_unstable();
+    seen.dedup();
+    for id in [
+        "dangling-stack",
+        "heap-escape",
+        "indirect-call",
+        "null-deref",
+        "unreachable-fn",
+    ] {
+        assert!(seen.contains(&id), "corpus never triggers `{id}`: {seen:?}");
+    }
+}
+
+#[test]
+fn clean_program_yields_zero_diagnostics() {
+    let input = corpus()
+        .into_iter()
+        .find(|i| i.path == "clean.c")
+        .expect("clean.c in corpus");
+    let reports = lint_files(
+        &[input],
+        &AnalysisConfig::default(),
+        &LintOptions::default(),
+        1,
+    );
+    assert!(reports[0].error.is_none(), "{:?}", reports[0].error);
+    assert_eq!(
+        reports[0].fidelity,
+        Some(Fidelity::ContextSensitive),
+        "clean.c should analyse at full precision"
+    );
+    assert!(
+        reports[0].diagnostics.is_empty(),
+        "false positives on clean.c: {:?}",
+        reports[0].diagnostics
+    );
+}
+
+#[test]
+fn corpus_output_is_byte_identical_across_jobs() {
+    let inputs = corpus();
+    let config = AnalysisConfig::default();
+    let opts = LintOptions::default();
+    let baseline = lint_files(&inputs, &config, &opts, 1);
+    let base_text = render_text(&baseline);
+    let base_json = render_json(&baseline);
+    for jobs in 2..=8 {
+        let reports = lint_files(&inputs, &config, &opts, jobs);
+        assert_eq!(
+            base_text,
+            render_text(&reports),
+            "text diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            base_json,
+            render_json(&reports),
+            "json diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn degraded_corpus_runs_emit_only_possible_findings() {
+    // A starvation budget forces the degradation ladder on programs
+    // with calls; whatever the linter still reports must be capped at
+    // warning severity, golden content notwithstanding.
+    let config = AnalysisConfig {
+        max_steps: 1,
+        deadline: Some(Duration::from_secs(10)),
+        ..AnalysisConfig::default()
+    };
+    let reports = lint_files(&corpus(), &config, &LintOptions::default(), 2);
+    let mut saw_degraded = false;
+    for r in &reports {
+        assert!(r.error.is_none(), "{}: {:?}", r.path, r.error);
+        if r.fidelity.is_some_and(|f| !f.is_full()) {
+            saw_degraded = true;
+            for d in &r.diagnostics {
+                assert_ne!(
+                    d.severity,
+                    Severity::Error,
+                    "{}: degraded run leaked an error: {d}",
+                    r.path
+                );
+            }
+        }
+    }
+    assert!(saw_degraded, "the starvation budget never tripped");
+}

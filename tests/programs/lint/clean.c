@@ -1,0 +1,21 @@
+/* A well-behaved pointer program: every pointer is initialized before
+ * use, the function pointer has exactly one target with the right
+ * arity, every function is reachable, and nothing leaks. The linter
+ * must stay silent. */
+int x;
+
+int add_one(int v) {
+    return v + 1;
+}
+
+void set(int **p, int *v) {
+    *p = v;
+}
+
+int main(void) {
+    int *q;
+    int (*fp)(int);
+    set(&q, &x);
+    fp = add_one;
+    return fp(*q);
+}

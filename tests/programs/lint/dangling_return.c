@@ -1,0 +1,13 @@
+/* The callee returns the address of its own local: the classic
+ * dangling stack pointer. */
+int *f(void) {
+    int local;
+    local = 2;
+    return &local;
+}
+
+int main(void) {
+    int *p;
+    p = f();
+    return 0;
+}

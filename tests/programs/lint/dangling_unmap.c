@@ -1,0 +1,14 @@
+/* The callee publishes the address of its own local through a global;
+ * once `f` returns the pointer dangles. */
+int *g;
+
+void f(void) {
+    int local;
+    local = 1;
+    g = &local;
+}
+
+int main(void) {
+    f();
+    return 0;
+}

@@ -1,0 +1,8 @@
+/* The heap cell is reachable only from `p`, a local dying when `main`
+ * returns: a possible leak. */
+int main(void) {
+    int *p;
+    p = (int *) malloc(4);
+    *p = 1;
+    return 0;
+}

@@ -1,0 +1,12 @@
+/* The unprototyped function pointer definitely targets `add`, but the
+ * call passes one argument where `add` takes two: a definite arity
+ * mismatch. */
+int add(int a, int b) {
+    return a + b;
+}
+
+int main(void) {
+    int (*fp)();
+    fp = add;
+    return fp(1);
+}

@@ -1,0 +1,6 @@
+/* The function pointer is never given a target, so the indirect call
+ * has an empty (NULL-only) resolved target set. */
+int main(void) {
+    int (*fp)(void);
+    return fp();
+}

@@ -1,0 +1,34 @@
+/* Several findings in one translation unit: a possible NULL
+ * dereference, a possible arity mismatch behind a two-target function
+ * pointer, an unreachable function, and a heap-only-held-by-a-local
+ * leak. */
+int x;
+
+int one(int a) {
+    return a;
+}
+
+int two(int a, int b) {
+    return a + b;
+}
+
+int orphan(void) {
+    return 41;
+}
+
+int main(void) {
+    int *p;
+    int *h;
+    int (*fp)();
+    if (x) {
+        fp = one;
+    } else {
+        fp = two;
+    }
+    if (x) {
+        p = &x;
+    }
+    h = (int *) malloc(8);
+    *h = *p;
+    return fp(7);
+}

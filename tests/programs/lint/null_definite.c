@@ -1,0 +1,6 @@
+/* The dereferenced pointer is uninitialized (hence NULL in the
+ * paper's model) on every path: a definite error. */
+int main(void) {
+    int *p;
+    return *p;
+}

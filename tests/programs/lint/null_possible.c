@@ -1,0 +1,11 @@
+/* The pointer is assigned on only one branch, so NULL remains a
+ * possible target at the dereference: a warning, not an error. */
+int x;
+
+int main(void) {
+    int *p;
+    if (x) {
+        p = &x;
+    }
+    return *p;
+}

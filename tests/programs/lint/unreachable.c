@@ -1,0 +1,8 @@
+/* `helper` is defined but no invocation path from `main` reaches it. */
+int helper(int v) {
+    return v + 1;
+}
+
+int main(void) {
+    return 0;
+}
