@@ -2,16 +2,20 @@
 //! paper. Usage:
 //!
 //! ```text
-//! report [SECTION] [--jobs N] [--timings] [--lint] [--json PATH]
-//!        [--deadline MS] [--budget N]
+//! report [SECTION] [--jobs N] [--timings] [--lint] [--profile]
+//!        [--json PATH] [--deadline MS] [--budget N]
 //!
 //! SECTION: table2|table3|table4|table5|table6|livc|ablation|
 //!          heap-sites|summary|all        (default: all)
 //! --jobs N     worker threads (default: available parallelism; 1 = serial)
 //! --timings    append the per-benchmark timing table (suite sections only)
 //! --lint       append the per-benchmark diagnostics table (pta-lint)
+//! --profile    run with the trace-metrics layer attached and append
+//!              the per-benchmark self-profiling table (memo hit/miss,
+//!              invocation-graph activity, map volumes)
 //! --json PATH  write suite timings as JSON (the CI bench artifact);
-//!              entries embed per-benchmark diagnostic counts
+//!              entries embed per-benchmark diagnostic counts and the
+//!              deterministic trace-metrics counters
 //! --deadline MS wall-clock budget per benchmark analysis, in
 //!              milliseconds; exhaustion degrades to cheaper analyses
 //!              (rows are tagged with their fidelity)
@@ -38,6 +42,7 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut timings = false;
     let mut lint = false;
+    let mut profile = false;
     let mut json: Option<String> = None;
     let mut config = AnalysisConfig::default();
     let mut args = std::env::args().skip(1);
@@ -55,6 +60,7 @@ fn main() {
             }
             "--timings" => timings = true,
             "--lint" => lint = true,
+            "--profile" => profile = true,
             "--json" => match args.next() {
                 Some(p) => json = Some(p),
                 None => die_usage("--json expects a file path"),
@@ -110,9 +116,14 @@ fn main() {
         || want("summary")
         || timings
         || lint
+        || profile
         || json.is_some();
     if suite_wanted {
-        let suite = report::run_benchmarks_cfg(pta_benchsuite::SUITE, jobs, config.clone());
+        // Metrics ride along whenever the artifact or the profile table
+        // asks for them; plain table runs stay untraced.
+        let with_metrics = profile || json.is_some();
+        let suite =
+            report::run_benchmarks_opts(pta_benchsuite::SUITE, jobs, config.clone(), with_metrics);
         if want("table2") {
             println!(
                 "== Table 2: benchmark characteristics ==\n{}",
@@ -179,6 +190,12 @@ fn main() {
             println!(
                 "== Diagnostics per benchmark (pta-lint) ==\n{}",
                 suite.lint_table()
+            );
+        }
+        if profile {
+            println!(
+                "== Self-profiling metrics per benchmark (trace layer) ==\n{}",
+                suite.profile_table()
             );
         }
         if let Some(path) = &json {

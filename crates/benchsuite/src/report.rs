@@ -42,6 +42,10 @@ pub struct AnalysedRow {
     pub degradations: Vec<(Fidelity, AnalysisError)>,
     /// Diagnostics the lint pass derived from the points-to facts.
     pub lint: Vec<pta_lint::Diagnostic>,
+    /// Aggregated trace metrics, when the run was profiled (the
+    /// `--profile` flag or a `--json` artifact). `None` on the default
+    /// path so plain table runs pay no tracing cost.
+    pub metrics: Option<pta_core::TraceMetrics>,
 }
 
 /// How a suite row failed.
@@ -144,10 +148,26 @@ pub fn run_benchmarks_cfg(
     jobs: usize,
     config: AnalysisConfig,
 ) -> SuiteReport {
+    run_benchmarks_opts(benches, jobs, config, false)
+}
+
+/// [`run_benchmarks_cfg`] with opt-in profiling: with `profile` set,
+/// each benchmark's context-sensitive analysis runs with a
+/// [`pta_core::TraceMetrics`] sink attached and the aggregated counters
+/// land on [`AnalysedRow::metrics`] (rendered by
+/// [`SuiteReport::profile_table`] and embedded in
+/// [`SuiteReport::timings_json`]). The counter-valued metrics are
+/// deterministic for every job count.
+pub fn run_benchmarks_opts(
+    benches: &[Benchmark],
+    jobs: usize,
+    config: AnalysisConfig,
+    profile: bool,
+) -> SuiteReport {
     let start = Instant::now();
     let results = par_map(jobs, benches, |b| {
         let t0 = Instant::now();
-        let row = match catch_panic(|| suite_job(*b, config.clone())) {
+        let row = match catch_panic(|| suite_job(*b, config.clone(), profile)) {
             Ok(Ok(row)) => SuiteRow::Analysed(Box::new(row)),
             Ok(Err(e)) => {
                 let kind = match &e {
@@ -187,12 +207,16 @@ pub fn run_benchmarks_cfg(
 
 /// One benchmark's full job: compile, analyse through the degradation
 /// ladder, compute statistics.
-fn suite_job(b: Benchmark, config: AnalysisConfig) -> Result<AnalysedRow, PtaError> {
+fn suite_job(b: Benchmark, config: AnalysisConfig, profile: bool) -> Result<AnalysedRow, PtaError> {
     if b.name == PANIC_BENCH_NAME {
         panic!("deliberate suite-job panic (fault-isolation test hook)");
     }
     let ir = pta_simple::compile(b.source)?;
-    let outcome = pta_core::analyze_resilient(&ir, config)?;
+    let mut metrics = profile.then(pta_core::TraceMetrics::new);
+    let outcome = match &mut metrics {
+        Some(m) => pta_core::analyze_resilient_traced(&ir, config, m)?,
+        None => pta_core::analyze_resilient(&ir, config)?,
+    };
     let mut analysed = Analysed {
         bench: b,
         ir,
@@ -211,6 +235,7 @@ fn suite_job(b: Benchmark, config: AnalysisConfig) -> Result<AnalysedRow, PtaErr
         fidelity: outcome.fidelity,
         degradations: outcome.degradations,
         lint,
+        metrics,
     })
 }
 
@@ -488,9 +513,16 @@ impl SuiteReport {
                     let c = pta_lint::DiagnosticCounts::of(&r.lint);
                     let _ = write!(
                         out,
-                        "\"fidelity\":\"{}\",\"diagnostics\":{{\"errors\":{},\"warnings\":{}}}}}",
+                        "\"fidelity\":\"{}\",\"diagnostics\":{{\"errors\":{},\"warnings\":{}}}",
                         r.fidelity, c.errors, c.warnings
                     );
+                    // Deterministic counters only (TraceMetrics::to_json
+                    // excludes timing fields), so the artifact stays
+                    // byte-comparable across runs and job counts.
+                    if let Some(m) = &r.metrics {
+                        let _ = write!(out, ",\"metrics\":{}", m.to_json());
+                    }
+                    out.push('}');
                 }
                 SuiteRow::Failed(e) => {
                     let _ = write!(
@@ -546,6 +578,68 @@ impl SuiteReport {
                 c.warnings,
                 breakdown,
                 fidelity_marker(r)
+            );
+        }
+        out
+    }
+
+    /// Renders the self-profiling table (the `--profile` section):
+    /// per-benchmark counters from the trace-metrics layer — memo
+    /// hit/miss with hit rate, invocation-graph node counts (which
+    /// reconcile exactly with Table 6: both read the final graph), map
+    /// volumes, and the deepest map pointer chain. Counter-valued, so
+    /// byte-identical for every job count. Rows without metrics (the
+    /// run was not profiled, or the benchmark degraded off the
+    /// context-sensitive engine) render a `-` marker.
+    pub fn profile_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>9} {:>6} {:>8} {:>6} {:>7} {:>10} {:>6}",
+            "Benchmark",
+            "ig-nodes",
+            "memo-hit",
+            "miss",
+            "hit%",
+            "maps",
+            "invis",
+            "max-chain",
+            "steps"
+        );
+        for row in &self.rows {
+            let Some(r) = row.as_analysed() else {
+                failed_line(&mut out, row);
+                continue;
+            };
+            let Some(m) = r.metrics.as_ref().filter(|m| m.completed) else {
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>8} {:>9} {:>6} {:>8} {:>6} {:>7} {:>10} {:>6}{}",
+                    r.analysed.bench.name,
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    fidelity_marker(r)
+                );
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} {:>9} {:>6} {:>7.1}% {:>6} {:>7} {:>10} {:>6}",
+                r.analysed.bench.name,
+                m.ig_nodes,
+                m.memo_hits,
+                m.memo_misses,
+                m.hit_rate(),
+                m.maps,
+                m.invisibles,
+                m.max_chain_depth,
+                m.steps
             );
         }
         out

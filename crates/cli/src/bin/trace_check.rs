@@ -1,0 +1,162 @@
+//! `trace-check` — validates a JSONL trace stream against the event
+//! schema, and optionally checks that the schema reference
+//! (`docs/TRACING.md`) documents every event kind the engine can emit.
+//!
+//! ```text
+//! trace-check <trace.jsonl> [--docs docs/TRACING.md]
+//! trace-check --docs docs/TRACING.md        # docs coverage only
+//! ```
+//!
+//! Stream validation enforces, per line: a leading `"ev"` tag naming a
+//! known event kind, the common `ts_us` field, and every kind-specific
+//! field in the documented order (field order is part of the schema —
+//! consumers may scan rather than parse). Exits 0 when everything
+//! checks out, 1 on a validation failure, 2 on usage errors.
+
+use pta_core::EVENT_SPECS;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut stream: Option<String> = None;
+    let mut docs: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--docs" => match argv.next() {
+                Some(p) => docs = Some(p),
+                None => return usage("--docs needs a value"),
+            },
+            "--help" | "-h" => return usage(""),
+            f if !f.starts_with('-') => {
+                if stream.is_some() {
+                    return usage("only one stream file is supported");
+                }
+                stream = Some(f.to_owned());
+            }
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    if stream.is_none() && docs.is_none() {
+        return usage("nothing to check");
+    }
+
+    let mut failures = 0usize;
+    if let Some(path) = &stream {
+        match std::fs::read_to_string(path) {
+            Ok(text) => failures += check_stream(path, &text),
+            Err(e) => {
+                eprintln!("trace-check: cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(path) = &docs {
+        match std::fs::read_to_string(path) {
+            Ok(text) => failures += check_docs(path, &text),
+            Err(e) => {
+                eprintln!("trace-check: cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "trace-check: {failures} failure{}",
+            if failures == 1 { "" } else { "s" }
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("trace-check: ok");
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    if !msg.is_empty() {
+        eprintln!("trace-check: {msg}");
+    }
+    eprintln!("usage: trace-check [<trace.jsonl>] [--docs docs/TRACING.md]");
+    ExitCode::from(2)
+}
+
+/// Validates every line of a JSONL stream; returns the failure count.
+fn check_stream(path: &str, text: &str) -> usize {
+    let mut failures = 0;
+    let mut events = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        events += 1;
+        if let Err(msg) = check_line(line) {
+            eprintln!("trace-check: {path}:{}: {msg}", i + 1);
+            failures += 1;
+        }
+    }
+    if events == 0 {
+        eprintln!("trace-check: {path}: stream is empty");
+        failures += 1;
+    }
+    failures
+}
+
+fn check_line(line: &str) -> Result<(), String> {
+    let Some(rest) = line.strip_prefix("{\"ev\":\"") else {
+        return Err(format!("line does not start with an `ev` tag: {line}"));
+    };
+    if !line.ends_with('}') {
+        return Err(format!("line is not a closed JSON object: {line}"));
+    }
+    let Some(kind) = rest.split('"').next() else {
+        return Err(format!("unterminated `ev` tag: {line}"));
+    };
+    let Some(spec) = EVENT_SPECS.iter().find(|s| s.kind == kind) else {
+        return Err(format!("unknown event kind `{kind}`"));
+    };
+    // Common field, then the kind's fields — in schema order.
+    let mut pos = 0usize;
+    for field in std::iter::once(&"ts_us").chain(spec.fields) {
+        let needle = format!("\"{field}\":");
+        match line[pos..].find(&needle) {
+            Some(at) => pos += at + needle.len(),
+            None if line.find(&needle).is_some() => {
+                return Err(format!(
+                    "`{kind}`: field `{field}` out of schema order: {line}"
+                ));
+            }
+            None => {
+                return Err(format!("`{kind}`: missing field `{field}`: {line}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that the schema reference documents every event kind (a
+/// ``### `kind` `` heading) and mentions each of its fields; returns
+/// the failure count.
+fn check_docs(path: &str, text: &str) -> usize {
+    let mut failures = 0;
+    for spec in EVENT_SPECS {
+        let heading = format!("### `{}`", spec.kind);
+        let Some(start) = text.find(&heading) else {
+            eprintln!(
+                "trace-check: {path}: event kind `{}` has no `{heading}` section",
+                spec.kind
+            );
+            failures += 1;
+            continue;
+        };
+        let body = &text[start + heading.len()..];
+        let section = &body[..body.find("\n### ").unwrap_or(body.len())];
+        for field in spec.fields {
+            if !section.contains(&format!("`{field}`")) {
+                eprintln!(
+                    "trace-check: {path}: `{}` section does not document field `{field}`",
+                    spec.kind
+                );
+                failures += 1;
+            }
+        }
+    }
+    failures
+}

@@ -6,6 +6,8 @@
 //!              [--deadline MS] [--budget N]
 //! pta lint <file.c>... [--json] [--allow ID] [--deny ID] [--jobs N]
 //!              [--deadline MS] [--budget N]
+//! pta trace <file.c> [--trace-out PATH] [--chrome-out PATH]
+//!              [--metrics] [--scrub-timings] [--deadline MS] [--budget N]
 //! ```
 //!
 //! With no flags, prints a short summary. `--points-to` dumps the
@@ -15,7 +17,17 @@
 //!
 //! `pta lint` runs the diagnostics passes (see the `pta-lint` crate)
 //! and exits 0 when clean, 1 when any error-severity finding or file
-//! failure occurred, and 2 on usage errors.
+//! failure occurred, and 2 on usage errors. Note the fidelity cap: when
+//! a budget forces the analysis onto a degraded engine, that file's
+//! findings are capped at warning severity — even for checks escalated
+//! with `--deny` — so a degraded run never exits 1 via findings alone.
+//!
+//! `pta trace` runs the analysis with the observability layer attached
+//! (see `docs/TRACING.md`): the JSONL event stream goes to stdout or
+//! `--trace-out`, `--chrome-out` writes a Chrome `trace_events` file
+//! for `chrome://tracing`/Perfetto, `--metrics` prints the aggregated
+//! per-function profile, and `--scrub-timings` zeroes every timing
+//! field for byte-identical golden streams.
 
 use pta_apps::{alias_pairs_at, call_graph, null_derefs, replaceable_refs};
 use pta_core::{stats, AnalysisConfig};
@@ -123,7 +135,11 @@ fn lint_usage() -> String {
         .collect();
     format!(
         "usage: pta lint <file.c>... [--json] [--allow ID] [--deny ID] \
-         [--jobs N] [--deadline MS] [--budget N]\nchecks:\n{}",
+         [--jobs N] [--deadline MS] [--budget N]\nchecks:\n{}\n\
+         exit codes: 0 clean, 1 error-severity findings or file failures, \
+         2 usage errors.\nfidelity cap: findings from a budget-degraded \
+         analysis are capped at warning severity (overrides --deny), so \
+         they never cause exit 1 on their own.",
         checks.join("\n")
     )
 }
@@ -218,11 +234,146 @@ fn run_lint(args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+struct TraceCliOptions {
+    file: Option<String>,
+    trace_out: Option<String>,
+    chrome_out: Option<String>,
+    metrics: bool,
+    scrub: bool,
+    config: AnalysisConfig,
+}
+
+fn trace_usage() -> String {
+    "usage: pta trace <file.c> [--trace-out PATH] [--chrome-out PATH] \
+     [--metrics] [--scrub-timings] [--deadline MS] [--budget N]\n\
+     JSONL events go to stdout unless --trace-out is given; the schema \
+     is documented in docs/TRACING.md"
+        .to_owned()
+}
+
+fn parse_trace_args(args: impl Iterator<Item = String>) -> Result<TraceCliOptions, String> {
+    let mut o = TraceCliOptions {
+        file: None,
+        trace_out: None,
+        chrome_out: None,
+        metrics: false,
+        scrub: false,
+        config: AnalysisConfig::default(),
+    };
+    let mut argv = args.peekable();
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--trace-out" => o.trace_out = Some(parse_value(&mut argv, "--trace-out")?),
+            "--chrome-out" => o.chrome_out = Some(parse_value(&mut argv, "--chrome-out")?),
+            "--metrics" => o.metrics = true,
+            "--scrub-timings" => o.scrub = true,
+            "--deadline" => {
+                let ms: u64 = parse_value(&mut argv, "--deadline")?;
+                o.config.deadline = Some(Duration::from_millis(ms));
+            }
+            "--budget" => {
+                let n: u64 = parse_value(&mut argv, "--budget")?;
+                if n == 0 {
+                    return Err("--budget must be positive".to_owned());
+                }
+                o.config.max_steps = n;
+            }
+            "--help" | "-h" => return Err(trace_usage()),
+            f if !f.starts_with('-') => {
+                if o.file.is_some() {
+                    return Err("only one input file is supported".to_owned());
+                }
+                o.file = Some(f.to_owned());
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", trace_usage())),
+        }
+    }
+    if o.file.is_none() {
+        return Err(trace_usage());
+    }
+    Ok(o)
+}
+
+fn run_trace(args: impl Iterator<Item = String>) -> ExitCode {
+    let opts = match parse_trace_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let file = opts.file.as_deref().expect("checked in parse_trace_args");
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pta trace: cannot read `{file}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut jsonl = if opts.scrub {
+        pta_core::JsonlSink::scrubbed()
+    } else {
+        pta_core::JsonlSink::new()
+    };
+    let mut chrome = if opts.scrub {
+        pta_core::ChromeTraceSink::scrubbed()
+    } else {
+        pta_core::ChromeTraceSink::new()
+    };
+    let mut metrics = pta_core::TraceMetrics::new();
+    let want_chrome = opts.chrome_out.is_some();
+    let (pta, fidelity, degradations) = {
+        let mut tee = pta_core::TeeSink::new();
+        tee.push(&mut jsonl);
+        if want_chrome {
+            tee.push(&mut chrome);
+        }
+        tee.push(&mut metrics);
+        match pta_core::run_source_traced(&source, opts.config.clone(), &mut tee) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("pta trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    for (rung, why) in &degradations {
+        eprintln!("pta trace: {rung} analysis exceeded its budget ({why}); falling back");
+    }
+    match &opts.trace_out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, jsonl.as_str()) {
+                eprintln!("pta trace: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{}", jsonl.as_str()),
+    }
+    if let Some(path) = &opts.chrome_out {
+        if let Err(e) = std::fs::write(path, chrome.finish()) {
+            eprintln!("pta trace: cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if opts.metrics {
+        print!("{}", metrics.render_text());
+    }
+    eprintln!(
+        "pta trace: {file}: {} events, {} ig nodes, fidelity {}",
+        metrics.events,
+        pta.result.ig.stats().nodes,
+        fidelity
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     {
         let mut argv = std::env::args().skip(1);
-        if argv.next().as_deref() == Some("lint") {
-            return run_lint(argv);
+        match argv.next().as_deref() {
+            Some("lint") => return run_lint(argv),
+            Some("trace") => return run_trace(argv),
+            _ => {}
         }
     }
     let opts = match parse_args() {

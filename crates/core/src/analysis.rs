@@ -6,6 +6,7 @@ use crate::invocation_graph::{IgNodeId, InvocationGraph};
 use crate::location::{LocId, LocationTable, Proj};
 use crate::lvalue::RefEnv;
 use crate::points_to_set::{Def, PtSet};
+use crate::trace::{TraceEvent, TraceSink, Tracer};
 use pta_cfront::ast::FuncId;
 use pta_cfront::types::Type;
 use pta_simple::{CallSiteId, IrProgram, StmtId};
@@ -254,6 +255,31 @@ pub fn analyze_with(
     ir: &IrProgram,
     config: AnalysisConfig,
 ) -> Result<AnalysisResult, AnalysisError> {
+    analyze_impl(ir, config, None)
+}
+
+/// [`analyze_with`] with a [`TraceSink`] attached: the engine emits
+/// structured trace events at every invocation-graph transition, memo
+/// lookup, map/unmap, statement transfer, and budget heartbeat. See the
+/// [`crate::trace`] module and `docs/TRACING.md` for the schema.
+/// Analysis results are identical to the untraced run.
+///
+/// # Errors
+///
+/// See [`AnalysisError`].
+pub fn analyze_traced(
+    ir: &IrProgram,
+    config: AnalysisConfig,
+    sink: &mut dyn TraceSink,
+) -> Result<AnalysisResult, AnalysisError> {
+    analyze_impl(ir, config, Some(sink))
+}
+
+fn analyze_impl<'p>(
+    ir: &'p IrProgram,
+    config: AnalysisConfig,
+    sink: Option<&'p mut dyn TraceSink>,
+) -> Result<AnalysisResult, AnalysisError> {
     let entry = ir.entry.ok_or(AnalysisError::NoEntry)?;
     let budget = Budget::new(
         config.max_steps,
@@ -272,7 +298,12 @@ pub fn analyze_with(
         warnings: Vec::new(),
         escapes: Vec::new(),
         budget,
+        tracer: Tracer::new(sink),
     };
+    a.tracer.emit(|| TraceEvent::AnalysisStart {
+        functions: ir.defined_functions().count(),
+        stmts: ir.total_basic_stmts(),
+    });
     // Pre-intern the distinguished locations so their ids are stable.
     a.locs.null();
     a.locs.heap();
@@ -293,6 +324,18 @@ pub fn analyze_with(
     let root = a.ig.root();
     let out = a.analyze_node(root, init)?;
     let exit_set = out.unwrap_or_default();
+    if a.tracer.enabled() {
+        let s = a.ig.stats();
+        let (steps, exit_pairs, warnings) = (a.budget.steps(), exit_set.len(), a.warnings.len());
+        a.tracer.emit(|| TraceEvent::AnalysisEnd {
+            steps,
+            ig_nodes: s.nodes,
+            recursive: s.recursive,
+            approximate: s.approximate,
+            exit_pairs,
+            warnings,
+        });
+    }
     Ok(AnalysisResult {
         locs: a.locs,
         ig: a.ig,
@@ -314,6 +357,7 @@ pub(crate) struct Analyzer<'p> {
     pub(crate) warnings: Vec<String>,
     pub(crate) escapes: Vec<EscapeEvent>,
     pub(crate) budget: Budget,
+    pub(crate) tracer: Tracer<'p>,
 }
 
 impl<'p> Analyzer<'p> {

@@ -146,6 +146,20 @@ impl Budget {
         self.start.elapsed()
     }
 
+    /// Time elapsed since the budget was created, in whole microseconds
+    /// (the unit of the trace layer's `elapsed_us` field).
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// True when the step counter just crossed a [`DEADLINE_STRIDE`]
+    /// boundary — the trace layer's heartbeat cadence, aligned with the
+    /// deadline-check stride so tracing adds no extra clock reads.
+    #[inline]
+    pub fn tick_due(&self) -> bool {
+        self.steps.is_multiple_of(DEADLINE_STRIDE)
+    }
+
     /// The configured map-process depth cap.
     pub fn max_map_depth(&self) -> u32 {
         self.max_map_depth

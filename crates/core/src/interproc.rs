@@ -9,6 +9,7 @@
 use crate::analysis::{AnalysisError, Analyzer};
 use crate::invocation_graph::{IgKind, IgNodeId};
 use crate::points_to_set::{flow_subset, merge_flow, Def, Flow, PtSet};
+use crate::trace::TraceEvent;
 use pta_cfront::ast::FuncId;
 use pta_cfront::builtins::{extern_effect, ExternEffect};
 use pta_simple::{CallSiteId, CallTarget, Operand, VarRef};
@@ -113,8 +114,27 @@ impl<'p> Analyzer<'p> {
                 .expect("approximate nodes have a partner");
             if let Some(si) = &self.ig.node(rec).stored_input {
                 if func_input.subset_of(si) {
+                    if self.tracer.enabled() {
+                        let name = ir.function(self.ig.node(node).func).name.clone();
+                        let (hash, pairs) = (func_input.fingerprint(), func_input.len());
+                        self.tracer.emit(|| TraceEvent::MemoHit {
+                            node: node.0,
+                            func: name,
+                            input_hash: hash,
+                            input_pairs: pairs,
+                        });
+                    }
                     return Ok(self.ig.node(rec).stored_output.clone());
                 }
+            }
+            if self.tracer.enabled() {
+                let name = ir.function(self.ig.node(node).func).name.clone();
+                let pairs = func_input.len();
+                self.tracer.emit(|| TraceEvent::ApproxDefer {
+                    node: node.0,
+                    func: name,
+                    input_pairs: pairs,
+                });
             }
             self.ig.node_mut(rec).pending.push(func_input);
             return Ok(None); // ⊥
@@ -123,10 +143,43 @@ impl<'p> Analyzer<'p> {
         {
             let n = self.ig.node(node);
             if n.memo_valid && n.stored_input.as_ref() == Some(&func_input) {
-                return Ok(n.stored_output.clone());
+                if self.tracer.enabled() {
+                    let name = ir.function(n.func).name.clone();
+                    let (hash, pairs) = (func_input.fingerprint(), func_input.len());
+                    self.tracer.emit(|| TraceEvent::MemoHit {
+                        node: node.0,
+                        func: name,
+                        input_hash: hash,
+                        input_pairs: pairs,
+                    });
+                }
+                return Ok(self.ig.node(node).stored_output.clone());
             }
         }
         let func = self.ig.node(node).func;
+        if self.tracer.enabled() {
+            let name = ir.function(func).name.clone();
+            let kind = self.ig.node(node).kind.tag();
+            let path = self.ig.path_to(ir, node);
+            let (hash, pairs) = (func_input.fingerprint(), func_input.len());
+            {
+                let name = name.clone();
+                self.tracer.emit(|| TraceEvent::MemoMiss {
+                    node: node.0,
+                    func: name,
+                    input_hash: hash,
+                    input_pairs: pairs,
+                });
+            }
+            self.tracer.emit(|| TraceEvent::IgEnter {
+                node: node.0,
+                func: name,
+                kind,
+                path,
+                input_pairs: pairs,
+                input_hash: hash,
+            });
+        }
         let body = ir
             .function(func)
             .body
@@ -139,12 +192,14 @@ impl<'p> Analyzer<'p> {
             n.memo_valid = false;
             n.pending.clear();
         }
+        let mut rounds: u32 = 0;
         loop {
             // Fixed-point rounds can each be expensive; re-check the
             // deadline between them even if few statements ran.
             if let Err(e) = self.budget.check_deadline() {
                 return Err(self.exhausted(e, node, None));
             }
+            rounds += 1;
             let cur = self
                 .ig
                 .node(node)
@@ -170,6 +225,7 @@ impl<'p> Analyzer<'p> {
                 let n = self.ig.node_mut(node);
                 n.stored_output = out.clone();
                 n.memo_valid = true;
+                self.emit_ig_exit(node, &out, rounds);
                 return Ok(out);
             }
             // Recursive: generalize the output until stable.
@@ -178,9 +234,28 @@ impl<'p> Analyzer<'p> {
                 let n = self.ig.node_mut(node);
                 n.stored_input = Some(func_input); // reset for memoization
                 n.memo_valid = true;
-                return Ok(n.stored_output.clone());
+                let out = n.stored_output.clone();
+                self.emit_ig_exit(node, &out, rounds);
+                return Ok(out);
             }
             self.ig.node_mut(node).stored_output = merge_flow(stored, out);
+        }
+    }
+
+    fn emit_ig_exit(&mut self, node: IgNodeId, out: &Flow, rounds: u32) {
+        if self.tracer.enabled() {
+            let name = self.ir.function(self.ig.node(node).func).name.clone();
+            let (bottom, out_pairs) = match out {
+                None => (true, 0),
+                Some(s) => (false, s.len()),
+            };
+            self.tracer.emit(|| TraceEvent::IgExit {
+                node: node.0,
+                func: name,
+                bottom,
+                out_pairs,
+                rounds,
+            });
         }
     }
 

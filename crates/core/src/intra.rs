@@ -6,6 +6,7 @@ use crate::analysis::{AnalysisError, Analyzer};
 use crate::invocation_graph::IgNodeId;
 use crate::location::LocId;
 use crate::points_to_set::{merge_flow, Def, Flow, PtSet};
+use crate::trace::TraceEvent;
 use pta_cfront::ast::FuncId;
 use pta_simple::{BasicStmt, IdxClass, Stmt, StmtId, VarRef};
 
@@ -240,7 +241,9 @@ impl<'p> Analyzer<'p> {
     fn record_cond_refs(&mut self, _func: FuncId, _cond: &pta_simple::CondExpr, _set: &PtSet) {}
 
     /// Figure 1's `process_basic_stmt`, extended with pointer
-    /// arithmetic, allocation, calls, and returns.
+    /// arithmetic, allocation, calls, and returns. This wrapper owns
+    /// the budget accounting and the trace points (budget heartbeat +
+    /// per-statement transfer timing); the kernel below does the work.
     fn process_basic(
         &mut self,
         func: FuncId,
@@ -252,7 +255,40 @@ impl<'p> Analyzer<'p> {
         if let Err(e) = self.budget.step(input.len()) {
             return Err(self.exhausted(e, node, Some(id)));
         }
+        if self.tracer.enabled() {
+            if self.budget.tick_due() {
+                let (steps, elapsed_us) = (self.budget.steps(), self.budget.elapsed_us());
+                self.tracer
+                    .emit(|| TraceEvent::BudgetTick { steps, elapsed_us });
+            }
+            let pairs = input.len();
+            let t0 = std::time::Instant::now();
+            self.record(id, &input);
+            let out = self.process_basic_kernel(func, node, b, id, input);
+            // For call statements the duration includes the nested call
+            // processing (map, callee body, unmap).
+            let dur_us = t0.elapsed().as_micros() as u64;
+            let name = self.ir.function(func).name.clone();
+            self.tracer.emit(|| TraceEvent::Stmt {
+                stmt: id.0,
+                func: name,
+                pairs,
+                dur_us,
+            });
+            return out;
+        }
         self.record(id, &input);
+        self.process_basic_kernel(func, node, b, id, input)
+    }
+
+    fn process_basic_kernel(
+        &mut self,
+        func: FuncId,
+        node: IgNodeId,
+        b: &'p BasicStmt,
+        id: StmtId,
+        input: PtSet,
+    ) -> Result<FlowOut, AnalysisError> {
         match b {
             BasicStmt::Copy { lhs, rhs } => {
                 if !self.is_pointer_assignment(func, lhs) {

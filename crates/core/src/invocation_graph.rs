@@ -57,6 +57,17 @@ pub enum IgKind {
     Approximate,
 }
 
+impl IgKind {
+    /// A stable lowercase tag (the trace layer's `kind` field value).
+    pub fn tag(self) -> &'static str {
+        match self {
+            IgKind::Ordinary => "ordinary",
+            IgKind::Recursive => "recursive",
+            IgKind::Approximate => "approximate",
+        }
+    }
+}
+
 /// Per-context mapping information: which caller locations each symbolic
 /// name stands for in this invocation (recorded by the map process and
 /// consumed by unmapping and by later interprocedural analyses).

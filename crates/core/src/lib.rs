@@ -42,6 +42,7 @@ pub mod points_to_set;
 pub mod query;
 pub mod resilient;
 pub mod stats;
+pub mod trace;
 
 mod interproc;
 mod intra;
@@ -49,14 +50,19 @@ mod map_process;
 mod unmap;
 
 pub use analysis::{
-    analyze, analyze_with, AnalysisConfig, AnalysisError, AnalysisResult, EscapeEvent, EscapeVia,
+    analyze, analyze_traced, analyze_with, AnalysisConfig, AnalysisError, AnalysisResult,
+    EscapeEvent, EscapeVia,
 };
 pub use budget::{Budget, BudgetKind, TripPoint};
 pub use invocation_graph::{IgKind, IgNode, IgNodeId, IgStats, InvocationGraph, MapInfo};
 pub use location::{LocBase, LocId, LocTable, LocationTable, Proj};
 pub use points_to_set::{Def, Flow, PtSet};
 pub use query::FactQuery;
-pub use resilient::{analyze_resilient, Fidelity, ResilientOutcome};
+pub use resilient::{analyze_resilient, analyze_resilient_traced, Fidelity, ResilientOutcome};
+pub use trace::{
+    render_jsonl, ChromeTraceSink, EventSpec, FuncMetrics, JsonlSink, TeeSink, TraceEvent,
+    TraceMetrics, TraceSink, EVENT_SPECS,
+};
 
 use pta_simple::{IrProgram, StmtId};
 use std::error::Error;
@@ -154,6 +160,32 @@ pub fn run_source_resilient(
 ) -> Result<ResilientRun, PtaError> {
     let ir = pta_simple::compile(source)?;
     let outcome = analyze_resilient(&ir, config)?;
+    Ok((
+        Pta {
+            ir,
+            result: outcome.result,
+        },
+        outcome.fidelity,
+        outcome.degradations,
+    ))
+}
+
+/// [`run_source_resilient`] with a [`TraceSink`] attached: the
+/// context-sensitive rung emits structured trace events (see the
+/// [`trace`] module and `docs/TRACING.md`), and each ladder transition
+/// is reported as a `rung` event. Baseline rungs run uninstrumented.
+///
+/// # Errors
+///
+/// Returns a [`PtaError`] for front-end failures, non-recoverable
+/// analysis failures, or an exhausted ladder.
+pub fn run_source_traced(
+    source: &str,
+    config: AnalysisConfig,
+    sink: &mut dyn TraceSink,
+) -> Result<ResilientRun, PtaError> {
+    let ir = pta_simple::compile(source)?;
+    let outcome = analyze_resilient_traced(&ir, config, sink)?;
     Ok((
         Pta {
             ir,

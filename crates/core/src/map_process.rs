@@ -17,6 +17,7 @@ use crate::dense::{LocMap, LocSet};
 use crate::invocation_graph::{IgNodeId, MapInfo};
 use crate::location::{LocBase, LocId, Proj};
 use crate::points_to_set::{Def, PtSet};
+use crate::trace::TraceEvent;
 use pta_cfront::ast::FuncId;
 use pta_simple::Operand;
 use std::collections::VecDeque;
@@ -53,6 +54,8 @@ impl<'p> Analyzer<'p> {
         input: &PtSet,
     ) -> Result<Mapping, AnalysisError> {
         let ir = self.ir;
+        let t0 = self.tracer.now();
+        let mut max_depth_seen: u32 = 0;
         let mut st = MapState {
             sym_reps: MapInfo::new(),
             tr: LocMap::with_capacity(self.locs.len()),
@@ -131,6 +134,7 @@ impl<'p> Analyzer<'p> {
                     at: self.map_trip(node, caller, callee),
                 });
             }
+            max_depth_seen = max_depth_seen.max(depth);
             pops += 1;
             if pops.is_multiple_of(256) {
                 if let Err(e) = self.budget.check_deadline() {
@@ -162,11 +166,27 @@ impl<'p> Analyzer<'p> {
             };
             callee_input.insert_weak(s, t, d);
         }
-        Ok(Mapping {
+        let mapping = Mapping {
             callee_input,
             sym_reps: st.sym_reps,
             mapped_sources: st.visited.iter().collect(),
-        })
+        };
+        if let Some(t0) = t0 {
+            let dur_us = t0.elapsed().as_micros() as u64;
+            let caller_name = ir.function(caller).name.clone();
+            let callee_name = ir.function(callee).name.clone();
+            let invisibles = mapping.sym_reps.len();
+            let callee_pairs = mapping.callee_input.len();
+            self.tracer.emit(|| TraceEvent::Map {
+                caller: caller_name,
+                callee: callee_name,
+                invisibles,
+                max_chain_depth: max_depth_seen,
+                callee_pairs,
+                dur_us,
+            });
+        }
+        Ok(mapping)
     }
 
     /// Trip context for a budget that ran out while mapping a call.

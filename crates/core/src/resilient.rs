@@ -25,6 +25,7 @@ use crate::baseline::{
 };
 use crate::invocation_graph::InvocationGraph;
 use crate::points_to_set::{Def, PtSet};
+use crate::trace::{TraceEvent, TraceSink};
 use pta_simple::{IrProgram, StmtId};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -111,7 +112,33 @@ pub fn analyze_resilient(
     ir: &IrProgram,
     config: AnalysisConfig,
 ) -> Result<ResilientOutcome, AnalysisError> {
-    let deadline = config.deadline;
+    resilient_impl(ir, config, None)
+}
+
+/// [`analyze_resilient`] with a [`TraceSink`] attached: the
+/// context-sensitive rung runs fully instrumented (see
+/// [`crate::analysis::analyze_traced`]), and every ladder transition is
+/// reported as a `rung` event. The baseline rungs themselves run
+/// uninstrumented — they are the fallback path, not the engine the
+/// trace layer profiles — so a degraded run's stream ends with its
+/// `rung` events.
+///
+/// # Errors
+///
+/// As [`analyze_resilient`].
+pub fn analyze_resilient_traced(
+    ir: &IrProgram,
+    config: AnalysisConfig,
+    sink: &mut dyn TraceSink,
+) -> Result<ResilientOutcome, AnalysisError> {
+    resilient_impl(ir, config, Some(sink))
+}
+
+fn resilient_impl(
+    ir: &IrProgram,
+    config: AnalysisConfig,
+    mut sink: Option<&mut dyn TraceSink>,
+) -> Result<ResilientOutcome, AnalysisError> {
     let mut degradations: Vec<(Fidelity, AnalysisError)> = Vec::new();
 
     let rungs: [(Fidelity, RunFn); 4] = [
@@ -120,23 +147,42 @@ pub fn analyze_resilient(
         (Fidelity::Andersen, run_andersen),
         (Fidelity::Steensgaard, run_steensgaard),
     ];
-    for (fidelity, run) in rungs {
-        let attempt = catch_unwind(AssertUnwindSafe(|| run(ir, &config)))
-            .unwrap_or_else(|p| Err(AnalysisError::Internal(panic_message(&*p))));
+    for (i, (fidelity, run)) in rungs.iter().enumerate() {
+        let traced = sink.as_deref_mut().filter(|_| fidelity.is_full());
+        let attempt = match traced {
+            Some(s) => catch_unwind(AssertUnwindSafe(|| {
+                crate::analysis::analyze_traced(ir, config.clone(), s)
+            })),
+            None => catch_unwind(AssertUnwindSafe(|| run(ir, &config))),
+        }
+        .unwrap_or_else(|p| Err(AnalysisError::Internal(panic_message(&*p))));
         match attempt {
             Ok(result) => {
                 return Ok(ResilientOutcome {
                     result,
-                    fidelity,
+                    fidelity: *fidelity,
                     degradations,
                 })
             }
-            Err(e) if e.is_recoverable() => degradations.push((fidelity, e)),
+            Err(e) if e.is_recoverable() => {
+                if let (Some(s), Some((next, _))) = (sink.as_deref_mut(), rungs.get(i + 1)) {
+                    // Between engine runs no trace clock is active, so
+                    // rung events carry ts_us 0.
+                    s.event(
+                        0,
+                        &TraceEvent::Rung {
+                            from: fidelity.tag(),
+                            to: next.tag(),
+                            reason: e.to_string(),
+                        },
+                    );
+                }
+                degradations.push((*fidelity, e));
+            }
             Err(e) => return Err(e),
         }
     }
     // Ladder exhausted: every rung tripped a budget (or panicked).
-    let _ = deadline;
     let (_, last) = degradations
         .pop()
         .unwrap_or((Fidelity::Steensgaard, AnalysisError::NoEntry));

@@ -14,6 +14,7 @@ use crate::dense::LocMap;
 use crate::invocation_graph::MapInfo;
 use crate::location::{LocBase, LocId};
 use crate::points_to_set::{Def, PtSet};
+use crate::trace::TraceEvent;
 use pta_cfront::ast::FuncId;
 use pta_simple::CallSiteId;
 
@@ -29,6 +30,7 @@ impl<'p> Analyzer<'p> {
         sym_reps: &MapInfo,
         mapped_sources: &[LocId],
     ) -> PtSet {
+        let t0 = self.tracer.now();
         let mut out = input.clone();
         let rev = self.reverse_map(sym_reps);
 
@@ -80,6 +82,17 @@ impl<'p> Analyzer<'p> {
                     out.insert_weak(s2, t2, d2);
                 }
             }
+        }
+        if let Some(t0) = t0 {
+            let dur_us = t0.elapsed().as_micros() as u64;
+            let callee_name = self.ir.function(callee).name.clone();
+            let (callee_pairs, caller_pairs) = (callee_out.len(), out.len());
+            self.tracer.emit(|| TraceEvent::Unmap {
+                callee: callee_name,
+                callee_pairs,
+                caller_pairs,
+                dur_us,
+            });
         }
         out
     }

@@ -3,6 +3,14 @@
 //! JSON is hand-rolled (the build environment is offline, so no serde);
 //! the shape matches the benchmark suite's reports: stable key order,
 //! one object per diagnostic.
+//!
+//! Severity in the rendered output is post-grading: `--deny`
+//! escalations are applied first, then the fidelity cap — a file whose
+//! analysis degraded to a cheaper engine reports at most warning
+//! severity, even for denied checks, and therefore never drives the
+//! exit-1-on-errors path by itself (the per-file `fidelity`/`degraded`
+//! JSON keys say when the cap was in effect). README "Linting" and
+//! DESIGN.md §6 state the same contract.
 
 use crate::runner::FileReport;
 use crate::{Diagnostic, DiagnosticCounts};

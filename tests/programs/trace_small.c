@@ -1,0 +1,22 @@
+/* Golden program for the trace-layer tests. Deliberately recursive:
+ * loop fixpoints always feed the body fresh inputs, so plain loops
+ * never produce memo hits — recursion exercises the ordinary memo
+ * path (via the recursive node's output-generalization rounds), the
+ * approximate subset path, and map/unmap through &q. */
+int x, y;
+
+void set(int **p, int *v) { *p = v; }
+
+void rec(int **p, int n) {
+  set(p, &x);
+  if (n) {
+    rec(p, n - 1);
+    set(p, &y);
+  }
+}
+
+int main(void) {
+  int *q;
+  rec(&q, 2);
+  return *q;
+}
