@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! report [SECTION] [--jobs N] [--timings] [--lint] [--profile]
-//!        [--json PATH] [--deadline MS] [--budget N]
+//!        [--json PATH] [--store-dir DIR] [--deadline MS] [--budget N]
 //!
 //! SECTION: table2|table3|table4|table5|table6|livc|ablation|
 //!          heap-sites|summary|all        (default: all)
@@ -16,6 +16,10 @@
 //! --json PATH  write suite timings as JSON (the CI bench artifact);
 //!              entries embed per-benchmark diagnostic counts and the
 //!              deterministic trace-metrics counters
+//! --store-dir DIR  write one fact-store snapshot per benchmark to
+//!              DIR/<name>.ptas and time a warm (snapshot-seeded)
+//!              re-analysis next to the cold one; the timing table and
+//!              JSON artifact then carry cold/warm columns
 //! --deadline MS wall-clock budget per benchmark analysis, in
 //!              milliseconds; exhaustion degrades to cheaper analyses
 //!              (rows are tagged with their fidelity)
@@ -44,6 +48,7 @@ fn main() {
     let mut lint = false;
     let mut profile = false;
     let mut json: Option<String> = None;
+    let mut store_dir: Option<String> = None;
     let mut config = AnalysisConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -64,6 +69,10 @@ fn main() {
             "--json" => match args.next() {
                 Some(p) => json = Some(p),
                 None => die_usage("--json expects a file path"),
+            },
+            "--store-dir" => match args.next() {
+                Some(p) => store_dir = Some(p),
+                None => die_usage("--store-dir expects a directory path"),
             },
             "--deadline" => {
                 let v = args.next().unwrap_or_default();
@@ -117,13 +126,26 @@ fn main() {
         || timings
         || lint
         || profile
-        || json.is_some();
+        || json.is_some()
+        || store_dir.is_some();
     if suite_wanted {
         // Metrics ride along whenever the artifact or the profile table
-        // asks for them; plain table runs stay untraced.
-        let with_metrics = profile || json.is_some();
-        let suite =
-            report::run_benchmarks_opts(pta_benchsuite::SUITE, jobs, config.clone(), with_metrics);
+        // asks for them; plain table runs stay untraced. Store mode
+        // collects no metrics (the cold run is a plain recorded run).
+        let with_metrics = (profile || json.is_some()) && store_dir.is_none();
+        let store_path = store_dir.as_ref().map(std::path::PathBuf::from);
+        if let Some(dir) = &store_path {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                die_usage(&format!("cannot create {}: {e}", dir.display()));
+            }
+        }
+        let suite = report::run_benchmarks_store(
+            pta_benchsuite::SUITE,
+            jobs,
+            config.clone(),
+            with_metrics,
+            store_path.as_deref(),
+        );
         if want("table2") {
             println!(
                 "== Table 2: benchmark characteristics ==\n{}",

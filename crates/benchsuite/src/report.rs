@@ -23,8 +23,13 @@ use std::time::{Duration, Instant};
 pub struct BenchTiming {
     /// Benchmark name.
     pub name: String,
-    /// Time spent analysing it (one worker's wall clock).
+    /// Time spent analysing it (one worker's wall clock). In store
+    /// mode, the cold context-sensitive analysis alone (so the cold and
+    /// warm columns measure the same work).
     pub duration: Duration,
+    /// Store mode only: wall clock of the warm (snapshot-seeded)
+    /// re-analysis of the same program.
+    pub warm: Option<Duration>,
 }
 
 /// One successfully analysed benchmark with its statistics and the
@@ -164,36 +169,69 @@ pub fn run_benchmarks_opts(
     config: AnalysisConfig,
     profile: bool,
 ) -> SuiteReport {
+    run_benchmarks_store(benches, jobs, config, profile, None)
+}
+
+/// [`run_benchmarks_opts`] with an optional fact-store directory. In
+/// store mode each benchmark runs the full-fidelity analysis twice —
+/// once cold (recorded), once warm from the snapshot the cold run just
+/// wrote to `store_dir/<name>.ptas` — and the timing row carries both
+/// wall clocks. The warm result is replayed seeds only when it matches
+/// the cold one's mode guarantees; a benchmark whose recorded run
+/// fails its budget falls back to the ordinary resilient path (no
+/// snapshot, no warm column). `profile` metrics are collected only on
+/// the non-store path.
+pub fn run_benchmarks_store(
+    benches: &[Benchmark],
+    jobs: usize,
+    config: AnalysisConfig,
+    profile: bool,
+    store_dir: Option<&std::path::Path>,
+) -> SuiteReport {
     let start = Instant::now();
     let results = par_map(jobs, benches, |b| {
         let t0 = Instant::now();
-        let row = match catch_panic(|| suite_job(*b, config.clone(), profile)) {
-            Ok(Ok(row)) => SuiteRow::Analysed(Box::new(row)),
+        let (row, timed) = match catch_panic(|| match store_dir {
+            Some(dir) => suite_job_store(*b, config.clone(), profile, dir),
+            None => suite_job(*b, config.clone(), profile).map(|r| (r, None)),
+        }) {
+            Ok(Ok((row, timed))) => (SuiteRow::Analysed(Box::new(row)), timed),
             Ok(Err(e)) => {
                 let kind = match &e {
                     PtaError::Frontend(_) => SuiteErrorKind::Frontend,
                     PtaError::Analysis(_) => SuiteErrorKind::Analysis,
                 };
+                (
+                    SuiteRow::Failed(SuiteError {
+                        name: b.name.to_owned(),
+                        kind,
+                        message: e.to_string(),
+                    }),
+                    None,
+                )
+            }
+            Err(msg) => (
                 SuiteRow::Failed(SuiteError {
                     name: b.name.to_owned(),
-                    kind,
-                    message: e.to_string(),
-                })
-            }
-            Err(msg) => SuiteRow::Failed(SuiteError {
-                name: b.name.to_owned(),
-                kind: SuiteErrorKind::Panic,
-                message: msg,
-            }),
+                    kind: SuiteErrorKind::Panic,
+                    message: msg,
+                }),
+                None,
+            ),
         };
-        (row, t0.elapsed())
+        let timing = match timed {
+            Some((cold, warm)) => (cold, Some(warm)),
+            None => (t0.elapsed(), None),
+        };
+        (row, timing)
     });
     let mut rows = Vec::new();
     let mut timings = Vec::new();
-    for (row, d) in results {
+    for (row, (d, warm)) in results {
         timings.push(BenchTiming {
             name: row.name().to_owned(),
             duration: d,
+            warm,
         });
         rows.push(row);
     }
@@ -237,6 +275,61 @@ fn suite_job(b: Benchmark, config: AnalysisConfig, profile: bool) -> Result<Anal
         lint,
         metrics,
     })
+}
+
+/// The store-mode job: a timed cold recorded run, a snapshot written
+/// to `dir/<name>.ptas`, and a timed warm replay from that snapshot.
+/// Returns the cold and warm analysis wall clocks alongside the row.
+/// A budget-failed recorded run falls back to [`suite_job`] (resilient
+/// ladder, no snapshot, no warm timing).
+fn suite_job_store(
+    b: Benchmark,
+    config: AnalysisConfig,
+    profile: bool,
+    dir: &std::path::Path,
+) -> Result<(AnalysedRow, Option<(Duration, Duration)>), PtaError> {
+    if b.name == PANIC_BENCH_NAME {
+        panic!("deliberate suite-job panic (fault-isolation test hook)");
+    }
+    let ir = pta_simple::compile(b.source)?;
+    let t_cold = Instant::now();
+    let run = match pta_core::analyze_recorded(&ir, config.clone()) {
+        Ok(run) => run,
+        Err(_) => return suite_job(b, config, profile).map(|r| (r, None)),
+    };
+    let cold = t_cold.elapsed();
+    let lint = pta_lint::lint_ir(
+        &ir,
+        &run.result,
+        Fidelity::ContextSensitive,
+        &pta_lint::LintOptions::default(),
+    );
+    let snap = pta_store::Snapshot::build(&ir, &config, &run, &lint);
+    let path = dir.join(format!("{}.ptas", b.name));
+    if let Err(e) = pta_store::save(&path, &snap) {
+        eprintln!("report: cannot write snapshot for {}: {e}", b.name);
+    }
+    let t_warm = Instant::now();
+    let warm = pta_store::analyze_incremental(&ir, &config, Some(&snap))?;
+    let warm_time = t_warm.elapsed();
+    debug_assert!(matches!(warm.mode, pta_store::WarmMode::Warm { .. }));
+    let mut analysed = Analysed {
+        bench: b,
+        ir,
+        result: run.result,
+    };
+    let stats = stats::compute(b.name, b.source, &analysed.ir, &mut analysed.result);
+    Ok((
+        AnalysedRow {
+            analysed,
+            stats,
+            fidelity: Fidelity::ContextSensitive,
+            degradations: Vec::new(),
+            lint,
+            metrics: None,
+        },
+        Some((cold, warm_time)),
+    ))
 }
 
 impl SuiteReport {
@@ -467,14 +560,39 @@ impl SuiteReport {
     /// run to run and are deliberately kept out of Tables 2–6).
     pub fn timings_table(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{:<10} {:>10}", "Benchmark", "ms");
-        for t in &self.timings {
+        let warm_mode = self.timings.iter().any(|t| t.warm.is_some());
+        if warm_mode {
             let _ = writeln!(
                 out,
-                "{:<10} {:>10.3}",
-                t.name,
-                t.duration.as_secs_f64() * 1e3
+                "{:<10} {:>10} {:>10} {:>8}",
+                "Benchmark", "cold-ms", "warm-ms", "speedup"
             );
+        } else {
+            let _ = writeln!(out, "{:<10} {:>10}", "Benchmark", "ms");
+        }
+        for t in &self.timings {
+            let cold = t.duration.as_secs_f64() * 1e3;
+            match (warm_mode, t.warm) {
+                (true, Some(w)) => {
+                    let warm = w.as_secs_f64() * 1e3;
+                    let speedup = if warm > 0.0 {
+                        cold / warm
+                    } else {
+                        f64::INFINITY
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{:<10} {:>10.3} {:>10.3} {:>7.2}x",
+                        t.name, cold, warm, speedup
+                    );
+                }
+                (true, None) => {
+                    let _ = writeln!(out, "{:<10} {:>10.3} {:>10} {:>8}", t.name, cold, "-", "-");
+                }
+                (false, _) => {
+                    let _ = writeln!(out, "{:<10} {:>10.3}", t.name, cold);
+                }
+            }
         }
         let _ = writeln!(
             out,
@@ -487,15 +605,17 @@ impl SuiteReport {
         out
     }
 
-    /// The timings as a JSON document (the CI `BENCH_1.json` artifact).
-    /// Each benchmark entry carries its result provenance: a
-    /// `"fidelity"` tag for analysed rows, `"failed"` plus an `"error"`
-    /// message for failed ones.
+    /// The timings as a JSON document (the CI `BENCH_1.json` artifact),
+    /// stamped with the snapshot/trace schema version. Each benchmark
+    /// entry carries its result provenance: a `"fidelity"` tag for
+    /// analysed rows, `"failed"` plus an `"error"` message for failed
+    /// ones, and a `"warm_ms"` field in store mode.
     pub fn timings_json(&self) -> String {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"jobs\":{},\"wall_ms\":{:.3},\"failures\":{},\"benchmarks\":[",
+            "{{\"schema\":\"{}\",\"jobs\":{},\"wall_ms\":{:.3},\"failures\":{},\"benchmarks\":[",
+            pta_core::SCHEMA_VERSION,
             self.jobs,
             self.wall.as_secs_f64() * 1e3,
             self.failures().len()
@@ -508,6 +628,9 @@ impl SuiteReport {
                 t.name,
                 t.duration.as_secs_f64() * 1e3
             );
+            if let Some(w) = t.warm {
+                let _ = write!(out, "\"warm_ms\":{:.3},", w.as_secs_f64() * 1e3);
+            }
             match row {
                 SuiteRow::Analysed(r) => {
                     let c = pta_lint::DiagnosticCounts::of(&r.lint);

@@ -8,6 +8,8 @@
 //!              [--deadline MS] [--budget N]
 //! pta trace <file.c> [--trace-out PATH] [--chrome-out PATH]
 //!              [--metrics] [--scrub-timings] [--deadline MS] [--budget N]
+//! pta serve <file.c> [--store PATH] [--query-deadline MS] [--metrics]
+//!              [--deadline MS] [--budget N]
 //! ```
 //!
 //! With no flags, prints a short summary. `--points-to` dumps the
@@ -21,6 +23,12 @@
 //! a budget forces the analysis onto a degraded engine, that file's
 //! findings are capped at warning severity — even for checks escalated
 //! with `--deny` — so a degraded run never exits 1 via findings alone.
+//!
+//! `pta serve` analyses the file once — warmed from a `--store`
+//! snapshot when one is usable, falling back to a cold run on any
+//! store problem — then answers JSONL queries (`points-to`,
+//! `aliases?`, `call-targets`, `lint`) on stdin/stdout until EOF.
+//! Responses are byte-deterministic; per-query metrics go to stderr.
 //!
 //! `pta trace` runs the analysis with the observability layer attached
 //! (see `docs/TRACING.md`): the JSONL event stream goes to stdout or
@@ -367,12 +375,178 @@ fn run_trace(args: impl Iterator<Item = String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+struct ServeCliOptions {
+    file: Option<String>,
+    store: Option<String>,
+    metrics: bool,
+    query_deadline: Option<Duration>,
+    config: AnalysisConfig,
+}
+
+fn serve_usage() -> String {
+    "usage: pta serve <file.c> [--store PATH] [--query-deadline MS] \
+     [--metrics] [--deadline MS] [--budget N]\n\
+     JSONL request/response daemon on stdin/stdout. Requests: \
+     {\"id\":…,\"op\":\"points-to\"|\"aliases?\"|\"call-targets\"|\"lint\",…}. \
+     With --store, the analysis warms from the snapshot when it is \
+     usable (and rewrites it afterwards); any store problem degrades to \
+     a cold run. --query-deadline bounds each request; --metrics emits \
+     per-query serve-query events on stderr (stdout stays \
+     byte-deterministic)."
+        .to_owned()
+}
+
+fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCliOptions, String> {
+    let mut o = ServeCliOptions {
+        file: None,
+        store: None,
+        metrics: false,
+        query_deadline: None,
+        config: AnalysisConfig::default(),
+    };
+    let mut argv = args.peekable();
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--store" => o.store = Some(parse_value(&mut argv, "--store")?),
+            "--metrics" => o.metrics = true,
+            "--query-deadline" => {
+                let ms: u64 = parse_value(&mut argv, "--query-deadline")?;
+                o.query_deadline = Some(Duration::from_millis(ms));
+            }
+            "--deadline" => {
+                let ms: u64 = parse_value(&mut argv, "--deadline")?;
+                o.config.deadline = Some(Duration::from_millis(ms));
+            }
+            "--budget" => {
+                let n: u64 = parse_value(&mut argv, "--budget")?;
+                if n == 0 {
+                    return Err("--budget must be positive".to_owned());
+                }
+                o.config.max_steps = n;
+            }
+            "--help" | "-h" => return Err(serve_usage()),
+            f if !f.starts_with('-') => {
+                if o.file.is_some() {
+                    return Err("only one input file is supported".to_owned());
+                }
+                o.file = Some(f.to_owned());
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", serve_usage())),
+        }
+    }
+    if o.file.is_none() {
+        return Err(serve_usage());
+    }
+    Ok(o)
+}
+
+fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
+    use std::io::{BufRead, Write};
+    let opts = match parse_serve_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let file = opts.file.as_deref().expect("checked in parse_serve_args");
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pta serve: cannot read `{file}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ir = match pta_simple::compile(&source) {
+        Ok(ir) => ir,
+        Err(e) => {
+            eprintln!("pta serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let snap =
+        opts.store
+            .as_deref()
+            .and_then(|path| match pta_store::load(std::path::Path::new(path)) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("pta serve: snapshot unusable ({e}); running cold");
+                    None
+                }
+            });
+    let inc = match pta_store::analyze_incremental(&ir, &opts.config, snap.as_ref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pta serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match &inc.mode {
+        pta_store::WarmMode::Warm {
+            seed_hits, dirty, ..
+        } => eprintln!(
+            "pta serve: warm start ({seed_hits} replayed pairs, {} dirty functions)",
+            dirty.len()
+        ),
+        pta_store::WarmMode::Cold(r) => eprintln!("pta serve: cold start ({r:?})"),
+    }
+    let lint = pta_lint::lint_ir(
+        &ir,
+        &inc.run.result,
+        pta_core::Fidelity::ContextSensitive,
+        &pta_lint::LintOptions::default(),
+    );
+    if let Some(path) = opts.store.as_deref() {
+        let snap = pta_store::Snapshot::build(&ir, &opts.config, &inc.run, &lint);
+        if let Err(e) = pta_store::save(std::path::Path::new(path), &snap) {
+            eprintln!("pta serve: cannot write snapshot: {e}");
+        }
+    }
+    let engine = pta_store::ServeEngine::new(
+        pta_core::Pta {
+            ir,
+            result: inc.run.result,
+        },
+        lint,
+    )
+    .with_budget(opts.query_deadline);
+    eprintln!("pta serve: ready");
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("pta serve: stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, metrics) = engine.handle_line(&line);
+        if writeln!(out, "{response}")
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            // Client went away; a clean shutdown, not an error.
+            return ExitCode::SUCCESS;
+        }
+        if opts.metrics {
+            eprintln!("{}", metrics.render());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     {
         let mut argv = std::env::args().skip(1);
         match argv.next().as_deref() {
             Some("lint") => return run_lint(argv),
             Some("trace") => return run_trace(argv),
+            Some("serve") => return run_serve(argv),
             _ => {}
         }
     }

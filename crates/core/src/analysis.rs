@@ -2,10 +2,10 @@
 //! [`analyze`] entry point.
 
 use crate::budget::{Budget, BudgetKind, Exhausted, TripPoint};
-use crate::invocation_graph::{IgNodeId, InvocationGraph};
+use crate::invocation_graph::{IgFragment, IgNodeId, InvocationGraph};
 use crate::location::{LocId, LocationTable, Proj};
 use crate::lvalue::RefEnv;
-use crate::points_to_set::{Def, PtSet};
+use crate::points_to_set::{Def, Flow, PtSet};
 use crate::trace::{TraceEvent, TraceSink, Tracer};
 use pta_cfront::ast::FuncId;
 use pta_cfront::types::Type;
@@ -237,6 +237,176 @@ impl AnalysisResult {
     }
 }
 
+/// Everything one invocation-graph subtree contributed to the *global*
+/// analysis outputs: per-statement facts, warnings, and escape events.
+///
+/// Memoized context pairs alone are not enough to replay a call without
+/// re-walking its body — the byte-identity guarantee of the store also
+/// covers `per_stmt`, `warnings`, and `escapes`, which the Figure 4
+/// memo hit would otherwise silently skip. A `Capture` records those
+/// side outputs while a subtree is analysed cold, so a later warm run
+/// can replay them verbatim at the memo-hit point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capture {
+    /// Per-statement contributions, pre-merged across every fixpoint
+    /// round and inner context of the subtree.
+    pub per_stmt: BTreeMap<StmtId, PtSet>,
+    /// Warnings first emitted inside the subtree, in emission order.
+    pub warnings: Vec<String>,
+    /// Escape events observed inside the subtree.
+    pub escapes: Vec<EscapeEvent>,
+    /// False if some inner memo hit could not be attributed (its own
+    /// capture was missing) — an incomplete capture must not be
+    /// persisted as a warm pair.
+    pub complete: bool,
+}
+
+impl Capture {
+    /// An empty, complete capture.
+    pub fn new() -> Self {
+        Capture {
+            per_stmt: BTreeMap::new(),
+            warnings: Vec::new(),
+            escapes: Vec::new(),
+            complete: true,
+        }
+    }
+
+    fn record(&mut self, id: StmtId, set: &PtSet) {
+        match self.per_stmt.entry(id) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(set.clone());
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let merged = e.get().merge(set);
+                e.insert(merged);
+            }
+        }
+    }
+
+    fn warn(&mut self, msg: &str) {
+        if !self.warnings.iter().any(|w| w == msg) {
+            self.warnings.push(msg.to_owned());
+        }
+    }
+
+    fn escape(&mut self, ev: &EscapeEvent) {
+        for e in &mut self.escapes {
+            if e.callee == ev.callee
+                && e.call_site == ev.call_site
+                && e.via == ev.via
+                && e.local == ev.local
+            {
+                if ev.def == Def::D {
+                    e.def = Def::D;
+                }
+                return;
+            }
+        }
+        self.escapes.push(ev.clone());
+    }
+
+    /// Folds a child subtree's capture into this one (same merge
+    /// discipline as the global outputs).
+    pub fn merge_from(&mut self, other: &Capture) {
+        for (id, set) in &other.per_stmt {
+            self.record(*id, set);
+        }
+        for w in &other.warnings {
+            self.warn(w);
+        }
+        for e in &other.escapes {
+            self.escape(e);
+        }
+        self.complete &= other.complete;
+    }
+}
+
+impl Default for Capture {
+    fn default() -> Self {
+        Capture::new()
+    }
+}
+
+/// One replayable memo entry: a context pair `(input, output)` for a
+/// function, the invocation-graph fragment its cold analysis grew
+/// beneath the node, and the captured side outputs of that subtree.
+#[derive(Debug, Clone)]
+pub struct WarmPair {
+    /// The callee input context (exact-match key).
+    pub input: PtSet,
+    /// The memoized output flow.
+    pub output: Flow,
+    /// Side outputs to replay at the hit point.
+    pub capture: Capture,
+    /// The self-contained IG subtree to graft under the hit node.
+    pub fragment: IgFragment,
+}
+
+/// Warm context pairs, keyed by function. Lookup is an exact-input
+/// linear scan — context counts per function are small in practice
+/// (Table 5), and exactness is what makes replay sound without any
+/// monotonicity argument.
+#[derive(Debug, Clone, Default)]
+pub struct WarmSeeds {
+    /// Pairs per function, in snapshot order.
+    pub pairs: BTreeMap<FuncId, Vec<WarmPair>>,
+}
+
+impl WarmSeeds {
+    /// Adds a pair unless an equal-input pair for `func` is present.
+    /// Returns true if the pair was added.
+    pub fn insert(&mut self, func: FuncId, pair: WarmPair) -> bool {
+        let v = self.pairs.entry(func).or_default();
+        if v.iter().any(|p| p.input == pair.input) {
+            return false;
+        }
+        v.push(pair);
+        true
+    }
+
+    /// The pair for `func` whose input equals `input`, if any.
+    pub fn find(&self, func: FuncId, input: &PtSet) -> Option<&WarmPair> {
+        self.pairs.get(&func)?.iter().find(|p| &p.input == input)
+    }
+
+    /// Total number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.values().map(Vec::len).sum()
+    }
+
+    /// True if no pairs are held.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.values().all(Vec::is_empty)
+    }
+}
+
+/// What a warm (incremental) run starts from: the previous run's
+/// location table (refreshed for dirty functions, so retained ids — and
+/// with them every replayed `PtSet` — stay valid) and the surviving
+/// context pairs.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// The preloaded location table.
+    pub locs: LocationTable,
+    /// Context pairs whose subtrees are clean.
+    pub seeds: WarmSeeds,
+}
+
+/// An analysis run together with the persistence-facing extras: the
+/// per-node captures a snapshot needs, and how many warm pairs were
+/// replayed instead of analysed.
+#[derive(Debug)]
+pub struct EngineRun {
+    /// The ordinary analysis result.
+    pub result: AnalysisResult,
+    /// Captured side outputs per invocation-graph node (node id →
+    /// capture), for every node analysed or grafted while capturing.
+    pub node_captures: BTreeMap<u32, Capture>,
+    /// Number of memo hits served from [`WarmSeeds`].
+    pub seed_hits: usize,
+}
+
 /// Runs the full context-sensitive interprocedural points-to analysis.
 ///
 /// # Errors
@@ -255,7 +425,39 @@ pub fn analyze_with(
     ir: &IrProgram,
     config: AnalysisConfig,
 ) -> Result<AnalysisResult, AnalysisError> {
-    analyze_impl(ir, config, None)
+    Ok(analyze_impl(ir, config, None, false, None)?.result)
+}
+
+/// [`analyze_with`] that also captures per-subtree side outputs, so the
+/// run can be persisted as warm context pairs (see `pta-store`).
+/// Analysis results are identical to the uncaptured run.
+///
+/// # Errors
+///
+/// See [`AnalysisError`].
+pub fn analyze_recorded(
+    ir: &IrProgram,
+    config: AnalysisConfig,
+) -> Result<EngineRun, AnalysisError> {
+    analyze_impl(ir, config, None, true, None)
+}
+
+/// An incremental run: starts from a preloaded location table and warm
+/// context pairs, replaying any memo lookup whose function and exact
+/// input context match a seed instead of re-analysing its subtree.
+/// When `capture` is true the run also records fresh captures, so its
+/// own results can be persisted again.
+///
+/// # Errors
+///
+/// See [`AnalysisError`].
+pub fn analyze_seeded(
+    ir: &IrProgram,
+    config: AnalysisConfig,
+    warm: WarmStart,
+    capture: bool,
+) -> Result<EngineRun, AnalysisError> {
+    analyze_impl(ir, config, None, capture, Some(warm))
 }
 
 /// [`analyze_with`] with a [`TraceSink`] attached: the engine emits
@@ -272,14 +474,16 @@ pub fn analyze_traced(
     config: AnalysisConfig,
     sink: &mut dyn TraceSink,
 ) -> Result<AnalysisResult, AnalysisError> {
-    analyze_impl(ir, config, Some(sink))
+    Ok(analyze_impl(ir, config, Some(sink), false, None)?.result)
 }
 
 fn analyze_impl<'p>(
     ir: &'p IrProgram,
     config: AnalysisConfig,
     sink: Option<&'p mut dyn TraceSink>,
-) -> Result<AnalysisResult, AnalysisError> {
+    capture: bool,
+    warm: Option<WarmStart>,
+) -> Result<EngineRun, AnalysisError> {
     let entry = ir.entry.ok_or(AnalysisError::NoEntry)?;
     let budget = Budget::new(
         config.max_steps,
@@ -289,16 +493,25 @@ fn analyze_impl<'p>(
     );
     let ig = InvocationGraph::build(ir, entry, config.max_ig_nodes)
         .map_err(|o| o.into_error(ir, None))?;
+    let (locs, seeds) = match warm {
+        Some(w) => (w.locs, w.seeds),
+        None => (LocationTable::new(), WarmSeeds::default()),
+    };
     let mut a = Analyzer {
         ir,
         config,
-        locs: LocationTable::new(),
+        locs,
         ig,
         per_stmt: BTreeMap::new(),
         warnings: Vec::new(),
         escapes: Vec::new(),
         budget,
         tracer: Tracer::new(sink),
+        seeds,
+        capture,
+        cap_stack: Vec::new(),
+        node_caps: BTreeMap::new(),
+        seed_hits: 0,
     };
     a.tracer.emit(|| TraceEvent::AnalysisStart {
         functions: ir.defined_functions().count(),
@@ -336,13 +549,17 @@ fn analyze_impl<'p>(
             warnings,
         });
     }
-    Ok(AnalysisResult {
-        locs: a.locs,
-        ig: a.ig,
-        per_stmt: a.per_stmt,
-        exit_set,
-        warnings: a.warnings,
-        escapes: a.escapes,
+    Ok(EngineRun {
+        result: AnalysisResult {
+            locs: a.locs,
+            ig: a.ig,
+            per_stmt: a.per_stmt,
+            exit_set,
+            warnings: a.warnings,
+            escapes: a.escapes,
+        },
+        node_captures: a.node_caps,
+        seed_hits: a.seed_hits,
     })
 }
 
@@ -358,6 +575,18 @@ pub(crate) struct Analyzer<'p> {
     pub(crate) escapes: Vec<EscapeEvent>,
     pub(crate) budget: Budget,
     pub(crate) tracer: Tracer<'p>,
+    /// Warm context pairs consulted on memo misses (empty on cold runs).
+    pub(crate) seeds: WarmSeeds,
+    /// True if this run records per-subtree captures.
+    pub(crate) capture: bool,
+    /// One frame per invocation-graph node currently on the analysis
+    /// stack (miss path only); outputs land in every open frame.
+    pub(crate) cap_stack: Vec<Capture>,
+    /// Finished captures per node id (replaced when a node is
+    /// re-analysed under a new input context).
+    pub(crate) node_caps: BTreeMap<u32, Capture>,
+    /// Memo hits served from `seeds`.
+    pub(crate) seed_hits: usize,
 }
 
 impl<'p> Analyzer<'p> {
@@ -397,6 +626,9 @@ impl<'p> Analyzer<'p> {
     }
 
     pub(crate) fn warn(&mut self, msg: String) {
+        if let Some(top) = self.cap_stack.last_mut() {
+            top.warn(&msg);
+        }
         if !self.warnings.contains(&msg) {
             self.warnings.push(msg);
         }
@@ -405,6 +637,9 @@ impl<'p> Analyzer<'p> {
     /// Records a dangling-pointer event (deduplicated; strengthened to
     /// `D` if the same escape is later seen definitely).
     pub(crate) fn escape(&mut self, ev: EscapeEvent) {
+        if let Some(top) = self.cap_stack.last_mut() {
+            top.escape(&ev);
+        }
         for e in &mut self.escapes {
             if e.callee == ev.callee
                 && e.call_site == ev.call_site
@@ -425,6 +660,9 @@ impl<'p> Analyzer<'p> {
     /// is definite every time control reaches the point.
     pub(crate) fn record(&mut self, id: StmtId, set: &PtSet) {
         if self.config.record_stats {
+            if let Some(top) = self.cap_stack.last_mut() {
+                top.record(id, set);
+            }
             match self.per_stmt.entry(id) {
                 std::collections::btree_map::Entry::Vacant(e) => {
                     e.insert(set.clone());
@@ -434,6 +672,65 @@ impl<'p> Analyzer<'p> {
                     e.insert(merged);
                 }
             }
+        }
+    }
+
+    /// Opens a capture frame for a node entering its miss path.
+    pub(crate) fn cap_push(&mut self) {
+        if self.capture {
+            self.cap_stack.push(Capture::new());
+        }
+    }
+
+    /// Closes the current frame: stores it as `node`'s capture
+    /// (replacing any capture from an earlier input context) and folds
+    /// it into the enclosing frame.
+    pub(crate) fn cap_pop(&mut self, node: IgNodeId) {
+        if !self.capture {
+            return;
+        }
+        let Some(frame) = self.cap_stack.pop() else {
+            return;
+        };
+        if let Some(parent) = self.cap_stack.last_mut() {
+            parent.merge_from(&frame);
+        }
+        self.node_caps.insert(node.0, frame);
+    }
+
+    /// On an in-run memo hit while capturing: attribute the hit
+    /// subtree's recorded outputs to the enclosing frame, or poison the
+    /// frame if no capture exists for the node (the frame then never
+    /// becomes a warm pair).
+    pub(crate) fn cap_note_hit(&mut self, node: IgNodeId) {
+        if !self.capture || self.cap_stack.is_empty() {
+            return;
+        }
+        match self.node_caps.get(&node.0).cloned() {
+            Some(cap) => {
+                if let Some(top) = self.cap_stack.last_mut() {
+                    top.merge_from(&cap);
+                }
+            }
+            None => {
+                if let Some(top) = self.cap_stack.last_mut() {
+                    top.complete = false;
+                }
+            }
+        }
+    }
+
+    /// Replays a stored capture into the global outputs (and, via the
+    /// hooks above, into any open frames).
+    pub(crate) fn cap_replay(&mut self, cap: &Capture) {
+        for (id, set) in cap.per_stmt.clone() {
+            self.record(id, &set);
+        }
+        for w in cap.warnings.clone() {
+            self.warn(w);
+        }
+        for e in cap.escapes.clone() {
+            self.escape(e);
         }
     }
 

@@ -153,10 +153,53 @@ impl<'p> Analyzer<'p> {
                         input_pairs: pairs,
                     });
                 }
+                self.cap_note_hit(node);
                 return Ok(self.ig.node(node).stored_output.clone());
             }
         }
         let func = self.ig.node(node).func;
+        // Warm seeds (pta-store): a context pair from a previous run
+        // whose subtree is unchanged serves the memo lookup without
+        // re-analysing the body — graft the recorded subtree, replay
+        // its captured side outputs, and return the memoized flow.
+        if let Some(pair) = self.seeds.find(func, &func_input).cloned() {
+            if self.tracer.enabled() {
+                let name = ir.function(func).name.clone();
+                let (hash, pairs) = (func_input.fingerprint(), func_input.len());
+                self.tracer.emit(|| TraceEvent::MemoHit {
+                    node: node.0,
+                    func: name,
+                    input_hash: hash,
+                    input_pairs: pairs,
+                });
+            }
+            let grafted = self
+                .ig
+                .graft(ir, node, &pair.fragment, self.config.max_ig_nodes)
+                .map_err(|o| o.into_error(ir, None))?;
+            if self.capture {
+                // Keep interior grafted nodes attributable: a later
+                // in-run hit on one must find its capture.
+                for id in &grafted {
+                    let n = self.ig.node(*id);
+                    if n.kind == IgKind::Approximate || !n.memo_valid {
+                        continue;
+                    }
+                    let Some(input) = n.stored_input.clone() else {
+                        continue;
+                    };
+                    let nf = n.func;
+                    if let Some(p) = self.seeds.find(nf, &input) {
+                        let cap = p.capture.clone();
+                        self.node_caps.insert(id.0, cap);
+                    }
+                }
+                self.node_caps.insert(node.0, pair.capture.clone());
+            }
+            self.cap_replay(&pair.capture);
+            self.seed_hits += 1;
+            return Ok(pair.output);
+        }
         if self.tracer.enabled() {
             let name = ir.function(func).name.clone();
             let kind = self.ig.node(node).kind.tag();
@@ -192,6 +235,7 @@ impl<'p> Analyzer<'p> {
             n.memo_valid = false;
             n.pending.clear();
         }
+        self.cap_push();
         let mut rounds: u32 = 0;
         loop {
             // Fixed-point rounds can each be expensive; re-check the
@@ -225,6 +269,7 @@ impl<'p> Analyzer<'p> {
                 let n = self.ig.node_mut(node);
                 n.stored_output = out.clone();
                 n.memo_valid = true;
+                self.cap_pop(node);
                 self.emit_ig_exit(node, &out, rounds);
                 return Ok(out);
             }
@@ -235,6 +280,7 @@ impl<'p> Analyzer<'p> {
                 n.stored_input = Some(func_input); // reset for memoization
                 n.memo_valid = true;
                 let out = n.stored_output.clone();
+                self.cap_pop(node);
                 self.emit_ig_exit(node, &out, rounds);
                 return Ok(out);
             }

@@ -116,6 +116,49 @@ impl IgNode {
     }
 }
 
+/// One node of a detached, self-contained invocation-graph subtree
+/// (see [`InvocationGraph::extract_fragment`]). Indices are
+/// fragment-relative (preorder, root at 0), so a fragment can be
+/// persisted and grafted into a *different* graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentNode {
+    /// The invoked function.
+    pub func: FuncId,
+    /// Node classification.
+    pub kind: IgKind,
+    /// For approximate nodes: how many parent steps up the matching
+    /// recursive node sits (always within the fragment).
+    pub rec_up: Option<u32>,
+    /// Memoized input.
+    pub stored_input: Option<PtSet>,
+    /// Memoized output.
+    pub stored_output: Flow,
+    /// Memo validity.
+    pub memo_valid: bool,
+    /// Per-context map information.
+    pub map_info: MapInfo,
+    /// Children as `(call-site key, fragment index)`.
+    pub children: Vec<((CallSiteId, FuncId), u32)>,
+}
+
+/// A self-contained invocation-graph subtree with its memo state: the
+/// unit the fact store persists per warm context pair. *Self-contained*
+/// means no approximate node inside points at a recursive node outside,
+/// so replaying the pair can never need state from above the hit node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IgFragment {
+    /// Preorder nodes; index 0 is the subtree root.
+    pub nodes: Vec<FragmentNode>,
+}
+
+impl IgFragment {
+    /// Every function invoked inside the fragment (the set whose
+    /// fingerprints must be clean for the pair to be replayable).
+    pub fn functions(&self) -> std::collections::BTreeSet<FuncId> {
+        self.nodes.iter().map(|n| n.func).collect()
+    }
+}
+
 /// Statistics of an invocation graph (Table 6 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IgStats {
@@ -294,6 +337,190 @@ impl InvocationGraph {
         };
         self.node_mut(parent).children.insert((cs, callee), id);
         Ok(id)
+    }
+
+    /// Reassembles a graph from externally constructed nodes (the store
+    /// reload path), validating every cross-reference so a corrupt
+    /// snapshot cannot produce an out-of-bounds panic later.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn from_nodes(nodes: Vec<IgNode>, root: Option<IgNodeId>) -> Result<Self, String> {
+        let len = nodes.len();
+        let in_range = |id: IgNodeId| (id.0 as usize) < len;
+        if let Some(r) = root {
+            if !in_range(r) {
+                return Err("root node out of range".to_owned());
+            }
+        } else if len != 0 {
+            return Err("non-empty graph without a root".to_owned());
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            let id = IgNodeId(i as u32);
+            match n.parent {
+                Some(p) if !in_range(p) => {
+                    return Err(format!("node {i}: parent out of range"));
+                }
+                None if root != Some(id) => {
+                    return Err(format!("node {i}: only the root may lack a parent"));
+                }
+                _ => {}
+            }
+            if let Some(r) = n.rec_edge {
+                if !in_range(r) {
+                    return Err(format!("node {i}: rec edge out of range"));
+                }
+            }
+            if (n.kind == IgKind::Approximate) != n.rec_edge.is_some() {
+                return Err(format!("node {i}: rec edge inconsistent with node kind"));
+            }
+            for ((_, f), c) in &n.children {
+                if !in_range(*c) {
+                    return Err(format!("node {i}: child out of range"));
+                }
+                let cn = &nodes[c.0 as usize];
+                if cn.parent != Some(id) {
+                    return Err(format!("node {i}: child does not point back to parent"));
+                }
+                if cn.func != *f {
+                    return Err(format!("node {i}: child key disagrees with child function"));
+                }
+            }
+        }
+        Ok(InvocationGraph { nodes, root })
+    }
+
+    /// Detaches the subtree rooted at `root` (with its memo state) as a
+    /// relocatable fragment, or `None` when the subtree is not
+    /// self-contained: the root is approximate, an approximate
+    /// descendant's back-edge escapes the subtree, or unresolved pending
+    /// inputs remain (a mid-fixpoint state is not a summary).
+    pub fn extract_fragment(&self, root: IgNodeId) -> Option<IgFragment> {
+        if self.node(root).kind == IgKind::Approximate {
+            return None;
+        }
+        // Preorder walk with deterministic (BTreeMap) child order.
+        let mut order: Vec<IgNodeId> = Vec::new();
+        let mut index: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            index.insert(id.0, order.len() as u32);
+            order.push(id);
+            for (_, c) in self.node(id).children.iter().rev() {
+                stack.push(*c);
+            }
+        }
+        let mut nodes = Vec::with_capacity(order.len());
+        for id in &order {
+            let n = self.node(*id);
+            if !n.pending.is_empty() {
+                return None;
+            }
+            let rec_up = match n.rec_edge {
+                None => None,
+                Some(t) => {
+                    index.get(&t.0)?;
+                    let mut d: u32 = 0;
+                    let mut cur = *id;
+                    while cur != t {
+                        d += 1;
+                        cur = self.node(cur).parent?;
+                    }
+                    Some(d)
+                }
+            };
+            let children = n.children.iter().map(|(k, v)| (*k, index[&v.0])).collect();
+            nodes.push(FragmentNode {
+                func: n.func,
+                kind: n.kind,
+                rec_up,
+                stored_input: n.stored_input.clone(),
+                stored_output: n.stored_output.clone(),
+                memo_valid: n.memo_valid,
+                map_info: n.map_info.clone(),
+                children,
+            });
+        }
+        Some(IgFragment { nodes })
+    }
+
+    /// Overlays a fragment onto the subtree at `at`: existing children
+    /// (the eagerly built direct-call tree) get the fragment's memo
+    /// state; children the fragment grew during analysis (indirect
+    /// targets and their expansions) are created. Returns the graph ids
+    /// aligned with `frag.nodes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IgOverflow`] if creating a missing child would exceed
+    /// `max_nodes`, exactly as a cold re-analysis would.
+    pub fn graft(
+        &mut self,
+        ir: &IrProgram,
+        at: IgNodeId,
+        frag: &IgFragment,
+        max_nodes: usize,
+    ) -> Result<Vec<IgNodeId>, IgOverflow> {
+        let n = frag.nodes.len();
+        let mut parent_of: Vec<Option<(u32, (CallSiteId, FuncId))>> = vec![None; n];
+        for (i, fnode) in frag.nodes.iter().enumerate() {
+            for (key, ci) in &fnode.children {
+                parent_of[*ci as usize] = Some((i as u32, *key));
+            }
+        }
+        let mut ids: Vec<IgNodeId> = Vec::with_capacity(n);
+        for (i, fnode) in frag.nodes.iter().enumerate() {
+            let id = if i == 0 {
+                at
+            } else {
+                let (pi, key) = parent_of[i].expect("fragment nodes form a tree");
+                let pid = ids[pi as usize];
+                match self.node(pid).children.get(&key) {
+                    Some(c) => *c,
+                    None => {
+                        if self.nodes.len() >= max_nodes {
+                            let mut chain: Vec<String> = self
+                                .path_to(ir, pid)
+                                .split(" > ")
+                                .map(str::to_owned)
+                                .collect();
+                            chain.push(ir.function(fnode.func).name.clone());
+                            return Err(IgOverflow {
+                                limit: max_nodes,
+                                chain,
+                            });
+                        }
+                        let nid = self.push(IgNode::new(fnode.func, Some(pid), fnode.kind));
+                        self.node_mut(pid).children.insert(key, nid);
+                        nid
+                    }
+                }
+            };
+            ids.push(id);
+            let node = self.node_mut(id);
+            node.kind = fnode.kind;
+            node.stored_input = fnode.stored_input.clone();
+            node.stored_output = fnode.stored_output.clone();
+            node.memo_valid = fnode.memo_valid;
+            node.map_info = fnode.map_info.clone();
+            node.pending.clear();
+            node.rec_edge = None;
+        }
+        // Back-edges resolve through the graft's own parent chain.
+        for (i, fnode) in frag.nodes.iter().enumerate() {
+            if let Some(d) = fnode.rec_up {
+                let mut cur = ids[i];
+                for _ in 0..d {
+                    cur = self
+                        .node(cur)
+                        .parent
+                        .expect("rec target lies within the grafted subtree");
+                }
+                self.node_mut(ids[i]).rec_edge = Some(cur);
+            }
+        }
+        Ok(ids)
     }
 
     /// Graph statistics (Table 6).

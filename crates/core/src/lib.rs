@@ -35,6 +35,7 @@ pub mod analysis;
 pub mod baseline;
 pub mod budget;
 pub mod dense;
+pub mod fingerprint;
 pub mod invocation_graph;
 pub mod location;
 pub mod lvalue;
@@ -50,11 +51,15 @@ mod map_process;
 mod unmap;
 
 pub use analysis::{
-    analyze, analyze_traced, analyze_with, AnalysisConfig, AnalysisError, AnalysisResult,
-    EscapeEvent, EscapeVia,
+    analyze, analyze_recorded, analyze_seeded, analyze_traced, analyze_with, AnalysisConfig,
+    AnalysisError, AnalysisResult, Capture, EngineRun, EscapeEvent, EscapeVia, WarmPair, WarmSeeds,
+    WarmStart,
 };
 pub use budget::{Budget, BudgetKind, TripPoint};
-pub use invocation_graph::{IgKind, IgNode, IgNodeId, IgStats, InvocationGraph, MapInfo};
+pub use fingerprint::SCHEMA_VERSION;
+pub use invocation_graph::{
+    FragmentNode, IgFragment, IgKind, IgNode, IgNodeId, IgStats, InvocationGraph, MapInfo,
+};
 pub use location::{LocBase, LocId, LocTable, LocationTable, Proj};
 pub use points_to_set::{Def, Flow, PtSet};
 pub use query::FactQuery;

@@ -140,7 +140,7 @@ fn sym_hash(func: FuncId, name: &str) -> u64 {
 /// FxHash of `(base, projs)` to candidate ids (hand-rolled hash
 /// buckets), so lookups never clone the key and hits cost one hash plus
 /// a candidate comparison.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LocationTable {
     data: Vec<LocData>,
     flags: Vec<u8>,
@@ -407,6 +407,104 @@ impl LocationTable {
     /// Iterates over all interned ids.
     pub fn ids(&self) -> impl Iterator<Item = LocId> {
         (0..self.data.len() as u32).map(LocId)
+    }
+
+    /// The symbolic-name registry in creation order (persisted by the
+    /// store so [`LocBase::Symbolic`] indices survive a reload).
+    pub fn symbolic_entries(&self) -> &[SymbolicData] {
+        &self.symbolics
+    }
+
+    /// Re-registers a symbolic name during a snapshot reload, *without*
+    /// interning a location for it (the location rows are replayed
+    /// separately, in id order). Must be called in the registry's
+    /// original creation order. Returns the registry index.
+    pub fn restore_symbolic(
+        &mut self,
+        func: FuncId,
+        name: &str,
+        depth: u32,
+        ty: Option<Type>,
+    ) -> u32 {
+        let h = sym_hash(func, name);
+        let i = self.symbolics.len() as u32;
+        self.symbolics.push(SymbolicData {
+            func,
+            depth,
+            name: name.to_owned(),
+            ty,
+        });
+        self.sym_index.entry(h).or_default().push(i);
+        i
+    }
+
+    /// Recomputes the types and names of variable-rooted rows belonging
+    /// to `funcs` against a (possibly edited) program.
+    ///
+    /// A preloaded table keys rows by `(base, projs)` only, so rows of a
+    /// *dirty* function would otherwise keep the types and names of the
+    /// old source — and location types steer the analysis (pointer-leaf
+    /// enumeration). Rows whose variable no longer exists, or whose
+    /// projection path no longer type-checks, keep their old data: the
+    /// new code can never look such a row up, because resolving the same
+    /// path against the new program fails first.
+    ///
+    /// Rows rooted elsewhere need no refresh: globals and struct layouts
+    /// are skeleton-fixed, `Ret` types are signature-fixed, and symbolic
+    /// types derive from signatures and globals.
+    pub fn refresh_for(&mut self, ir: &IrProgram, funcs: &std::collections::BTreeSet<FuncId>) {
+        for i in 0..self.data.len() {
+            let LocBase::Var(f, v) = self.data[i].base else {
+                continue;
+            };
+            if !funcs.contains(&f) {
+                continue;
+            }
+            let function = ir.function(f);
+            let Some(var) = function.vars.get(v.0 as usize) else {
+                continue;
+            };
+            let mut ty = var.ty.clone();
+            let mut name = var.name.clone();
+            let mut ok = true;
+            for p in &self.data[i].projs {
+                match p {
+                    Proj::Field(fname) => {
+                        let Type::Struct(sid) = ty else {
+                            ok = false;
+                            break;
+                        };
+                        let Some(field) = ir.structs.def(sid).field(fname) else {
+                            ok = false;
+                            break;
+                        };
+                        ty = field.ty.clone();
+                        name.push('.');
+                        name.push_str(fname);
+                    }
+                    Proj::Head => {
+                        let Some(elem) = ty.elem() else {
+                            ok = false;
+                            break;
+                        };
+                        ty = elem.clone();
+                        name.push_str("[0]");
+                    }
+                    Proj::Tail => {
+                        let Some(elem) = ty.elem() else {
+                            ok = false;
+                            break;
+                        };
+                        ty = elem.clone();
+                        name.push_str("[1..]");
+                    }
+                }
+            }
+            if ok {
+                self.data[i].ty = Some(ty);
+                self.data[i].name = name;
+            }
+        }
     }
 }
 

@@ -219,16 +219,14 @@ impl PtSet {
 
     /// A content fingerprint (FNV-1a over the packed words). Equal sets
     /// hash equal; used by the trace layer as a compact input-context
-    /// id for memo hit/miss events.
+    /// id for memo hit/miss events and by the store to match warm
+    /// context pairs.
     pub fn fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h = crate::fingerprint::Fnv1a::new();
         for &w in self.rep.as_slice() {
-            for b in w.to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
+            h.write_u64(w);
         }
-        h
+        h.finish()
     }
 
     /// Index of the pair `(src, tgt)` if present, else its insertion

@@ -1,19 +1,25 @@
 //! Stress-harness driver: generates pathological programs and runs
 //! them through the resilient analysis under tight budgets, failing
 //! (exit 1) if any case panics or violates a robustness invariant.
+//! A second phase replays a deterministic `pta serve` query workload
+//! against warm (snapshot-seeded) engines from `--jobs` concurrent
+//! workers and asserts byte-identical responses.
 //!
 //! ```text
-//! stress [--cases N] [--seed S] [--deadline MS] [--steps N] [--json PATH]
+//! stress [--cases N] [--seed S] [--deadline MS] [--steps N]
+//!        [--serve-cases N] [--jobs N] [--json PATH]
 //! ```
 
+use pta_prop::serve::{run_serve_stress, ServeStressConfig};
 use pta_prop::stress::{run_stress, StressConfig};
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: stress [--cases N] [--seed S] [--deadline MS] [--steps N] [--json PATH]";
+const USAGE: &str = "usage: stress [--cases N] [--seed S] [--deadline MS] [--steps N] \
+     [--serve-cases N] [--jobs N] [--json PATH]";
 
 fn main() -> ExitCode {
     let mut cfg = StressConfig::default();
+    let mut serve_cfg = ServeStressConfig::default();
     let mut json_path: Option<String> = None;
 
     let mut argv = std::env::args().skip(1);
@@ -24,9 +30,19 @@ fn main() -> ExitCode {
         };
         match arg.as_str() {
             "--cases" => cfg.cases = parse(&value("--cases"), "--cases"),
-            "--seed" => cfg.seed = parse_seed(&value("--seed")),
+            "--seed" => {
+                cfg.seed = parse_seed(&value("--seed"));
+                serve_cfg.seed = cfg.seed;
+            }
             "--deadline" => cfg.deadline_ms = parse(&value("--deadline"), "--deadline"),
             "--steps" => cfg.tight_steps = parse(&value("--steps"), "--steps"),
+            "--serve-cases" => serve_cfg.cases = parse(&value("--serve-cases"), "--serve-cases"),
+            "--jobs" => {
+                serve_cfg.jobs = parse(&value("--jobs"), "--jobs");
+                if serve_cfg.jobs == 0 {
+                    die_usage("--jobs must be positive");
+                }
+            }
             "--json" => json_path = Some(value("--json")),
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -41,6 +57,8 @@ fn main() -> ExitCode {
 
     let summary = run_stress(&cfg);
     print!("{}", summary.render());
+    let serve = run_serve_stress(&serve_cfg);
+    print!("{}", serve.render());
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(&path, summary.to_json()) {
             eprintln!("stress: cannot write {path}: {e}");
@@ -48,7 +66,7 @@ fn main() -> ExitCode {
         }
         println!("wrote {path}");
     }
-    if summary.is_clean() {
+    if summary.is_clean() && serve.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,0 +1,525 @@
+//! The `pta serve` query engine: a deterministic JSONL
+//! request/response protocol over a loaded fact base.
+//!
+//! One request per line on stdin, one response per line on stdout.
+//! Requests are flat JSON objects:
+//!
+//! ```text
+//! {"id": 1, "op": "points-to", "func": "main", "var": "p", "stmt": 4}
+//! {"id": 2, "op": "aliases?", "a_func": "main", "a_var": "p", "b_func": "main", "b_var": "q"}
+//! {"id": 3, "op": "call-targets", "site": 0}
+//! {"id": 4, "op": "lint", "function": "main"}
+//! ```
+//!
+//! `stmt` is optional for `points-to`/`aliases?`; without it the query
+//! runs against the exit set of `main`. Responses echo `id`, carry
+//! `"ok": true|false`, and are rendered with sorted keys and sorted
+//! fact lists — byte-identical across runs and across concurrent
+//! clients, which the stress harness asserts under `--jobs`.
+//!
+//! Per-query metrics (`serve-query` events: op, outcome, microseconds)
+//! go to *stderr* so stdout stays deterministic. An optional per-query
+//! budget turns over-deadline answers into `"error": "budget"`
+//! responses instead of stalling the daemon.
+
+use pta_core::{Def, FactQuery, LocId, PtSet, Pta};
+use pta_lint::Diagnostic;
+use pta_simple::{CallSiteId, StmtId};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// A parsed flat-JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl Val {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u32(&self) -> Option<u32> {
+        match self {
+            Val::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
+                Some(*n as u32)
+            }
+            _ => None,
+        }
+    }
+
+    /// Renders the value back as a JSON token (for echoing `id`).
+    fn render(&self) -> String {
+        match self {
+            Val::Str(s) => json_str(s),
+            Val::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Val::Bool(b) => b.to_string(),
+            Val::Null => "null".to_owned(),
+        }
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses one flat JSON object (string/number/bool/null values only —
+/// the full request grammar of the protocol). Hand-rolled because the
+/// build environment is offline; no serde available.
+fn parse_flat(line: &str) -> Result<BTreeMap<String, Val>, String> {
+    let b = line.trim().as_bytes();
+    let mut i = 0usize;
+    let err = |msg: &str, at: usize| format!("{msg} at byte {at}");
+    let skip_ws = |b: &[u8], i: &mut usize| {
+        while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let parse_string = |b: &[u8], i: &mut usize| -> Result<String, String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(err("expected string", *i));
+        }
+        *i += 1;
+        let mut s = String::new();
+        loop {
+            match b.get(*i) {
+                None => return Err(err("unterminated string", *i)),
+                Some(b'"') => {
+                    *i += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    *i += 1;
+                    match b.get(*i) {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*i + 1..*i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| err("bad \\u escape", *i))?;
+                            let v = u32::from_str_radix(hex, 16)
+                                .map_err(|_| err("bad \\u escape", *i))?;
+                            s.push(char::from_u32(v).ok_or_else(|| err("bad \\u escape", *i))?);
+                            *i += 4;
+                        }
+                        _ => return Err(err("bad escape", *i)),
+                    }
+                    *i += 1;
+                }
+                Some(&c) => {
+                    // Collect the full UTF-8 sequence.
+                    let ch_len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = b
+                        .get(*i..*i + ch_len)
+                        .and_then(|ch| std::str::from_utf8(ch).ok())
+                        .ok_or_else(|| err("bad UTF-8", *i))?;
+                    s.push_str(chunk);
+                    *i += ch_len;
+                }
+            }
+        }
+    };
+
+    skip_ws(b, &mut i);
+    if b.get(i) != Some(&b'{') {
+        return Err(err("expected `{`", i));
+    }
+    i += 1;
+    let mut map = BTreeMap::new();
+    skip_ws(b, &mut i);
+    if b.get(i) == Some(&b'}') {
+        i += 1;
+    } else {
+        loop {
+            skip_ws(b, &mut i);
+            let key = parse_string(b, &mut i)?;
+            skip_ws(b, &mut i);
+            if b.get(i) != Some(&b':') {
+                return Err(err("expected `:`", i));
+            }
+            i += 1;
+            skip_ws(b, &mut i);
+            let val = match b.get(i) {
+                Some(b'"') => Val::Str(parse_string(b, &mut i)?),
+                Some(b't') if b[i..].starts_with(b"true") => {
+                    i += 4;
+                    Val::Bool(true)
+                }
+                Some(b'f') if b[i..].starts_with(b"false") => {
+                    i += 5;
+                    Val::Bool(false)
+                }
+                Some(b'n') if b[i..].starts_with(b"null") => {
+                    i += 4;
+                    Val::Null
+                }
+                Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                    let start = i;
+                    while i < b.len()
+                        && (b[i].is_ascii_digit()
+                            || b[i] == b'-'
+                            || b[i] == b'+'
+                            || b[i] == b'.'
+                            || b[i] == b'e'
+                            || b[i] == b'E')
+                    {
+                        i += 1;
+                    }
+                    let n: f64 = std::str::from_utf8(&b[start..i])
+                        .ok()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad number", start))?;
+                    Val::Num(n)
+                }
+                _ => return Err(err("expected a scalar value", i)),
+            };
+            map.insert(key, val);
+            skip_ws(b, &mut i);
+            match b.get(i) {
+                Some(b',') => i += 1,
+                Some(b'}') => {
+                    i += 1;
+                    break;
+                }
+                _ => return Err(err("expected `,` or `}`", i)),
+            }
+        }
+    }
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(err("trailing bytes after object", i));
+    }
+    Ok(map)
+}
+
+/// One metrics record of a served query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryMetrics {
+    /// The requested operation (or `?` when unparsable).
+    pub op: String,
+    /// Whether the query succeeded.
+    pub ok: bool,
+    /// Wall-clock service time in microseconds.
+    pub micros: u128,
+}
+
+impl QueryMetrics {
+    /// Renders the record as a `serve-query` JSONL event (the trace
+    /// schema's shape: an `ev` tag plus flat fields).
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"ev\":\"serve-query\",\"op\":{},\"ok\":{},\"us\":{}}}",
+            json_str(&self.op),
+            self.ok,
+            self.micros
+        )
+    }
+}
+
+/// The query engine behind `pta serve`: an analysed program, its lint
+/// findings, and an optional per-query time budget.
+pub struct ServeEngine {
+    pta: Pta,
+    lint: Vec<Diagnostic>,
+    budget: Option<Duration>,
+}
+
+impl ServeEngine {
+    /// Wraps an analysed program and its lint findings.
+    pub fn new(pta: Pta, lint: Vec<Diagnostic>) -> Self {
+        ServeEngine {
+            pta,
+            lint,
+            budget: None,
+        }
+    }
+
+    /// Sets a per-query wall-clock budget: queries that overrun answer
+    /// `"error": "budget"` instead of their result.
+    pub fn with_budget(mut self, budget: Option<Duration>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The analysed program.
+    pub fn pta(&self) -> &Pta {
+        &self.pta
+    }
+
+    /// Serves one request line; always returns exactly one response
+    /// line (no trailing newline) plus the metrics record for it.
+    pub fn handle_line(&self, line: &str) -> (String, QueryMetrics) {
+        let t0 = Instant::now();
+        let (id, op, body) = match parse_flat(line) {
+            Ok(req) => {
+                let id = req.get("id").cloned().unwrap_or(Val::Null);
+                let op = req
+                    .get("op")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_owned();
+                let body = self.dispatch(&op, &req);
+                (id, op, body)
+            }
+            Err(e) => (Val::Null, "?".to_owned(), Err(format!("bad request: {e}"))),
+        };
+        let elapsed = t0.elapsed();
+        let over = self.budget.is_some_and(|b| elapsed > b);
+        let body = if over { Err("budget".to_owned()) } else { body };
+        let (ok, payload) = match body {
+            Ok(fields) => (true, fields),
+            Err(msg) => (false, format!(",\"error\":{}", json_str(&msg))),
+        };
+        let line = format!("{{\"id\":{},\"ok\":{}{}}}", id.render(), ok, payload);
+        let metrics = QueryMetrics {
+            op,
+            ok,
+            micros: elapsed.as_micros(),
+        };
+        (line, metrics)
+    }
+
+    /// Routes one parsed request. `Ok` carries extra response fields
+    /// (each starting with a comma), `Err` a message.
+    fn dispatch(&self, op: &str, req: &BTreeMap<String, Val>) -> Result<String, String> {
+        match op {
+            "points-to" => self.op_points_to(req),
+            "aliases?" => self.op_aliases(req),
+            "call-targets" => self.op_call_targets(req),
+            "lint" => self.op_lint(req),
+            "?" => Err("missing op".to_owned()),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    fn str_param<'a>(&self, req: &'a BTreeMap<String, Val>, key: &str) -> Result<&'a str, String> {
+        req.get(key)
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("missing string parameter `{key}`"))
+    }
+
+    /// The points-to set at `stmt`, or the exit set of `main` when the
+    /// request names no program point.
+    fn set_at(&self, req: &BTreeMap<String, Val>) -> Result<PtSet, String> {
+        match req.get("stmt") {
+            None | Some(Val::Null) => Ok(self.pta.result.exit_set.clone()),
+            Some(v) => {
+                let stmt = v.as_u32().ok_or("bad `stmt` parameter")?;
+                if stmt >= self.pta.ir.n_stmts {
+                    return Err(format!("no such program point s{stmt}"));
+                }
+                Ok(self.pta.result.at(StmtId(stmt)))
+            }
+        }
+    }
+
+    fn resolve(&self, func: &str, var: &str) -> Result<LocId, String> {
+        self.pta
+            .loc_of(func, var)
+            .ok_or_else(|| format!("unknown location `{var}` in `{func}`"))
+    }
+
+    fn op_points_to(&self, req: &BTreeMap<String, Val>) -> Result<String, String> {
+        let func = self.str_param(req, "func")?;
+        let var = self.str_param(req, "var")?;
+        let src = self.resolve(func, var)?;
+        let set = self.set_at(req)?;
+        let mut targets: Vec<(String, Def)> = set
+            .targets(src)
+            .filter(|(t, _)| !self.pta.result.locs.is_null(*t))
+            .map(|(t, d)| (self.pta.result.locs.name(t).to_owned(), d))
+            .collect();
+        targets.sort();
+        let rendered: Vec<String> = targets
+            .iter()
+            .map(|(n, d)| {
+                format!(
+                    "{{\"name\":{},\"def\":\"{}\"}}",
+                    json_str(n),
+                    match d {
+                        Def::D => "D",
+                        Def::P => "P",
+                    }
+                )
+            })
+            .collect();
+        Ok(format!(",\"targets\":[{}]", rendered.join(",")))
+    }
+
+    fn op_aliases(&self, req: &BTreeMap<String, Val>) -> Result<String, String> {
+        let a = self.resolve(
+            self.str_param(req, "a_func")?,
+            self.str_param(req, "a_var")?,
+        )?;
+        let b = self.resolve(
+            self.str_param(req, "b_func")?,
+            self.str_param(req, "b_var")?,
+        )?;
+        let set = self.set_at(req)?;
+        // Alias verdict on the definitely/possibly lattice: a common
+        // non-NULL target hit definitely by both sides makes the alias
+        // definite; any common target makes it possible.
+        let bt: BTreeMap<LocId, Def> = set
+            .targets(b)
+            .filter(|(t, _)| !self.pta.result.locs.is_null(*t))
+            .collect();
+        let mut verdict = "no";
+        let mut common: Vec<String> = Vec::new();
+        for (t, da) in set.targets(a) {
+            if self.pta.result.locs.is_null(t) {
+                continue;
+            }
+            if let Some(db) = bt.get(&t) {
+                if da == Def::D && *db == Def::D {
+                    verdict = "definitely";
+                } else if verdict == "no" {
+                    verdict = "possibly";
+                }
+                common.push(self.pta.result.locs.name(t).to_owned());
+            }
+        }
+        common.sort();
+        common.dedup();
+        let rendered: Vec<String> = common.iter().map(|n| json_str(n)).collect();
+        Ok(format!(
+            ",\"alias\":{},\"common\":[{}]",
+            json_str(verdict),
+            rendered.join(",")
+        ))
+    }
+
+    fn op_call_targets(&self, req: &BTreeMap<String, Val>) -> Result<String, String> {
+        let site = req
+            .get("site")
+            .and_then(|v| v.as_u32())
+            .ok_or("missing numeric parameter `site`")?;
+        if site as usize >= self.pta.ir.call_sites.len() {
+            return Err(format!("no such call site cs{site}"));
+        }
+        let q = FactQuery::new(&self.pta.ir, &self.pta.result);
+        let names: Vec<String> = q
+            .call_targets(CallSiteId(site))
+            .into_iter()
+            .map(|f| json_str(&self.pta.ir.function(f).name))
+            .collect();
+        Ok(format!(",\"targets\":[{}]", names.join(",")))
+    }
+
+    fn op_lint(&self, req: &BTreeMap<String, Val>) -> Result<String, String> {
+        let filter = match req.get("function") {
+            None | Some(Val::Null) => None,
+            Some(v) => Some(v.as_str().ok_or("bad `function` parameter")?),
+        };
+        let rendered: Vec<String> = self
+            .lint
+            .iter()
+            .filter(|d| filter.is_none_or(|f| d.function == f))
+            .map(|d| {
+                format!(
+                    "{{\"check\":{},\"severity\":{},\"fidelity\":{},\"function\":{},\"message\":{}}}",
+                    json_str(d.check_id),
+                    json_str(d.severity.tag()),
+                    json_str(d.fidelity.tag()),
+                    json_str(&d.function),
+                    json_str(&d.message)
+                )
+            })
+            .collect();
+        Ok(format!(",\"findings\":[{}]", rendered.join(",")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> ServeEngine {
+        let pta = pta_core::run_source(
+            "int x, y;
+             void set(int **p, int *v) { *p = v; }
+             int main(void) { int *q; set(&q, &x); return *q; }",
+        )
+        .unwrap();
+        let lint = pta_lint::lint_ir(
+            &pta.ir,
+            &pta.result,
+            pta_core::Fidelity::ContextSensitive,
+            &pta_lint::LintOptions::default(),
+        );
+        ServeEngine::new(pta, lint)
+    }
+
+    #[test]
+    fn points_to_and_aliases_answer_deterministically() {
+        let e = engine();
+        let (r1, m) = e.handle_line(r#"{"id": 1, "op": "points-to", "func": "main", "var": "q"}"#);
+        assert!(r1.starts_with("{\"id\":1,\"ok\":true"), "{r1}");
+        assert!(r1.contains("\"name\":\"x\""), "{r1}");
+        assert!(m.ok);
+        let (r2, _) = e.handle_line(
+            r#"{"id": 2, "op": "aliases?", "a_func": "main", "a_var": "q", "b_func": "main", "b_var": "q"}"#,
+        );
+        assert!(r2.contains("\"alias\":\"definitely\""), "{r2}");
+        // Same request, same bytes.
+        let (r1b, _) = e.handle_line(r#"{"id": 1, "op": "points-to", "func": "main", "var": "q"}"#);
+        assert_eq!(r1, r1b);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let e = engine();
+        let (r, m) = e.handle_line("not json");
+        assert!(r.starts_with("{\"id\":null,\"ok\":false"), "{r}");
+        assert!(!m.ok);
+        let (r, _) = e.handle_line(r#"{"op": "nope"}"#);
+        assert!(r.contains("unknown op"), "{r}");
+        let (r, _) = e.handle_line(r#"{"op": "points-to", "func": "main", "var": "zz"}"#);
+        assert!(r.contains("unknown location"), "{r}");
+    }
+
+    #[test]
+    fn lint_filter_and_call_targets() {
+        let e = engine();
+        let (r, _) = e.handle_line(r#"{"op": "lint"}"#);
+        assert!(r.contains("\"findings\":["), "{r}");
+        let (r, _) = e.handle_line(r#"{"op": "call-targets", "site": 0}"#);
+        assert!(r.contains("\"set\""), "{r}");
+    }
+}
