@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! report [SECTION] [--jobs N] [--timings] [--lint] [--profile]
-//!        [--json PATH] [--store-dir DIR] [--deadline MS] [--budget N]
+//!        [--json PATH] [--serve-json PATH] [--store-dir DIR]
+//!        [--deadline MS] [--budget N]
 //!
 //! SECTION: table2|table3|table4|table5|table6|livc|ablation|
 //!          heap-sites|summary|all        (default: all)
@@ -16,6 +17,9 @@
 //! --json PATH  write suite timings as JSON (the CI bench artifact);
 //!              entries embed per-benchmark diagnostic counts and the
 //!              deterministic trace-metrics counters
+//! --serve-json PATH  embed a `pta.load.v1` artifact (written by
+//!              `pta-load --json`) as a `"serve"` section of the JSON
+//!              artifact, and print its throughput/latency table
 //! --store-dir DIR  write one fact-store snapshot per benchmark to
 //!              DIR/<name>.ptas and time a warm (snapshot-seeded)
 //!              re-analysis next to the cold one; the timing table and
@@ -48,6 +52,7 @@ fn main() {
     let mut lint = false;
     let mut profile = false;
     let mut json: Option<String> = None;
+    let mut serve_json: Option<String> = None;
     let mut store_dir: Option<String> = None;
     let mut config = AnalysisConfig::default();
     let mut args = std::env::args().skip(1);
@@ -69,6 +74,10 @@ fn main() {
             "--json" => match args.next() {
                 Some(p) => json = Some(p),
                 None => die_usage("--json expects a file path"),
+            },
+            "--serve-json" => match args.next() {
+                Some(p) => serve_json = Some(p),
+                None => die_usage("--serve-json expects a file path"),
             },
             "--store-dir" => match args.next() {
                 Some(p) => store_dir = Some(p),
@@ -112,6 +121,16 @@ fn main() {
             ));
         }
     }
+    // Load (and validate) the pta-load artifact up front so a missing
+    // or corrupt file fails before the suite spends minutes analysing.
+    let serve_artifact: Option<String> = serve_json.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die_usage(&format!("cannot read {path}: {e}")));
+        if let Err(e) = report::parse_serve_artifact(&text) {
+            die_usage(&format!("{path}: {e}"));
+        }
+        text
+    });
     let jobs = jobs.unwrap_or_else(pta_benchsuite::default_jobs);
     let arg = section.unwrap_or_else(|| "all".to_owned());
     let want = |s: &str| arg == s || arg == "all";
@@ -127,6 +146,7 @@ fn main() {
         || lint
         || profile
         || json.is_some()
+        || serve_json.is_some()
         || store_dir.is_some();
     if suite_wanted {
         // Metrics ride along whenever the artifact or the profile table
@@ -220,8 +240,22 @@ fn main() {
                 suite.profile_table()
             );
         }
+        if let Some(text) = &serve_artifact {
+            // Validated at startup, so these unwraps cannot fire.
+            let parsed = report::parse_serve_artifact(text).expect("validated at startup");
+            println!(
+                "== Serving throughput (pta-load) ==\n{}",
+                report::serve_table(&parsed)
+            );
+        }
         if let Some(path) = &json {
-            std::fs::write(path, suite.timings_json())
+            let artifact = match &serve_artifact {
+                Some(text) => suite
+                    .timings_json_with_serve(text)
+                    .expect("validated at startup"),
+                None => suite.timings_json(),
+            };
+            std::fs::write(path, artifact)
                 .unwrap_or_else(|e| die_usage(&format!("cannot write {path}: {e}")));
             eprintln!("wrote timings to {path}");
         }

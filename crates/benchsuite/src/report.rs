@@ -660,6 +660,22 @@ impl SuiteReport {
         out
     }
 
+    /// [`Self::timings_json`] with a `"serve"` section spliced in.
+    /// `serve` is the raw `pta.load.v1` artifact written by
+    /// `pta-load --json`; it is parsed, checked for the schema stamp,
+    /// and re-rendered canonically so a truncated or foreign file can
+    /// never be published inside the bench artifact.
+    pub fn timings_json_with_serve(&self, serve: &str) -> Result<String, String> {
+        let value = parse_serve_artifact(serve)?;
+        let mut out = self.timings_json();
+        debug_assert!(out.ends_with("]}\n"));
+        out.truncate(out.len() - 2);
+        out.push_str(",\"serve\":");
+        out.push_str(&value.render());
+        out.push_str("}\n");
+        Ok(out)
+    }
+
     /// Renders the per-benchmark diagnostics table (the `--lint`
     /// section): error/warning counts plus a per-check breakdown.
     /// Byte-identical for every job count, like the paper tables.
@@ -837,6 +853,84 @@ fn json_escape(s: &str) -> String {
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
             c => out.push(c),
         }
+    }
+    out
+}
+
+/// Parses and validates a `pta.load.v1` serve artifact (the file
+/// `pta-load --json` writes). Rejects non-JSON input, non-objects, and
+/// anything without the right `"schema"` stamp.
+pub fn parse_serve_artifact(text: &str) -> Result<pta_store::json::Json, String> {
+    let value =
+        pta_store::json::parse(text.trim()).map_err(|e| format!("invalid serve JSON: {e}"))?;
+    match value.get("schema").and_then(pta_store::json::Json::as_str) {
+        Some("pta.load.v1") => Ok(value),
+        Some(other) => Err(format!(
+            "serve JSON has schema `{other}`, want `pta.load.v1`"
+        )),
+        None => Err("serve JSON is missing its `schema` stamp".to_owned()),
+    }
+}
+
+/// Renders the human-readable serve summary (the `--serve-json`
+/// section): throughput and latency percentiles from a `pta.load.v1`
+/// artifact. Missing fields render as `-` rather than failing, so a
+/// schema-compatible artifact from a newer generator still prints.
+pub fn serve_table(artifact: &pta_store::json::Json) -> String {
+    use pta_store::json::Json;
+    let fmt = |v: Option<f64>| -> String {
+        match v {
+            Some(v) if v.fract() == 0.0 => format!("{}", v as i64),
+            Some(v) => format!("{v:.1}"),
+            None => "-".to_owned(),
+        }
+    };
+    let num = |key: &str| fmt(artifact.get(key).and_then(Json::as_f64));
+    let lat = |key: &str| {
+        fmt(artifact
+            .get("latency_us")
+            .and_then(|l| l.get(key))
+            .and_then(Json::as_f64))
+    };
+    let programs = match artifact.get("programs").and_then(Json::as_arr) {
+        Some(items) => items
+            .iter()
+            .filter_map(Json::as_str)
+            .collect::<Vec<_>>()
+            .join(" "),
+        None => "-".to_owned(),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>8} {:>10} {:>9} {:>9} {:>9} {:>7}",
+        "programs", "queries", "conns", "qps", "p50-us", "p90-us", "p99-us", "errors"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>8} {:>10} {:>9} {:>9} {:>9} {:>7}",
+        programs,
+        num("queries"),
+        num("conns"),
+        num("qps"),
+        lat("p50"),
+        lat("p90"),
+        lat("p99"),
+        num("errors"),
+    );
+    if let Some(v) = artifact.get("verified").and_then(|j| match j {
+        Json::Bool(b) => Some(*b),
+        _ => None,
+    }) {
+        let _ = writeln!(
+            out,
+            "responses {} across connection counts",
+            if v {
+                "verified byte-identical"
+            } else {
+                "DIFFER"
+            }
+        );
     }
     out
 }
@@ -1222,6 +1316,44 @@ mod tests {
             let a = analyse(b);
             assert!(a.is_ok(), "{} failed: {:?}", b.name, a.err());
         }
+    }
+
+    #[test]
+    fn serve_section_embeds_and_renders() {
+        let suite = SuiteReport {
+            rows: Vec::new(),
+            timings: Vec::new(),
+            jobs: 1,
+            wall: Duration::from_millis(5),
+        };
+        let artifact = "{\"schema\":\"pta.load.v1\",\"addr\":\"tcp:127.0.0.1:9\",\
+             \"programs\":[\"hash\",\"misr\"],\"conns\":4,\"rounds\":2,\"seed\":\"0x1\",\
+             \"batch\":1,\"queries\":64,\"ok\":64,\"errors\":0,\"wall_ms\":12,\
+             \"qps\":5333.3,\"latency_us\":{\"p50\":80,\"p90\":120,\"p99\":400,\
+             \"max\":700},\"verified\":true}";
+        let out = suite.timings_json_with_serve(artifact).expect("embed");
+        assert!(
+            out.contains("\"serve\":{\"schema\":\"pta.load.v1\""),
+            "{out}"
+        );
+        // The combined artifact must still be one well-formed document.
+        let whole = pta_store::json::parse(out.trim()).expect("artifact parses");
+        let conns = whole
+            .get("serve")
+            .and_then(|s| s.get("conns"))
+            .and_then(pta_store::json::Json::as_f64);
+        assert_eq!(conns, Some(4.0));
+        // Anything but a stamped pta.load.v1 object is refused.
+        assert!(suite.timings_json_with_serve("{}").is_err());
+        assert!(suite
+            .timings_json_with_serve("{\"schema\":\"other\"}")
+            .is_err());
+        assert!(suite.timings_json_with_serve("not json").is_err());
+        // The human-readable table carries the headline numbers.
+        let table = serve_table(&parse_serve_artifact(artifact).unwrap());
+        assert!(table.contains("hash misr"), "{table}");
+        assert!(table.contains("5333.3"), "{table}");
+        assert!(table.contains("verified byte-identical"), "{table}");
     }
 
     #[test]

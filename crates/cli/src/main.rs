@@ -8,7 +8,8 @@
 //!              [--deadline MS] [--budget N]
 //! pta trace <file.c> [--trace-out PATH] [--chrome-out PATH]
 //!              [--metrics] [--scrub-timings] [--deadline MS] [--budget N]
-//! pta serve <file.c> [--store PATH] [--query-deadline MS] [--metrics]
+//! pta serve <file.c>... [--store PATH | --store-dir DIR] [--listen ADDR]
+//!              [--cache N] [--query-deadline MS] [--metrics]
 //!              [--deadline MS] [--budget N]
 //! ```
 //!
@@ -24,11 +25,16 @@
 //! findings are capped at warning severity — even for checks escalated
 //! with `--deny` — so a degraded run never exits 1 via findings alone.
 //!
-//! `pta serve` analyses the file once — warmed from a `--store`
-//! snapshot when one is usable, falling back to a cold run on any
-//! store problem — then answers JSONL queries (`points-to`,
-//! `aliases?`, `call-targets`, `lint`) on stdin/stdout until EOF.
-//! Responses are byte-deterministic; per-query metrics go to stderr.
+//! `pta serve` analyses each file once — warmed from its snapshot
+//! (`--store` / `--store-dir`) when one is usable, falling back to a
+//! cold run on any store problem — then answers JSONL queries
+//! (`points-to`, `aliases?`, `call-targets`, `lint`) on stdin/stdout
+//! until EOF, or over concurrent socket connections with `--listen`.
+//! With several files, requests pick their program by file stem; an
+//! LRU cache (`--cache`) bounds resident tenants and snapshots reload
+//! in place when their files change on disk. Responses are
+//! byte-deterministic; per-query metrics go to stderr. See
+//! `docs/SERVING.md`.
 //!
 //! `pta trace` runs the analysis with the observability layer attached
 //! (see `docs/TRACING.md`): the JSONL event stream goes to stdout or
@@ -376,30 +382,41 @@ fn run_trace(args: impl Iterator<Item = String>) -> ExitCode {
 }
 
 struct ServeCliOptions {
-    file: Option<String>,
+    files: Vec<String>,
     store: Option<String>,
+    store_dir: Option<String>,
+    listen: Option<String>,
+    cache: Option<usize>,
     metrics: bool,
     query_deadline: Option<Duration>,
     config: AnalysisConfig,
 }
 
 fn serve_usage() -> String {
-    "usage: pta serve <file.c> [--store PATH] [--query-deadline MS] \
-     [--metrics] [--deadline MS] [--budget N]\n\
-     JSONL request/response daemon on stdin/stdout. Requests: \
-     {\"id\":…,\"op\":\"points-to\"|\"aliases?\"|\"call-targets\"|\"lint\",…}. \
-     With --store, the analysis warms from the snapshot when it is \
-     usable (and rewrites it afterwards); any store problem degrades to \
-     a cold run. --query-deadline bounds each request; --metrics emits \
-     per-query serve-query events on stderr (stdout stays \
-     byte-deterministic)."
+    "usage: pta serve <file.c>... [--store PATH | --store-dir DIR] \
+     [--listen ADDR] [--cache N] [--query-deadline MS] [--metrics] \
+     [--deadline MS] [--budget N]\n\
+     JSONL request/response daemon (see docs/SERVING.md). Requests: \
+     {\"id\":…,\"op\":\"points-to\"|\"aliases?\"|\"call-targets\"|\"lint\",…}, \
+     or a JSON array of them (a batch). With several files, each \
+     request selects its tenant with \"program\": \"<file stem>\". \
+     --listen unix:PATH | tcp:HOST:PORT | HOST:PORT serves concurrent \
+     socket connections instead of stdin/stdout. --store (one file) or \
+     --store-dir names the snapshots to warm from and rewrite; any \
+     store problem degrades to a cold run. --cache caps resident \
+     tenants (LRU). --query-deadline bounds each request; --metrics \
+     emits per-query serve-query events on stderr (responses stay \
+     byte-deterministic on both transports)."
         .to_owned()
 }
 
 fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCliOptions, String> {
     let mut o = ServeCliOptions {
-        file: None,
+        files: Vec::new(),
         store: None,
+        store_dir: None,
+        listen: None,
+        cache: None,
         metrics: false,
         query_deadline: None,
         config: AnalysisConfig::default(),
@@ -408,6 +425,14 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCliOption
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--store" => o.store = Some(parse_value(&mut argv, "--store")?),
+            "--store-dir" => o.store_dir = Some(parse_value(&mut argv, "--store-dir")?),
+            "--listen" => o.listen = Some(parse_value(&mut argv, "--listen")?),
+            "--cache" => {
+                o.cache = Some(parse_value(&mut argv, "--cache")?);
+                if o.cache == Some(0) {
+                    return Err("--cache must be positive".to_owned());
+                }
+            }
             "--metrics" => o.metrics = true,
             "--query-deadline" => {
                 let ms: u64 = parse_value(&mut argv, "--query-deadline")?;
@@ -425,23 +450,20 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCliOption
                 o.config.max_steps = n;
             }
             "--help" | "-h" => return Err(serve_usage()),
-            f if !f.starts_with('-') => {
-                if o.file.is_some() {
-                    return Err("only one input file is supported".to_owned());
-                }
-                o.file = Some(f.to_owned());
-            }
+            f if !f.starts_with('-') => o.files.push(f.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{}", serve_usage())),
         }
     }
-    if o.file.is_none() {
+    if o.files.is_empty() {
         return Err(serve_usage());
+    }
+    if o.store.is_some() && (o.files.len() > 1 || o.store_dir.is_some()) {
+        return Err("--store names one snapshot; use --store-dir with several files".to_owned());
     }
     Ok(o)
 }
 
 fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
-    use std::io::{BufRead, Write};
     let opts = match parse_serve_args(args) {
         Ok(o) => o,
         Err(e) => {
@@ -449,7 +471,19 @@ fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let file = opts.file.as_deref().expect("checked in parse_serve_args");
+    // One file on stdio keeps the original eager single-engine daemon
+    // (same stderr lines, no snapshot write unless --store). Several
+    // files, --store-dir, or --listen go through the tenant cache.
+    if opts.files.len() == 1 && opts.listen.is_none() && opts.store_dir.is_none() {
+        run_serve_single(&opts)
+    } else {
+        run_serve_tenants(&opts)
+    }
+}
+
+/// The single-snapshot stdin/stdout daemon.
+fn run_serve_single(opts: &ServeCliOptions) -> ExitCode {
+    let file = opts.files.first().expect("checked in parse_serve_args");
     let source = match std::fs::read_to_string(file) {
         Ok(s) => s,
         Err(e) => {
@@ -511,21 +545,115 @@ fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
     )
     .with_budget(opts.query_deadline);
     eprintln!("pta serve: ready");
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
+    serve_stdio(&engine, opts.metrics)
+}
+
+/// The multi-tenant daemon: an LRU snapshot cache behind either stdio
+/// or a socket listener.
+fn run_serve_tenants(opts: &ServeCliOptions) -> ExitCode {
+    use std::path::{Path, PathBuf};
+    // Snapshots always have a home here: an explicit --store/--store-dir
+    // or a per-process scratch directory (the cache rewrites snapshots
+    // after each build).
+    let store_dir = opts
+        .store_dir
+        .clone()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("pta-serve-{}", std::process::id())));
+    if let Err(e) = std::fs::create_dir_all(&store_dir) {
+        eprintln!("pta serve: cannot create `{}`: {e}", store_dir.display());
+        return ExitCode::from(2);
+    }
+    let mut specs = Vec::new();
+    for file in &opts.files {
+        let mut spec = pta_store::TenantSpec::from_source(Path::new(file), &store_dir);
+        if let Some(store) = opts.store.as_deref() {
+            spec.store = PathBuf::from(store);
+        }
+        if specs
+            .iter()
+            .any(|s: &pta_store::TenantSpec| s.name == spec.name)
+        {
+            eprintln!("pta serve: duplicate program name `{}`", spec.name);
+            return ExitCode::from(2);
+        }
+        specs.push(spec);
+    }
+    let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+    let capacity = opts.cache.unwrap_or(specs.len());
+    let cache =
+        pta_store::TenantCache::new(specs, capacity, opts.config.clone(), opts.query_deadline);
+    // Eager preload (up to the cache capacity, in argument order) so
+    // "ready" means warmed, not "will analyse on first query".
+    for name in names.iter().take(capacity) {
+        match cache.resolve(Some(name)) {
+            Ok(t) => eprintln!("pta serve: {}: {}", name, t.mode),
             Err(e) => {
-                eprintln!("pta serve: stdin: {e}");
+                eprintln!("pta serve: {e}");
                 return ExitCode::FAILURE;
             }
-        };
-        if line.trim().is_empty() {
-            continue;
         }
-        let (response, metrics) = engine.handle_line(&line);
+    }
+    let router = pta_store::Router::new(cache);
+    let Some(listen) = opts.listen.as_deref() else {
+        eprintln!("pta serve: ready");
+        return serve_stdio(&router, opts.metrics);
+    };
+    let addr = match pta_store::parse_listen(listen) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pta serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let listener = match pta_store::Listener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("pta serve: cannot listen on `{addr}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("pta serve: listening on {}", listener.local_addr());
+    eprintln!("pta serve: ready");
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    match pta_store::server::serve(&listener, &router, &stop, opts.metrics) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pta serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The stdin/stdout request loop, shared by both daemons. Per-request
+/// errors — malformed JSON, invalid UTF-8 — are answered in-band and
+/// never terminate the loop; only EOF and real I/O conditions end it
+/// (cleanly).
+fn serve_stdio(handler: &impl pta_store::LineHandler, metrics: bool) -> ExitCode {
+    use std::io::{BufRead, Write};
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut out = stdout.lock();
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        match input.read_until(b'\n', &mut buf) {
+            Ok(0) => return ExitCode::SUCCESS,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("pta serve: stdin: {e}");
+                return ExitCode::SUCCESS;
+            }
+        }
+        let (response, batch) = match std::str::from_utf8(&buf) {
+            Ok(text) if text.trim().is_empty() => continue,
+            Ok(text) => handler.handle_text(text),
+            Err(_) => {
+                let (r, m) = handler.handle_invalid("bad request: invalid UTF-8");
+                (r, vec![m])
+            }
+        };
         if writeln!(out, "{response}")
             .and_then(|()| out.flush())
             .is_err()
@@ -533,11 +661,12 @@ fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
             // Client went away; a clean shutdown, not an error.
             return ExitCode::SUCCESS;
         }
-        if opts.metrics {
-            eprintln!("{}", metrics.render());
+        if metrics {
+            for m in &batch {
+                eprintln!("{}", m.render());
+            }
         }
     }
-    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {

@@ -42,6 +42,7 @@ pub mod lvalue;
 pub mod points_to_set;
 pub mod query;
 pub mod resilient;
+pub mod shared;
 pub mod stats;
 pub mod trace;
 
@@ -64,6 +65,7 @@ pub use location::{LocBase, LocId, LocTable, LocationTable, Proj};
 pub use points_to_set::{Def, Flow, PtSet};
 pub use query::FactQuery;
 pub use resilient::{analyze_resilient, analyze_resilient_traced, Fidelity, ResilientOutcome};
+pub use shared::Shared;
 pub use trace::{
     render_jsonl, ChromeTraceSink, EventSpec, FuncMetrics, JsonlSink, TeeSink, TraceEvent,
     TraceMetrics, TraceSink, EVENT_SPECS,

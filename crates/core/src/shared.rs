@@ -1,0 +1,118 @@
+//! A shared, atomically swappable, read-only snapshot handle.
+//!
+//! The serving layer keeps one immutable analysed snapshot per program
+//! and shares it across every connection via `Arc` — no re-parse, no
+//! copy. When the on-disk store changes, the snapshot is *replaced*,
+//! never mutated: readers that already hold an `Arc` keep answering
+//! from the old version until they drop it (the old `Arc` drains),
+//! while every new [`Shared::load`] sees the replacement. This type is
+//! that reload primitive.
+//!
+//! ```
+//! use pta_core::shared::Shared;
+//!
+//! let handle = Shared::new("v1".to_owned());
+//! let reader = handle.load();           // a long-lived connection
+//! let old = handle.swap("v2".to_owned());
+//! assert_eq!(*old, "v1");
+//! assert_eq!(*reader, "v1");            // old readers drain gracefully
+//! assert_eq!(*handle.load(), "v2");     // new readers see the swap
+//! assert_eq!(handle.epoch(), 1);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// An `Arc`-shared value that can be atomically replaced.
+///
+/// `load` is cheap (one `RwLock` read + `Arc` clone) and never blocks
+/// behind a long computation: builders construct the replacement value
+/// *outside* the handle and only [`Shared::swap`] it in. The epoch
+/// counter increments on every swap, so callers can tell whether the
+/// value they hold is current without comparing contents.
+#[derive(Debug)]
+pub struct Shared<T> {
+    slot: RwLock<Arc<T>>,
+    epoch: AtomicU64,
+}
+
+impl<T> Shared<T> {
+    /// Wraps an initial value (epoch 0).
+    pub fn new(value: T) -> Self {
+        Shared {
+            slot: RwLock::new(Arc::new(value)),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The current value. The returned `Arc` stays valid across any
+    /// number of subsequent [`Shared::swap`]s.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.slot.read().expect("internal: Shared lock poisoned"))
+    }
+
+    /// Replaces the value, returning the previous one and bumping the
+    /// epoch. Existing `Arc`s from [`Shared::load`] are unaffected.
+    pub fn swap(&self, value: T) -> Arc<T> {
+        self.swap_arc(Arc::new(value))
+    }
+
+    /// [`Shared::swap`] for a value that is already shared.
+    pub fn swap_arc(&self, value: Arc<T>) -> Arc<T> {
+        let mut slot = self.slot.write().expect("internal: Shared lock poisoned");
+        let old = std::mem::replace(&mut *slot, value);
+        self.epoch.fetch_add(1, Ordering::Release);
+        old
+    }
+
+    /// How many times the value has been replaced.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+impl<T> From<T> for Shared<T> {
+    fn from(value: T) -> Self {
+        Shared::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_is_visible_to_new_loads_only() {
+        let h = Shared::new(vec![1, 2, 3]);
+        let before = h.load();
+        assert_eq!(h.epoch(), 0);
+        let old = h.swap(vec![4]);
+        assert_eq!(*old, vec![1, 2, 3]);
+        assert_eq!(*before, vec![1, 2, 3]);
+        assert_eq!(*h.load(), vec![4]);
+        assert_eq!(h.epoch(), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_see_a_consistent_value() {
+        let h = Arc::new(Shared::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        // Whatever version a reader gets, it is a full
+                        // value, never a torn one.
+                        let v = h.load();
+                        assert!(*v <= 1000);
+                    }
+                });
+            }
+            for i in 1..=1000u64 {
+                h.swap(i);
+            }
+        });
+        assert_eq!(*h.load(), 1000);
+        assert_eq!(h.epoch(), 1000);
+    }
+}

@@ -3,11 +3,13 @@
 //! (exit 1) if any case panics or violates a robustness invariant.
 //! A second phase replays a deterministic `pta serve` query workload
 //! against warm (snapshot-seeded) engines from `--jobs` concurrent
-//! workers and asserts byte-identical responses.
+//! workers — in-process *and* over real TCP connections (pipelined and
+//! batched) — and asserts byte-identical responses everywhere;
+//! `--serve-stdio-only` skips the socket replay.
 //!
 //! ```text
 //! stress [--cases N] [--seed S] [--deadline MS] [--steps N]
-//!        [--serve-cases N] [--jobs N] [--json PATH]
+//!        [--serve-cases N] [--jobs N] [--serve-stdio-only] [--json PATH]
 //! ```
 
 use pta_prop::serve::{run_serve_stress, ServeStressConfig};
@@ -15,7 +17,7 @@ use pta_prop::stress::{run_stress, StressConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: stress [--cases N] [--seed S] [--deadline MS] [--steps N] \
-     [--serve-cases N] [--jobs N] [--json PATH]";
+     [--serve-cases N] [--jobs N] [--serve-stdio-only] [--json PATH]";
 
 fn main() -> ExitCode {
     let mut cfg = StressConfig::default();
@@ -43,6 +45,7 @@ fn main() -> ExitCode {
                     die_usage("--jobs must be positive");
                 }
             }
+            "--serve-stdio-only" => serve_cfg.socket = false,
             "--json" => json_path = Some(value("--json")),
             "--help" | "-h" => {
                 println!("{USAGE}");

@@ -12,7 +12,11 @@
 //! 2. **thread independence** — under `--jobs N`, every worker replaying
 //!    the workload concurrently gets byte-identical responses;
 //! 3. **no panics** — a panic anywhere (store codec, warm start, query
-//!    dispatch) is caught and reported as a harness failure.
+//!    dispatch) is caught and reported as a harness failure;
+//! 4. **transport independence** — the same workload replayed over real
+//!    TCP connections (one per worker, concurrently, plus the whole
+//!    workload as a single batch line) gets the same bytes as the
+//!    in-process engine.
 //!
 //! Everything is seeded; a failing case prints the seed that replays it.
 
@@ -35,6 +39,9 @@ pub struct ServeStressConfig {
     pub seed: u64,
     /// Concurrent workers replaying the workload per case.
     pub jobs: usize,
+    /// Also replay the workload over a real TCP connection per worker
+    /// (invariant 4); `false` keeps the phase in-process only.
+    pub socket: bool,
 }
 
 impl Default for ServeStressConfig {
@@ -43,6 +50,7 @@ impl Default for ServeStressConfig {
             cases: 8,
             seed: crate::DEFAULT_SEED,
             jobs: 2,
+            socket: true,
         }
     }
 }
@@ -184,9 +192,86 @@ pub fn build_workload(ir: &IrProgram, g: &mut Rng) -> Vec<String> {
     lines
 }
 
+/// Replays the workload over TCP against `engine` served in-process:
+/// `jobs` concurrent pipelined connections plus one batch-line
+/// connection, each compared byte-for-byte against `golden`.
+fn run_socket_phase(
+    engine: &ServeEngine,
+    workload: &[String],
+    golden: &[String],
+    jobs: usize,
+) -> Result<(), String> {
+    use pta_store::server::{connect, serve, ListenAddr, Listener};
+    use std::io::{BufReader, Read as _, Write as _};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let listener = Listener::bind(&ListenAddr::Tcp("127.0.0.1:0".to_owned()))
+        .map_err(|e| format!("socket bind: {e}"))?;
+    let addr = listener.local_addr();
+    let stop = AtomicBool::new(false);
+    let result = std::thread::scope(|s| -> Result<(), String> {
+        let server = s.spawn(|| serve(&listener, engine, &stop, false));
+        let replay = |label: String, lines: Vec<String>| -> Result<Vec<String>, String> {
+            let mut conn = connect(&addr).map_err(|e| format!("{label}: connect: {e}"))?;
+            // Pipeline everything before reading anything back.
+            let mut request = String::new();
+            for l in &lines {
+                request.push_str(l);
+                request.push('\n');
+            }
+            conn.write_all(request.as_bytes())
+                .and_then(|()| conn.shutdown_write())
+                .map_err(|e| format!("{label}: send: {e}"))?;
+            let mut responses = String::new();
+            BufReader::new(conn)
+                .read_to_string(&mut responses)
+                .map_err(|e| format!("{label}: recv: {e}"))?;
+            Ok(responses.lines().map(str::to_owned).collect())
+        };
+        let mut clients = Vec::new();
+        for worker in 0..jobs {
+            let lines = workload.to_vec();
+            clients.push(s.spawn(move || replay(format!("socket worker {worker}"), lines)));
+        }
+        for (worker, c) in clients.into_iter().enumerate() {
+            let got = c
+                .join()
+                .map_err(|_| "socket worker panicked".to_owned())??;
+            if got.len() != golden.len() {
+                return Err(format!(
+                    "socket worker {worker}: {} responses for {} requests",
+                    got.len(),
+                    golden.len()
+                ));
+            }
+            for (i, (g_, w)) in got.iter().zip(golden).enumerate() {
+                if g_ != w {
+                    return Err(format!(
+                        "socket worker {worker} diverged on query {i}:\n  got:  {g_}\n  want: {w}"
+                    ));
+                }
+            }
+        }
+        // The whole workload as one batch line answers one array line
+        // of the same individual responses.
+        let batch = format!("[{}]", workload.join(","));
+        let got = replay("socket batch".to_owned(), vec![batch])?;
+        let want = vec![format!("[{}]", golden.join(","))];
+        if got != want {
+            return Err("socket batch response diverged from per-line responses".to_owned());
+        }
+        stop.store(true, Ordering::Release);
+        server
+            .join()
+            .map_err(|_| "socket server panicked".to_owned())?
+            .map_err(|e| format!("socket server: {e}"))
+    });
+    result
+}
+
 /// Runs one generated program through store + serve and checks the
-/// three invariants. Returns the per-worker query count.
-fn run_serve_case(source: &str, jobs: usize, g: &mut Rng) -> Result<usize, String> {
+/// invariants. Returns the per-worker query count.
+fn run_serve_case(source: &str, jobs: usize, socket: bool, g: &mut Rng) -> Result<usize, String> {
     let config = AnalysisConfig::default();
     let ir = pta_simple::compile(source).map_err(|e| format!("compile: {e}"))?;
     let cold = pta_core::analyze_recorded(&ir, config.clone())
@@ -261,6 +346,11 @@ fn run_serve_case(source: &str, jobs: usize, g: &mut Rng) -> Result<usize, Strin
             }
         }
     }
+
+    // Invariant 4: the socket transport changes nothing about the bytes.
+    if socket {
+        run_socket_phase(&warm_engine, &workload, &golden, jobs)?;
+    }
     Ok(workload.len())
 }
 
@@ -277,7 +367,9 @@ pub fn run_serve_stress(cfg: &ServeStressConfig) -> ServeStressSummary {
         let family = cgen::FAMILIES[case as usize % cgen::FAMILIES.len()];
         let source = cgen::generate(family, &mut g);
         let t0 = Instant::now();
-        let caught = catch_unwind(AssertUnwindSafe(|| run_serve_case(&source, jobs, &mut g)));
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_serve_case(&source, jobs, cfg.socket, &mut g)
+        }));
         let (queries, outcome) = match caught {
             Ok(Ok(n)) => (n, Ok(())),
             Ok(Err(msg)) => (0, Err(msg)),

@@ -23,13 +23,22 @@
 //!   contract the tier-1 tests pin down.
 //! - [`serve`] answers `points-to` / `aliases?` / `call-targets` /
 //!   `lint` queries over a loaded snapshot as a JSONL request/response
-//!   protocol (the `pta serve` subcommand).
+//!   protocol (the `pta serve` subcommand); [`tenant`] puts many
+//!   programs behind one server (LRU snapshot cache, graceful reload)
+//!   and [`server`] carries the protocol over TCP / Unix-domain
+//!   sockets with per-connection scoped threads. [`json`] is the
+//!   shared hand-rolled JSON layer beneath all of it.
 
 pub mod format;
+pub mod json;
 pub mod serve;
+pub mod server;
+pub mod tenant;
 
 pub use format::{parse, serialize, FnRow, LintRow, NodeRow, Snapshot, StoreError, MAGIC};
 pub use serve::ServeEngine;
+pub use server::{connect, parse_listen, LineHandler, ListenAddr, Listener};
+pub use tenant::{Router, TenantCache, TenantSpec};
 
 use pta_cfront::ast::FuncId;
 use pta_core::analysis::{

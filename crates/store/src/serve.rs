@@ -1,8 +1,8 @@
 //! The `pta serve` query engine: a deterministic JSONL
 //! request/response protocol over a loaded fact base.
 //!
-//! One request per line on stdin, one response per line on stdout.
-//! Requests are flat JSON objects:
+//! One request per line, one response per line. Requests are flat JSON
+//! objects:
 //!
 //! ```text
 //! {"id": 1, "op": "points-to", "func": "main", "var": "p", "stmt": 4}
@@ -11,223 +11,30 @@
 //! {"id": 4, "op": "lint", "function": "main"}
 //! ```
 //!
+//! A line may also be a JSON *array* of request objects — a batch. The
+//! response is then a JSON array of the individual responses, in
+//! request order, still on one line ([`ServeEngine::handle_text`]).
+//!
 //! `stmt` is optional for `points-to`/`aliases?`; without it the query
 //! runs against the exit set of `main`. Responses echo `id`, carry
 //! `"ok": true|false`, and are rendered with sorted keys and sorted
 //! fact lists — byte-identical across runs and across concurrent
-//! clients, which the stress harness asserts under `--jobs`.
+//! clients, which the stress harness asserts under `--jobs` (and over
+//! real socket connections, see the `server` module).
 //!
-//! Per-query metrics (`serve-query` events: op, outcome, microseconds)
-//! go to *stderr* so stdout stays deterministic. An optional per-query
-//! budget turns over-deadline answers into `"error": "budget"`
-//! responses instead of stalling the daemon.
+//! Per-query metrics (`serve-query` events: op, outcome, microseconds,
+//! and the program name on multi-tenant servers) go to *stderr* so
+//! stdout stays deterministic. An optional per-query budget turns
+//! over-deadline answers into `"error": "budget"` responses instead of
+//! stalling the daemon. Errors of any kind — unparsable lines, unknown
+//! ops, bad parameters — are answered as structured error objects;
+//! they never terminate the serving loop.
 
+use crate::json::{self, escape as json_str, Json};
 use pta_core::{Def, FactQuery, LocId, PtSet, Pta};
 use pta_lint::Diagnostic;
 use pta_simple::{CallSiteId, StmtId};
-use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
-
-/// A parsed flat-JSON scalar.
-#[derive(Debug, Clone, PartialEq)]
-enum Val {
-    Str(String),
-    Num(f64),
-    Bool(bool),
-    Null,
-}
-
-impl Val {
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Val::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_u32(&self) -> Option<u32> {
-        match self {
-            Val::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
-                Some(*n as u32)
-            }
-            _ => None,
-        }
-    }
-
-    /// Renders the value back as a JSON token (for echoing `id`).
-    fn render(&self) -> String {
-        match self {
-            Val::Str(s) => json_str(s),
-            Val::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 9e15 {
-                    format!("{}", *n as i64)
-                } else {
-                    format!("{n}")
-                }
-            }
-            Val::Bool(b) => b.to_string(),
-            Val::Null => "null".to_owned(),
-        }
-    }
-}
-
-/// Escapes a string as a JSON string literal.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Parses one flat JSON object (string/number/bool/null values only —
-/// the full request grammar of the protocol). Hand-rolled because the
-/// build environment is offline; no serde available.
-fn parse_flat(line: &str) -> Result<BTreeMap<String, Val>, String> {
-    let b = line.trim().as_bytes();
-    let mut i = 0usize;
-    let err = |msg: &str, at: usize| format!("{msg} at byte {at}");
-    let skip_ws = |b: &[u8], i: &mut usize| {
-        while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
-            *i += 1;
-        }
-    };
-    let parse_string = |b: &[u8], i: &mut usize| -> Result<String, String> {
-        if b.get(*i) != Some(&b'"') {
-            return Err(err("expected string", *i));
-        }
-        *i += 1;
-        let mut s = String::new();
-        loop {
-            match b.get(*i) {
-                None => return Err(err("unterminated string", *i)),
-                Some(b'"') => {
-                    *i += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    *i += 1;
-                    match b.get(*i) {
-                        Some(b'"') => s.push('"'),
-                        Some(b'\\') => s.push('\\'),
-                        Some(b'/') => s.push('/'),
-                        Some(b'n') => s.push('\n'),
-                        Some(b'r') => s.push('\r'),
-                        Some(b't') => s.push('\t'),
-                        Some(b'u') => {
-                            let hex = b
-                                .get(*i + 1..*i + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| err("bad \\u escape", *i))?;
-                            let v = u32::from_str_radix(hex, 16)
-                                .map_err(|_| err("bad \\u escape", *i))?;
-                            s.push(char::from_u32(v).ok_or_else(|| err("bad \\u escape", *i))?);
-                            *i += 4;
-                        }
-                        _ => return Err(err("bad escape", *i)),
-                    }
-                    *i += 1;
-                }
-                Some(&c) => {
-                    // Collect the full UTF-8 sequence.
-                    let ch_len = match c {
-                        0x00..=0x7f => 1,
-                        0xc0..=0xdf => 2,
-                        0xe0..=0xef => 3,
-                        _ => 4,
-                    };
-                    let chunk = b
-                        .get(*i..*i + ch_len)
-                        .and_then(|ch| std::str::from_utf8(ch).ok())
-                        .ok_or_else(|| err("bad UTF-8", *i))?;
-                    s.push_str(chunk);
-                    *i += ch_len;
-                }
-            }
-        }
-    };
-
-    skip_ws(b, &mut i);
-    if b.get(i) != Some(&b'{') {
-        return Err(err("expected `{`", i));
-    }
-    i += 1;
-    let mut map = BTreeMap::new();
-    skip_ws(b, &mut i);
-    if b.get(i) == Some(&b'}') {
-        i += 1;
-    } else {
-        loop {
-            skip_ws(b, &mut i);
-            let key = parse_string(b, &mut i)?;
-            skip_ws(b, &mut i);
-            if b.get(i) != Some(&b':') {
-                return Err(err("expected `:`", i));
-            }
-            i += 1;
-            skip_ws(b, &mut i);
-            let val = match b.get(i) {
-                Some(b'"') => Val::Str(parse_string(b, &mut i)?),
-                Some(b't') if b[i..].starts_with(b"true") => {
-                    i += 4;
-                    Val::Bool(true)
-                }
-                Some(b'f') if b[i..].starts_with(b"false") => {
-                    i += 5;
-                    Val::Bool(false)
-                }
-                Some(b'n') if b[i..].starts_with(b"null") => {
-                    i += 4;
-                    Val::Null
-                }
-                Some(c) if c.is_ascii_digit() || *c == b'-' => {
-                    let start = i;
-                    while i < b.len()
-                        && (b[i].is_ascii_digit()
-                            || b[i] == b'-'
-                            || b[i] == b'+'
-                            || b[i] == b'.'
-                            || b[i] == b'e'
-                            || b[i] == b'E')
-                    {
-                        i += 1;
-                    }
-                    let n: f64 = std::str::from_utf8(&b[start..i])
-                        .ok()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| err("bad number", start))?;
-                    Val::Num(n)
-                }
-                _ => return Err(err("expected a scalar value", i)),
-            };
-            map.insert(key, val);
-            skip_ws(b, &mut i);
-            match b.get(i) {
-                Some(b',') => i += 1,
-                Some(b'}') => {
-                    i += 1;
-                    break;
-                }
-                _ => return Err(err("expected `,` or `}`", i)),
-            }
-        }
-    }
-    skip_ws(b, &mut i);
-    if i != b.len() {
-        return Err(err("trailing bytes after object", i));
-    }
-    Ok(map)
-}
 
 /// One metrics record of a served query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -238,17 +45,24 @@ pub struct QueryMetrics {
     pub ok: bool,
     /// Wall-clock service time in microseconds.
     pub micros: u128,
+    /// The program (tenant) that answered, when the engine is labelled.
+    pub program: Option<String>,
 }
 
 impl QueryMetrics {
     /// Renders the record as a `serve-query` JSONL event (the trace
     /// schema's shape: an `ev` tag plus flat fields).
     pub fn render(&self) -> String {
+        let program = match &self.program {
+            Some(p) => format!(",\"program\":{}", json_str(p)),
+            None => String::new(),
+        };
         format!(
-            "{{\"ev\":\"serve-query\",\"op\":{},\"ok\":{},\"us\":{}}}",
+            "{{\"ev\":\"serve-query\",\"op\":{},\"ok\":{},\"us\":{}{}}}",
             json_str(&self.op),
             self.ok,
-            self.micros
+            self.micros,
+            program
         )
     }
 }
@@ -259,6 +73,7 @@ pub struct ServeEngine {
     pta: Pta,
     lint: Vec<Diagnostic>,
     budget: Option<Duration>,
+    program: Option<String>,
 }
 
 impl ServeEngine {
@@ -268,6 +83,7 @@ impl ServeEngine {
             pta,
             lint,
             budget: None,
+            program: None,
         }
     }
 
@@ -278,27 +94,72 @@ impl ServeEngine {
         self
     }
 
+    /// Labels the engine with its tenant name; the label rides along on
+    /// every metrics record.
+    pub fn with_program(mut self, name: impl Into<String>) -> Self {
+        self.program = Some(name.into());
+        self
+    }
+
     /// The analysed program.
     pub fn pta(&self) -> &Pta {
         &self.pta
     }
 
-    /// Serves one request line; always returns exactly one response
-    /// line (no trailing newline) plus the metrics record for it.
+    /// Serves one request *line* (a single JSON object); always returns
+    /// exactly one response line (no trailing newline) plus the metrics
+    /// record for it. Batch arrays are rejected here — use
+    /// [`ServeEngine::handle_text`] for the full line grammar.
     pub fn handle_line(&self, line: &str) -> (String, QueryMetrics) {
-        let t0 = Instant::now();
-        let (id, op, body) = match parse_flat(line) {
-            Ok(req) => {
-                let id = req.get("id").cloned().unwrap_or(Val::Null);
-                let op = req
-                    .get("op")
-                    .and_then(|v| v.as_str())
-                    .unwrap_or("?")
-                    .to_owned();
-                let body = self.dispatch(&op, &req);
-                (id, op, body)
+        match json::parse(line.trim()) {
+            Ok(req) => self.handle_request(&req),
+            Err(e) => self.error_line(&format!("bad request: {e}")),
+        }
+    }
+
+    /// Serves one *text* line of the wire protocol: a single request
+    /// object, or a batch (JSON array of request objects) answered as a
+    /// JSON array of responses in request order. Unparsable lines get a
+    /// single structured error object.
+    pub fn handle_text(&self, line: &str) -> (String, Vec<QueryMetrics>) {
+        match json::parse(line.trim()) {
+            Ok(Json::Arr(items)) => {
+                let mut parts = Vec::with_capacity(items.len());
+                let mut metrics = Vec::with_capacity(items.len());
+                for item in &items {
+                    let (resp, m) = self.handle_request(item);
+                    parts.push(resp);
+                    metrics.push(m);
+                }
+                (format!("[{}]", parts.join(",")), metrics)
             }
-            Err(e) => (Val::Null, "?".to_owned(), Err(format!("bad request: {e}"))),
+            Ok(req) => {
+                let (resp, m) = self.handle_request(&req);
+                (resp, vec![m])
+            }
+            Err(e) => {
+                let (resp, m) = self.error_line(&format!("bad request: {e}"));
+                (resp, vec![m])
+            }
+        }
+    }
+
+    /// Serves one parsed request value.
+    pub fn handle_request(&self, req: &Json) -> (String, QueryMetrics) {
+        let t0 = Instant::now();
+        let id = req.get("id").cloned().unwrap_or(Json::Null);
+        let op = match req {
+            Json::Obj(_) => req
+                .get("op")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_owned(),
+            _ => "?".to_owned(),
+        };
+        let body = if req.is_obj() {
+            self.dispatch(&op, req)
+        } else {
+            Err("bad request: expected a request object".to_owned())
         };
         let elapsed = t0.elapsed();
         let over = self.budget.is_some_and(|b| elapsed > b);
@@ -312,13 +173,28 @@ impl ServeEngine {
             op,
             ok,
             micros: elapsed.as_micros(),
+            program: self.program.clone(),
         };
         (line, metrics)
     }
 
+    /// A structured error response for a line that never reached
+    /// dispatch (unparsable, invalid UTF-8, ...).
+    pub fn error_line(&self, msg: &str) -> (String, QueryMetrics) {
+        (
+            format!("{{\"id\":null,\"ok\":false,\"error\":{}}}", json_str(msg)),
+            QueryMetrics {
+                op: "?".to_owned(),
+                ok: false,
+                micros: 0,
+                program: self.program.clone(),
+            },
+        )
+    }
+
     /// Routes one parsed request. `Ok` carries extra response fields
     /// (each starting with a comma), `Err` a message.
-    fn dispatch(&self, op: &str, req: &BTreeMap<String, Val>) -> Result<String, String> {
+    fn dispatch(&self, op: &str, req: &Json) -> Result<String, String> {
         match op {
             "points-to" => self.op_points_to(req),
             "aliases?" => self.op_aliases(req),
@@ -329,7 +205,7 @@ impl ServeEngine {
         }
     }
 
-    fn str_param<'a>(&self, req: &'a BTreeMap<String, Val>, key: &str) -> Result<&'a str, String> {
+    fn str_param<'a>(&self, req: &'a Json, key: &str) -> Result<&'a str, String> {
         req.get(key)
             .and_then(|v| v.as_str())
             .ok_or_else(|| format!("missing string parameter `{key}`"))
@@ -337,9 +213,9 @@ impl ServeEngine {
 
     /// The points-to set at `stmt`, or the exit set of `main` when the
     /// request names no program point.
-    fn set_at(&self, req: &BTreeMap<String, Val>) -> Result<PtSet, String> {
+    fn set_at(&self, req: &Json) -> Result<PtSet, String> {
         match req.get("stmt") {
-            None | Some(Val::Null) => Ok(self.pta.result.exit_set.clone()),
+            None | Some(Json::Null) => Ok(self.pta.result.exit_set.clone()),
             Some(v) => {
                 let stmt = v.as_u32().ok_or("bad `stmt` parameter")?;
                 if stmt >= self.pta.ir.n_stmts {
@@ -356,7 +232,7 @@ impl ServeEngine {
             .ok_or_else(|| format!("unknown location `{var}` in `{func}`"))
     }
 
-    fn op_points_to(&self, req: &BTreeMap<String, Val>) -> Result<String, String> {
+    fn op_points_to(&self, req: &Json) -> Result<String, String> {
         let func = self.str_param(req, "func")?;
         let var = self.str_param(req, "var")?;
         let src = self.resolve(func, var)?;
@@ -383,7 +259,7 @@ impl ServeEngine {
         Ok(format!(",\"targets\":[{}]", rendered.join(",")))
     }
 
-    fn op_aliases(&self, req: &BTreeMap<String, Val>) -> Result<String, String> {
+    fn op_aliases(&self, req: &Json) -> Result<String, String> {
         let a = self.resolve(
             self.str_param(req, "a_func")?,
             self.str_param(req, "a_var")?,
@@ -396,7 +272,7 @@ impl ServeEngine {
         // Alias verdict on the definitely/possibly lattice: a common
         // non-NULL target hit definitely by both sides makes the alias
         // definite; any common target makes it possible.
-        let bt: BTreeMap<LocId, Def> = set
+        let bt: std::collections::BTreeMap<LocId, Def> = set
             .targets(b)
             .filter(|(t, _)| !self.pta.result.locs.is_null(*t))
             .collect();
@@ -425,7 +301,7 @@ impl ServeEngine {
         ))
     }
 
-    fn op_call_targets(&self, req: &BTreeMap<String, Val>) -> Result<String, String> {
+    fn op_call_targets(&self, req: &Json) -> Result<String, String> {
         let site = req
             .get("site")
             .and_then(|v| v.as_u32())
@@ -442,9 +318,9 @@ impl ServeEngine {
         Ok(format!(",\"targets\":[{}]", names.join(",")))
     }
 
-    fn op_lint(&self, req: &BTreeMap<String, Val>) -> Result<String, String> {
+    fn op_lint(&self, req: &Json) -> Result<String, String> {
         let filter = match req.get("function") {
-            None | Some(Val::Null) => None,
+            None | Some(Json::Null) => None,
             Some(v) => Some(v.as_str().ok_or("bad `function` parameter")?),
         };
         let rendered: Vec<String> = self
@@ -521,5 +397,38 @@ mod tests {
         assert!(r.contains("\"findings\":["), "{r}");
         let (r, _) = e.handle_line(r#"{"op": "call-targets", "site": 0}"#);
         assert!(r.contains("\"set\""), "{r}");
+    }
+
+    #[test]
+    fn batches_answer_an_array_of_individual_responses() {
+        let e = engine();
+        let q1 = r#"{"id":1,"op":"points-to","func":"main","var":"q"}"#;
+        let q2 = r#"{"id":2,"op":"call-targets","site":0}"#;
+        let (r1, _) = e.handle_line(q1);
+        let (r2, _) = e.handle_line(q2);
+        let (batch, metrics) = e.handle_text(&format!("[{q1},{q2}]"));
+        assert_eq!(batch, format!("[{r1},{r2}]"));
+        assert_eq!(metrics.len(), 2);
+        // Empty batch, empty response, no metrics.
+        let (empty, m) = e.handle_text("[]");
+        assert_eq!(empty, "[]");
+        assert!(m.is_empty());
+        // A non-object batch element is an in-band error.
+        let (r, _) = e.handle_text("[42]");
+        assert!(r.starts_with("[{\"id\":null,\"ok\":false"), "{r}");
+    }
+
+    #[test]
+    fn program_label_rides_on_metrics() {
+        let e = engine().with_program("hash");
+        let (_, m) = e.handle_line(r#"{"op":"lint"}"#);
+        assert_eq!(m.program.as_deref(), Some("hash"));
+        assert!(
+            m.render().contains("\"program\":\"hash\""),
+            "{}",
+            m.render()
+        );
+        let (_, m) = engine().handle_line(r#"{"op":"lint"}"#);
+        assert!(!m.render().contains("program"), "{}", m.render());
     }
 }

@@ -1,0 +1,417 @@
+//! Socket transports for the query server.
+//!
+//! The wire protocol is exactly the stdio one — JSONL request lines in,
+//! JSONL response lines out, metrics on the *server's* stderr — carried
+//! over a TCP or Unix-domain socket instead of a pipe. A connection may
+//! pipeline any number of request lines without waiting for responses;
+//! the server answers strictly in request order, one response line per
+//! request line (batch arrays included), so a client can match
+//! responses positionally as well as by `id`.
+//!
+//! [`serve`] runs the accept loop on scoped threads: one thread per
+//! connection, all joined before the call returns, so a stop request
+//! drains in-flight connections instead of dropping them. Per-request
+//! errors — unparsable JSON, invalid UTF-8, unknown programs — are
+//! answered in-band and never terminate a connection, let alone the
+//! server.
+
+use crate::serve::{QueryMetrics, ServeEngine};
+use crate::tenant::Router;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Where the server listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// A TCP host:port, e.g. `127.0.0.1:7411`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListenAddr::Tcp(hp) => write!(f, "tcp:{hp}"),
+            ListenAddr::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+/// Parses a `--listen` value: `unix:PATH`, `tcp:HOST:PORT`, or a bare
+/// `HOST:PORT` (TCP).
+///
+/// # Errors
+///
+/// A usage message for values matching no form.
+pub fn parse_listen(text: &str) -> Result<ListenAddr, String> {
+    if let Some(path) = text.strip_prefix("unix:") {
+        if path.is_empty() {
+            return Err("empty unix socket path in `--listen`".to_owned());
+        }
+        return Ok(ListenAddr::Unix(PathBuf::from(path)));
+    }
+    let hp = text.strip_prefix("tcp:").unwrap_or(text);
+    if hp.rsplit_once(':').is_some_and(|(h, p)| {
+        !h.is_empty() && !p.is_empty() && p.bytes().all(|b| b.is_ascii_digit())
+    }) {
+        Ok(ListenAddr::Tcp(hp.to_owned()))
+    } else {
+        Err(format!(
+            "bad `--listen` value `{text}` (expected unix:PATH, tcp:HOST:PORT, or HOST:PORT)"
+        ))
+    }
+}
+
+/// A bound listener over either transport.
+pub enum Listener {
+    /// TCP.
+    Tcp(TcpListener),
+    /// Unix-domain.
+    Unix(UnixListener),
+}
+
+/// A connected stream over either transport.
+pub enum Stream {
+    /// TCP.
+    Tcp(TcpStream),
+    /// Unix-domain.
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Stream {
+    /// An independently owned handle to the same connection (the
+    /// read/write halves of a client).
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+
+    /// Half-closes the write side, signalling end-of-requests to a
+    /// server (or end-of-responses to a client).
+    pub fn shutdown_write(&self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+}
+
+impl Listener {
+    /// Binds the address. A stale Unix socket file from a previous run
+    /// is removed first (the daemon owns its socket path).
+    ///
+    /// # Errors
+    ///
+    /// Any bind-time I/O error.
+    pub fn bind(addr: &ListenAddr) -> std::io::Result<Listener> {
+        match addr {
+            ListenAddr::Tcp(hp) => Ok(Listener::Tcp(TcpListener::bind(hp.as_str())?)),
+            ListenAddr::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                Ok(Listener::Unix(UnixListener::bind(path)?))
+            }
+        }
+    }
+
+    /// The actual bound address — the one clients should connect to,
+    /// which differs from the requested one for TCP port 0.
+    pub fn local_addr(&self) -> ListenAddr {
+        match self {
+            Listener::Tcp(l) => ListenAddr::Tcp(
+                l.local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "?".to_owned()),
+            ),
+            Listener::Unix(l) => ListenAddr::Unix(
+                l.local_addr()
+                    .ok()
+                    .and_then(|a| a.as_pathname().map(PathBuf::from))
+                    .unwrap_or_default(),
+            ),
+        }
+    }
+
+    fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(on),
+            Listener::Unix(l) => l.set_nonblocking(on),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                // Request/response over small lines: Nagle + delayed
+                // ACK would add a ~40ms stall per exchange.
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+}
+
+/// Connects to a server (the client side of [`Listener::bind`]).
+///
+/// # Errors
+///
+/// Any connect-time I/O error.
+pub fn connect(addr: &ListenAddr) -> std::io::Result<Stream> {
+    match addr {
+        ListenAddr::Tcp(hp) => TcpStream::connect(hp.as_str()).map(|s| {
+            let _ = s.set_nodelay(true);
+            Stream::Tcp(s)
+        }),
+        ListenAddr::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+    }
+}
+
+/// What the transport needs from a request handler: answer one text
+/// line with one response line plus metrics. Implemented by the
+/// multi-tenant [`Router`] (the `pta serve --listen` path) and by a
+/// bare [`ServeEngine`] (the stress harness serving one snapshot).
+pub trait LineHandler: Sync {
+    /// Answers one request line (object or batch array).
+    fn handle_text(&self, line: &str) -> (String, Vec<QueryMetrics>);
+
+    /// Answers a line that could not even be read as UTF-8 text.
+    fn handle_invalid(&self, msg: &str) -> (String, QueryMetrics) {
+        (
+            format!(
+                "{{\"id\":null,\"ok\":false,\"error\":{}}}",
+                crate::json::escape(msg)
+            ),
+            QueryMetrics {
+                op: "?".to_owned(),
+                ok: false,
+                micros: 0,
+                program: None,
+            },
+        )
+    }
+}
+
+impl LineHandler for ServeEngine {
+    fn handle_text(&self, line: &str) -> (String, Vec<QueryMetrics>) {
+        ServeEngine::handle_text(self, line)
+    }
+
+    fn handle_invalid(&self, msg: &str) -> (String, QueryMetrics) {
+        self.error_line(msg)
+    }
+}
+
+impl LineHandler for Router {
+    fn handle_text(&self, line: &str) -> (String, Vec<QueryMetrics>) {
+        Router::handle_text(self, line)
+    }
+}
+
+/// How often the accept loop wakes to check the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Runs the accept loop until `stop` is raised: every connection gets
+/// its own scoped thread reading request lines, answering each in
+/// order, and flushing per line (pipelining-friendly). Returns once the
+/// flag is observed *and* every in-flight connection has drained.
+///
+/// With `metrics`, per-query records go to stderr via
+/// [`QueryMetrics::render`].
+///
+/// # Errors
+///
+/// Only fatal listener errors; per-connection I/O problems end that
+/// connection alone.
+pub fn serve<H: LineHandler>(
+    listener: &Listener,
+    handler: &H,
+    stop: &AtomicBool,
+    metrics: bool,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| {
+        while !stop.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok(conn) => {
+                    scope.spawn(move || {
+                        if let Err(e) = handle_connection(conn, handler, metrics) {
+                            eprintln!("pta serve: connection: {e}");
+                        }
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Serves one connection to completion (client EOF or I/O error).
+fn handle_connection<H: LineHandler>(
+    conn: Stream,
+    handler: &H,
+    metrics: bool,
+) -> std::io::Result<()> {
+    let mut out = conn.try_clone()?;
+    let mut reader = BufReader::new(conn);
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            return Ok(()); // client EOF: clean close
+        }
+        let (response, batch) = match std::str::from_utf8(&buf) {
+            Ok(text) if text.trim().is_empty() => continue,
+            Ok(text) => handler.handle_text(text),
+            Err(_) => {
+                let (r, m) = handler.handle_invalid("bad request: invalid UTF-8");
+                (r, vec![m])
+            }
+        };
+        if metrics {
+            for m in &batch {
+                eprintln!("{}", m.render());
+            }
+        }
+        out.write_all(response.as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn listen_addresses_parse() {
+        assert_eq!(
+            parse_listen("127.0.0.1:7411"),
+            Ok(ListenAddr::Tcp("127.0.0.1:7411".to_owned()))
+        );
+        assert_eq!(
+            parse_listen("tcp:localhost:80"),
+            Ok(ListenAddr::Tcp("localhost:80".to_owned()))
+        );
+        assert_eq!(
+            parse_listen("unix:/tmp/pta.sock"),
+            Ok(ListenAddr::Unix(PathBuf::from("/tmp/pta.sock")))
+        );
+        for bad in ["", "nope", "tcp:", "unix:", "host:", ":80", "host:8x0"] {
+            assert!(parse_listen(bad).is_err(), "{bad}");
+        }
+    }
+
+    fn test_engine() -> ServeEngine {
+        let pta =
+            pta_core::run_source("int x; int main(void) { int *p; p = &x; return *p; }").unwrap();
+        ServeEngine::new(pta, Vec::new())
+    }
+
+    #[test]
+    fn tcp_round_trip_with_pipelining_and_bad_lines() {
+        let listener = Listener::bind(&ListenAddr::Tcp("127.0.0.1:0".to_owned())).unwrap();
+        let addr = listener.local_addr();
+        let engine = test_engine();
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let stop2 = Arc::clone(&stop);
+            let server = s.spawn(move || serve(&listener, &engine, &stop2, false));
+            let mut conn = connect(&addr).unwrap();
+            // Pipeline: two requests, a malformed line, a batch, and an
+            // invalid-UTF-8 line, all before reading anything back.
+            conn.write_all(
+                b"{\"id\":1,\"op\":\"points-to\",\"func\":\"main\",\"var\":\"p\"}\n\
+                  not json\n\
+                  [{\"id\":2,\"op\":\"lint\"},{\"id\":3,\"op\":\"nope\"}]\n",
+            )
+            .unwrap();
+            conn.write_all(b"\xff\xfe bad bytes\n").unwrap();
+            conn.shutdown_write().unwrap();
+            let mut responses = String::new();
+            BufReader::new(conn).read_to_string(&mut responses).unwrap();
+            let lines: Vec<&str> = responses.lines().collect();
+            assert_eq!(lines.len(), 4, "{responses}");
+            assert!(
+                lines[0].starts_with("{\"id\":1,\"ok\":true"),
+                "{}",
+                lines[0]
+            );
+            assert!(
+                lines[1].starts_with("{\"id\":null,\"ok\":false"),
+                "{}",
+                lines[1]
+            );
+            assert!(
+                lines[2].starts_with("[{\"id\":2,\"ok\":true"),
+                "{}",
+                lines[2]
+            );
+            assert!(lines[2].contains("\"id\":3,\"ok\":false"), "{}", lines[2]);
+            assert!(lines[3].contains("invalid UTF-8"), "{}", lines[3]);
+            stop.store(true, Ordering::Release);
+            server.join().unwrap().unwrap();
+        });
+    }
+
+    #[test]
+    fn unix_socket_round_trip() {
+        let path = std::env::temp_dir().join(format!("pta-serve-test-{}.sock", std::process::id()));
+        let listener = Listener::bind(&ListenAddr::Unix(path.clone())).unwrap();
+        let engine = test_engine();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve(&listener, &engine, &stop, true));
+            let mut conn = connect(&ListenAddr::Unix(path.clone())).unwrap();
+            conn.write_all(b"{\"id\":7,\"op\":\"points-to\",\"func\":\"main\",\"var\":\"p\"}\n")
+                .unwrap();
+            conn.shutdown_write().unwrap();
+            let mut responses = String::new();
+            BufReader::new(conn).read_to_string(&mut responses).unwrap();
+            assert!(
+                responses.starts_with("{\"id\":7,\"ok\":true"),
+                "{responses}"
+            );
+            assert!(responses.contains("\"name\":\"x\""), "{responses}");
+            stop.store(true, Ordering::Release);
+            server.join().unwrap().unwrap();
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+}

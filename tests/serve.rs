@@ -1,0 +1,254 @@
+//! Tier-1 guarantees of the multi-tenant query server: concurrent
+//! socket clients get byte-identical answers for identical queries,
+//! tenants route by `"program"` with LRU eviction and on-disk reload,
+//! malformed input stays in-band on a live connection, and a corrupt
+//! snapshot degrades to a cold build instead of failing the server.
+
+use pta_core::AnalysisConfig;
+use pta_store::server::serve;
+use pta_store::{connect, parse_listen, ListenAddr, Listener, Router, TenantCache, TenantSpec};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const PROG_A: &str = "int x; int main(void) { int *p; p = &x; return *p; }";
+const PROG_B: &str = "int y; int main(void) { int *q; q = &y; return *q; }";
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pta-serve-itest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn write_tenant(dir: &Path, name: &str, source: &str) -> TenantSpec {
+    let src = dir.join(format!("{name}.c"));
+    std::fs::write(&src, source).unwrap();
+    TenantSpec::from_source(&src, dir)
+}
+
+/// Binds a TCP listener on an ephemeral port and serves `router` on a
+/// background thread until the returned stop flag is raised.
+fn spawn_server(router: Arc<Router>) -> (ListenAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let listener =
+        Listener::bind(&parse_listen("127.0.0.1:0").unwrap()).expect("bind ephemeral port");
+    let addr = listener.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            serve(&listener, &*router, &stop, false).expect("serve loop");
+        })
+    };
+    (addr, stop, handle)
+}
+
+/// Writes all `lines`, half-closes, and returns the response lines.
+fn roundtrip(addr: &ListenAddr, lines: &[&str]) -> Vec<String> {
+    let mut conn = connect(addr).expect("connect");
+    for line in lines {
+        writeln!(conn, "{line}").unwrap();
+    }
+    conn.flush().unwrap();
+    conn.shutdown_write().unwrap();
+    let mut text = String::new();
+    conn.read_to_string(&mut text).unwrap();
+    text.lines().map(str::to_owned).collect()
+}
+
+#[test]
+fn concurrent_clients_get_identical_answers_across_two_tenants() {
+    let dir = tmpdir("concurrent");
+    let a = write_tenant(&dir, "a", PROG_A);
+    let b = write_tenant(&dir, "b", PROG_B);
+    let cache = TenantCache::new(vec![a, b], 2, AnalysisConfig::default(), None);
+    let router = Arc::new(Router::new(cache));
+    let (addr, stop, handle) = spawn_server(Arc::clone(&router));
+
+    let queries: Vec<String> = (0..8)
+        .map(|i| {
+            let (program, var) = if i % 2 == 0 { ("a", "p") } else { ("b", "q") };
+            format!(
+                "{{\"id\":{i},\"program\":\"{program}\",\"op\":\"points-to\",\
+                 \"func\":\"main\",\"var\":\"{var}\"}}"
+            )
+        })
+        .collect();
+
+    // Four concurrent clients replay the full pipelined mix.
+    let results: Vec<Vec<String>> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let queries = &queries;
+                let addr = &addr;
+                s.spawn(move || {
+                    let lines: Vec<&str> = queries.iter().map(String::as_str).collect();
+                    roundtrip(addr, &lines)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    for r in &results[1..] {
+        assert_eq!(r, &results[0], "connections disagree");
+    }
+    assert_eq!(results[0].len(), queries.len());
+    assert!(
+        results[0][0].contains("\"name\":\"x\""),
+        "{}",
+        results[0][0]
+    );
+    assert!(
+        results[0][1].contains("\"name\":\"y\""),
+        "{}",
+        results[0][1]
+    );
+    // Both tenants were built exactly once: every connection shared the
+    // same resident snapshot Arcs.
+    assert_eq!(router.cache().build_count(), 2);
+
+    stop.store(true, Ordering::SeqCst);
+    handle.join().unwrap();
+}
+
+#[test]
+fn malformed_lines_and_batches_stay_in_band_on_a_live_connection() {
+    let dir = tmpdir("malformed");
+    let a = write_tenant(&dir, "a", PROG_A);
+    let cache = TenantCache::new(vec![a], 1, AnalysisConfig::default(), None);
+    let router = Arc::new(Router::new(cache));
+    let (addr, stop, handle) = spawn_server(router);
+
+    let responses = roundtrip(
+        &addr,
+        &[
+            "this is not json",
+            "[{\"id\":1,\"op\":\"lint\"},{\"id\":2,\"op\":\"nope\"}]",
+            "{\"id\":3,\"op\":\"points-to\",\"func\":\"main\",\"var\":\"p\"}",
+        ],
+    );
+    assert_eq!(responses.len(), 3, "{responses:?}");
+    // Parse error: in-band, null id, connection stays usable.
+    assert!(
+        responses[0].starts_with("{\"id\":null,\"ok\":false"),
+        "{}",
+        responses[0]
+    );
+    // Batch: one array line back, per-request errors inside it.
+    assert!(
+        responses[1].starts_with("[{\"id\":1,\"ok\":true"),
+        "{}",
+        responses[1]
+    );
+    assert!(
+        responses[1].contains("{\"id\":2,\"ok\":false,\"error\":\"unknown op `nope`\"}"),
+        "{}",
+        responses[1]
+    );
+    // The connection survived both bad lines.
+    assert!(responses[2].contains("\"name\":\"x\""), "{}", responses[2]);
+
+    stop.store(true, Ordering::SeqCst);
+    handle.join().unwrap();
+}
+
+#[test]
+fn lru_eviction_and_reload_over_the_socket() {
+    let dir = tmpdir("lru");
+    let a = write_tenant(&dir, "a", PROG_A);
+    let b = write_tenant(&dir, "b", PROG_B);
+    let a_src = a.source.clone();
+    // Capacity 1 with two tenants: alternating queries force evictions.
+    let cache = TenantCache::new(vec![a, b], 1, AnalysisConfig::default(), None);
+    let router = Arc::new(Router::new(cache));
+    let (addr, stop, handle) = spawn_server(Arc::clone(&router));
+
+    let q_a = "{\"id\":1,\"program\":\"a\",\"op\":\"points-to\",\"func\":\"main\",\"var\":\"p\"}";
+    let q_b = "{\"id\":2,\"program\":\"b\",\"op\":\"points-to\",\"func\":\"main\",\"var\":\"q\"}";
+    let first = roundtrip(&addr, &[q_a, q_b, q_a]);
+    assert_eq!(first.len(), 3);
+    assert_eq!(first[0], first[2], "rebuild changed the answer");
+    assert!(router.cache().eviction_count() >= 2, "no eviction happened");
+    assert_eq!(router.cache().build_count(), 3);
+
+    // Rewrite tenant `a` on disk; grow the file so the stamp moves even
+    // under a coarse mtime clock. The next query must see the new facts
+    // without a restart.
+    std::fs::write(
+        &a_src,
+        "int x, zz; int main(void) { int *p; p = &zz; return *p; }",
+    )
+    .unwrap();
+    let reloaded = roundtrip(&addr, &[q_a]);
+    assert!(reloaded[0].contains("\"name\":\"zz\""), "{}", reloaded[0]);
+    assert!(!reloaded[0].contains("\"name\":\"x\""), "{}", reloaded[0]);
+
+    stop.store(true, Ordering::SeqCst);
+    handle.join().unwrap();
+}
+
+#[test]
+fn corrupt_snapshot_degrades_to_cold_and_heals_on_disk() {
+    let dir = tmpdir("corrupt");
+    let a = write_tenant(&dir, "a", PROG_A);
+    let store = a.store.clone();
+    std::fs::write(&store, "garbage, not a pta.v1 snapshot").unwrap();
+    let cache = TenantCache::new(vec![a], 1, AnalysisConfig::default(), None);
+    let router = Arc::new(Router::new(cache));
+    let (addr, stop, handle) = spawn_server(router);
+
+    let responses = roundtrip(
+        &addr,
+        &["{\"id\":1,\"op\":\"points-to\",\"func\":\"main\",\"var\":\"p\"}"],
+    );
+    assert!(responses[0].contains("\"ok\":true"), "{}", responses[0]);
+    assert!(responses[0].contains("\"name\":\"x\""), "{}", responses[0]);
+    // The cold build saved a fresh, verifiable snapshot back.
+    let healed = std::fs::read_to_string(&store).unwrap();
+    assert!(pta_store::verify(&healed).is_ok());
+
+    stop.store(true, Ordering::SeqCst);
+    handle.join().unwrap();
+}
+
+#[test]
+fn unix_socket_transport_answers_one_tenant_without_program_field() {
+    let dir = tmpdir("unix");
+    let a = write_tenant(&dir, "a", PROG_A);
+    let cache = TenantCache::new(vec![a], 1, AnalysisConfig::default(), None);
+    let router = Arc::new(Router::new(cache));
+    let sock = dir.join("pta.sock");
+    let addr = parse_listen(&format!("unix:{}", sock.display())).unwrap();
+    let listener = Listener::bind(&addr).expect("bind unix socket");
+    let addr = listener.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            serve(&listener, &*router, &stop, false).expect("serve loop");
+        })
+    };
+
+    // A plain request/response exchange without half-close: read one
+    // line back per line written (pipelining flushes per response).
+    let mut conn = connect(&addr).expect("connect over unix socket");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    writeln!(
+        conn,
+        "{{\"id\":7,\"op\":\"points-to\",\"func\":\"main\",\"var\":\"p\"}}"
+    )
+    .unwrap();
+    conn.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"id\":7"), "{line}");
+    assert!(line.contains("\"name\":\"x\""), "{line}");
+    // Drop BOTH halves: `reader` holds a clone of the socket, and the
+    // server's connection thread drains until it sees EOF.
+    drop(reader);
+    drop(conn);
+
+    stop.store(true, Ordering::SeqCst);
+    handle.join().unwrap();
+}
