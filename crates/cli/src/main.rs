@@ -10,7 +10,9 @@
 //!              [--metrics] [--scrub-timings] [--deadline MS] [--budget N]
 //! pta serve <file.c>... [--store PATH | --store-dir DIR] [--listen ADDR]
 //!              [--cache N] [--query-deadline MS] [--metrics]
-//!              [--deadline MS] [--budget N]
+//!              [--deadline MS] [--budget N] [--max-conns N]
+//!              [--io-timeout-ms MS] [--max-line-bytes N]
+//! pta store verify <snapshot.ptas>...
 //! ```
 //!
 //! With no flags, prints a short summary. `--points-to` dumps the
@@ -390,12 +392,16 @@ struct ServeCliOptions {
     metrics: bool,
     query_deadline: Option<Duration>,
     config: AnalysisConfig,
+    max_conns: usize,
+    io_timeout: Option<Duration>,
+    max_line_bytes: usize,
 }
 
 fn serve_usage() -> String {
     "usage: pta serve <file.c>... [--store PATH | --store-dir DIR] \
      [--listen ADDR] [--cache N] [--query-deadline MS] [--metrics] \
-     [--deadline MS] [--budget N]\n\
+     [--deadline MS] [--budget N] [--max-conns N] [--io-timeout-ms MS] \
+     [--max-line-bytes N]\n\
      JSONL request/response daemon (see docs/SERVING.md). Requests: \
      {\"id\":…,\"op\":\"points-to\"|\"aliases?\"|\"call-targets\"|\"lint\",…}, \
      or a JSON array of them (a batch). With several files, each \
@@ -406,7 +412,12 @@ fn serve_usage() -> String {
      store problem degrades to a cold run. --cache caps resident \
      tenants (LRU). --query-deadline bounds each request; --metrics \
      emits per-query serve-query events on stderr (responses stay \
-     byte-deterministic on both transports)."
+     byte-deterministic on both transports). Socket hardening (see \
+     docs/ROBUSTNESS.md): --max-conns sheds connections past N in-band \
+     (default 256, 0 = unlimited), --io-timeout-ms bounds each \
+     incomplete request line and each write (default 10000, 0 = off), \
+     --max-line-bytes answers over-long request lines in-band (default \
+     1048576, 0 = unlimited)."
         .to_owned()
 }
 
@@ -420,6 +431,9 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCliOption
         metrics: false,
         query_deadline: None,
         config: AnalysisConfig::default(),
+        max_conns: pta_store::ServeOptions::default().max_conns,
+        io_timeout: pta_store::ServeOptions::default().io_timeout,
+        max_line_bytes: pta_store::ServeOptions::default().max_line_bytes,
     };
     let mut argv = args.peekable();
     while let Some(a) = argv.next() {
@@ -449,6 +463,12 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCliOption
                 }
                 o.config.max_steps = n;
             }
+            "--max-conns" => o.max_conns = parse_value(&mut argv, "--max-conns")?,
+            "--io-timeout-ms" => {
+                let ms: u64 = parse_value(&mut argv, "--io-timeout-ms")?;
+                o.io_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--max-line-bytes" => o.max_line_bytes = parse_value(&mut argv, "--max-line-bytes")?,
             "--help" | "-h" => return Err(serve_usage()),
             f if !f.starts_with('-') => o.files.push(f.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{}", serve_usage())),
@@ -616,7 +636,13 @@ fn run_serve_tenants(opts: &ServeCliOptions) -> ExitCode {
     eprintln!("pta serve: listening on {}", listener.local_addr());
     eprintln!("pta serve: ready");
     let stop = std::sync::atomic::AtomicBool::new(false);
-    match pta_store::server::serve(&listener, &router, &stop, opts.metrics) {
+    let serve_opts = pta_store::ServeOptions {
+        metrics: opts.metrics,
+        max_conns: opts.max_conns,
+        io_timeout: opts.io_timeout,
+        max_line_bytes: opts.max_line_bytes,
+    };
+    match pta_store::server::serve_with(&listener, &router, &stop, &serve_opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("pta serve: {e}");
@@ -669,6 +695,58 @@ fn serve_stdio(handler: &impl pta_store::LineHandler, metrics: bool) -> ExitCode
     }
 }
 
+/// `pta store verify <snapshot>...` — deep-verifies snapshot files
+/// (checksum, structural parse, location/invocation-graph replay).
+/// Exit 0 when every file verifies, 1 otherwise. This is what CI's
+/// crash-recovery checks call after interrupting a save: an atomic
+/// store must always leave a verifiable old-or-new snapshot behind.
+fn run_store(args: impl Iterator<Item = String>) -> ExitCode {
+    const USAGE: &str = "usage: pta store verify <snapshot.ptas>...";
+    let mut argv = args;
+    match argv.next().as_deref() {
+        Some("verify") => {}
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    let files: Vec<String> = argv.filter(|a| a != "--help" && a != "-h").collect();
+    if files.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pta store verify: {file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match pta_store::verify(&text) {
+            Ok(s) => println!(
+                "{file}: ok — {} functions, {} locations, {} nodes, {} pairs, {} lint findings",
+                s.functions, s.locations, s.nodes, s.pairs, s.lint
+            ),
+            Err(e) => {
+                eprintln!("pta store verify: {file}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     {
         let mut argv = std::env::args().skip(1);
@@ -676,6 +754,7 @@ fn main() -> ExitCode {
             Some("lint") => return run_lint(argv),
             Some("trace") => return run_trace(argv),
             Some("serve") => return run_serve(argv),
+            Some("store") => return run_store(argv),
             _ => {}
         }
     }

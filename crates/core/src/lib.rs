@@ -67,8 +67,8 @@ pub use query::FactQuery;
 pub use resilient::{analyze_resilient, analyze_resilient_traced, Fidelity, ResilientOutcome};
 pub use shared::Shared;
 pub use trace::{
-    render_jsonl, ChromeTraceSink, EventSpec, FuncMetrics, JsonlSink, TeeSink, TraceEvent,
-    TraceMetrics, TraceSink, EVENT_SPECS,
+    render_jsonl, ChromeTraceSink, EventSpec, FuncMetrics, JsonlSink, ServeEvent, TeeSink,
+    TraceEvent, TraceMetrics, TraceSink, EVENT_SPECS, SERVE_EVENT_SPECS,
 };
 
 use pta_simple::{IrProgram, StmtId};

@@ -115,4 +115,51 @@ mod tests {
         assert_eq!(*h.load(), 1000);
         assert_eq!(h.epoch(), 1000);
     }
+
+    #[test]
+    fn racing_swaps_never_tear_a_multi_field_snapshot() {
+        // A value whose fields must agree: payload derived from the
+        // version, checksum derived from both. Any torn read — fields
+        // from two different versions — breaks the invariant.
+        #[derive(Debug)]
+        struct Snap {
+            version: u64,
+            payload: Vec<u64>,
+            checksum: u64,
+        }
+        fn make(version: u64) -> Snap {
+            let payload: Vec<u64> = (0..64)
+                .map(|i| version.wrapping_mul(31).wrapping_add(i))
+                .collect();
+            let checksum = payload.iter().fold(version, |a, &b| a.wrapping_add(b));
+            Snap {
+                version,
+                payload,
+                checksum,
+            }
+        }
+        let h = Arc::new(Shared::new(make(0)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = Arc::clone(&h);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let v = h.load();
+                        let want = v.payload.iter().fold(v.version, |a, &b| a.wrapping_add(b));
+                        assert_eq!(v.checksum, want, "torn snapshot at version {}", v.version);
+                        assert_eq!(v.payload.len(), 64);
+                        assert_eq!(v.payload[0], v.version.wrapping_mul(31));
+                    }
+                });
+            }
+            for version in 1..=2000u64 {
+                h.swap(make(version));
+            }
+            stop.store(true, Ordering::Release);
+        });
+        assert_eq!(h.epoch(), 2000);
+        assert_eq!(h.load().version, 2000);
+    }
 }

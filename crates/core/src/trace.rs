@@ -287,6 +287,151 @@ impl TraceEvent {
     }
 }
 
+/// Operational events of the *serving* layer — distinct from the
+/// analysis [`TraceEvent`] stream. `pta serve` emits these on stderr as
+/// single JSONL lines in the same `{"ev":…}` wire shape as the
+/// per-query `serve-query` metrics records (no `ts_us`: serve events
+/// are operational log lines, not a profiling stream). Typed here so
+/// every emitter renders identical bytes and [`SERVE_EVENT_SPECS`]
+/// stays the single source of truth for the schema in
+/// `docs/TRACING.md` / `docs/SERVING.md`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeEvent {
+    /// A store-level fault degraded a tenant: the analysis fell back to
+    /// a cold run, or the snapshot write-back failed. Answers stay
+    /// correct (the degradation-ladder contract); only warm-start work
+    /// is lost.
+    Degraded {
+        /// The tenant.
+        program: String,
+        /// Where in the pipeline the fault landed (`"load"` /
+        /// `"save"`).
+        stage: String,
+        /// The underlying store error.
+        reason: String,
+    },
+    /// A connection was shed at accept because the server is at
+    /// `--max-conns`; the client got an in-band `overloaded` error.
+    Overloaded {
+        /// Connections currently being served.
+        active: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// `accept()` failed transiently (e.g. EMFILE); the loop retries
+    /// after a capped exponential backoff instead of spinning or
+    /// exiting.
+    AcceptRetry {
+        /// The accept error.
+        error: String,
+        /// How long the loop backs off before retrying.
+        backoff_ms: u64,
+    },
+    /// A tenant was rebuilt and swapped after its files changed on
+    /// disk.
+    Reload {
+        /// The tenant.
+        program: String,
+        /// `"warm start (…)"` / `"cold start (…)"`.
+        mode: String,
+    },
+    /// A resident tenant was evicted (LRU).
+    Evict {
+        /// The tenant.
+        program: String,
+    },
+    /// The server stopped accepting and is draining in-flight
+    /// connections before exiting.
+    Drain {
+        /// Connections still in flight at drain start.
+        conns: usize,
+    },
+}
+
+/// Every serve-layer event kind with its fields, in wire order
+/// (mirrors [`EVENT_SPECS`] for the analysis stream).
+pub const SERVE_EVENT_SPECS: &[EventSpec] = &[
+    EventSpec {
+        kind: "serve-degraded",
+        fields: &["program", "stage", "reason"],
+    },
+    EventSpec {
+        kind: "serve-overloaded",
+        fields: &["active", "max"],
+    },
+    EventSpec {
+        kind: "serve-accept-retry",
+        fields: &["error", "backoff_ms"],
+    },
+    EventSpec {
+        kind: "serve-reload",
+        fields: &["program", "mode"],
+    },
+    EventSpec {
+        kind: "serve-evict",
+        fields: &["program"],
+    },
+    EventSpec {
+        kind: "serve-drain",
+        fields: &["conns"],
+    },
+];
+
+impl ServeEvent {
+    /// The stable kind tag (the JSONL `"ev"` value).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeEvent::Degraded { .. } => "serve-degraded",
+            ServeEvent::Overloaded { .. } => "serve-overloaded",
+            ServeEvent::AcceptRetry { .. } => "serve-accept-retry",
+            ServeEvent::Reload { .. } => "serve-reload",
+            ServeEvent::Evict { .. } => "serve-evict",
+            ServeEvent::Drain { .. } => "serve-drain",
+        }
+    }
+
+    /// Renders the single JSONL line (stable field order, matching
+    /// [`SERVE_EVENT_SPECS`]).
+    pub fn render(&self) -> String {
+        match self {
+            ServeEvent::Degraded {
+                program,
+                stage,
+                reason,
+            } => format!(
+                "{{\"ev\":\"serve-degraded\",\"program\":\"{}\",\"stage\":\"{}\",\"reason\":\"{}\"}}",
+                json_escape(program),
+                json_escape(stage),
+                json_escape(reason)
+            ),
+            ServeEvent::Overloaded { active, max } => format!(
+                "{{\"ev\":\"serve-overloaded\",\"active\":{active},\"max\":{max}}}"
+            ),
+            ServeEvent::AcceptRetry { error, backoff_ms } => format!(
+                "{{\"ev\":\"serve-accept-retry\",\"error\":\"{}\",\"backoff_ms\":{backoff_ms}}}",
+                json_escape(error)
+            ),
+            ServeEvent::Reload { program, mode } => format!(
+                "{{\"ev\":\"serve-reload\",\"program\":\"{}\",\"mode\":\"{}\"}}",
+                json_escape(program),
+                json_escape(mode)
+            ),
+            ServeEvent::Evict { program } => format!(
+                "{{\"ev\":\"serve-evict\",\"program\":\"{}\"}}",
+                json_escape(program)
+            ),
+            ServeEvent::Drain { conns } => {
+                format!("{{\"ev\":\"serve-drain\",\"conns\":{conns}}}")
+            }
+        }
+    }
+
+    /// Emits the event where serve events go: one line on stderr.
+    pub fn emit(&self) {
+        eprintln!("{}", self.render());
+    }
+}
+
 /// A consumer of trace events. `ts_us` is microseconds since tracing
 /// started (the analysis entry point); events arrive in emission order
 /// from a single thread.
@@ -1152,6 +1297,55 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn serve_events_render_their_full_spec() {
+        let reps = [
+            ServeEvent::Degraded {
+                program: "a".into(),
+                stage: "save".into(),
+                reason: "injected fault at point 2 (save.write)".into(),
+            },
+            ServeEvent::Overloaded { active: 4, max: 4 },
+            ServeEvent::AcceptRetry {
+                error: "Too many open files".into(),
+                backoff_ms: 40,
+            },
+            ServeEvent::Reload {
+                program: "a".into(),
+                mode: "warm start (3 replayed pairs, 0 dirty functions)".into(),
+            },
+            ServeEvent::Evict {
+                program: "a".into(),
+            },
+            ServeEvent::Drain { conns: 2 },
+        ];
+        assert_eq!(reps.len(), SERVE_EVENT_SPECS.len());
+        for ev in &reps {
+            let spec = SERVE_EVENT_SPECS
+                .iter()
+                .find(|s| s.kind == ev.kind())
+                .unwrap_or_else(|| panic!("no spec for `{}`", ev.kind()));
+            let line = ev.render();
+            assert!(
+                line.starts_with(&format!("{{\"ev\":\"{}\"", ev.kind())),
+                "{line}"
+            );
+            for field in spec.fields {
+                assert!(
+                    line.contains(&format!("\"{field}\":")),
+                    "`{}` line misses `{field}`: {line}",
+                    ev.kind()
+                );
+            }
+        }
+        // The reload/evict lines are pinned byte-for-byte: scripts and
+        // older logs grep for exactly this shape.
+        assert_eq!(
+            reps[4].render(),
+            "{\"ev\":\"serve-evict\",\"program\":\"a\"}"
+        );
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! `pta-chaos` — fault-injection chaos harness for the serving stack.
+//!
+//! Serves the fixed chaos tenants in-process under the hardened server
+//! options and attacks them: killed connections, dribbled bytes,
+//! oversized and garbage lines, every numbered store fault point, and
+//! SIGKILL-during-save victims. Exit 1 when any invariant broke.
+//!
+//! ```text
+//! pta-chaos [--seed S] [--kill-conns N] [--dribbles N] [--garbage N]
+//!           [--no-store-faults] [--kill-saves N] [--json PATH]
+//! pta-chaos --victim DIR      (internal: the kill-during-save target)
+//! ```
+//!
+//! The `--json` artifact is the `pta.chaos.v1` schema CI uploads as
+//! `CHAOS_7.json`.
+
+use pta_prop::chaos::{run_chaos, run_victim, ChaosConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: pta-chaos [--seed S] [--kill-conns N] [--dribbles N] \
+     [--garbage N] [--no-store-faults] [--kill-saves N] [--json PATH]";
+
+fn main() -> ExitCode {
+    let mut cfg = ChaosConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |what: &str| {
+            argv.next()
+                .unwrap_or_else(|| die_usage(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--victim" => {
+                let dir = std::path::PathBuf::from(value("--victim"));
+                run_victim(&dir); // never returns
+            }
+            "--seed" => cfg.seed = parse_seed(&value("--seed")),
+            "--kill-conns" => cfg.kill_conns = parse(&value("--kill-conns"), "--kill-conns"),
+            "--dribbles" => cfg.dribbles = parse(&value("--dribbles"), "--dribbles"),
+            "--garbage" => cfg.garbage = parse(&value("--garbage"), "--garbage"),
+            "--no-store-faults" => cfg.store_faults = false,
+            "--kill-saves" => cfg.kill_saves = parse(&value("--kill-saves"), "--kill-saves"),
+            "--json" => json_path = Some(value("--json")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => die_usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    cfg.victim_exe = std::env::current_exe().ok();
+    if cfg.victim_exe.is_none() && cfg.kill_saves > 0 {
+        eprintln!("pta-chaos: cannot locate own executable; skipping kill-during-save");
+        cfg.kill_saves = 0;
+    }
+    let report = match run_chaos(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pta-chaos: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render());
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, report.render_json(cfg.seed) + "\n") {
+            eprintln!("pta-chaos: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die_usage(&format!("{flag}: invalid value `{s}`")))
+}
+
+fn parse_seed(s: &str) -> u64 {
+    let parsed = match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.unwrap_or_else(|_| die_usage(&format!("--seed: invalid value `{s}`")))
+}
+
+fn die_usage(msg: &str) -> ! {
+    eprintln!("pta-chaos: {msg}\n{USAGE}");
+    std::process::exit(2);
+}

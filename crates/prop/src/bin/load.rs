@@ -11,7 +11,14 @@
 //! ```text
 //! pta-load --connect ADDR <file.c>... [--conns N] [--rounds N]
 //!          [--batch N] [--seed S] [--verify] [--json PATH]
+//!          [--timeout-ms MS] [--retries N]
 //! ```
+//!
+//! Every request carries a deadline (`--timeout-ms`, default 5000,
+//! `0` = none) and is retried up to `--retries` times (default 2) on a
+//! fresh connection under seeded-jitter backoff; a dead or wedged
+//! server yields synthetic `client:` error rows and a non-zero exit
+//! instead of a hung process.
 //!
 //! `ADDR` accepts the same forms as `pta serve --listen`: `unix:PATH`,
 //! `tcp:HOST:PORT`, or `HOST:PORT`. The `--json` artifact is the
@@ -23,7 +30,7 @@ use pta_prop::DEFAULT_SEED;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: pta-load --connect ADDR <file.c>... [--conns N] [--rounds N] \
-     [--batch N] [--seed S] [--verify] [--json PATH]";
+     [--batch N] [--seed S] [--verify] [--json PATH] [--timeout-ms MS] [--retries N]";
 
 fn main() -> ExitCode {
     let mut addr: Option<String> = None;
@@ -34,6 +41,8 @@ fn main() -> ExitCode {
     let mut seed = DEFAULT_SEED;
     let mut verify = false;
     let mut json_path: Option<String> = None;
+    let mut timeout_ms = 5000u64;
+    let mut retries = 2u32;
 
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -64,6 +73,8 @@ fn main() -> ExitCode {
             "--seed" => seed = parse_seed(&value("--seed")),
             "--verify" => verify = true,
             "--json" => json_path = Some(value("--json")),
+            "--timeout-ms" => timeout_ms = parse(&value("--timeout-ms"), "--timeout-ms"),
+            "--retries" => retries = parse(&value("--retries"), "--retries"),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -112,6 +123,8 @@ fn main() -> ExitCode {
         seed,
         batch,
         verify,
+        timeout: (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)),
+        retries,
     };
     let report = match run_load(&cfg) {
         Ok(r) => r,
@@ -122,7 +135,8 @@ fn main() -> ExitCode {
     };
     println!(
         "pta-load: {} queries over {} conns in {:?} — {:.1} qps, \
-         p50 {}us p90 {}us p99 {}us, {} ok / {} errors{}",
+         p50 {}us p90 {}us p99 {}us, {} ok / {} errors, \
+         {} retries / {} timeouts / {} failed{}",
         report.queries,
         cfg.conns,
         report.wall,
@@ -132,6 +146,9 @@ fn main() -> ExitCode {
         report.percentile_us(99.0),
         report.ok,
         report.errors,
+        report.retries,
+        report.timeouts,
+        report.failed,
         match report.verified {
             Some(true) => ", verified across connection counts",
             Some(false) => ", VERIFY FAILED",
@@ -147,6 +164,10 @@ fn main() -> ExitCode {
     }
     if report.verified == Some(false) {
         eprintln!("pta-load: responses differ between {conns} connections and 1 connection");
+        return ExitCode::FAILURE;
+    }
+    if report.failed as usize >= report.queries {
+        eprintln!("pta-load: server unreachable — every request failed");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -1,0 +1,740 @@
+//! The `pta-chaos` harness: deterministic fault injection against a
+//! live hardened server and the crash-safe store.
+//!
+//! A chaos run serves two small fixed tenants in-process under the
+//! hardened [`ServeOptions`] and replays the seeded query mix while
+//! misbehaving on purpose, phase by phase:
+//!
+//! 1. **baseline** — the resilient client replays the mix fault-free;
+//!    its responses are the golden bytes every later phase compares
+//!    against.
+//! 2. **conn-kill** — connections are dropped mid-request (partial
+//!    writes, full writes abandoned before the response); the server
+//!    must keep serving and the next clean exchange must match golden.
+//! 3. **dribble** — a request arrives one byte at a time; the answer
+//!    must still be byte-identical.
+//! 4. **oversize-garbage** — over-cap lines and invalid-UTF-8 garbage
+//!    get in-band `too-large` / `bad request` errors, and the
+//!    connection resyncs to answer the next query correctly.
+//! 5. **store-faults** — every numbered store fault point
+//!    ([`pta_store::fault::POINTS`]) is armed in turn: an interrupted
+//!    save must leave the old-or-new snapshot loadable, and a poisoned
+//!    load must degrade to a cold rebuild that answers the same bytes.
+//! 6. **kill-during-save** — a victim process (`pta-chaos --victim`)
+//!    alternates snapshot saves until SIGKILLed at a seeded random
+//!    moment; the snapshot file must parse as exactly the old or the
+//!    new bytes, every time.
+//!
+//! Everything is seeded: a failing probe is replayable from the run
+//! seed. [`ChaosReport::render_json`] emits the `pta.chaos.v1`
+//! artifact CI uploads next to the load numbers.
+
+use crate::load::LoadConfig;
+use crate::Rng;
+use pta_store::fault::{self, FaultMode, FaultPlan};
+use pta_store::server::{connect, serve_with, ListenAddr, Listener, ServeOptions};
+use pta_store::{json, Router, Snapshot, TenantCache, TenantSpec};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// The two fixed tenant programs a chaos run serves. Small enough to
+/// analyse in milliseconds, rich enough (pointer chains, a call) that
+/// the query mix exercises every op.
+pub const PROGRAMS: &[(&str, &str)] = &[
+    (
+        "alpha",
+        "int x; int main(void) { int *p; p = &x; return *p; }",
+    ),
+    (
+        "beta",
+        "int y; void set(int **p, int *v) { *p = v; } \
+         int main(void) { int *q; set(&q, &y); return *q; }",
+    ),
+];
+
+/// Knobs for one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Run seed; every probe derives from it.
+    pub seed: u64,
+    /// Connection-kill probes (phase 2).
+    pub kill_conns: u32,
+    /// Byte-at-a-time replays (phase 3).
+    pub dribbles: u32,
+    /// Garbage/oversize probes (phase 4).
+    pub garbage: u32,
+    /// Arm every store fault point (phase 5).
+    pub store_faults: bool,
+    /// SIGKILL-during-save iterations (phase 6); `0` skips the phase.
+    pub kill_saves: u32,
+    /// The executable to re-invoke with `--victim` for phase 6;
+    /// `None` skips the phase.
+    pub victim_exe: Option<PathBuf>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: crate::DEFAULT_SEED,
+            kill_conns: 8,
+            dribbles: 2,
+            garbage: 8,
+            store_faults: true,
+            kill_saves: 5,
+            victim_exe: None,
+        }
+    }
+}
+
+/// One phase's outcome.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Phase name (stable, appears in the artifact).
+    pub name: &'static str,
+    /// Probes attempted.
+    pub probes: u32,
+    /// One message per violated invariant. A correct build has none.
+    pub failures: Vec<String>,
+}
+
+/// Aggregate outcome of a chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Per-phase records, in run order.
+    pub phases: Vec<PhaseReport>,
+    /// Wall clock for the whole run.
+    pub wall: Duration,
+}
+
+impl ChaosReport {
+    /// True when no phase recorded a failure.
+    pub fn is_clean(&self) -> bool {
+        self.phases.iter().all(|p| p.failures.is_empty())
+    }
+
+    /// Human-readable summary, one line per phase plus failures.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pta-chaos: {} phases in {:?} — {}",
+            self.phases.len(),
+            self.wall,
+            if self.is_clean() { "clean" } else { "FAILED" }
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "  {}: {} probes, {} failures",
+                p.name,
+                p.probes,
+                p.failures.len()
+            );
+            for f in &p.failures {
+                let _ = writeln!(out, "    - {f}");
+            }
+        }
+        out
+    }
+
+    /// The `pta.chaos.v1` JSON artifact (one line).
+    pub fn render_json(&self, seed: u64) -> String {
+        let phases: Vec<String> = self
+            .phases
+            .iter()
+            .map(|p| {
+                let failures: Vec<String> = p.failures.iter().map(|f| json::escape(f)).collect();
+                format!(
+                    "{{\"name\":{},\"probes\":{},\"failures\":[{}]}}",
+                    json::escape(p.name),
+                    p.probes,
+                    failures.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"pta.chaos.v1\",\"seed\":\"{seed:#x}\",\"clean\":{},\
+             \"wall_ms\":{},\"phases\":[{}]}}",
+            self.is_clean(),
+            self.wall.as_millis(),
+            phases.join(",")
+        )
+    }
+}
+
+/// The serve options a chaos server runs under: hardened, with caps
+/// small enough to trip on purpose.
+fn chaos_opts() -> ServeOptions {
+    ServeOptions {
+        metrics: false,
+        max_conns: 32,
+        io_timeout: Some(Duration::from_secs(2)),
+        max_line_bytes: 64 * 1024,
+    }
+}
+
+/// A scratch directory for this run, already created.
+fn scratch_dir(tag: &str, seed: u64) -> Result<PathBuf, String> {
+    let dir = std::env::temp_dir().join(format!("pta-chaos-{tag}-{}-{seed:x}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    Ok(dir)
+}
+
+/// Builds the two chaos tenants under `dir` and a router over them.
+fn build_router(dir: &Path) -> Result<(Router, Vec<TenantSpec>), String> {
+    let mut specs = Vec::new();
+    for (name, source) in PROGRAMS {
+        let src = dir.join(format!("{name}.c"));
+        std::fs::write(&src, source).map_err(|e| format!("write {}: {e}", src.display()))?;
+        specs.push(TenantSpec::from_source(&src, dir));
+    }
+    let cache = TenantCache::new(
+        specs.clone(),
+        specs.len(),
+        pta_core::AnalysisConfig::default(),
+        None,
+    );
+    Ok((Router::new(cache), specs))
+}
+
+/// One clean request/response exchange on a fresh connection.
+fn exchange(addr: &ListenAddr, line: &str) -> Result<String, String> {
+    let mut conn = connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let deadline = Some(Duration::from_secs(10));
+    let _ = conn.set_read_timeout(deadline);
+    let _ = conn.set_write_timeout(deadline);
+    conn.write_all(format!("{line}\n").as_bytes())
+        .and_then(|()| conn.flush())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    BufReader::new(conn)
+        .read_line(&mut response)
+        .map_err(|e| format!("recv: {e}"))?;
+    if !response.ends_with('\n') {
+        return Err("connection closed mid-response".to_owned());
+    }
+    Ok(response.trim_end().to_owned())
+}
+
+/// A clean exchange that must reproduce the golden bytes; pushes a
+/// failure message otherwise.
+fn assert_golden(
+    addr: &ListenAddr,
+    mix: &[String],
+    golden: &[String],
+    idx: usize,
+    context: &str,
+    failures: &mut Vec<String>,
+) {
+    match exchange(addr, &mix[idx]) {
+        Ok(got) if got == golden[idx] => {}
+        Ok(got) => failures.push(format!(
+            "{context}: query {idx} diverged from golden\n  got:  {got}\n  want: {}",
+            golden[idx]
+        )),
+        Err(e) => failures.push(format!("{context}: query {idx}: {e}")),
+    }
+}
+
+/// Runs the whole chaos schedule. The error is for harness-level
+/// breakage (cannot bind, cannot analyse); injected faults that the
+/// system survives incorrectly are *failures in the report*, not
+/// errors.
+///
+/// # Errors
+///
+/// Setup problems only.
+pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
+    let t0 = Instant::now();
+    let dir = scratch_dir("run", cfg.seed)?;
+    let (router, _specs) = build_router(&dir)?;
+    let listener = Listener::bind(&ListenAddr::Tcp("127.0.0.1:0".to_owned()))
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = listener.local_addr();
+    let stop = AtomicBool::new(false);
+    let opts = chaos_opts();
+
+    let mut phases = Vec::new();
+    std::thread::scope(|s| {
+        let server = s.spawn(|| serve_with(&listener, &router, &stop, &opts));
+
+        // Phase 1: fault-free golden replay through the resilient client.
+        let programs: Vec<(String, pta_simple::IrProgram)> = PROGRAMS
+            .iter()
+            .map(|(n, src)| {
+                (
+                    (*n).to_owned(),
+                    pta_simple::compile(src).expect("fixed program"),
+                )
+            })
+            .collect();
+        let load_cfg = LoadConfig {
+            addr: addr.clone(),
+            programs,
+            conns: 1,
+            rounds: 1,
+            seed: cfg.seed,
+            batch: 1,
+            verify: false,
+            timeout: Some(Duration::from_secs(10)),
+            retries: 2,
+        };
+        let mix = crate::load::build_mix(&load_cfg);
+        let mut baseline = PhaseReport {
+            name: "baseline",
+            probes: mix.len() as u32,
+            failures: Vec::new(),
+        };
+        let golden = match crate::load::run_once(&load_cfg, &mix, 1) {
+            Ok((responses, _, _, stats)) => {
+                if stats.failed > 0 {
+                    baseline.failures.push(format!(
+                        "{} of {} fault-free queries failed",
+                        stats.failed,
+                        mix.len()
+                    ));
+                }
+                responses
+            }
+            Err(e) => {
+                baseline.failures.push(format!("golden replay: {e}"));
+                Vec::new()
+            }
+        };
+        phases.push(baseline);
+        if golden.is_empty() {
+            stop.store(true, Ordering::Release);
+            let _ = server.join();
+            return;
+        }
+        let mut g = Rng::new(cfg.seed ^ 0xc4a0_5c4a_05c4_a05c);
+
+        // Phase 2: kill connections mid-request.
+        let mut kill = PhaseReport {
+            name: "conn-kill",
+            probes: cfg.kill_conns,
+            failures: Vec::new(),
+        };
+        for probe in 0..cfg.kill_conns {
+            let idx = g.usize(0..mix.len());
+            let line = format!("{}\n", mix[idx]);
+            match connect(&addr) {
+                Ok(mut conn) => {
+                    let bytes = line.as_bytes();
+                    if probe % 2 == 0 {
+                        // Half a request, then a hard drop.
+                        let cut = 1 + g.usize(0..bytes.len().saturating_sub(1).max(1));
+                        let _ = conn.write_all(&bytes[..cut.min(bytes.len())]);
+                    } else {
+                        // The whole request, dropped before the answer.
+                        let _ = conn.write_all(bytes);
+                        let _ = conn.flush();
+                    }
+                    drop(conn);
+                }
+                Err(e) => kill.failures.push(format!("probe {probe}: connect: {e}")),
+            }
+            // The server must still answer the next client correctly.
+            let check = g.usize(0..mix.len());
+            assert_golden(
+                &addr,
+                &mix,
+                &golden,
+                check,
+                &format!("conn-kill probe {probe}"),
+                &mut kill.failures,
+            );
+        }
+        phases.push(kill);
+
+        // Phase 3: dribble a request one byte at a time.
+        let mut dribble = PhaseReport {
+            name: "dribble",
+            probes: cfg.dribbles,
+            failures: Vec::new(),
+        };
+        for probe in 0..cfg.dribbles {
+            let idx = g.usize(0..mix.len());
+            let line = format!("{}\n", mix[idx]);
+            let outcome = (|| -> Result<String, String> {
+                let mut conn = connect(&addr).map_err(|e| format!("connect: {e}"))?;
+                let deadline = Some(Duration::from_secs(10));
+                let _ = conn.set_read_timeout(deadline);
+                for b in line.as_bytes() {
+                    conn.write_all(std::slice::from_ref(b))
+                        .and_then(|()| conn.flush())
+                        .map_err(|e| format!("dribble send: {e}"))?;
+                }
+                let mut response = String::new();
+                BufReader::new(conn)
+                    .read_line(&mut response)
+                    .map_err(|e| format!("recv: {e}"))?;
+                Ok(response.trim_end().to_owned())
+            })();
+            match outcome {
+                Ok(got) if got == golden[idx] => {}
+                Ok(got) => dribble.failures.push(format!(
+                    "probe {probe}: dribbled query {idx} diverged\n  got:  {got}\n  want: {}",
+                    golden[idx]
+                )),
+                Err(e) => dribble.failures.push(format!("probe {probe}: {e}")),
+            }
+        }
+        phases.push(dribble);
+
+        // Phase 4: oversized lines and garbage bytes.
+        let mut garbage = PhaseReport {
+            name: "oversize-garbage",
+            probes: cfg.garbage,
+            failures: Vec::new(),
+        };
+        for probe in 0..cfg.garbage {
+            let outcome = (|| -> Result<(), String> {
+                let mut conn = connect(&addr).map_err(|e| format!("connect: {e}"))?;
+                let deadline = Some(Duration::from_secs(10));
+                let _ = conn.set_read_timeout(deadline);
+                let (attack, expect): (Vec<u8>, &str) = match probe % 3 {
+                    0 => {
+                        // One byte over the line cap.
+                        let mut v = vec![b'x'; opts.max_line_bytes + 1];
+                        v.push(b'\n');
+                        (v, "too-large")
+                    }
+                    1 => {
+                        // Invalid UTF-8.
+                        let mut v = vec![0xFF, 0xFE, b'{', 0x80];
+                        v.push(b'\n');
+                        (v, "bad request")
+                    }
+                    _ => {
+                        // Printable garbage: must answer *some* in-band
+                        // error, never close or panic.
+                        let mut v = g.ascii_soup(1..128).replace('\n', " ").into_bytes();
+                        v.push(b'\n');
+                        (v, "\"ok\":false")
+                    }
+                };
+                conn.write_all(&attack).map_err(|e| format!("send: {e}"))?;
+                let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
+                let mut response = String::new();
+                reader
+                    .read_line(&mut response)
+                    .map_err(|e| format!("recv: {e}"))?;
+                if !response.contains(expect) {
+                    return Err(format!(
+                        "expected `{expect}` in the in-band answer, got: {}",
+                        response.trim_end()
+                    ));
+                }
+                // The connection must resync: a clean follow-up query
+                // answers golden bytes.
+                let idx = probe as usize % mix.len();
+                conn.write_all(format!("{}\n", mix[idx]).as_bytes())
+                    .map_err(|e| format!("resync send: {e}"))?;
+                let mut second = String::new();
+                reader
+                    .read_line(&mut second)
+                    .map_err(|e| format!("resync recv: {e}"))?;
+                if second.trim_end() != golden[idx] {
+                    return Err(format!(
+                        "post-garbage query {idx} diverged\n  got:  {}\n  want: {}",
+                        second.trim_end(),
+                        golden[idx]
+                    ));
+                }
+                Ok(())
+            })();
+            if let Err(e) = outcome {
+                garbage.failures.push(format!("probe {probe}: {e}"));
+            }
+        }
+        phases.push(garbage);
+
+        // Phase 5: every store fault point, against a scratch snapshot
+        // path (the live server's stores are left alone).
+        if cfg.store_faults {
+            phases.push(store_fault_phase(cfg, &mix, &golden));
+        }
+
+        // Phase 6: SIGKILL a saving process, prove old-or-new.
+        if cfg.kill_saves > 0 {
+            if let Some(exe) = &cfg.victim_exe {
+                phases.push(kill_save_phase(cfg, exe, &mut g));
+            }
+        }
+
+        stop.store(true, Ordering::Release);
+        if let Err(e) = server.join().expect("server thread") {
+            phases.push(PhaseReport {
+                name: "server-exit",
+                probes: 1,
+                failures: vec![format!("server loop returned an error: {e}")],
+            });
+        }
+    });
+
+    Ok(ChaosReport {
+        phases,
+        wall: t0.elapsed(),
+    })
+}
+
+/// The snapshots the save-fault and kill-during-save phases flip
+/// between: one per fixed program, built deterministically.
+///
+/// # Errors
+///
+/// Front-end or analysis failures (none for the fixed programs).
+pub fn victim_snapshots() -> Result<(Snapshot, Snapshot), String> {
+    let mut snaps = Vec::new();
+    let config = pta_core::AnalysisConfig::default();
+    for (_, source) in PROGRAMS {
+        let ir = pta_simple::compile(source).map_err(|e| e.to_string())?;
+        let inc = pta_store::analyze_incremental(&ir, &config, None).map_err(|e| e.to_string())?;
+        let lint = pta_lint::lint_ir(
+            &ir,
+            &inc.run.result,
+            pta_core::Fidelity::ContextSensitive,
+            &pta_lint::LintOptions::default(),
+        );
+        snaps.push(Snapshot::build(&ir, &config, &inc.run, &lint));
+    }
+    let second = snaps.pop().expect("two programs");
+    let first = snaps.pop().expect("two programs");
+    Ok((first, second))
+}
+
+/// Phase 5: arm each numbered fault point in turn. Save faults must
+/// leave the old-or-new snapshot loadable; load faults must degrade a
+/// fresh router to a cold rebuild that answers golden bytes.
+fn store_fault_phase(cfg: &ChaosConfig, mix: &[String], golden: &[String]) -> PhaseReport {
+    let mut phase = PhaseReport {
+        name: "store-faults",
+        probes: 0,
+        failures: Vec::new(),
+    };
+    let run = (|| -> Result<(), String> {
+        let dir = scratch_dir("faults", cfg.seed)?;
+        let (old, new) = victim_snapshots()?;
+        let (old_text, new_text) = (pta_store::serialize(&old), pta_store::serialize(&new));
+        let path = dir.join("snap.pta");
+        let save_plans = [
+            (fault::SAVE_CREATE, FaultMode::Fail),
+            (fault::SAVE_WRITE, FaultMode::Fail),
+            (fault::SAVE_WRITE, FaultMode::Truncate),
+            (fault::SAVE_SYNC, FaultMode::Fail),
+            (fault::SAVE_RENAME, FaultMode::Fail),
+            (fault::SAVE_DIRSYNC, FaultMode::Fail),
+        ];
+        for (point, mode) in save_plans {
+            phase.probes += 1;
+            // A clean old snapshot, then a faulted save of the new one.
+            pta_store::save(&path, &old).map_err(|e| format!("clean save: {e}"))?;
+            fault::arm(FaultPlan {
+                point,
+                mode,
+                hit: 1,
+            });
+            let saved = pta_store::save(&path, &new);
+            fault::disarm();
+            let name = FaultPlan {
+                point,
+                mode,
+                hit: 1,
+            }
+            .point_name();
+            // Points up to the rename must report the failure; the
+            // dirsync point fires after the rename landed, so the save
+            // may have succeeded in every way the caller can observe.
+            if saved.is_ok() && point != fault::SAVE_DIRSYNC {
+                phase
+                    .failures
+                    .push(format!("fault at {name} ({mode:?}): save reported success"));
+            }
+            match std::fs::read_to_string(&path) {
+                Ok(text) if text == old_text || text == new_text => {}
+                Ok(_) => phase.failures.push(format!(
+                    "fault at {name} ({mode:?}): snapshot is neither old nor new bytes"
+                )),
+                Err(e) => phase.failures.push(format!(
+                    "fault at {name} ({mode:?}): snapshot unreadable: {e}"
+                )),
+            }
+            if pta_store::load(&path).is_err() {
+                phase.failures.push(format!(
+                    "fault at {name} ({mode:?}): snapshot does not load"
+                ));
+            }
+            // No tempfile debris from a failed save.
+            let debris = std::fs::read_dir(&dir)
+                .map_err(|e| e.to_string())?
+                .filter_map(Result::ok)
+                .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+                .count();
+            if debris > 0 {
+                phase.failures.push(format!(
+                    "fault at {name} ({mode:?}): {debris} tempfiles left behind"
+                ));
+            }
+        }
+        // Load faults: a fresh router over poisoned snapshots must
+        // degrade to cold and still answer golden bytes.
+        for mode in [FaultMode::Fail, FaultMode::Truncate] {
+            phase.probes += 1;
+            let tenant_dir = scratch_dir(
+                match mode {
+                    FaultMode::Fail => "load-fail",
+                    FaultMode::Truncate => "load-trunc",
+                },
+                cfg.seed,
+            )?;
+            let (router, specs) = build_router(&tenant_dir)?;
+            // First pass builds and saves every tenant's snapshot.
+            for line in mix.iter().take(2) {
+                let _ = router.handle_text(line);
+            }
+            let saved = specs.iter().filter(|sp| sp.store.exists()).count();
+            if saved == 0 {
+                phase
+                    .failures
+                    .push("load-fault setup: no tenant snapshot was saved".to_owned());
+                continue;
+            }
+            // A fresh cache must hit the armed load fault and rebuild.
+            let (fresh, _) = build_router(&tenant_dir)?;
+            fault::arm(FaultPlan {
+                point: fault::LOAD_READ,
+                mode,
+                hit: 1,
+            });
+            let idx = 0;
+            let (got, _) = fresh.handle_text(&mix[idx]);
+            fault::disarm();
+            if got != golden[idx] {
+                phase.failures.push(format!(
+                    "load fault ({mode:?}): degraded answer diverged\n  got:  {got}\n  want: {}",
+                    golden[idx]
+                ));
+            }
+        }
+        Ok(())
+    })();
+    fault::disarm();
+    if let Err(e) = run {
+        phase.failures.push(format!("harness: {e}"));
+    }
+    phase
+}
+
+/// Phase 6: spawn `exe --victim DIR` (which alternates saving the two
+/// snapshots), SIGKILL it after a seeded delay, and require the
+/// snapshot file to parse as exactly the old or the new bytes.
+fn kill_save_phase(cfg: &ChaosConfig, exe: &Path, g: &mut Rng) -> PhaseReport {
+    let mut phase = PhaseReport {
+        name: "kill-during-save",
+        probes: cfg.kill_saves,
+        failures: Vec::new(),
+    };
+    let run = (|| -> Result<(), String> {
+        let (s1, s2) = victim_snapshots()?;
+        let (t1, t2) = (pta_store::serialize(&s1), pta_store::serialize(&s2));
+        for probe in 0..cfg.kill_saves {
+            let dir = scratch_dir(&format!("kill-{probe}"), cfg.seed)?;
+            let mut child = std::process::Command::new(exe)
+                .arg("--victim")
+                .arg(&dir)
+                .stdout(std::process::Stdio::piped())
+                .stderr(std::process::Stdio::null())
+                .spawn()
+                .map_err(|e| format!("spawn victim: {e}"))?;
+            let stdout = child.stdout.take().expect("piped stdout");
+            let mut ready = String::new();
+            BufReader::new(stdout)
+                .read_line(&mut ready)
+                .map_err(|e| format!("victim handshake: {e}"))?;
+            if ready.trim() != "ready" {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!("victim said `{}`, not `ready`", ready.trim()));
+            }
+            // Let it save furiously for a random moment, then kill -9.
+            std::thread::sleep(Duration::from_micros(g.u64(50..30_000)));
+            child.kill().map_err(|e| format!("kill victim: {e}"))?;
+            let _ = child.wait();
+            let path = dir.join("snap.pta");
+            match std::fs::read_to_string(&path) {
+                Ok(text) if text == t1 || text == t2 => {}
+                Ok(_) => phase.failures.push(format!(
+                    "probe {probe}: snapshot is neither old nor new bytes after SIGKILL"
+                )),
+                Err(e) => phase.failures.push(format!(
+                    "probe {probe}: snapshot unreadable after SIGKILL: {e}"
+                )),
+            }
+            if pta_store::load(&path).is_err() {
+                phase.failures.push(format!(
+                    "probe {probe}: snapshot does not load after SIGKILL"
+                ));
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        Ok(())
+    })();
+    if let Err(e) = run {
+        phase.failures.push(format!("harness: {e}"));
+    }
+    phase
+}
+
+/// The `--victim` mode of `pta-chaos`: save one snapshot, announce
+/// readiness, then alternate saves until killed. Never returns.
+pub fn run_victim(dir: &Path) -> ! {
+    let (s1, s2) = victim_snapshots().unwrap_or_else(|e| {
+        eprintln!("pta-chaos --victim: {e}");
+        std::process::exit(2);
+    });
+    let path = dir.join("snap.pta");
+    if let Err(e) = pta_store::save(&path, &s1) {
+        eprintln!("pta-chaos --victim: first save: {e}");
+        std::process::exit(2);
+    }
+    println!("ready");
+    let _ = std::io::stdout().flush();
+    loop {
+        let _ = pta_store::save(&path, &s2);
+        let _ = pta_store::save(&path, &s1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The in-process phases (no victim subprocess) run clean. The
+    /// full schedule including SIGKILL probes runs in
+    /// `tests/robustness.rs` and in CI's chaos-smoke job via the
+    /// `pta-chaos` binary.
+    #[test]
+    fn chaos_smoke_runs_clean_without_subprocess_phases() {
+        let cfg = ChaosConfig {
+            kill_conns: 2,
+            dribbles: 1,
+            garbage: 3,
+            store_faults: false, // fault arming is process-global; see tests/robustness.rs
+            kill_saves: 0,
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos(&cfg).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        let line = report.render_json(cfg.seed);
+        let parsed = json::parse(&line).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(json::Json::as_str),
+            Some("pta.chaos.v1")
+        );
+    }
+}

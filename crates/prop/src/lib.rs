@@ -18,6 +18,7 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 pub mod cgen;
+pub mod chaos;
 pub mod load;
 pub mod serve;
 pub mod stress;

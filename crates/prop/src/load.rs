@@ -19,7 +19,7 @@
 
 use crate::{case_seed, Rng};
 use pta_store::json::{self, Json};
-use pta_store::server::{connect, ListenAddr};
+use pta_store::server::{connect, ListenAddr, Stream};
 use std::io::{BufRead, BufReader, Write as _};
 use std::time::{Duration, Instant};
 
@@ -44,6 +44,14 @@ pub struct LoadConfig {
     /// Re-run the whole workload on a single connection afterwards and
     /// require byte-identical responses.
     pub verify: bool,
+    /// Per-request deadline: a response must arrive within this long or
+    /// the attempt counts as timed out (and is retried on a fresh
+    /// connection). `None` = wait forever (the pre-hardening behavior).
+    pub timeout: Option<Duration>,
+    /// Extra attempts per request beyond the first; each retry
+    /// reconnects after a capped, seeded-jitter backoff. `0` = fail a
+    /// request on its first broken exchange.
+    pub retries: u32,
 }
 
 /// What one measured run produced.
@@ -63,6 +71,33 @@ pub struct LoadReport {
     /// `Some(true)` when `--verify` ran and the single-connection replay
     /// was byte-identical; `None` when `--verify` was off.
     pub verified: Option<bool>,
+    /// Re-sent exchanges during the measured run (reconnect + replay
+    /// after a broken or timed-out exchange).
+    pub retries: u64,
+    /// Exchanges that hit the per-request deadline.
+    pub timeouts: u64,
+    /// Queries that exhausted every attempt and were answered with a
+    /// synthetic client-side error row instead of hanging the run.
+    pub failed: u64,
+}
+
+/// One replayed exchange: `(query index, response line, micros)`.
+type ConnRow = (usize, String, u64);
+
+/// Client-side resilience counters for one connection's replay.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ClientStats {
+    pub(crate) retries: u64,
+    pub(crate) timeouts: u64,
+    pub(crate) failed: u64,
+}
+
+impl ClientStats {
+    fn absorb(&mut self, other: ClientStats) {
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.failed += other.failed;
+    }
 }
 
 impl LoadReport {
@@ -116,20 +151,54 @@ pub fn build_mix(cfg: &LoadConfig) -> Vec<String> {
     mix
 }
 
+/// The synthetic response row a query gets when every attempt at its
+/// exchange failed. Deterministic bytes: retried runs stay comparable.
+fn failed_row(attempts: u32) -> String {
+    format!(
+        "{{\"id\":null,\"ok\":false,\"error\":\"client: no response after {attempts} attempts\"}}"
+    )
+}
+
+/// Seeded exponential backoff with jitter: attempt 1 waits ~10ms,
+/// doubling up to a 500ms cap, each with up to +50% jitter from the
+/// connection's own deterministic stream.
+fn backoff_delay(g: &mut Rng, attempt: u32) -> Duration {
+    let base = 10u64.saturating_mul(1u64 << (attempt.saturating_sub(1)).min(6));
+    let base = base.min(500);
+    Duration::from_millis(base + g.usize(0..(base / 2 + 1) as usize) as u64)
+}
+
+/// A connected client stream: write half + buffered read half.
+fn open_conn(addr: &ListenAddr, timeout: Option<Duration>) -> Option<(Stream, BufReader<Stream>)> {
+    let conn = connect(addr).ok()?;
+    // A deadline on both halves: a dead or wedged server must surface
+    // as a timed-out exchange, never a hung client thread.
+    let _ = conn.set_read_timeout(timeout);
+    let _ = conn.set_write_timeout(timeout);
+    let out = conn.try_clone().ok()?;
+    Some((out, BufReader::new(conn)))
+}
+
 /// One connection's replay: its queries in index order, one
 /// request/response exchange per line (batched per `batch`), each
-/// exchange timed. Returns `(index, response, micros)` triples.
+/// exchange timed. A broken or timed-out exchange reconnects and
+/// retries under seeded backoff; a query whose attempts are exhausted
+/// gets a synthetic error row — this function never hangs on a dead
+/// server and never fails the run. Returns `(index, response, micros)`
+/// triples plus the resilience counters.
 fn replay_conn(
     addr: &ListenAddr,
     queries: &[(usize, &str)],
-    batch: usize,
-) -> Result<Vec<(usize, String, u64)>, String> {
-    let conn = connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let mut out = conn.try_clone().map_err(|e| format!("clone: {e}"))?;
-    let mut reader = BufReader::new(conn);
+    cfg: &LoadConfig,
+    seed: u64,
+) -> (Vec<ConnRow>, ClientStats) {
+    let mut g = Rng::new(seed);
+    let mut stats = ClientStats::default();
+    let mut conn: Option<(Stream, BufReader<Stream>)> = None;
     let mut results = Vec::with_capacity(queries.len());
-    let mut response = String::new();
-    for chunk in queries.chunks(batch.max(1)) {
+    let batch = cfg.batch.max(1);
+    let attempts = cfg.retries.saturating_add(1);
+    for chunk in queries.chunks(batch) {
         let line = if chunk.len() == 1 && batch <= 1 {
             format!("{}\n", chunk[0].1)
         } else {
@@ -137,31 +206,76 @@ fn replay_conn(
             format!("[{}]\n", bodies.join(","))
         };
         let t0 = Instant::now();
-        out.write_all(line.as_bytes())
-            .and_then(|()| out.flush())
-            .map_err(|e| format!("send: {e}"))?;
-        response.clear();
-        if reader
-            .read_line(&mut response)
-            .map_err(|e| format!("recv: {e}"))?
-            == 0
-        {
-            return Err("server closed the connection mid-replay".to_owned());
+        let mut answer: Option<String> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                stats.retries += 1;
+                std::thread::sleep(backoff_delay(&mut g, attempt));
+            }
+            if conn.is_none() {
+                conn = open_conn(addr, cfg.timeout);
+            }
+            let Some((out, reader)) = conn.as_mut() else {
+                continue;
+            };
+            if out
+                .write_all(line.as_bytes())
+                .and_then(|()| out.flush())
+                .is_err()
+            {
+                conn = None;
+                continue;
+            }
+            let mut response = String::new();
+            match reader.read_line(&mut response) {
+                // EOF (0) or a partial line without its newline: the
+                // server closed mid-response — reconnect and retry.
+                Ok(n) if n == 0 || !response.ends_with('\n') => conn = None,
+                Ok(_) => {
+                    answer = Some(response);
+                    break;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    stats.timeouts += 1;
+                    conn = None;
+                }
+                Err(_) => conn = None,
+            }
         }
         let us = t0.elapsed().as_micros() as u64;
-        let response = response.trim_end();
+        let answer = answer
+            .as_deref()
+            .map(str::trim_end)
+            .map(str::to_owned)
+            .unwrap_or_else(|| {
+                stats.failed += chunk.len() as u64;
+                failed_row(attempts)
+            });
         if chunk.len() == 1 && batch <= 1 {
-            results.push((chunk[0].0, response.to_owned(), us));
+            results.push((chunk[0].0, answer, us));
         } else {
             // One array line answers the whole chunk; every member gets
-            // the batch's latency.
-            let parts = split_batch(response, chunk.len())?;
-            for ((idx, _), part) in chunk.iter().zip(parts) {
-                results.push((*idx, part, us));
+            // the batch's latency. A response that does not split back
+            // into the chunk (garbled, or the synthetic row) is copied
+            // to every member so indexes stay covered.
+            match split_batch(&answer, chunk.len()) {
+                Ok(parts) => {
+                    for ((idx, _), part) in chunk.iter().zip(parts) {
+                        results.push((*idx, part, us));
+                    }
+                }
+                Err(_) => {
+                    for (idx, _) in chunk {
+                        results.push((*idx, answer.clone(), us));
+                    }
+                }
             }
         }
     }
-    Ok(results)
+    (results, stats)
 }
 
 /// Splits a batch response array line back into its `n` member
@@ -179,11 +293,11 @@ fn split_batch(line: &str, n: usize) -> Result<Vec<String>, String> {
 
 /// Runs the mix over `conns` connections and reassembles responses in
 /// query order.
-fn run_once(
+pub(crate) fn run_once(
     cfg: &LoadConfig,
     mix: &[String],
     conns: usize,
-) -> Result<(Vec<String>, Vec<u64>, Duration), String> {
+) -> Result<(Vec<String>, Vec<u64>, Duration, ClientStats), String> {
     let conns = conns.max(1);
     let shares: Vec<Vec<(usize, &str)>> = (0..conns)
         .map(|c| {
@@ -196,29 +310,33 @@ fn run_once(
         })
         .collect();
     let t0 = Instant::now();
-    let results = std::thread::scope(|s| -> Result<Vec<(usize, String, u64)>, String> {
+    let results = std::thread::scope(|s| -> Result<(Vec<ConnRow>, ClientStats), String> {
         let mut handles = Vec::new();
-        for share in &shares {
-            handles.push(s.spawn(|| replay_conn(&cfg.addr, share, cfg.batch)));
+        for (c, share) in shares.iter().enumerate() {
+            // Each connection retries on its own seeded jitter
+            // stream, disjoint from the workload-building streams.
+            let seed = case_seed(cfg.seed ^ 0x7e7a_11ed, c as u32);
+            handles.push(s.spawn(move || replay_conn(&cfg.addr, share, cfg, seed)));
         }
         let mut all = Vec::with_capacity(mix.len());
+        let mut stats = ClientStats::default();
         for h in handles {
-            all.extend(
-                h.join()
-                    .map_err(|_| "client thread panicked".to_owned())??,
-            );
+            let (rows, s) = h.join().map_err(|_| "client thread panicked".to_owned())?;
+            all.extend(rows);
+            stats.absorb(s);
         }
-        Ok(all)
+        Ok((all, stats))
     })?;
     let wall = t0.elapsed();
+    let (rows, stats) = results;
     let mut responses = vec![String::new(); mix.len()];
-    let mut latencies = Vec::with_capacity(results.len());
-    for (idx, resp, us) in results {
+    let mut latencies = Vec::with_capacity(rows.len());
+    for (idx, resp, us) in rows {
         responses[idx] = resp;
         latencies.push(us);
     }
     latencies.sort_unstable();
-    Ok((responses, latencies, wall))
+    Ok((responses, latencies, wall, stats))
 }
 
 /// Runs the configured load and, with `verify`, the single-connection
@@ -233,9 +351,9 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
     if mix.is_empty() {
         return Err("empty workload (no programs?)".to_owned());
     }
-    let (responses, latencies_us, wall) = run_once(cfg, &mix, cfg.conns)?;
+    let (responses, latencies_us, wall, stats) = run_once(cfg, &mix, cfg.conns)?;
     let verified = if cfg.verify {
-        let (control, _, _) = run_once(cfg, &mix, 1)?;
+        let (control, _, _, _) = run_once(cfg, &mix, 1)?;
         Some(control == responses)
     } else {
         None
@@ -251,6 +369,9 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, String> {
         wall,
         latencies_us,
         verified,
+        retries: stats.retries,
+        timeouts: stats.timeouts,
+        failed: stats.failed,
     })
 }
 
@@ -260,7 +381,8 @@ pub fn render_json(cfg: &LoadConfig, report: &LoadReport) -> String {
     format!(
         "{{\"schema\":\"pta.load.v1\",\"addr\":{addr},\"programs\":[{programs}],\
          \"conns\":{conns},\"rounds\":{rounds},\"seed\":\"{seed:#x}\",\"batch\":{batch},\
-         \"queries\":{queries},\"ok\":{ok},\"errors\":{errors},\"wall_ms\":{wall_ms},\
+         \"queries\":{queries},\"ok\":{ok},\"errors\":{errors},\"retries\":{retries},\
+         \"timeouts\":{timeouts},\"failed\":{failed},\"wall_ms\":{wall_ms},\
          \"qps\":{qps:.1},\"latency_us\":{{\"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\
          \"max\":{max}}},\"verified\":{verified}}}",
         addr = json::escape(&cfg.addr.to_string()),
@@ -272,6 +394,9 @@ pub fn render_json(cfg: &LoadConfig, report: &LoadReport) -> String {
         queries = report.queries,
         ok = report.ok,
         errors = report.errors,
+        retries = report.retries,
+        timeouts = report.timeouts,
+        failed = report.failed,
         wall_ms = report.wall.as_millis(),
         qps = report.qps(),
         p50 = report.percentile_us(50.0),
@@ -329,6 +454,8 @@ mod tests {
             seed: 7,
             batch: 1,
             verify: false,
+            timeout: None,
+            retries: 0,
         };
         let a = build_mix(&cfg);
         let b = build_mix(&cfg);
@@ -374,6 +501,8 @@ mod tests {
                 seed: 0x5eed,
                 batch: 1,
                 verify: true,
+                timeout: Some(Duration::from_secs(10)),
+                retries: 2,
             };
             let report = run_load(&cfg).unwrap();
             assert_eq!(report.verified, Some(true));
@@ -400,5 +529,42 @@ mod tests {
             stop.store(true, Ordering::Release);
             server.join().unwrap().unwrap();
         });
+    }
+
+    #[test]
+    fn a_dead_server_yields_error_rows_not_a_hang() {
+        // Bind a port, then drop the listener: connects are refused.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = ListenAddr::Tcp(dead.local_addr().unwrap().to_string());
+        drop(dead);
+        let ir =
+            pta_simple::compile("int x; int main(void) { int *p; p = &x; return *p; }").unwrap();
+        let cfg = LoadConfig {
+            addr,
+            programs: vec![("alpha".to_owned(), ir)],
+            conns: 2,
+            rounds: 1,
+            seed: 11,
+            batch: 1,
+            verify: false,
+            timeout: Some(Duration::from_millis(200)),
+            retries: 1,
+        };
+        let t0 = Instant::now();
+        let report = run_load(&cfg).unwrap();
+        assert_eq!(report.ok, 0);
+        assert_eq!(report.failed as usize, report.queries);
+        assert!(report.retries > 0, "each query should have retried once");
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "dead-server run took {:?}",
+            t0.elapsed()
+        );
+        let rendered = render_json(&cfg, &report);
+        let parsed = json::parse(&rendered).unwrap();
+        assert_eq!(
+            parsed.get("failed").and_then(Json::as_u32),
+            Some(report.failed as u32)
+        );
     }
 }

@@ -213,6 +213,10 @@ fn run_socket_phase(
         let server = s.spawn(|| serve(&listener, engine, &stop, false));
         let replay = |label: String, lines: Vec<String>| -> Result<Vec<String>, String> {
             let mut conn = connect(&addr).map_err(|e| format!("{label}: connect: {e}"))?;
+            // A wedged server must fail the phase, never hang it.
+            let deadline = Some(std::time::Duration::from_secs(30));
+            let _ = conn.set_read_timeout(deadline);
+            let _ = conn.set_write_timeout(deadline);
             // Pipeline everything before reading anything back.
             let mut request = String::new();
             for l in &lines {
@@ -228,43 +232,49 @@ fn run_socket_phase(
                 .map_err(|e| format!("{label}: recv: {e}"))?;
             Ok(responses.lines().map(str::to_owned).collect())
         };
-        let mut clients = Vec::new();
-        for worker in 0..jobs {
-            let lines = workload.to_vec();
-            clients.push(s.spawn(move || replay(format!("socket worker {worker}"), lines)));
-        }
-        for (worker, c) in clients.into_iter().enumerate() {
-            let got = c
-                .join()
-                .map_err(|_| "socket worker panicked".to_owned())??;
-            if got.len() != golden.len() {
-                return Err(format!(
-                    "socket worker {worker}: {} responses for {} requests",
-                    got.len(),
-                    golden.len()
-                ));
+        // Any early `Err` must still lower the stop flag before the
+        // scope tries to join the server thread.
+        let outcome = (|| -> Result<(), String> {
+            let mut clients = Vec::new();
+            for worker in 0..jobs {
+                let lines = workload.to_vec();
+                clients.push(s.spawn(move || replay(format!("socket worker {worker}"), lines)));
             }
-            for (i, (g_, w)) in got.iter().zip(golden).enumerate() {
-                if g_ != w {
+            for (worker, c) in clients.into_iter().enumerate() {
+                let got = c
+                    .join()
+                    .map_err(|_| "socket worker panicked".to_owned())??;
+                if got.len() != golden.len() {
                     return Err(format!(
-                        "socket worker {worker} diverged on query {i}:\n  got:  {g_}\n  want: {w}"
+                        "socket worker {worker}: {} responses for {} requests",
+                        got.len(),
+                        golden.len()
                     ));
                 }
+                for (i, (g_, w)) in got.iter().zip(golden).enumerate() {
+                    if g_ != w {
+                        return Err(format!(
+                            "socket worker {worker} diverged on query {i}:\n  got:  {g_}\n  want: {w}"
+                        ));
+                    }
+                }
             }
-        }
-        // The whole workload as one batch line answers one array line
-        // of the same individual responses.
-        let batch = format!("[{}]", workload.join(","));
-        let got = replay("socket batch".to_owned(), vec![batch])?;
-        let want = vec![format!("[{}]", golden.join(","))];
-        if got != want {
-            return Err("socket batch response diverged from per-line responses".to_owned());
-        }
+            // The whole workload as one batch line answers one array
+            // line of the same individual responses.
+            let batch = format!("[{}]", workload.join(","));
+            let got = replay("socket batch".to_owned(), vec![batch])?;
+            let want = vec![format!("[{}]", golden.join(","))];
+            if got != want {
+                return Err("socket batch response diverged from per-line responses".to_owned());
+            }
+            Ok(())
+        })();
         stop.store(true, Ordering::Release);
-        server
+        let served = server
             .join()
             .map_err(|_| "socket server panicked".to_owned())?
-            .map_err(|e| format!("socket server: {e}"))
+            .map_err(|e| format!("socket server: {e}"));
+        outcome.and(served)
     });
     result
 }

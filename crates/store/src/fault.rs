@@ -1,0 +1,246 @@
+//! Numbered I/O fault-injection points for the store.
+//!
+//! Crash-safety claims are only as good as the failures they were
+//! tested against, so every I/O step of the snapshot save/load path is
+//! a *numbered fault point* that a [`FaultPlan`] can make fail or
+//! truncate on demand. The chaos harness (`pta-chaos`) and the store
+//! tests arm plans programmatically; operators and CI can arm one for
+//! a whole process with the `PTA_FAULT` environment variable.
+//!
+//! Off by default and zero-cost when disarmed: the hot path is a single
+//! relaxed atomic load.
+//!
+//! ## Plan syntax (`PTA_FAULT` or [`FaultPlan::parse`])
+//!
+//! ```text
+//! POINT[:trunc][@HIT]
+//! ```
+//!
+//! - `POINT` — the fault-point number (see [`POINTS`]).
+//! - `:trunc` — truncate the I/O at that point (write/read only part of
+//!   the data, then fail) instead of failing outright.
+//! - `@HIT` — fire on the HIT-th time the point is reached (1-based,
+//!   default 1).
+//!
+//! A plan fires **once** and then disarms itself, so a single injected
+//! fault never cascades into unrelated I/O later in the process.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Fault point: creating the snapshot tempfile.
+pub const SAVE_CREATE: u32 = 1;
+/// Fault point: writing the serialized payload to the tempfile.
+pub const SAVE_WRITE: u32 = 2;
+/// Fault point: fsyncing the tempfile before the rename.
+pub const SAVE_SYNC: u32 = 3;
+/// Fault point: atomically renaming the tempfile over the snapshot.
+pub const SAVE_RENAME: u32 = 4;
+/// Fault point: fsyncing the directory after the rename.
+pub const SAVE_DIRSYNC: u32 = 5;
+/// Fault point: reading the snapshot file on load.
+pub const LOAD_READ: u32 = 6;
+
+/// Every declared fault point, as `(number, name)` — the chaos harness
+/// iterates this to prove each one degrades gracefully.
+pub const POINTS: &[(u32, &str)] = &[
+    (SAVE_CREATE, "save.create"),
+    (SAVE_WRITE, "save.write"),
+    (SAVE_SYNC, "save.sync"),
+    (SAVE_RENAME, "save.rename"),
+    (SAVE_DIRSYNC, "save.dirsync"),
+    (LOAD_READ, "load.read"),
+];
+
+/// How an armed point misbehaves when hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The operation fails outright with an injected I/O error.
+    Fail,
+    /// The operation transfers only part of its data, then fails —
+    /// a torn write (or read) as a crash mid-I/O would leave it.
+    Truncate,
+}
+
+/// One armed fault: which point, how it misbehaves, and on which hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The fault-point number (one of [`POINTS`]).
+    pub point: u32,
+    /// Fail or truncate.
+    pub mode: FaultMode,
+    /// Fire on the `hit`-th time the point is reached (1-based).
+    pub hit: u32,
+}
+
+impl FaultPlan {
+    /// Parses `POINT[:trunc][@HIT]` (the `PTA_FAULT` syntax).
+    ///
+    /// # Errors
+    ///
+    /// A usage message for anything else.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let (head, hit) = match spec.split_once('@') {
+            Some((h, n)) => (
+                h,
+                n.parse::<u32>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad fault hit count `{n}` (want a 1-based integer)"))?,
+            ),
+            None => (spec, 1),
+        };
+        let (point_text, mode) = match head.split_once(':') {
+            Some((p, "trunc")) => (p, FaultMode::Truncate),
+            Some((_, other)) => return Err(format!("bad fault mode `{other}` (want `trunc`)")),
+            None => (head, FaultMode::Fail),
+        };
+        let point = point_text
+            .parse::<u32>()
+            .ok()
+            .filter(|p| POINTS.iter().any(|(n, _)| n == p))
+            .ok_or_else(|| {
+                let names: Vec<String> = POINTS
+                    .iter()
+                    .map(|(n, name)| format!("{n}={name}"))
+                    .collect();
+                format!(
+                    "bad fault point `{point_text}` (declared points: {})",
+                    names.join(", ")
+                )
+            })?;
+        Ok(FaultPlan { point, mode, hit })
+    }
+
+    /// The human-readable name of this plan's point.
+    pub fn point_name(&self) -> &'static str {
+        POINTS
+            .iter()
+            .find(|(n, _)| *n == self.point)
+            .map(|(_, name)| *name)
+            .unwrap_or("?")
+    }
+}
+
+struct PlanState {
+    plan: FaultPlan,
+    /// Times the armed point has been reached so far.
+    seen: u32,
+}
+
+/// Fast-path gate: false ⇒ no plan can fire, skip the mutex entirely.
+static ARMED: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<PlanState>> = Mutex::new(None);
+static ENV_INIT: OnceLock<()> = OnceLock::new();
+
+/// Arms a plan process-wide (replacing any armed one). The plan fires
+/// once and disarms itself; [`disarm`] cancels it early.
+pub fn arm(plan: FaultPlan) {
+    *PLAN.lock().expect("fault plan lock") = Some(PlanState { plan, seen: 0 });
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms any armed plan.
+pub fn disarm() {
+    *PLAN.lock().expect("fault plan lock") = None;
+    ARMED.store(false, Ordering::Release);
+}
+
+/// True while a plan is armed and has not fired yet.
+pub fn is_armed() -> bool {
+    ARMED.load(Ordering::Acquire)
+}
+
+fn arm_from_env() {
+    ENV_INIT.get_or_init(|| {
+        if let Ok(spec) = std::env::var("PTA_FAULT") {
+            match FaultPlan::parse(&spec) {
+                Ok(plan) => {
+                    arm(plan);
+                    eprintln!(
+                        "pta store: fault plan armed from PTA_FAULT: \
+                         point {} ({}), {:?}, hit {}",
+                        plan.point,
+                        plan.point_name(),
+                        plan.mode,
+                        plan.hit
+                    );
+                }
+                Err(e) => eprintln!("pta store: ignoring PTA_FAULT `{spec}`: {e}"),
+            }
+        }
+    });
+}
+
+/// Called by the store at each numbered I/O point: `Some(mode)` when
+/// the armed plan fires here (the plan then disarms itself), `None`
+/// otherwise. Disarmed cost: one relaxed atomic load.
+pub(crate) fn check(point: u32) -> Option<FaultMode> {
+    arm_from_env();
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut guard = PLAN.lock().expect("fault plan lock");
+    let state = guard.as_mut()?;
+    if state.plan.point != point {
+        return None;
+    }
+    state.seen += 1;
+    if state.seen < state.plan.hit {
+        return None;
+    }
+    let mode = state.plan.mode;
+    *guard = None;
+    ARMED.store(false, Ordering::Release);
+    Some(mode)
+}
+
+/// The error an injected [`FaultMode::Fail`] produces.
+pub(crate) fn injected_error(point: u32) -> std::io::Error {
+    let name = POINTS
+        .iter()
+        .find(|(n, _)| *n == point)
+        .map(|(_, name)| *name)
+        .unwrap_or("?");
+    std::io::Error::other(format!("injected fault at point {point} ({name})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_parse_and_reject() {
+        assert_eq!(
+            FaultPlan::parse("2"),
+            Ok(FaultPlan {
+                point: SAVE_WRITE,
+                mode: FaultMode::Fail,
+                hit: 1
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("4:trunc@3"),
+            Ok(FaultPlan {
+                point: SAVE_RENAME,
+                mode: FaultMode::Truncate,
+                hit: 3
+            })
+        );
+        for bad in ["", "0", "99", "2:chop", "2@0", "2@x", "nope"] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn point_names_cover_every_declared_point() {
+        for &(n, name) in POINTS {
+            let plan = FaultPlan {
+                point: n,
+                mode: FaultMode::Fail,
+                hit: 1,
+            };
+            assert_eq!(plan.point_name(), name);
+        }
+    }
+}

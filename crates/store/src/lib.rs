@@ -29,15 +29,17 @@
 //!   sockets with per-connection scoped threads. [`json`] is the
 //!   shared hand-rolled JSON layer beneath all of it.
 
+pub mod fault;
 pub mod format;
 pub mod json;
 pub mod serve;
 pub mod server;
 pub mod tenant;
 
+pub use fault::{FaultMode, FaultPlan};
 pub use format::{parse, serialize, FnRow, LintRow, NodeRow, Snapshot, StoreError, MAGIC};
 pub use serve::ServeEngine;
-pub use server::{connect, parse_listen, LineHandler, ListenAddr, Listener};
+pub use server::{connect, parse_listen, LineHandler, ListenAddr, Listener, ServeOptions};
 pub use tenant::{Router, TenantCache, TenantSpec};
 
 use pta_cfront::ast::FuncId;
@@ -169,14 +171,78 @@ fn lint_sorted(mut rows: Vec<LintRow>) -> Vec<LintRow> {
     rows
 }
 
-/// Writes a snapshot to `path` in the canonical text form.
+/// Writes a snapshot to `path` in the canonical text form,
+/// **crash-safely**: the bytes go to a same-directory tempfile which is
+/// written, fsynced, and atomically renamed over `path`, then the
+/// directory itself is fsynced. A crash (or injected fault, see
+/// [`fault`]) at any point leaves either the complete old snapshot or
+/// the complete new one at `path` — never a torn file.
 ///
 /// # Errors
 ///
-/// [`StoreError::Io`] on filesystem failure.
+/// [`StoreError::Io`] on filesystem failure. On error the target file
+/// is untouched and the tempfile is removed (best effort).
 pub fn save(path: &Path, snap: &Snapshot) -> Result<(), StoreError> {
-    std::fs::write(path, serialize(snap))
+    atomic_write(path, serialize(snap).as_bytes())
         .map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))
+}
+
+/// The tempfile-then-rename write behind [`save`], with every I/O step
+/// a numbered [`fault`] point.
+fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "snapshot".to_owned());
+    // Same directory as the target: rename(2) is only atomic within a
+    // filesystem. The pid keeps concurrent processes off each other's
+    // tempfiles; within a process, saves of one path are serialized by
+    // the tenant cache lock.
+    let tmp = dir.join(format!(".{file_name}.tmp.{}", std::process::id()));
+    let result = (|| {
+        if fault::check(fault::SAVE_CREATE).is_some() {
+            return Err(fault::injected_error(fault::SAVE_CREATE));
+        }
+        let mut f = std::fs::File::create(&tmp)?;
+        match fault::check(fault::SAVE_WRITE) {
+            Some(FaultMode::Truncate) => {
+                // A torn write: half the payload reaches the tempfile,
+                // then the "crash".
+                f.write_all(&bytes[..bytes.len() / 2])?;
+                return Err(fault::injected_error(fault::SAVE_WRITE));
+            }
+            Some(FaultMode::Fail) => return Err(fault::injected_error(fault::SAVE_WRITE)),
+            None => {}
+        }
+        f.write_all(bytes)?;
+        if fault::check(fault::SAVE_SYNC).is_some() {
+            return Err(fault::injected_error(fault::SAVE_SYNC));
+        }
+        f.sync_all()?;
+        drop(f);
+        if fault::check(fault::SAVE_RENAME).is_some() {
+            return Err(fault::injected_error(fault::SAVE_RENAME));
+        }
+        std::fs::rename(&tmp, path)?;
+        if fault::check(fault::SAVE_DIRSYNC).is_some() {
+            return Err(fault::injected_error(fault::SAVE_DIRSYNC));
+        }
+        // fsync the directory so the rename itself is durable; skipped
+        // silently where directories cannot be opened for sync.
+        if let Ok(d) = std::fs::File::open(dir) {
+            d.sync_all()?;
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Reads and parses a snapshot from `path`.
@@ -186,8 +252,23 @@ pub fn save(path: &Path, snap: &Snapshot) -> Result<(), StoreError> {
 /// [`StoreError::Io`] on filesystem failure, or any [`format::parse`]
 /// error.
 pub fn load(path: &Path) -> Result<Snapshot, StoreError> {
-    let text = std::fs::read_to_string(path)
+    let mut text = std::fs::read_to_string(path)
         .map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))?;
+    match fault::check(fault::LOAD_READ) {
+        Some(FaultMode::Truncate) => {
+            // A torn read: the checksum line sees half a payload and the
+            // caller degrades to a cold run.
+            text.truncate(text.len() / 2);
+        }
+        Some(FaultMode::Fail) => {
+            return Err(StoreError::Io(format!(
+                "{}: {}",
+                path.display(),
+                fault::injected_error(fault::LOAD_READ)
+            )))
+        }
+        None => {}
+    }
     parse(&text)
 }
 

@@ -36,6 +36,17 @@ use pta_lint::Diagnostic;
 use pta_simple::{CallSiteId, StmtId};
 use std::time::{Duration, Instant};
 
+/// Most request objects a single batch array may carry; longer batches
+/// are answered with one in-band `too-large` error instead of being
+/// dispatched (an overload guard: one line must not buy unbounded
+/// work).
+pub const MAX_BATCH_ITEMS: usize = 1024;
+
+/// The in-band error message for an over-long batch.
+pub(crate) fn batch_too_large(n: usize) -> String {
+    format!("too-large: batch of {n} requests exceeds {MAX_BATCH_ITEMS}")
+}
+
 /// One metrics record of a served query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryMetrics {
@@ -120,9 +131,14 @@ impl ServeEngine {
     /// Serves one *text* line of the wire protocol: a single request
     /// object, or a batch (JSON array of request objects) answered as a
     /// JSON array of responses in request order. Unparsable lines get a
-    /// single structured error object.
+    /// single structured error object; batches beyond
+    /// [`MAX_BATCH_ITEMS`] get an in-band `too-large` error.
     pub fn handle_text(&self, line: &str) -> (String, Vec<QueryMetrics>) {
         match json::parse(line.trim()) {
+            Ok(Json::Arr(items)) if items.len() > MAX_BATCH_ITEMS => {
+                let (resp, m) = self.error_line(&batch_too_large(items.len()));
+                (resp, vec![m])
+            }
             Ok(Json::Arr(items)) => {
                 let mut parts = Vec::with_capacity(items.len());
                 let mut metrics = Vec::with_capacity(items.len());

@@ -17,12 +17,13 @@
 
 use crate::serve::{QueryMetrics, ServeEngine};
 use crate::tenant::Router;
-use std::io::{BufRead, BufReader, Read, Write};
+use pta_core::ServeEvent;
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Where the server listens (or a client connects).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,6 +125,30 @@ impl Stream {
         match self {
             Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
             Stream::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+
+    /// Bounds every subsequent `read` (`None` blocks forever). Reads
+    /// that hit the bound fail with `WouldBlock`/`TimedOut`.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Bounds every subsequent `write` (`None` blocks forever).
+    pub fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(dur),
+            Stream::Unix(s) => s.set_write_timeout(dur),
+        }
+    }
+
+    fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(on),
+            Stream::Unix(s) => s.set_nonblocking(on),
         }
     }
 }
@@ -242,81 +267,294 @@ impl LineHandler for Router {
 /// How often the accept loop wakes to check the stop flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
-/// Runs the accept loop until `stop` is raised: every connection gets
-/// its own scoped thread reading request lines, answering each in
-/// order, and flushing per line (pipelining-friendly). Returns once the
-/// flag is observed *and* every in-flight connection has drained.
-///
-/// With `metrics`, per-query records go to stderr via
-/// [`QueryMetrics::render`].
+/// Backoff ceiling for transient `accept()` failures (EMFILE and
+/// friends must neither busy-spin nor kill the server).
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_secs(1);
+
+/// How often a connection thread wakes from a blocked read to check
+/// the stop flag and its I/O deadline.
+const IO_POLL: Duration = Duration::from_millis(50);
+
+/// How long a connection with a half-received request may linger after
+/// a stop request before the drain closes it anyway.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Overload-hardening knobs for [`serve_with`] (see
+/// `docs/ROBUSTNESS.md`). The defaults are the hardened production
+/// settings; `0` / `None` disables an individual guard.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Emit per-query [`QueryMetrics`] records on stderr.
+    pub metrics: bool,
+    /// Shed connections at accept beyond this many concurrent ones
+    /// (in-band `overloaded` error). `0` = unlimited.
+    pub max_conns: usize,
+    /// A complete request line must arrive within this long of its
+    /// first byte (slowloris defense), and writes must complete within
+    /// it too. `None` = no deadline. Idle connections *between*
+    /// requests are never timed out.
+    pub io_timeout: Option<Duration>,
+    /// Request lines longer than this are answered with an in-band
+    /// `too-large` error and discarded (the connection survives).
+    /// `0` = unlimited.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            metrics: false,
+            max_conns: 256,
+            io_timeout: Some(Duration::from_secs(10)),
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+/// [`serve_with`] under the hardened [`ServeOptions`] defaults.
 ///
 /// # Errors
 ///
-/// Only fatal listener errors; per-connection I/O problems end that
-/// connection alone.
+/// Only listener setup failures; see [`serve_with`].
 pub fn serve<H: LineHandler>(
     listener: &Listener,
     handler: &H,
     stop: &AtomicBool,
     metrics: bool,
 ) -> std::io::Result<()> {
+    serve_with(
+        listener,
+        handler,
+        stop,
+        &ServeOptions {
+            metrics,
+            ..ServeOptions::default()
+        },
+    )
+}
+
+/// Runs the accept loop until `stop` is raised: every connection gets
+/// its own scoped thread reading request lines, answering each in
+/// order, and flushing per line (pipelining-friendly). Returns once the
+/// flag is observed *and* every in-flight connection has drained
+/// (connections finish the request they are reading, idle ones close
+/// immediately, and stragglers are cut off after a grace period).
+///
+/// Overload behavior, per [`ServeOptions`]: connections beyond
+/// `max_conns` are shed with an in-band `overloaded` error; request
+/// lines beyond `max_line_bytes` are answered `too-large` in-band and
+/// discarded; a request that stays incomplete past `io_timeout` gets a
+/// best-effort `timeout` error and its connection closed. Transient
+/// `accept()` failures retry under capped exponential backoff with a
+/// `serve-accept-retry` event instead of spinning or exiting.
+///
+/// # Errors
+///
+/// Only listener setup failures; accept-time and per-connection I/O
+/// problems never end the loop.
+pub fn serve_with<H: LineHandler>(
+    listener: &Listener,
+    handler: &H,
+    stop: &AtomicBool,
+    opts: &ServeOptions,
+) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
+    let active = AtomicUsize::new(0);
+    let mut backoff = ACCEPT_POLL;
     std::thread::scope(|scope| {
+        let active = &active;
         while !stop.load(Ordering::Acquire) {
             match listener.accept() {
                 Ok(conn) => {
+                    backoff = ACCEPT_POLL;
+                    let now_active = active.load(Ordering::Acquire);
+                    if opts.max_conns > 0 && now_active >= opts.max_conns {
+                        ServeEvent::Overloaded {
+                            active: now_active,
+                            max: opts.max_conns,
+                        }
+                        .emit();
+                        shed_overloaded(conn, opts.max_conns);
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::AcqRel);
                     scope.spawn(move || {
-                        if let Err(e) = handle_connection(conn, handler, metrics) {
+                        let result = handle_connection(conn, handler, stop, opts);
+                        active.fetch_sub(1, Ordering::AcqRel);
+                        if let Err(e) = result {
                             eprintln!("pta serve: connection: {e}");
                         }
                     });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    backoff = ACCEPT_POLL;
                     std::thread::sleep(ACCEPT_POLL);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    ServeEvent::AcceptRetry {
+                        error: e.to_string(),
+                        backoff_ms: backoff.as_millis() as u64,
+                    }
+                    .emit();
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(ACCEPT_BACKOFF_CAP);
+                }
             }
         }
+        let in_flight = active.load(Ordering::Acquire);
+        if in_flight > 0 {
+            ServeEvent::Drain { conns: in_flight }.emit();
+        }
         Ok(())
+        // Leaving the scope joins every connection thread: the drain.
     })
 }
 
-/// Serves one connection to completion (client EOF or I/O error).
+/// Best-effort in-band shedding of a connection accepted over the
+/// `max_conns` cap. Short write deadline: a shed client must never be
+/// able to stall the accept loop.
+fn shed_overloaded(mut conn: Stream, max: usize) {
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = conn.write_all(
+        format!("{{\"id\":null,\"ok\":false,\"error\":\"overloaded: serving {max} connections (--max-conns)\"}}\n")
+            .as_bytes(),
+    );
+    let _ = conn.flush();
+}
+
+/// Serves one connection to completion: client EOF, I/O error, an
+/// expired request deadline, or a stop-flag drain.
 fn handle_connection<H: LineHandler>(
     conn: Stream,
     handler: &H,
-    metrics: bool,
+    stop: &AtomicBool,
+    opts: &ServeOptions,
 ) -> std::io::Result<()> {
+    // Linux `accept` does not inherit the listener's nonblocking flag,
+    // but be explicit: the read loop below relies on timeout semantics.
+    conn.set_nonblocking(false)?;
+    conn.set_read_timeout(Some(IO_POLL))?;
+    conn.set_write_timeout(opts.io_timeout)?;
     let mut out = conn.try_clone()?;
-    let mut reader = BufReader::new(conn);
-    let mut buf = Vec::new();
+    let mut reader = conn;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    // When the current (incomplete) request line started arriving.
+    let mut line_start: Option<Instant> = None;
+    // Inside an oversized line that was already answered `too-large`:
+    // swallow bytes until its newline, then resync.
+    let mut discarding = false;
+    let mut stop_seen: Option<Instant> = None;
     loop {
-        buf.clear();
-        if reader.read_until(b'\n', &mut buf)? == 0 {
-            return Ok(()); // client EOF: clean close
-        }
-        let (response, batch) = match std::str::from_utf8(&buf) {
-            Ok(text) if text.trim().is_empty() => continue,
-            Ok(text) => handler.handle_text(text),
-            Err(_) => {
-                let (r, m) = handler.handle_invalid("bad request: invalid UTF-8");
-                (r, vec![m])
+        // Serve every complete line already buffered.
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=pos).collect();
+            line_start = if pending.is_empty() {
+                None
+            } else {
+                Some(Instant::now())
+            };
+            if discarding {
+                discarding = false;
+                continue;
             }
-        };
-        if metrics {
-            for m in &batch {
-                eprintln!("{}", m.render());
+            // `line` still carries its terminating newline.
+            if opts.max_line_bytes > 0 && line.len() - 1 > opts.max_line_bytes {
+                answer_too_large(handler, &mut out, opts)?;
+                continue;
             }
+            let (response, batch) = match std::str::from_utf8(&line) {
+                Ok(text) if text.trim().is_empty() => continue,
+                Ok(text) => handler.handle_text(text),
+                Err(_) => {
+                    let (r, m) = handler.handle_invalid("bad request: invalid UTF-8");
+                    (r, vec![m])
+                }
+            };
+            if opts.metrics {
+                for m in &batch {
+                    eprintln!("{}", m.render());
+                }
+            }
+            out.write_all(response.as_bytes())?;
+            out.write_all(b"\n")?;
+            out.flush()?;
         }
-        out.write_all(response.as_bytes())?;
-        out.write_all(b"\n")?;
-        out.flush()?;
+        // A still-unterminated over-long line: answer in-band now, then
+        // discard bytes until its newline finally arrives.
+        if !discarding && opts.max_line_bytes > 0 && pending.len() > opts.max_line_bytes {
+            answer_too_large(handler, &mut out, opts)?;
+            pending.clear();
+            line_start = None;
+            discarding = true;
+        }
+        if stop.load(Ordering::Acquire) && stop_seen.is_none() {
+            stop_seen = Some(Instant::now());
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client EOF: clean close
+            Ok(n) => {
+                if pending.is_empty() && !discarding {
+                    line_start = Some(Instant::now());
+                }
+                pending.extend_from_slice(&chunk[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Graceful drain: between requests there is nothing in
+                // flight — close. A half-received request gets until
+                // its own deadline, bounded by the drain grace.
+                if let Some(seen) = stop_seen {
+                    if (pending.is_empty() && !discarding) || seen.elapsed() >= DRAIN_GRACE {
+                        return Ok(());
+                    }
+                }
+                // Slowloris defense: a started request line must
+                // complete within the I/O deadline.
+                if let (Some(deadline), Some(started)) = (opts.io_timeout, line_start) {
+                    if started.elapsed() >= deadline {
+                        let (response, _) = handler.handle_invalid(&format!(
+                            "timeout: no complete request line within {}ms",
+                            deadline.as_millis()
+                        ));
+                        let _ = out.write_all(response.as_bytes());
+                        let _ = out.write_all(b"\n");
+                        let _ = out.flush();
+                        return Ok(());
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
+}
+
+/// Answers one over-the-cap request line with the in-band `too-large`
+/// error (the connection itself survives).
+fn answer_too_large<H: LineHandler>(
+    handler: &H,
+    out: &mut Stream,
+    opts: &ServeOptions,
+) -> std::io::Result<()> {
+    let (response, m) = handler.handle_invalid(&format!(
+        "too-large: request line exceeds {} bytes",
+        opts.max_line_bytes
+    ));
+    if opts.metrics {
+        eprintln!("{}", m.render());
+    }
+    out.write_all(response.as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::BufReader;
     use std::sync::Arc;
 
     #[test]
@@ -388,6 +626,146 @@ mod tests {
             stop.store(true, Ordering::Release);
             server.join().unwrap().unwrap();
         });
+    }
+
+    #[test]
+    fn connections_past_max_conns_are_shed_in_band() {
+        let listener = Listener::bind(&ListenAddr::Tcp("127.0.0.1:0".to_owned())).unwrap();
+        let addr = listener.local_addr();
+        let engine = test_engine();
+        let stop = Arc::new(AtomicBool::new(false));
+        let opts = ServeOptions {
+            max_conns: 1,
+            ..ServeOptions::default()
+        };
+        // Asserting only after stop+join keeps a failure from
+        // deadlocking the scope on a still-running server thread.
+        let (line, response) = std::thread::scope(|s| {
+            let stop2 = Arc::clone(&stop);
+            let server = s.spawn(move || serve_with(&listener, &engine, &stop2, &opts));
+            // First connection: answered, then *held open* so it stays
+            // counted as active.
+            let mut held = connect(&addr).unwrap();
+            held.write_all(b"{\"id\":1,\"op\":\"lint\"}\n").unwrap();
+            let mut reader = BufReader::new(held.try_clone().unwrap());
+            let mut line = String::new();
+            use std::io::BufRead as _;
+            reader.read_line(&mut line).unwrap();
+            // Second connection: shed at accept with an in-band error.
+            let shed = connect(&addr).unwrap();
+            let mut response = String::new();
+            let _ = BufReader::new(shed).read_to_string(&mut response);
+            drop(reader);
+            drop(held);
+            stop.store(true, Ordering::Release);
+            server.join().unwrap().unwrap();
+            (line, response)
+        });
+        assert!(line.starts_with("{\"id\":1,\"ok\":true"), "{line}");
+        assert!(
+            response.starts_with("{\"id\":null,\"ok\":false,\"error\":\"overloaded"),
+            "{response}"
+        );
+    }
+
+    #[test]
+    fn oversized_lines_answer_too_large_and_the_connection_resyncs() {
+        let listener = Listener::bind(&ListenAddr::Tcp("127.0.0.1:0".to_owned())).unwrap();
+        let addr = listener.local_addr();
+        let engine = test_engine();
+        let stop = Arc::new(AtomicBool::new(false));
+        let opts = ServeOptions {
+            max_line_bytes: 256,
+            ..ServeOptions::default()
+        };
+        let responses = std::thread::scope(|s| {
+            let stop2 = Arc::clone(&stop);
+            let server = s.spawn(move || serve_with(&listener, &engine, &stop2, &opts));
+            let mut conn = connect(&addr).unwrap();
+            let huge = "x".repeat(4096);
+            conn.write_all(format!("{huge}\n").as_bytes()).unwrap();
+            conn.write_all(b"{\"id\":2,\"op\":\"lint\"}\n").unwrap();
+            conn.shutdown_write().unwrap();
+            let mut responses = String::new();
+            let _ = BufReader::new(conn).read_to_string(&mut responses);
+            stop.store(true, Ordering::Release);
+            server.join().unwrap().unwrap();
+            responses
+        });
+        let lines: Vec<&str> = responses.lines().collect();
+        assert_eq!(lines.len(), 2, "{responses}");
+        assert!(lines[0].contains("too-large"), "{}", lines[0]);
+        // The connection survived the oversized line.
+        assert!(
+            lines[1].starts_with("{\"id\":2,\"ok\":true"),
+            "{}",
+            lines[1]
+        );
+    }
+
+    #[test]
+    fn a_stalled_request_line_times_out_in_band() {
+        let listener = Listener::bind(&ListenAddr::Tcp("127.0.0.1:0".to_owned())).unwrap();
+        let addr = listener.local_addr();
+        let engine = test_engine();
+        let stop = Arc::new(AtomicBool::new(false));
+        let opts = ServeOptions {
+            io_timeout: Some(Duration::from_millis(200)),
+            ..ServeOptions::default()
+        };
+        let (response, waited) = std::thread::scope(|s| {
+            let stop2 = Arc::clone(&stop);
+            let server = s.spawn(move || serve_with(&listener, &engine, &stop2, &opts));
+            // A slowloris client: half a request, then silence.
+            let mut conn = connect(&addr).unwrap();
+            conn.write_all(b"{\"id\":9,\"op\":").unwrap();
+            conn.flush().unwrap();
+            let t0 = std::time::Instant::now();
+            let mut response = String::new();
+            let _ = BufReader::new(conn).read_to_string(&mut response);
+            let waited = t0.elapsed();
+            stop.store(true, Ordering::Release);
+            server.join().unwrap().unwrap();
+            (response, waited)
+        });
+        assert!(response.contains("timeout"), "{response}");
+        assert!(
+            waited < Duration::from_secs(5),
+            "stalled connection was not cut off promptly ({waited:?})"
+        );
+    }
+
+    #[test]
+    fn stop_drains_idle_connections_instead_of_hanging() {
+        let listener = Listener::bind(&ListenAddr::Tcp("127.0.0.1:0".to_owned())).unwrap();
+        let addr = listener.local_addr();
+        let engine = test_engine();
+        let stop = Arc::new(AtomicBool::new(false));
+        let (line, drained_in) = std::thread::scope(|s| {
+            let stop2 = Arc::clone(&stop);
+            let server = s.spawn(move || serve(&listener, &engine, &stop2, false));
+            // An idle connection held open across the stop request: the
+            // old server would block in read_until forever; the drain
+            // must close it and let the accept scope join.
+            let mut conn = connect(&addr).unwrap();
+            conn.write_all(b"{\"id\":1,\"op\":\"lint\"}\n").unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            let mut line = String::new();
+            use std::io::BufRead as _;
+            reader.read_line(&mut line).unwrap();
+            let t0 = std::time::Instant::now();
+            stop.store(true, Ordering::Release);
+            server.join().unwrap().unwrap();
+            let drained_in = t0.elapsed();
+            drop(reader);
+            drop(conn);
+            (line, drained_in)
+        });
+        assert!(line.contains("\"ok\":true"), "{line}");
+        assert!(
+            drained_in < Duration::from_secs(5),
+            "drain took {drained_in:?}"
+        );
     }
 
     #[test]

@@ -26,8 +26,8 @@
 
 use crate::json::{self, escape as json_str, Json};
 use crate::serve::{QueryMetrics, ServeEngine};
-use crate::{analyze_incremental, WarmMode};
-use pta_core::{AnalysisConfig, Pta, Shared};
+use crate::{analyze_incremental, ColdReason, WarmMode};
+use pta_core::{AnalysisConfig, Pta, ServeEvent, Shared};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -185,11 +185,11 @@ impl TenantCache {
             // their old `Arc`; the swap is what new queries observe.
             let built = build_tenant(spec, &self.config, self.budget)?;
             state.builds += 1;
-            eprintln!(
-                "{{\"ev\":\"serve-reload\",\"program\":{},\"mode\":{}}}",
-                json_str(&spec.name),
-                json_str(&built.mode)
-            );
+            ServeEvent::Reload {
+                program: spec.name.clone(),
+                mode: built.mode.clone(),
+            }
+            .emit();
             let r = state
                 .resident
                 .iter_mut()
@@ -227,10 +227,10 @@ impl TenantCache {
                 .expect("non-empty resident list");
             let (spec_idx, _) = state.resident.remove(oldest);
             state.evictions += 1;
-            eprintln!(
-                "{{\"ev\":\"serve-evict\",\"program\":{}}}",
-                json_str(&self.specs[spec_idx].name)
-            );
+            ServeEvent::Evict {
+                program: self.specs[spec_idx].name.clone(),
+            }
+            .emit();
         }
         Ok(loaded)
     }
@@ -247,7 +247,23 @@ fn build_tenant(
     let source = std::fs::read_to_string(&spec.source)
         .map_err(|e| format!("cannot read `{}`: {e}", spec.source.display()))?;
     let ir = pta_simple::compile(&source).map_err(|e| format!("`{}`: {e}", spec.name))?;
-    let snap = crate::load(&spec.store).ok();
+    let snap = match crate::load(&spec.store) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            // A fault here (corruption, torn read, injected failure)
+            // costs the warm start, never the answer: the build below
+            // degrades to a cold run.
+            if spec.store.exists() {
+                ServeEvent::Degraded {
+                    program: spec.name.clone(),
+                    stage: "load".to_owned(),
+                    reason: e.to_string(),
+                }
+                .emit();
+            }
+            None
+        }
+    };
     let inc = analyze_incremental(&ir, config, snap.as_ref())
         .map_err(|e| format!("`{}`: {e}", spec.name))?;
     let mode = match &inc.mode {
@@ -257,7 +273,17 @@ fn build_tenant(
             "warm start ({seed_hits} replayed pairs, {} dirty functions)",
             dirty.len()
         ),
-        WarmMode::Cold(r) => format!("cold start ({r:?})"),
+        WarmMode::Cold(r) => {
+            if let ColdReason::Store(e) = r {
+                ServeEvent::Degraded {
+                    program: spec.name.clone(),
+                    stage: "load".to_owned(),
+                    reason: e.to_string(),
+                }
+                .emit();
+            }
+            format!("cold start ({r:?})")
+        }
     };
     let lint = pta_lint::lint_ir(
         &ir,
@@ -267,6 +293,15 @@ fn build_tenant(
     );
     let rebuilt = crate::Snapshot::build(&ir, config, &inc.run, &lint);
     if let Err(e) = crate::save(&spec.store, &rebuilt) {
+        // Atomic save: a failed write-back leaves the old snapshot (or
+        // none) intact. The server keeps answering from memory; only
+        // the *next* process's warm start is at stake.
+        ServeEvent::Degraded {
+            program: spec.name.clone(),
+            stage: "save".to_owned(),
+            reason: e.to_string(),
+        }
+        .emit();
         eprintln!("pta serve: cannot write snapshot for `{}`: {e}", spec.name);
     }
     let engine = ServeEngine::new(
@@ -351,6 +386,18 @@ impl Router {
     /// as [`ServeEngine::handle_text`], with per-request tenant routing.
     pub fn handle_text(&self, line: &str) -> (String, Vec<QueryMetrics>) {
         match json::parse(line.trim()) {
+            Ok(Json::Arr(items)) if items.len() > crate::serve::MAX_BATCH_ITEMS => {
+                let msg = crate::serve::batch_too_large(items.len());
+                (
+                    error_response(&Json::Null, &msg),
+                    vec![QueryMetrics {
+                        op: "?".to_owned(),
+                        ok: false,
+                        micros: 0,
+                        program: None,
+                    }],
+                )
+            }
             Ok(Json::Arr(items)) => {
                 let mut parts = Vec::with_capacity(items.len());
                 let mut metrics = Vec::with_capacity(items.len());
