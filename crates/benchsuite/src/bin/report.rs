@@ -4,7 +4,7 @@
 //! ```text
 //! report [SECTION] [--jobs N] [--timings] [--lint] [--profile]
 //!        [--json PATH] [--serve-json PATH] [--store-dir DIR]
-//!        [--deadline MS] [--budget N]
+//!        [--deadline MS] [--budget N] [--prune-liveness]
 //!
 //! SECTION: table2|table3|table4|table5|table6|livc|ablation|
 //!          heap-sites|summary|all        (default: all)
@@ -28,6 +28,10 @@
 //!              milliseconds; exhaustion degrades to cheaper analyses
 //!              (rows are tagged with their fidelity)
 //! --budget N   statement budget per benchmark analysis (same ladder)
+//! --prune-liveness  drop points-to pairs for dead local pointers during
+//!              propagation (liveness-pruned per-point tables; use-point
+//!              resolutions unchanged); the JSON artifact then carries a
+//!              per-benchmark `"prune"` sparsity section (E17)
 //! ```
 //!
 //! Tables 2–6 are byte-identical for every `--jobs` value; timings are
@@ -97,6 +101,7 @@ fn main() {
                     _ => die_usage(&format!("--budget expects a positive number, got `{v}`")),
                 }
             }
+            "--prune-liveness" => config.prune_liveness = true,
             s if s.starts_with('-') => die_usage(&format!("unknown flag `{s}`")),
             s => section = Some(s.to_owned()),
         }

@@ -609,7 +609,9 @@ impl SuiteReport {
     /// stamped with the snapshot/trace schema version. Each benchmark
     /// entry carries its result provenance: a `"fidelity"` tag for
     /// analysed rows, `"failed"` plus an `"error"` message for failed
-    /// ones, and a `"warm_ms"` field in store mode.
+    /// ones, and a `"warm_ms"` field in store mode. Runs with
+    /// `--prune-liveness` add a per-benchmark `"prune"` object
+    /// (seen/pruned pair counters and the sparsity percentage, E17).
     pub fn timings_json(&self) -> String {
         let mut out = String::new();
         let _ = write!(
@@ -644,6 +646,17 @@ impl SuiteReport {
                     // byte-comparable across runs and job counts.
                     if let Some(m) = &r.metrics {
                         let _ = write!(out, ",\"metrics\":{}", m.to_json());
+                    }
+                    let p = &r.analysed.result.prune;
+                    if p.enabled {
+                        let _ = write!(
+                            out,
+                            ",\"prune\":{{\"seen_pairs\":{},\"pruned_pairs\":{},\
+                             \"sparsity_pct\":{:.2}}}",
+                            p.seen_pairs,
+                            p.pruned_pairs,
+                            p.sparsity_pct()
+                        );
                     }
                     out.push('}');
                 }
@@ -1111,6 +1124,7 @@ pub fn ablation_one_jobs(b: Benchmark, jobs: usize) -> Result<AblationRow, PtaEr
         exit_set: ins.exit_set,
         warnings: Vec::new(),
         escapes: Vec::new(),
+        prune: Default::default(),
     };
     let ci = stats::table3(b.name, &ir, &mut ins_result).avg();
     let t3_ins = stats::table3(b.name, &ir, &mut ins_result);
@@ -1132,6 +1146,7 @@ pub fn ablation_one_jobs(b: Benchmark, jobs: usize) -> Result<AblationRow, PtaEr
             exit_set: and.solution.clone(),
             warnings: Vec::new(),
             escapes: Vec::new(),
+            prune: Default::default(),
         };
         stats::table3(b.name, &ir, &mut and_result).avg()
     };
@@ -1159,6 +1174,7 @@ pub fn ablation_one_jobs(b: Benchmark, jobs: usize) -> Result<AblationRow, PtaEr
             exit_set: sol,
             warnings: Vec::new(),
             escapes: Vec::new(),
+            prune: Default::default(),
         };
         stats::table3(b.name, &ir, &mut st_result).avg()
     };

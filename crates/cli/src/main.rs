@@ -151,7 +151,7 @@ fn lint_usage() -> String {
         .collect();
     format!(
         "usage: pta lint <file.c>... [--json] [--allow ID] [--deny ID] \
-         [--jobs N] [--deadline MS] [--budget N]\nchecks:\n{}\n\
+         [--jobs N] [--deadline MS] [--budget N] [--prune-liveness]\nchecks:\n{}\n\
          exit codes: 0 clean, 1 error-severity findings or file failures, \
          2 usage errors.\nfidelity cap: findings from a budget-degraded \
          analysis are capped at warning severity (overrides --deny), so \
@@ -191,6 +191,7 @@ fn parse_lint_args(args: impl Iterator<Item = String>) -> Result<LintCliOptions,
                 }
                 o.config.max_steps = n;
             }
+            "--prune-liveness" => o.config.prune_liveness = true,
             "--help" | "-h" => return Err(lint_usage()),
             f if !f.starts_with('-') => o.files.push(f.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{}", lint_usage())),

@@ -52,6 +52,14 @@ pub struct AnalysisConfig {
     /// callee). Distinct from `max_sym_depth`, which bounds the *names*
     /// invented for invisible variables, not the traversal itself.
     pub max_map_depth: u32,
+    /// Drop points-to pairs sourced at dead, never-address-taken locals
+    /// during propagation (liveness from [`crate::dataflow`]). Shrinks
+    /// the flowed and recorded sets; resolutions at every *use* point
+    /// are unchanged (a used pointer is live there by definition), and
+    /// globals/parameters are never pruned, but per-point tables are
+    /// sparser and locals dead at a function's exit drop out of its
+    /// exit flow — see `docs/DESIGN.md`.
+    pub prune_liveness: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -66,6 +74,35 @@ impl Default for AnalysisConfig {
             deadline: None,
             max_pt_pairs: 4_000_000,
             max_map_depth: 128,
+            prune_liveness: false,
+        }
+    }
+}
+
+/// Statistics from the opt-in `prune_liveness` mode (all zero when the
+/// mode is off or the engine never ran — fallback rungs don't prune).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// The mode was on for this run.
+    pub enabled: bool,
+    /// Pairs that flowed out of basic statements (pre-prune).
+    pub seen_pairs: u64,
+    /// Pairs dropped because their source was dead.
+    pub pruned_pairs: u64,
+    /// Functions with a usable liveness mask.
+    pub funcs_analyzed: usize,
+    /// Functions skipped (no body, nothing prunable, or the solver ran
+    /// out of visits).
+    pub funcs_skipped: usize,
+}
+
+impl PruneStats {
+    /// Percentage of flowed pairs that pruning dropped.
+    pub fn sparsity_pct(&self) -> f64 {
+        if self.seen_pairs == 0 {
+            0.0
+        } else {
+            100.0 * self.pruned_pairs as f64 / self.seen_pairs as f64
         }
     }
 }
@@ -227,6 +264,9 @@ pub struct AnalysisResult {
     /// Structured dangling-pointer events observed during unmap (empty
     /// for the fallback engines, which do not model scopes).
     pub escapes: Vec<EscapeEvent>,
+    /// Liveness-pruning statistics (zeroed unless the run had
+    /// [`AnalysisConfig::prune_liveness`] on).
+    pub prune: PruneStats,
 }
 
 impl AnalysisResult {
@@ -497,6 +537,10 @@ fn analyze_impl<'p>(
         Some(w) => (w.locs, w.seeds),
         None => (LocationTable::new(), WarmSeeds::default()),
     };
+    let prune = PruneStats {
+        enabled: config.prune_liveness,
+        ..PruneStats::default()
+    };
     let mut a = Analyzer {
         ir,
         config,
@@ -512,6 +556,8 @@ fn analyze_impl<'p>(
         cap_stack: Vec::new(),
         node_caps: BTreeMap::new(),
         seed_hits: 0,
+        prune_masks: BTreeMap::new(),
+        prune,
     };
     a.tracer.emit(|| TraceEvent::AnalysisStart {
         functions: ir.defined_functions().count(),
@@ -557,6 +603,7 @@ fn analyze_impl<'p>(
             exit_set,
             warnings: a.warnings,
             escapes: a.escapes,
+            prune: a.prune,
         },
         node_captures: a.node_caps,
         seed_hits: a.seed_hits,
@@ -587,6 +634,12 @@ pub(crate) struct Analyzer<'p> {
     pub(crate) node_caps: BTreeMap<u32, Capture>,
     /// Memo hits served from `seeds`.
     pub(crate) seed_hits: usize,
+    /// Lazily-built per-function liveness masks for `prune_liveness`
+    /// (`None` = function skipped: no body, nothing prunable, or the
+    /// solver budget ran out).
+    pub(crate) prune_masks: BTreeMap<pta_cfront::ast::FuncId, Option<crate::dataflow::PruneMask>>,
+    /// Pruning counters for this run.
+    pub(crate) prune: PruneStats,
 }
 
 impl<'p> Analyzer<'p> {

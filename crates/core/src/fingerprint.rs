@@ -152,6 +152,7 @@ pub fn config(c: &AnalysisConfig) -> u64 {
     h.write_u64(c.deadline.map_or(u64::MAX, |d| d.as_millis() as u64));
     h.write_u64(c.max_pt_pairs as u64);
     h.write_u64(u64::from(c.max_map_depth));
+    h.write_u64(u64::from(c.prune_liveness));
     h.finish()
 }
 
@@ -229,6 +230,10 @@ mod tests {
             },
             AnalysisConfig {
                 deadline: Some(std::time::Duration::from_millis(5)),
+                ..base.clone()
+            },
+            AnalysisConfig {
+                prune_liveness: true,
                 ..base.clone()
             },
         ];

@@ -34,6 +34,7 @@
 pub mod analysis;
 pub mod baseline;
 pub mod budget;
+pub mod dataflow;
 pub mod dense;
 pub mod fingerprint;
 pub mod invocation_graph;
@@ -53,10 +54,14 @@ mod unmap;
 
 pub use analysis::{
     analyze, analyze_recorded, analyze_seeded, analyze_traced, analyze_with, AnalysisConfig,
-    AnalysisError, AnalysisResult, Capture, EngineRun, EscapeEvent, EscapeVia, WarmPair, WarmSeeds,
-    WarmStart,
+    AnalysisError, AnalysisResult, Capture, EngineRun, EscapeEvent, EscapeVia, PruneStats,
+    WarmPair, WarmSeeds, WarmStart,
 };
 pub use budget::{Budget, BudgetKind, TripPoint};
+pub use dataflow::{
+    solve, var_liveness, BitSet, CallEffects, Cfg, Direction, DomainLoc, FnFacts, InitFact,
+    NodeKind, ProgramDataflow, Solution, SolveStats, Transfer, VarLivenessResult,
+};
 pub use fingerprint::SCHEMA_VERSION;
 pub use invocation_graph::{
     FragmentNode, IgFragment, IgKind, IgNode, IgNodeId, IgStats, InvocationGraph, MapInfo,

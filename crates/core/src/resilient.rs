@@ -210,6 +210,7 @@ fn run_insensitive(
         exit_set: r.exit_set,
         warnings: Vec::new(),
         escapes: Vec::new(),
+        prune: Default::default(),
     })
 }
 
@@ -222,6 +223,7 @@ fn run_andersen(ir: &IrProgram, config: &AnalysisConfig) -> Result<AnalysisResul
         exit_set: r.solution,
         warnings: Vec::new(),
         escapes: Vec::new(),
+        prune: Default::default(),
     })
 }
 
@@ -238,6 +240,7 @@ fn run_steensgaard(
         exit_set: sol,
         warnings: Vec::new(),
         escapes: Vec::new(),
+        prune: Default::default(),
     })
 }
 

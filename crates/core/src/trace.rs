@@ -176,6 +176,22 @@ pub enum TraceEvent {
         /// Wall-clock time since the budget started, in microseconds.
         elapsed_us: u64,
     },
+    /// A liveness mask was computed for a function (`prune_liveness`
+    /// mode; emitted once per function, at first entry).
+    Dataflow {
+        /// The function.
+        func: String,
+        /// Prunable (never-address-taken pointer-carrying) variables.
+        prunable: usize,
+        /// CFG nodes the solver ran over.
+        nodes: usize,
+        /// Worklist visits spent.
+        visits: usize,
+        /// The solve converged within its visit budget (always true for
+        /// emitted events — non-converged masks are discarded and the
+        /// function is skipped).
+        converged: bool,
+    },
     /// The degradation ladder moved down a rung.
     Rung {
         /// The fidelity that failed.
@@ -262,6 +278,10 @@ pub const EVENT_SPECS: &[EventSpec] = &[
         fields: &["steps", "elapsed_us"],
     },
     EventSpec {
+        kind: "dataflow",
+        fields: &["func", "prunable", "nodes", "visits", "converged"],
+    },
+    EventSpec {
         kind: "rung",
         fields: &["from", "to", "reason"],
     },
@@ -282,6 +302,7 @@ impl TraceEvent {
             TraceEvent::Unmap { .. } => "unmap",
             TraceEvent::Stmt { .. } => "stmt",
             TraceEvent::BudgetTick { .. } => "budget_tick",
+            TraceEvent::Dataflow { .. } => "dataflow",
             TraceEvent::Rung { .. } => "rung",
         }
     }
@@ -604,6 +625,20 @@ pub fn render_jsonl(ts_us: u64, ev: &TraceEvent, scrub: bool) -> String {
         TraceEvent::BudgetTick { steps, elapsed_us } => {
             let _ = write!(s, ",\"steps\":{steps},\"elapsed_us\":{}", t(*elapsed_us));
         }
+        TraceEvent::Dataflow {
+            func,
+            prunable,
+            nodes,
+            visits,
+            converged,
+        } => {
+            let _ = write!(
+                s,
+                ",\"func\":\"{}\",\"prunable\":{prunable},\"nodes\":{nodes},\
+                 \"visits\":{visits},\"converged\":{converged}",
+                json_escape(func)
+            );
+        }
         TraceEvent::Rung { from, to, reason } => {
             let _ = write!(
                 s,
@@ -832,6 +867,18 @@ impl TraceSink for ChromeTraceSink {
             TraceEvent::BudgetTick { steps, .. } => {
                 self.push('C', "steps", ts_us, None, &format!("\"steps\":{steps}"))
             }
+            TraceEvent::Dataflow {
+                func,
+                prunable,
+                visits,
+                ..
+            } => self.push(
+                'i',
+                &format!("dataflow:{func}"),
+                ts_us,
+                None,
+                &format!("\"prunable\":{prunable},\"visits\":{visits}"),
+            ),
             TraceEvent::Rung { from, to, reason } => self.push(
                 'i',
                 &format!("rung:{from}->{to}"),
@@ -910,6 +957,10 @@ pub struct TraceMetrics {
     pub stmt_events: u64,
     /// Budget heartbeats observed.
     pub budget_ticks: u64,
+    /// Functions a `prune_liveness` mask was built for.
+    pub dataflow_funcs: u64,
+    /// Liveness-solver visits summed over those masks.
+    pub dataflow_visits: u64,
     /// Steps reported by `analysis_end` (0 until completion).
     pub steps: u64,
     /// Invocation-graph node count reported by `analysis_end`.
@@ -1125,6 +1176,10 @@ impl TraceSink for TraceMetrics {
                 f.stmt_us += dur_us;
             }
             TraceEvent::BudgetTick { .. } => self.budget_ticks += 1,
+            TraceEvent::Dataflow { visits, .. } => {
+                self.dataflow_funcs += 1;
+                self.dataflow_visits += *visits as u64;
+            }
             TraceEvent::Rung { from, to, reason } => {
                 self.rungs
                     .push(((*from).to_owned(), (*to).to_owned(), reason.clone()));
@@ -1275,6 +1330,13 @@ mod tests {
             TraceEvent::BudgetTick {
                 steps: 64,
                 elapsed_us: 1,
+            },
+            TraceEvent::Dataflow {
+                func: "f".into(),
+                prunable: 2,
+                nodes: 5,
+                visits: 9,
+                converged: true,
             },
             TraceEvent::Rung {
                 from: "context-sensitive",

@@ -1,0 +1,92 @@
+//! `dead-store`: stores whose value no path ever reads.
+//!
+//! Built on the backward location-liveness analysis
+//! ([`pta_core::dataflow`]): a *strong* direct store to a local or
+//! parameter whose storage (the slot and everything under it) is dead
+//! afterwards computed a value nobody uses. Always a warning — the
+//! store is wasted work and usually a logic slip, but never undefined
+//! behavior.
+//!
+//! Only plain-path stores are considered (a dereferencing store depends
+//! on where the pointer points — aliasing makes "never read" too bold a
+//! claim), and only never-address-taken roots (reads through saved
+//! pointers don't appear as syntactic uses; liveness already keeps all
+//! address-taken storage alive, so such stores never look dead anyway).
+//! Calls and allocations are excluded: an unused call result doesn't
+//! make the call dead, and an unused allocation is `heap-leak`'s
+//! finding, not a wasted arithmetic value.
+
+use crate::{Check, Diagnostic, LintContext, Severity};
+use pta_core::Def;
+use pta_simple::{BasicStmt, VarKind};
+
+/// See the module docs.
+pub struct DeadStore;
+
+impl Check for DeadStore {
+    fn id(&self) -> &'static str {
+        "dead-store"
+    }
+
+    fn description(&self) -> &'static str {
+        "store to a local whose value is never read"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(df) = &cx.dataflow else { return };
+        for (&fid, facts) in &df.funcs {
+            if !facts.converged {
+                continue;
+            }
+            let f = cx.ir.function(fid);
+            for (n, node) in facts.cfg.nodes.iter().enumerate() {
+                let pta_core::NodeKind::Basic(b, stmt) = node else {
+                    continue;
+                };
+                if !matches!(
+                    b,
+                    BasicStmt::Copy { .. }
+                        | BasicStmt::Unary { .. }
+                        | BasicStmt::Binary { .. }
+                        | BasicStmt::PtrArith { .. }
+                ) {
+                    continue;
+                }
+                if !cx.query.reached(*stmt) {
+                    continue;
+                }
+                for &(ix, d) in &facts.writes[n] {
+                    if d != Def::D {
+                        continue; // weak writes may feed another slot
+                    }
+                    let var = facts.domain[ix].var;
+                    if !matches!(f.var(var).kind, VarKind::Local | VarKind::Param(_)) {
+                        continue; // lowering temps are single-use by construction
+                    }
+                    if facts.addr_taken.contains(ix) {
+                        continue;
+                    }
+                    if facts.extensions[ix]
+                        .iter()
+                        .any(|&e| facts.live_out[n].contains(e))
+                    {
+                        continue; // something under the slot is still read
+                    }
+                    out.push(Diagnostic {
+                        check_id: self.id(),
+                        severity: Severity::Warning,
+                        fidelity: cx.fidelity,
+                        function: f.name.clone(),
+                        stmt: Some(*stmt),
+                        span: cx.query.span_of(*stmt),
+                        message: format!(
+                            "value stored to `{}` in `{}` is never read",
+                            facts.render(f, ix),
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,15 +1,21 @@
 //! The built-in checks and their registry.
 
 mod dangling;
+mod dead_store;
 mod heap_escape;
+mod heap_leak;
 mod indirect_call;
 mod null_deref;
+mod uninit_read;
 mod unreachable;
 
 pub use dangling::DanglingStack;
+pub use dead_store::DeadStore;
 pub use heap_escape::HeapEscape;
+pub use heap_leak::HeapLeak;
 pub use indirect_call::IndirectCall;
 pub use null_deref::NullDeref;
+pub use uninit_read::UninitRead;
 pub use unreachable::UnreachableFn;
 
 use crate::Check;
@@ -22,5 +28,8 @@ pub fn all_checks() -> Vec<Box<dyn Check>> {
         Box::new(IndirectCall),
         Box::new(UnreachableFn),
         Box::new(HeapEscape),
+        Box::new(UninitRead),
+        Box::new(DeadStore),
+        Box::new(HeapLeak),
     ]
 }

@@ -1,0 +1,88 @@
+//! `uninit-read`: reads of storage no path has initialized.
+//!
+//! Built on the forward may/must-initialization analysis
+//! ([`pta_core::dataflow`]): each CFG node's reads — including pointer
+//! reads of dereferences and reads *through* pointers, resolved by the
+//! points-to facts — are compared against the initialization fact
+//! before the node. A read with no initialized overlapping storage on
+//! *any* path is definite (error); one that is uninitialized only on
+//! *some* path is possible (warning).
+//!
+//! Parameters (and everything under them) count as initialized at
+//! entry; storage handed to a callee by address (`f(&x)`) counts as
+//! possibly initialized afterwards; calls that may write memory count
+//! as possibly initializing all address-taken storage. The
+//! possible-grade finding is suppressed for address-taken variables —
+//! writes through saved pointers make the *must* side too weak to
+//! accuse them.
+
+use crate::{Check, Diagnostic, LintContext, Severity};
+use pta_core::Def;
+use pta_simple::VarKind;
+
+/// See the module docs.
+pub struct UninitRead;
+
+impl Check for UninitRead {
+    fn id(&self) -> &'static str {
+        "uninit-read"
+    }
+
+    fn description(&self) -> &'static str {
+        "read of a variable no path has initialized"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(df) = &cx.dataflow else { return };
+        for (&fid, facts) in &df.funcs {
+            if !facts.converged {
+                continue; // ran out of solver visits: facts unusable
+            }
+            let f = cx.ir.function(fid);
+            for (n, _) in facts.cfg.nodes.iter().enumerate() {
+                let Some(stmt) = facts.cfg.stmt_of(n) else {
+                    continue;
+                };
+                if !cx.query.reached(stmt) {
+                    continue; // dead code: no facts, nothing to report
+                }
+                let init = &facts.init_in[n];
+                for &(ix, d) in &facts.reads[n] {
+                    let rel = &facts.overlap[ix];
+                    let var = facts.domain[ix].var;
+                    if matches!(f.var(var).kind, VarKind::Temp) {
+                        continue; // lowering temps are def-before-use
+                    }
+                    let may_any = rel.iter().any(|&r| init.may.contains(r));
+                    let must_any = rel.iter().any(|&r| init.must.contains(r));
+                    let (severity, why) = if !may_any {
+                        (
+                            if d == Def::D {
+                                Severity::Error
+                            } else {
+                                Severity::Warning
+                            },
+                            "is read before initialization",
+                        )
+                    } else if !must_any && !facts.addr_taken.contains(ix) {
+                        (
+                            Severity::Warning,
+                            "may be read before initialization on some path",
+                        )
+                    } else {
+                        continue;
+                    };
+                    out.push(Diagnostic {
+                        check_id: self.id(),
+                        severity,
+                        fidelity: cx.fidelity,
+                        function: f.name.clone(),
+                        stmt: Some(stmt),
+                        span: cx.query.span_of(stmt),
+                        message: format!("`{}` in `{}` {}", facts.render(f, ix), f.name, why),
+                    });
+                }
+            }
+        }
+    }
+}

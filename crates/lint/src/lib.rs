@@ -5,7 +5,8 @@
 //! graded by the paper's definitely/possibly lattice — a *definite* bad
 //! fact is an error, a merely *possible* one is a warning.
 //!
-//! Five checks ship in the default registry ([`all_checks`]):
+//! Eight checks ship in the default registry ([`all_checks`]);
+//! see `docs/LINTS.md` for the full catalogue:
 //!
 //! | id              | reports                                           |
 //! |-----------------|---------------------------------------------------|
@@ -14,6 +15,9 @@
 //! | `indirect-call` | fn-pointer calls with no / mismatched targets      |
 //! | `unreachable-fn`| functions on no invocation-graph path from `main`  |
 //! | `heap-escape`   | heap reachable only from dead locals at scope exit |
+//! | `uninit-read`   | read of a variable no path has initialized         |
+//! | `dead-store`    | store to a local whose value is never read         |
+//! | `heap-leak`     | overwrite of the last pointer to heap storage      |
 //!
 //! Diagnostics respect the degradation ladder: results produced by a
 //! fallback engine (anything but the full context-sensitive analysis)
@@ -38,7 +42,7 @@ pub mod render;
 pub mod runner;
 
 pub use checks::all_checks;
-pub use render::{render_json, render_text};
+pub use render::{render_json, render_text, LINT_SCHEMA};
 pub use runner::{lint_files, FileInput, FileReport};
 
 use pta_cfront::span::Span;
@@ -117,6 +121,14 @@ pub struct LintContext<'a> {
     pub fidelity: Fidelity,
     /// Read-only fact queries over `ir` + `result`.
     pub query: FactQuery<'a>,
+    /// Liveness and initialization facts per function (the substrate
+    /// for `uninit-read`, `dead-store`, and `heap-leak`). `None` on
+    /// degraded runs: the dataflow transfers resolve indirect defs/uses
+    /// through the per-point facts, which only the full
+    /// context-sensitive engine records faithfully — so the three
+    /// dataflow checks are *silent* (not merely warning-capped) under
+    /// degradation.
+    pub dataflow: Option<pta_core::dataflow::ProgramDataflow<'a>>,
 }
 
 /// One diagnostics pass. Implementations must be deterministic: same
@@ -202,11 +214,18 @@ pub fn lint_ir(
     fidelity: Fidelity,
     opts: &LintOptions,
 ) -> Vec<Diagnostic> {
+    let query = FactQuery::new(ir, result);
+    let dataflow = if fidelity.is_full() {
+        Some(pta_core::dataflow::ProgramDataflow::compute(&query))
+    } else {
+        None
+    };
     let cx = LintContext {
         ir,
         result,
         fidelity,
-        query: FactQuery::new(ir, result),
+        query,
+        dataflow,
     };
     let mut out = Vec::new();
     for check in all_checks() {
@@ -295,7 +314,7 @@ mod tests {
         assert!(ids
             .iter()
             .all(|id| id.chars().all(|c| c.is_ascii_lowercase() || c == '-')));
-        assert_eq!(n, 5);
+        assert_eq!(n, 8);
     }
 
     #[test]
@@ -353,6 +372,9 @@ mod tests {
                 "indirect-call".into(),
                 "unreachable-fn".into(),
                 "heap-escape".into(),
+                "uninit-read".into(),
+                "dead-store".into(),
+                "heap-leak".into(),
             ],
             ..Default::default()
         };

@@ -45,10 +45,22 @@ pub fn render_text(reports: &[FileReport]) -> String {
     out
 }
 
-/// Renders file reports as one JSON document.
+/// The versioned schema tag on `pta lint --json` output. Bumped on any
+/// incompatible shape change (like the store's `pta.v1` and the load
+/// generator's `pta.load.v1`).
+pub const LINT_SCHEMA: &str = "pta.lint.v1";
+
+/// Renders file reports as one JSON document, tagged
+/// `"schema": "pta.lint.v1"`, with per-check finding counts over the
+/// whole run (every registered check appears, zero or not — consumers
+/// can diff coverage without knowing the registry).
 pub fn render_json(reports: &[FileReport]) -> String {
-    let mut out = String::from("{\n  \"files\": [\n");
+    let mut out = format!("{{\n  \"schema\": \"{LINT_SCHEMA}\",\n  \"files\": [\n");
     let mut counts = DiagnosticCounts::default();
+    let mut per_check: Vec<(&'static str, usize)> = crate::all_checks()
+        .iter()
+        .map(|c| (c.id(), 0usize))
+        .collect();
     for (i, r) in reports.iter().enumerate() {
         let sep = if i + 1 == reports.len() { "" } else { "," };
         out.push_str("    {\"path\": \"");
@@ -77,11 +89,20 @@ pub fn render_json(reports: &[FileReport]) -> String {
         let c = DiagnosticCounts::of(&r.diagnostics);
         counts.errors += c.errors;
         counts.warnings += c.warnings;
+        for d in &r.diagnostics {
+            if let Some(e) = per_check.iter_mut().find(|(id, _)| *id == d.check_id) {
+                e.1 += 1;
+            }
+        }
         let _ = writeln!(out, "]}}{sep}");
+    }
+    out.push_str("  ],\n  \"counts\": {");
+    for (i, (id, n)) in per_check.iter().enumerate() {
+        let _ = write!(out, "{}\"{id}\": {n}", if i > 0 { ", " } else { "" });
     }
     let _ = write!(
         out,
-        "  ],\n  \"errors\": {}, \"warnings\": {}\n}}\n",
+        "}},\n  \"errors\": {}, \"warnings\": {}\n}}\n",
         counts.errors, counts.warnings
     );
     out
@@ -157,6 +178,24 @@ mod tests {
         );
         assert!(js.contains("\"fidelity\": \"context-sensitive\""), "{js}");
         assert!(js.contains("\"check\": \"null-deref\""), "{js}");
+    }
+
+    #[test]
+    fn json_is_schema_tagged_with_per_check_counts() {
+        let r = report("int main(void) { int *p; return *p; }");
+        let js = render_json(&[r]);
+        assert!(js.contains("\"schema\": \"pta.lint.v1\""), "{js}");
+        // Every registered check appears in the counts object, found
+        // or not.
+        for c in crate::all_checks() {
+            assert!(
+                js.contains(&format!("\"{}\":", c.id())),
+                "counts lack `{}`: {js}",
+                c.id()
+            );
+        }
+        assert!(js.contains("\"null-deref\": 1"), "{js}");
+        assert!(js.contains("\"dangling-stack\": 0"), "{js}");
     }
 
     #[test]

@@ -281,6 +281,10 @@ pub fn run_stress(cfg: &StressConfig) -> StressSummary {
         let config = AnalysisConfig {
             deadline: Some(Duration::from_millis(cfg.deadline_ms)),
             max_steps: if tight { cfg.tight_steps } else { u64::MAX },
+            // Every third case runs with liveness pruning so the
+            // stress corpus exercises the pruned engine path (and its
+            // interaction with the ladder) end to end.
+            prune_liveness: case % 3 == 0,
             ..AnalysisConfig::default()
         };
         let t0 = Instant::now();

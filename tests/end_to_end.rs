@@ -179,3 +179,80 @@ fn builder_constructed_ir_analyzes() {
         .collect();
     assert_eq!(pairs, vec![("p".to_string(), "x".to_string())]);
 }
+
+#[test]
+fn prune_liveness_is_equivalence_preserving_on_the_suite() {
+    // The pruned engine drops pairs for dead frame-local pointers.
+    // Everything a caller or a query can still observe — globals,
+    // parameters, every pointer actually read — must resolve exactly
+    // as in the exhaustive engine, and the pruned exit set can only
+    // shrink, never grow. The prune counters must show the mode
+    // actually did work somewhere on the suite.
+    use pta::core::AnalysisConfig;
+    let mut pruned_somewhere = false;
+    for b in benchsuite::SUITE {
+        let Ok(base) = pta::core::run_source(b.source) else {
+            continue; // resilient rows are covered by the suite tests
+        };
+        let pruned = pta::core::run_source_with(
+            b.source,
+            AnalysisConfig {
+                prune_liveness: true,
+                ..AnalysisConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: pruned run failed: {e}", b.name));
+        assert!(pruned.result.prune.enabled, "{}: stats not enabled", b.name);
+        pruned_somewhere |= pruned.result.prune.pruned_pairs > 0;
+        // Globals and parameters are never prunable, so their exit
+        // resolutions must be exact.
+        for g in &base.ir.globals {
+            assert_eq!(
+                base.exit_targets_of("main", &g.name),
+                pruned.exit_targets_of("main", &g.name),
+                "{}: exit targets diverged for global `{}`",
+                b.name,
+                g.name,
+            );
+        }
+        for (_, f) in base.ir.defined_functions() {
+            for v in &f.vars[..f.n_params] {
+                assert_eq!(
+                    base.exit_targets_of(&f.name, &v.name),
+                    pruned.exit_targets_of(&f.name, &v.name),
+                    "{}: exit targets diverged for param `{}::{}`",
+                    b.name,
+                    f.name,
+                    v.name,
+                );
+            }
+        }
+        // The pruned exit set may drop pairs whose source is a local
+        // dead at exit (that is the mode's contract) but must never
+        // invent a pair the exhaustive engine lacks.
+        let named = |p: &pta::core::Pta| -> std::collections::BTreeSet<(String, String, bool)> {
+            p.result
+                .exit_set
+                .iter()
+                .map(|(s, t, d)| {
+                    (
+                        p.result.locs.name(s).to_owned(),
+                        p.result.locs.name(t).to_owned(),
+                        d == pta::core::Def::D,
+                    )
+                })
+                .collect()
+        };
+        let (be, pe) = (named(&base), named(&pruned));
+        assert!(
+            pe.is_subset(&be),
+            "{}: pruned exit set invented pairs: {:?}",
+            b.name,
+            pe.difference(&be).collect::<Vec<_>>()
+        );
+    }
+    assert!(
+        pruned_somewhere,
+        "no benchmark had a single prunable pair: the mode is a no-op"
+    );
+}

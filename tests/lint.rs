@@ -65,7 +65,7 @@ fn no_orphan_goldens() {
 }
 
 #[test]
-fn corpus_covers_all_five_check_categories() {
+fn corpus_covers_all_eight_check_categories() {
     let reports = lint_files(
         &corpus(),
         &AnalysisConfig::default(),
@@ -80,9 +80,12 @@ fn corpus_covers_all_five_check_categories() {
     seen.dedup();
     for id in [
         "dangling-stack",
+        "dead-store",
         "heap-escape",
+        "heap-leak",
         "indirect-call",
         "null-deref",
+        "uninit-read",
         "unreachable-fn",
     ] {
         assert!(seen.contains(&id), "corpus never triggers `{id}`: {seen:?}");
@@ -90,28 +93,32 @@ fn corpus_covers_all_five_check_categories() {
 }
 
 #[test]
-fn clean_program_yields_zero_diagnostics() {
-    let input = corpus()
-        .into_iter()
-        .find(|i| i.path == "clean.c")
-        .expect("clean.c in corpus");
-    let reports = lint_files(
-        &[input],
-        &AnalysisConfig::default(),
-        &LintOptions::default(),
-        1,
-    );
-    assert!(reports[0].error.is_none(), "{:?}", reports[0].error);
-    assert_eq!(
-        reports[0].fidelity,
-        Some(Fidelity::ContextSensitive),
-        "clean.c should analyse at full precision"
-    );
-    assert!(
-        reports[0].diagnostics.is_empty(),
-        "false positives on clean.c: {:?}",
-        reports[0].diagnostics
-    );
+fn clean_programs_yield_zero_diagnostics() {
+    // `clean.c` exercises the points-to checks; `dataflow_clean.c` and
+    // `leak_saved.c` are the negatives for the dataflow-backed ones.
+    for name in ["clean.c", "dataflow_clean.c", "leak_saved.c"] {
+        let input = corpus()
+            .into_iter()
+            .find(|i| i.path == name)
+            .unwrap_or_else(|| panic!("{name} in corpus"));
+        let reports = lint_files(
+            &[input],
+            &AnalysisConfig::default(),
+            &LintOptions::default(),
+            1,
+        );
+        assert!(reports[0].error.is_none(), "{name}: {:?}", reports[0].error);
+        assert_eq!(
+            reports[0].fidelity,
+            Some(Fidelity::ContextSensitive),
+            "{name} should analyse at full precision"
+        );
+        assert!(
+            reports[0].diagnostics.is_empty(),
+            "false positives on {name}: {:?}",
+            reports[0].diagnostics
+        );
+    }
 }
 
 #[test]

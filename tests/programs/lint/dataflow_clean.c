@@ -1,0 +1,21 @@
+/* Negative program for the dataflow checks: `n` is initialized on
+ * every path before its read, every store is read later, and the heap
+ * cell stays reachable through a global across the pointer overwrite.
+ * The linter must stay silent. */
+int g;
+int *keep;
+
+int main(void) {
+    int n;
+    int *p;
+    if (g) {
+        n = 1;
+    } else {
+        n = 2;
+    }
+    p = (int *) malloc(4);
+    keep = p;
+    *p = n;
+    p = &g;
+    return *p + n;
+}

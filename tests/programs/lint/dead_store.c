@@ -1,0 +1,8 @@
+/* The second store to `n` wins on every path; the first value is
+ * never read. */
+int main(void) {
+    int n;
+    n = 1;
+    n = 2;
+    return n;
+}

@@ -1,0 +1,11 @@
+/* Reassigning the only pointer to the heap cell loses it
+ * mid-function: a possible leak at the overwrite. */
+int g;
+
+int main(void) {
+    int *p;
+    p = (int *) malloc(4);
+    *p = 1;
+    p = &g;
+    return *p;
+}

@@ -1,0 +1,12 @@
+/* A second (global) pointer keeps the heap cell reachable past the
+ * overwrite, so nothing is lost: the linter must stay silent. */
+int g;
+int *keep;
+
+int main(void) {
+    int *p;
+    p = (int *) malloc(4);
+    keep = p;
+    p = &g;
+    return *p;
+}

@@ -1,0 +1,8 @@
+/* `n` is read before any store on every path: a definite
+ * uninitialized read, an error. */
+int main(void) {
+    int n;
+    int m;
+    m = n + 1;
+    return m;
+}

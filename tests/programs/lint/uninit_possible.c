@@ -1,0 +1,11 @@
+/* `n` is initialized on only one branch, so the read may see
+ * uninitialized storage on the other path: a warning. */
+int x;
+
+int main(void) {
+    int n;
+    if (x) {
+        n = 1;
+    }
+    return n;
+}

@@ -331,3 +331,169 @@ fn pipeline_never_panics_on_mutated_valid_programs() {
         assert_no_panic(&String::from_utf8_lossy(&bytes));
     });
 }
+
+// ---------------------------------------------------------------------
+// Liveness pruning: pruned ≡ exhaustive where it matters
+// ---------------------------------------------------------------------
+
+use pta::core::AnalysisConfig;
+use pta::simple::{BasicStmt, CallTarget, IrFunction, Operand, StmtId, VarBase, VarRef};
+
+/// Collects every variable reference a basic statement contains.
+fn refs_of<'a>(b: &'a BasicStmt, out: &mut Vec<&'a VarRef>) {
+    fn op<'a>(o: &'a Operand, out: &mut Vec<&'a VarRef>) {
+        if let Operand::Ref(r) | Operand::AddrOf(r) = o {
+            out.push(r);
+        }
+    }
+    match b {
+        BasicStmt::Copy { lhs, rhs } => {
+            out.push(lhs);
+            op(rhs, out);
+        }
+        BasicStmt::Unary { lhs, rhs, .. } => {
+            out.push(lhs);
+            op(rhs, out);
+        }
+        BasicStmt::Binary { lhs, a, b, .. } => {
+            out.push(lhs);
+            op(a, out);
+            op(b, out);
+        }
+        BasicStmt::PtrArith { lhs, ptr, .. } => {
+            out.push(lhs);
+            out.push(ptr);
+        }
+        BasicStmt::Alloc { lhs, size } => {
+            out.push(lhs);
+            op(size, out);
+        }
+        BasicStmt::Call {
+            lhs, target, args, ..
+        } => {
+            if let Some(l) = lhs {
+                out.push(l);
+            }
+            if let CallTarget::Indirect(r) = target {
+                out.push(r);
+            }
+            for a in args {
+                op(a, out);
+            }
+        }
+        BasicStmt::Return(v) => {
+            if let Some(o) = v {
+                op(o, out);
+            }
+        }
+    }
+}
+
+/// The use points the pruned engine must preserve exactly: every bare
+/// local pointer a statement dereferences (or calls through), with the
+/// statement it happens at.
+fn deref_uses(f: &IrFunction) -> Vec<(StmtId, String)> {
+    let mut uses = Vec::new();
+    let Some(body) = &f.body else { return uses };
+    body.for_each_basic(&mut |b, id| {
+        let mut refs = Vec::new();
+        refs_of(b, &mut refs);
+        for r in refs {
+            if let VarRef::Deref { path, .. } = r {
+                if let VarBase::Var(v) = path.base {
+                    if path.projs.is_empty() {
+                        uses.push((id, f.var(v).name.clone()));
+                    }
+                }
+            }
+        }
+    });
+    uses
+}
+
+#[test]
+fn prune_liveness_preserves_use_point_and_exit_resolutions() {
+    // `--prune-liveness` drops pairs for *dead* frame-local pointers
+    // from the per-statement tables; any pointer actually read at a
+    // statement is live there, so its resolution must be byte-identical
+    // to the exhaustive engine's — as must the exit resolutions of
+    // globals and parameters, which are never prunable.
+    check("prune ≡ exhaustive", 24, |g| {
+        let family = *g.pick(pta_prop::cgen::FAMILIES);
+        let source = pta_prop::cgen::generate(family, g);
+        let Ok(base) = pta::core::run_source_with(&source, AnalysisConfig::default()) else {
+            return; // generator corner the pipeline rejects: vacuous case
+        };
+        let pruned = pta::core::run_source_with(
+            &source,
+            AnalysisConfig {
+                prune_liveness: true,
+                ..AnalysisConfig::default()
+            },
+        )
+        .expect("pruned run must succeed when the exhaustive run does");
+        // Globals and parameters are never prunable: exact at exit.
+        for gl in &base.ir.globals {
+            assert_eq!(
+                base.exit_targets_of("main", &gl.name),
+                pruned.exit_targets_of("main", &gl.name),
+                "exit targets diverged for global `{}` in:\n{source}",
+                gl.name,
+            );
+        }
+        for (_, f) in base.ir.defined_functions() {
+            for v in &f.vars[..f.n_params] {
+                assert_eq!(
+                    base.exit_targets_of(&f.name, &v.name),
+                    pruned.exit_targets_of(&f.name, &v.name),
+                    "exit targets diverged for param `{}::{}` in:\n{source}",
+                    f.name,
+                    v.name,
+                );
+            }
+            for (stmt, var) in deref_uses(f) {
+                assert_eq!(
+                    base.targets_at(stmt, &f.name, &var),
+                    pruned.targets_at(stmt, &f.name, &var),
+                    "use-point targets diverged for `{}::{var}` in:\n{source}",
+                    f.name,
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn lint_output_is_deterministic_across_jobs_on_generated_programs() {
+    // The dataflow-backed checks must not introduce any worker-count
+    // dependence: a batch of generated files lints byte-identically
+    // serial and parallel, JSON and text alike.
+    check("lint determinism across jobs", 8, |g| {
+        let inputs: Vec<pta::lint::FileInput> = (0..4)
+            .map(|i| {
+                let family = *g.pick(pta_prop::cgen::FAMILIES);
+                pta::lint::FileInput {
+                    path: format!("g{i}.c"),
+                    source: pta_prop::cgen::generate(family, g),
+                }
+            })
+            .collect();
+        let config = AnalysisConfig::default();
+        let opts = pta::lint::LintOptions::default();
+        let base = pta::lint::lint_files(&inputs, &config, &opts, 1);
+        let (base_text, base_json) = (pta::lint::render_text(&base), pta::lint::render_json(&base));
+        for jobs in [2, 5, 8] {
+            let got = pta::lint::lint_files(&inputs, &config, &opts, jobs);
+            assert_eq!(
+                base_text,
+                pta::lint::render_text(&got),
+                "text diverged at jobs={jobs}"
+            );
+            assert_eq!(
+                base_json,
+                pta::lint::render_json(&got),
+                "json diverged at jobs={jobs}"
+            );
+        }
+    });
+}
